@@ -1,0 +1,86 @@
+//! End-to-end latency of the *functional* halo exchanges across threads:
+//! serialized-pulse two-sided baseline vs the fused GPU-initiated design,
+//! per transport mix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use halox_core::{build_contexts, exec, CommContext, FusedBuffers};
+use halox_dd::{build_partition, DdGrid, DdPartition};
+use halox_md::GrappaBuilder;
+use halox_shmem::{ShmemWorld, Topology, TwoSidedComm};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn setup(dims: [usize; 3]) -> (DdPartition, Vec<CommContext>) {
+    let sys = GrappaBuilder::new(12_000).seed(11).build();
+    let part = build_partition(&sys, &DdGrid::new(dims), 0.8);
+    let ctxs = build_contexts(&part);
+    (part, ctxs)
+}
+
+fn bench_fused_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_exchange_step");
+    group.sample_size(10);
+    for (label, dims, gpn) in [
+        ("2d_nvlink", [2usize, 2, 1], 4usize),
+        ("3d_nvlink", [2, 2, 2], 8),
+        ("3d_mixed_ib", [2, 2, 2], 4),
+    ] {
+        let (part, ctxs) = setup(dims);
+        let world = ShmemWorld::new(
+            Topology::islands(part.n_ranks(), gpn),
+            CommContext::slots_needed(part.total_pulses()),
+        );
+        let bufs = FusedBuffers::alloc(part.n_ranks(), &ctxs[0]);
+        for r in &part.ranks {
+            bufs.coords.load_from(r.rank, &r.build_positions);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(label), &dims, |b, _| {
+            let step = AtomicU64::new(1);
+            b.iter(|| {
+                let s0 = step.fetch_add(1, Ordering::Relaxed);
+                let ctxs = &ctxs;
+                let bufs = &bufs;
+                world.run(|pe| {
+                    exec::fused_pack_comm_x(pe, &ctxs[pe.id], bufs, s0);
+                    exec::wait_coordinate_arrivals(pe, &ctxs[pe.id], s0);
+                    exec::fused_comm_unpack_f(pe, &ctxs[pe.id], bufs, s0);
+                });
+                black_box(())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_serialized_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serialized_exchange_step");
+    group.sample_size(10);
+    for (label, dims) in [("2d", [2usize, 2, 1]), ("3d", [2, 2, 2])] {
+        let (part, ctxs) = setup(dims);
+        let comm = TwoSidedComm::new(part.n_ranks());
+        group.bench_with_input(BenchmarkId::from_parameter(label), &dims, |b, _| {
+            let step = AtomicU64::new(0);
+            b.iter(|| {
+                let s0 = step.fetch_add(1, Ordering::Relaxed);
+                let comm = &comm;
+                let ctxs = &ctxs;
+                let part = &part;
+                std::thread::scope(|s| {
+                    for r in 0..part.n_ranks() {
+                        s.spawn(move || {
+                            let mut coords = part.ranks[r].build_positions.clone();
+                            exec::mpi::coordinate_exchange(comm, &ctxs[r], s0, &mut coords);
+                            let mut forces = coords.clone();
+                            exec::mpi::force_exchange(comm, &ctxs[r], s0, &mut forces);
+                            black_box(forces.len())
+                        });
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fused_exchange, bench_serialized_exchange);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Timing-simulator benchmarks: schedule construction + discrete-event run
+//! throughput, up to the paper's largest configuration (1152 ranks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use halox_core::sched::{self, Backend, ScheduleInput};
+use halox_dd::{DdGrid, WorkloadModel};
+use halox_gpusim::MachineModel;
+use std::hint::black_box;
+
+fn input(atoms: usize, dims: [usize; 3]) -> ScheduleInput {
+    let model = WorkloadModel::grappa(atoms, 1.05, DdGrid::new(dims));
+    ScheduleInput::from_workload(MachineModel::eos(), &model)
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_simulate");
+    group.sample_size(10);
+    let cases: &[(&str, usize, [usize; 3], Backend)] = &[
+        ("mpi_32r", 2_880_000, [8, 2, 2], Backend::Mpi),
+        ("nvshmem_32r", 2_880_000, [8, 2, 2], Backend::Nvshmem),
+        ("nvshmem_512r", 23_040_000, [8, 8, 8], Backend::Nvshmem),
+        ("nvshmem_1152r", 23_040_000, [12, 12, 8], Backend::Nvshmem),
+    ];
+    for &(label, atoms, dims, backend) in cases {
+        let inp = input(atoms, dims);
+        let n_ops = sched::build(backend, &inp, 8).graph.n_ops();
+        group.throughput(Throughput::Elements(n_ops as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &inp, |b, inp| {
+            b.iter(|| black_box(sched::simulate(backend, inp, 8, 3)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule);
+criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! Minimal hand-rolled SVG line charts for the regenerated figures —
+//! `halox-bench all` drops one SVG per performance figure next to the CSVs,
+//! so the paper's plots can be eyeballed without any plotting stack.
+
+use crate::figures::PerfRow;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+const W: f64 = 760.0;
+const H: f64 = 460.0;
+const ML: f64 = 70.0; // margins
+const MR: f64 = 180.0;
+const MT: f64 = 48.0;
+const MB: f64 = 56.0;
+
+const COLORS: &[&str] = &[
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#e377c2", "#17becf",
+];
+
+fn log2(x: f64) -> f64 {
+    x.ln() / std::f64::consts::LN_2
+}
+
+/// Render ns/day vs node count, one series per (system size, backend),
+/// log2 x-axis, linear y-axis. Works for Figs 3-5 row sets.
+pub fn scaling_chart(title: &str, rows: &[PerfRow]) -> String {
+    // Group series.
+    let mut series: BTreeMap<(usize, &str), Vec<(f64, f64)>> = BTreeMap::new();
+    for r in rows {
+        series
+            .entry((r.system_atoms, r.backend))
+            .or_default()
+            .push((r.n_gpus as f64, r.ns_per_day));
+    }
+    for pts in series.values_mut() {
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    }
+    let xs: Vec<f64> = rows.iter().map(|r| r.n_gpus as f64).collect();
+    let ys: Vec<f64> = rows.iter().map(|r| r.ns_per_day).collect();
+    let (x_min, x_max) = (
+        xs.iter().cloned().fold(f64::INFINITY, f64::min),
+        xs.iter().cloned().fold(0.0, f64::max),
+    );
+    let y_max = ys.iter().cloned().fold(0.0, f64::max) * 1.08;
+
+    let px = |x: f64| {
+        if (x_max - x_min).abs() < 1e-9 {
+            ML + (W - ML - MR) / 2.0
+        } else {
+            ML + (log2(x) - log2(x_min)) / (log2(x_max) - log2(x_min)) * (W - ML - MR)
+        }
+    };
+    let py = |y: f64| H - MB - y / y_max * (H - MT - MB);
+
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"#
+    );
+    let _ = write!(s, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+    let _ = write!(
+        s,
+        r#"<text x="{}" y="26" font-family="sans-serif" font-size="16" font-weight="bold">{}</text>"#,
+        ML,
+        xml_escape(title)
+    );
+    // Axes.
+    let _ = write!(
+        s,
+        r#"<line x1="{ML}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        H - MB,
+        W - MR,
+        H - MB
+    );
+    let _ = write!(s, r#"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="black"/>"#, H - MB);
+    // X ticks at powers of two.
+    let mut x = x_min;
+    while x <= x_max * 1.001 {
+        let cx = px(x);
+        let _ = write!(
+            s,
+            r#"<line x1="{cx}" y1="{}" x2="{cx}" y2="{}" stroke="black"/><text x="{cx}" y="{}" font-family="sans-serif" font-size="11" text-anchor="middle">{}</text>"#,
+            H - MB,
+            H - MB + 5.0,
+            H - MB + 20.0,
+            x as u64
+        );
+        x *= 2.0;
+    }
+    let _ = write!(
+        s,
+        r#"<text x="{}" y="{}" font-family="sans-serif" font-size="12" text-anchor="middle">GPUs</text>"#,
+        (ML + W - MR) / 2.0,
+        H - 14.0
+    );
+    // Y ticks (5).
+    for k in 0..=5 {
+        let y = y_max * k as f64 / 5.0;
+        let cy = py(y);
+        let _ = write!(
+            s,
+            r#"<line x1="{}" y1="{cy}" x2="{ML}" y2="{cy}" stroke="black"/><text x="{}" y="{}" font-family="sans-serif" font-size="11" text-anchor="end">{:.0}</text>"#,
+            ML - 5.0,
+            ML - 8.0,
+            cy + 4.0,
+            y
+        );
+    }
+    let _ = write!(
+        s,
+        r#"<text x="16" y="{}" font-family="sans-serif" font-size="12" transform="rotate(-90 16 {})" text-anchor="middle">ns/day</text>"#,
+        (MT + H - MB) / 2.0,
+        (MT + H - MB) / 2.0
+    );
+
+    // Series.
+    for (k, ((atoms, backend), pts)) in series.iter().enumerate() {
+        let color = COLORS[k % COLORS.len()];
+        let dash = if *backend == "MPI" { r#" stroke-dasharray="6 3""# } else { "" };
+        let mut d = String::new();
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            let _ = write!(d, "{}{:.1},{:.1} ", if i == 0 { "M" } else { "L" }, px(x), py(y));
+        }
+        let _ = write!(
+            s,
+            r#"<path d="{d}" fill="none" stroke="{color}" stroke-width="2"{dash}/>"#
+        );
+        for &(x, y) in pts {
+            let _ = write!(
+                s,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                px(x),
+                py(y)
+            );
+        }
+        // Legend entry.
+        let ly = MT + 18.0 * k as f64;
+        let _ = write!(
+            s,
+            r#"<line x1="{}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"{dash}/><text x="{}" y="{}" font-family="sans-serif" font-size="11">{}k {}</text>"#,
+            W - MR + 10.0,
+            W - MR + 34.0,
+            W - MR + 40.0,
+            ly + 4.0,
+            atoms / 1000,
+            backend
+        );
+    }
+    s.push_str("</svg>");
+    s
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(atoms: usize, gpus: usize, backend: &'static str, perf: f64) -> PerfRow {
+        PerfRow {
+            figure: "t",
+            system_atoms: atoms,
+            n_nodes: gpus / 4,
+            n_gpus: gpus,
+            grid: [gpus, 1, 1],
+            backend,
+            ns_per_day: perf,
+            ms_per_step: 0.1,
+            efficiency: f64::NAN,
+        }
+    }
+
+    #[test]
+    fn chart_contains_series_and_axes() {
+        let rows = vec![
+            row(45_000, 4, "MPI", 1126.0),
+            row(45_000, 8, "MPI", 1200.0),
+            row(45_000, 4, "NVSHMEM", 1649.0),
+            row(45_000, 8, "NVSHMEM", 1800.0),
+        ];
+        let svg = scaling_chart("Fig test <demo>", &rows);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2, "two series paths");
+        assert_eq!(svg.matches("<circle").count(), 4, "four data points");
+        assert!(svg.contains("45k MPI"));
+        assert!(svg.contains("45k NVSHMEM"));
+        assert!(svg.contains("&lt;demo&gt;"), "title escaped");
+        assert!(svg.contains("ns/day"));
+    }
+
+    #[test]
+    fn single_point_series_does_not_divide_by_zero() {
+        let rows = vec![row(90_000, 8, "NVSHMEM", 500.0)];
+        let svg = scaling_chart("one point", &rows);
+        assert!(svg.contains("<circle"));
+        assert!(!svg.contains("NaN"));
+    }
+}

@@ -1,0 +1,312 @@
+//! Regeneration of every figure in the paper's evaluation (Figs 3-8).
+//!
+//! Each `figN()` returns the rows of the corresponding figure; the binary
+//! prints them as tables and writes CSV next to the paper's reference
+//! numbers (EXPERIMENTS.md records the comparison).
+
+use halox_core::sched::{simulate, Backend, ScheduleInput, StepMetrics};
+use halox_dd::{choose_grid, DdGrid, GridOptions, WorkloadModel};
+use halox_gpusim::MachineModel;
+use serde::{Deserialize, Serialize};
+
+/// MD time step used for ns/day conversion (fs) — grappa runs use 2 fs.
+pub const DT_FS: f64 = 2.0;
+
+/// Halo communication distance (cutoff + buffer), nm.
+pub const R_COMM: f32 = 1.05;
+
+/// Simulated steps / warm-up for steady state.
+const STEPS: usize = 8;
+const WARMUP: usize = 3;
+
+/// One performance measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfRow {
+    pub figure: &'static str,
+    pub system_atoms: usize,
+    pub n_nodes: usize,
+    pub n_gpus: usize,
+    pub grid: [usize; 3],
+    pub backend: &'static str,
+    pub ns_per_day: f64,
+    pub ms_per_step: f64,
+    /// Parallel efficiency vs the smallest configuration of this system
+    /// (filled by the sweep functions when applicable).
+    pub efficiency: f64,
+}
+
+/// One device-side timing measurement (Figs 6-8).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimingRow {
+    pub figure: &'static str,
+    pub system_atoms: usize,
+    pub n_gpus: usize,
+    pub atoms_per_gpu: f64,
+    pub grid: [usize; 3],
+    pub backend: &'static str,
+    pub local_work_us: f64,
+    pub nonlocal_work_us: f64,
+    pub nonoverlap_us: f64,
+    pub time_per_step_us: f64,
+}
+
+/// Run one configuration.
+pub fn run_config(
+    machine: &MachineModel,
+    atoms: usize,
+    grid: DdGrid,
+    backend: Backend,
+) -> StepMetrics {
+    let model = WorkloadModel::grappa(atoms, R_COMM, grid);
+    let input = ScheduleInput::from_workload(machine.clone(), &model);
+    simulate(backend, &input, STEPS, WARMUP)
+}
+
+/// Pick the DD grid for `n_ranks` GPUs on a system of `atoms`, honouring an
+/// explicit override (the grids the paper reports) when provided.
+pub fn grid_for(atoms: usize, n_ranks: usize, force: Option<[usize; 3]>) -> DdGrid {
+    let box_l = halox_dd::density::grappa_box(atoms, 100.0);
+    let opts = GridOptions { r_comm: R_COMM, force_grid: force, ..Default::default() };
+    choose_grid(n_ranks, box_l, &opts)
+}
+
+/// Figure 3: intra-node MPI vs NVSHMEM on 4/8 GPUs of a DGX-H100.
+pub fn fig3() -> Vec<PerfRow> {
+    let machine = MachineModel::dgx_h100();
+    let mut rows = Vec::new();
+    for &atoms in &[45_000usize, 90_000, 180_000, 360_000] {
+        for &gpus in &[4usize, 8] {
+            let grid = grid_for(atoms, gpus, None);
+            for backend in [Backend::Mpi, Backend::Nvshmem] {
+                let m = run_config(&machine, atoms, grid, backend);
+                rows.push(PerfRow {
+                    figure: "fig3",
+                    system_atoms: atoms,
+                    n_nodes: 1,
+                    n_gpus: gpus,
+                    grid: grid.dims,
+                    backend: backend.label(),
+                    ns_per_day: m.ns_per_day(DT_FS),
+                    ms_per_step: m.ms_per_step(),
+                    efficiency: f64::NAN,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Figure 4: NVSHMEM strong scaling on the GB200 NVL72 (4 GPUs/node,
+/// multi-node NVLink), 1-8 nodes.
+pub fn fig4() -> Vec<PerfRow> {
+    let machine = MachineModel::gb200_nvl72();
+    let mut rows = Vec::new();
+    for &atoms in &[720_000usize, 1_440_000, 2_880_000] {
+        let mut base: Option<f64> = None;
+        for &nodes in &[1usize, 2, 4, 8] {
+            let gpus = nodes * machine.gpus_per_node;
+            let grid = grid_for(atoms, gpus, None);
+            let m = run_config(&machine, atoms, grid, Backend::Nvshmem);
+            let perf = m.ns_per_day(DT_FS);
+            let b = *base.get_or_insert(perf);
+            rows.push(PerfRow {
+                figure: "fig4",
+                system_atoms: atoms,
+                n_nodes: nodes,
+                n_gpus: gpus,
+                grid: grid.dims,
+                backend: "NVSHMEM",
+                ns_per_day: perf,
+                ms_per_step: m.ms_per_step(),
+                efficiency: perf / (b * nodes as f64),
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 5: multi-node MPI vs NVSHMEM strong scaling on Eos (4 GPUs/node,
+/// NVLink + NDR InfiniBand).
+pub fn fig5() -> Vec<PerfRow> {
+    let machine = MachineModel::eos();
+    let mut rows = Vec::new();
+    let sweeps: &[(usize, &[usize])] = &[
+        (720_000, &[1, 2, 4, 8, 16]),
+        (1_440_000, &[1, 2, 4, 8, 16, 32]),
+        (5_760_000, &[2, 4, 8, 16, 32, 64, 128]),
+        (23_040_000, &[8, 16, 32, 64, 128, 288]),
+    ];
+    for &(atoms, nodes_list) in sweeps {
+        for backend in [Backend::Mpi, Backend::Nvshmem] {
+            let mut base: Option<(usize, f64)> = None;
+            for &nodes in nodes_list {
+                let gpus = nodes * machine.gpus_per_node;
+                let grid = grid_for(atoms, gpus, None);
+                let m = run_config(&machine, atoms, grid, backend);
+                let perf = m.ns_per_day(DT_FS);
+                let (n0, p0) = *base.get_or_insert((nodes, perf));
+                rows.push(PerfRow {
+                    figure: "fig5",
+                    system_atoms: atoms,
+                    n_nodes: nodes,
+                    n_gpus: gpus,
+                    grid: grid.dims,
+                    backend: backend.label(),
+                    ns_per_day: perf,
+                    ms_per_step: m.ms_per_step(),
+                    efficiency: perf * n0 as f64 / (p0 * nodes as f64),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// The paper could not benchmark MPI reliably on the GB200 system
+/// (footnote 5) but reports "up to 2x higher performance with NVSHMEM at
+/// scale" from early data; this estimate reproduces that comparison on the
+/// simulator.
+pub fn fig4_mpi_estimate() -> Vec<PerfRow> {
+    let machine = MachineModel::gb200_nvl72();
+    let mut rows = Vec::new();
+    for &atoms in &[720_000usize] {
+        for &nodes in &[1usize, 2, 4, 8, 16] {
+            let gpus = nodes * machine.gpus_per_node;
+            let grid = grid_for(atoms, gpus, None);
+            for backend in [Backend::Mpi, Backend::Nvshmem] {
+                let m = run_config(&machine, atoms, grid, backend);
+                rows.push(PerfRow {
+                    figure: "fig4_mpi_estimate",
+                    system_atoms: atoms,
+                    n_nodes: nodes,
+                    n_gpus: gpus,
+                    grid: grid.dims,
+                    backend: backend.label(),
+                    ns_per_day: m.ns_per_day(DT_FS),
+                    ms_per_step: m.ms_per_step(),
+                    efficiency: f64::NAN,
+                });
+            }
+        }
+    }
+    rows
+}
+
+fn timing_row(
+    figure: &'static str,
+    machine: &MachineModel,
+    atoms: usize,
+    grid: DdGrid,
+    backend: Backend,
+) -> TimingRow {
+    let m = run_config(machine, atoms, grid, backend);
+    TimingRow {
+        figure,
+        system_atoms: atoms,
+        n_gpus: grid.n_ranks(),
+        atoms_per_gpu: atoms as f64 / grid.n_ranks() as f64,
+        grid: grid.dims,
+        backend: backend.label(),
+        local_work_us: m.local_work_ns / 1000.0,
+        nonlocal_work_us: m.nonlocal_work_ns / 1000.0,
+        nonoverlap_us: m.nonoverlap_ns / 1000.0,
+        time_per_step_us: m.time_per_step_ns / 1000.0,
+    }
+}
+
+/// Figure 6: device-side timing, intra-node, 4 ranks, 1D DD.
+pub fn fig6() -> Vec<TimingRow> {
+    let machine = MachineModel::dgx_h100();
+    let mut rows = Vec::new();
+    for &atoms in &[45_000usize, 180_000, 360_000] {
+        let grid = grid_for(atoms, 4, Some([4, 1, 1]));
+        for backend in [Backend::Mpi, Backend::Nvshmem] {
+            rows.push(timing_row("fig6", &machine, atoms, grid, backend));
+        }
+    }
+    rows
+}
+
+/// Figure 7: device-side timing, multi-node, 11.25k atoms/GPU on 8/16/32
+/// ranks — the 1D/2D/3D progression.
+pub fn fig7() -> Vec<TimingRow> {
+    let machine = MachineModel::eos();
+    let mut rows = Vec::new();
+    for &(atoms, dims) in
+        &[(90_000usize, [8, 1, 1]), (180_000, [8, 2, 1]), (360_000, [8, 2, 2])]
+    {
+        let grid = grid_for(atoms, dims.iter().product(), Some(dims));
+        for backend in [Backend::Mpi, Backend::Nvshmem] {
+            rows.push(timing_row("fig7", &machine, atoms, grid, backend));
+        }
+    }
+    rows
+}
+
+/// Figure 8: device-side timing, multi-node, 90k atoms/GPU on 8/16/32 ranks.
+pub fn fig8() -> Vec<TimingRow> {
+    let machine = MachineModel::eos();
+    let mut rows = Vec::new();
+    for &(atoms, dims) in
+        &[(720_000usize, [8, 1, 1]), (1_440_000, [8, 2, 1]), (2_880_000, [8, 2, 2])]
+    {
+        let grid = grid_for(atoms, dims.iter().product(), Some(dims));
+        for backend in [Backend::Mpi, Backend::Nvshmem] {
+            rows.push(timing_row("fig8", &machine, atoms, grid, backend));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shapes() {
+        let rows = fig3();
+        assert_eq!(rows.len(), 16);
+        // Headline: 45k @ 4 GPUs, NVSHMEM wins big.
+        let mpi = rows.iter().find(|r| r.system_atoms == 45_000 && r.n_gpus == 4 && r.backend == "MPI").unwrap();
+        let nvs = rows.iter().find(|r| r.system_atoms == 45_000 && r.n_gpus == 4 && r.backend == "NVSHMEM").unwrap();
+        assert!(nvs.ns_per_day > mpi.ns_per_day * 1.15, "{} vs {}", nvs.ns_per_day, mpi.ns_per_day);
+    }
+
+    #[test]
+    fn fig4_efficiency_monotone_and_size_ordered() {
+        let rows = fig4();
+        for sys_rows in rows.chunks(4) {
+            for w in sys_rows.windows(2) {
+                assert!(w[1].efficiency <= w[0].efficiency + 1e-9, "{w:?}");
+            }
+        }
+        // Larger systems scale better at 8 nodes.
+        let eff8 = |atoms: usize| {
+            rows.iter().find(|r| r.system_atoms == atoms && r.n_nodes == 8).unwrap().efficiency
+        };
+        assert!(eff8(1_440_000) > eff8(720_000));
+        assert!(eff8(2_880_000) > eff8(1_440_000));
+    }
+
+    #[test]
+    fn fig5_nvshmem_wins_at_scale_loses_when_compute_bound() {
+        let rows = fig5();
+        let get = |atoms: usize, nodes: usize, b: &str| {
+            rows.iter()
+                .find(|r| r.system_atoms == atoms && r.n_nodes == nodes && r.backend == b)
+                .unwrap()
+                .ns_per_day
+        };
+        // At scale NVSHMEM wins clearly.
+        assert!(get(5_760_000, 128, "NVSHMEM") > get(5_760_000, 128, "MPI") * 1.15);
+        // Compute-bound low node counts: MPI marginally ahead.
+        assert!(get(5_760_000, 2, "MPI") >= get(5_760_000, 2, "NVSHMEM"));
+    }
+
+    #[test]
+    fn fig6_local_work_matches_paper() {
+        let rows = fig6();
+        let r45 = rows.iter().find(|r| r.system_atoms == 45_000 && r.backend == "MPI").unwrap();
+        assert!((r45.local_work_us - 22.0).abs() < 6.0, "{}", r45.local_work_us);
+    }
+}

@@ -1,0 +1,206 @@
+//! Functional-plane benchmarking: run the *real* multi-threaded engine over
+//! the three backends and report host throughput, plus schedule-trace
+//! export for visualization.
+
+use crate::figures::R_COMM;
+use halox_core::sched::{self, Backend, ScheduleInput};
+use halox_dd::{DdGrid, WorkloadModel};
+use halox_engine::{Engine, EngineConfig, ExchangeBackend};
+use halox_gpusim::MachineModel;
+use halox_md::{minimize, GrappaBuilder, MinimizeOptions};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One functional-engine measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FunctionalRow {
+    pub atoms: usize,
+    pub grid: [usize; 3],
+    pub backend: &'static str,
+    pub steps: usize,
+    pub wall_ms: f64,
+    pub steps_per_second: f64,
+    pub final_energy: f64,
+}
+
+/// Run a small matrix of real engine configurations (threads, signals, the
+/// works) and collect throughput.
+pub fn run_matrix() -> Vec<FunctionalRow> {
+    let mut rows = Vec::new();
+    let mut base = GrappaBuilder::new(6_000).seed(99).temperature(250.0).build();
+    minimize::steepest_descent(&mut base, MinimizeOptions::default());
+    let steps = 20;
+    for dims in [[2usize, 1, 1], [2, 2, 1], [2, 2, 2]] {
+        for backend in
+            [ExchangeBackend::Mpi, ExchangeBackend::ThreadMpi, ExchangeBackend::NvshmemFused]
+        {
+            let mut cfg = EngineConfig::new(backend);
+            cfg.nstlist = 10;
+            let mut engine = Engine::new(base.clone(), DdGrid::new(dims), cfg);
+            let stats = engine.run(steps);
+            rows.push(FunctionalRow {
+                atoms: base.n_atoms(),
+                grid: dims,
+                backend: backend.label(),
+                steps,
+                wall_ms: stats.wall_seconds * 1e3,
+                steps_per_second: steps as f64 / stats.wall_seconds.max(1e-9),
+                final_energy: stats.energies.last().map(|e| e.total()).unwrap_or(f64::NAN),
+            });
+        }
+    }
+    rows
+}
+
+pub fn print_table(rows: &[FunctionalRow]) {
+    println!("\n== Functional engine (real threads + signals, host wall-clock) ==");
+    println!(
+        "{:>7} {:>8} {:>8} {:>7} {:>9} {:>9} {:>14}",
+        "atoms", "grid", "backend", "steps", "wall_ms", "steps/s", "E_total"
+    );
+    for r in rows {
+        println!(
+            "{:>7} {:>8} {:>8} {:>7} {:>9.1} {:>9.1} {:>14.1}",
+            r.atoms,
+            format!("{}x{}x{}", r.grid[0], r.grid[1], r.grid[2]),
+            r.backend,
+            r.steps,
+            r.wall_ms,
+            r.steps_per_second,
+            r.final_energy
+        );
+    }
+}
+
+/// Export a Chrome trace of the simulated NVSHMEM step schedule (Fig 2
+/// anatomy) for the paper's intra-node headline configuration.
+pub fn export_trace(path: &Path) {
+    let grid = DdGrid::new([4, 1, 1]);
+    let model = WorkloadModel::grappa(45_000, R_COMM, grid);
+    let input = ScheduleInput::from_workload(MachineModel::dgx_h100(), &model);
+    let run = sched::build(Backend::Nvshmem, &input, 4);
+    let t = run.timeline();
+    let json = run.graph.chrome_trace(&t);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(path, json).expect("write trace");
+}
+
+/// Print the critical-path attribution of one step for both backends — the
+/// paper's §6.3 analysis: with MPI the chain runs through syncs and MPI
+/// calls; with NVSHMEM it stays on the GPU.
+pub fn print_critical_paths() {
+    let grid = DdGrid::new([4, 1, 1]);
+    let model = WorkloadModel::grappa(45_000, R_COMM, grid);
+    let input = ScheduleInput::from_workload(MachineModel::dgx_h100(), &model);
+    let prefixes = [
+        "local_nb", "nl_nb", "bonded", "xpack", "xunpack", "xwire", "xsync", "xmpi", "xwait",
+        "fpack", "funpack", "fwire", "fsync", "fmpi", "fwait", "update", "launch", "misc",
+        "xarrive", "fget", "fready", "graph",
+    ];
+    for backend in [Backend::Mpi, Backend::Nvshmem] {
+        let run = sched::build(backend, &input, 6);
+        let t = run.timeline();
+        println!("
+== Critical path breakdown, 45k @ 4 GPUs, {} ==", backend.label());
+        let breakdown = run.graph.critical_path_breakdown(&t, &prefixes);
+        let total: u64 = breakdown.iter().map(|(_, v)| *v).sum();
+        for (name, ns) in breakdown.iter().filter(|(_, v)| *v > 0) {
+            println!(
+                "  {:<10} {:>9.1} us  ({:>4.1}%)",
+                name,
+                *ns as f64 / 1e3 / 6.0,
+                *ns as f64 / total as f64 * 100.0
+            );
+        }
+        // Top utilized resources.
+        println!("  busiest resources:");
+        for (r, busy, frac) in run.graph.utilization(&t).into_iter().take(4) {
+            println!("    {r:?}: {:.1} us busy ({:.0}%)", busy as f64 / 1e3, frac * 100.0);
+        }
+    }
+}
+
+/// Terminal Gantt view of one NVSHMEM step vs one MPI step.
+pub fn print_gantt() {
+    let grid = DdGrid::new([4, 1, 1]);
+    let model = WorkloadModel::grappa(45_000, R_COMM, grid);
+    let input = ScheduleInput::from_workload(MachineModel::dgx_h100(), &model);
+    for backend in [Backend::Mpi, Backend::Nvshmem] {
+        let run = sched::build(backend, &input, 6);
+        let t = run.timeline();
+        // Window on the 4th step of rank 0.
+        let span = t.makespan();
+        let t0 = span * 3 / 6;
+        let t1 = span * 4 / 6;
+        println!("
+== One {} step (rank 0) ==", backend.label());
+        print!("{}", halox_gpusim::gantt::render_rank(&run.graph, &t, 0, t0, t1, 100));
+    }
+}
+
+/// One-off scaling point from the command line.
+pub fn print_sweep(atoms: usize, nodes: usize, machine_name: &str) {
+    let machine = match machine_name {
+        "dgx" | "dgx_h100" => MachineModel::dgx_h100(),
+        "a100" | "dgx_a100" => MachineModel::dgx_a100(),
+        "gb200" | "nvl72" => MachineModel::gb200_nvl72(),
+        _ => MachineModel::eos(),
+    };
+    let gpus = nodes * machine.gpus_per_node;
+    let box_l = halox_dd::grappa_box(atoms, 100.0);
+    let opts = halox_dd::GridOptions { r_comm: R_COMM, ..Default::default() };
+    let grid = halox_dd::choose_grid(gpus, box_l, &opts);
+    let model = WorkloadModel::grappa(atoms, R_COMM, grid);
+    let input = ScheduleInput::from_workload(machine.clone(), &model);
+    println!(
+        "{} atoms on {nodes} nodes x {} GPUs ({}), grid {:?}:",
+        atoms, machine.gpus_per_node, machine.name, grid.dims
+    );
+    for backend in [Backend::Mpi, Backend::Nvshmem] {
+        let m = sched::simulate(backend, &input, 8, 3);
+        println!(
+            "  {:<8} {:>8.0} ns/day  {:>8.1} us/step  (local {:.1} us, non-local {:.1} us, non-overlap {:.1} us)",
+            backend.label(),
+            m.ns_per_day(2.0),
+            m.time_per_step_ns / 1e3,
+            m.local_work_ns / 1e3,
+            m.nonlocal_work_ns / 1e3,
+            m.nonoverlap_ns / 1e3,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functional_matrix_backends_agree_on_energy() {
+        let rows = run_matrix();
+        assert_eq!(rows.len(), 9);
+        for dims_chunk in rows.chunks(3) {
+            let e0 = dims_chunk[0].final_energy;
+            for r in dims_chunk {
+                assert!(
+                    ((r.final_energy - e0) / e0.abs().max(1.0)).abs() < 1e-4,
+                    "backends disagree on {:?}: {} vs {e0}",
+                    r.grid,
+                    r.final_energy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_export_writes_valid_json() {
+        let dir = std::env::temp_dir().join("halox_trace_test");
+        let path = dir.join("trace.json");
+        export_trace(&path);
+        let s = std::fs::read_to_string(&path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&s).unwrap();
+        assert!(v["traceEvents"].as_array().unwrap().len() > 50);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,11 @@
+//! # halox-bench — figure regeneration harness
+//!
+//! One function per paper figure (3-8) plus ablations; the `halox-bench`
+//! binary prints the tables and writes CSV under `results/`.
+
+pub mod ablation;
+pub mod chart;
+pub mod functional;
+pub mod figures;
+pub mod report;
+pub mod validate;

@@ -1,0 +1,355 @@
+//! The fused GPU-initiated halo exchange — functional plane.
+//!
+//! This is the paper's contribution (Algorithms 3-6) executed on the
+//! thread-based PGAS runtime. Each call plays the role of one fused kernel
+//! launch; inside, one scoped thread per pulse stands in for the per-pulse
+//! thread-block groups (`blockIdx.y`), so *all pulses advance concurrently*
+//! and ordering is enforced only by the fine-grained signal protocol:
+//!
+//! * **Coordinates** ([`fused_pack_comm_x`], Alg 3/4): each pulse packs and
+//!   sends its *independent* (home-atom) entries immediately; only the
+//!   *dependent* (forwarded) tail acquire-waits on the arrival signals of
+//!   the pulses it forwards from (`packWithDeps`). Transport adapts per
+//!   peer: direct remote stores + release signal inside an NVLink island
+//!   (the TMA zero-copy path), staged put-with-signal across the network
+//!   (IBRC path).
+//! * **Forces** ([`fused_comm_unpack_f`], Alg 5/6): pulses run in reverse;
+//!   a pulse's force region is released to its upstream neighbour only
+//!   after all later pulses' arrivals have been accumulated locally
+//!   (`DEP_MGMT`), while unpacking proceeds in parallel with `atomicAdd`.
+//!   Over NVLink the receiver *gets* from the peer's force buffer
+//!   (receiver-driven, like the TMA bulk loads); over IB the producer puts
+//!   into the receiver's staging buffer.
+
+use crate::ctx::CommContext;
+use halox_shmem::{Pe, SignalSet, SymVec3};
+
+/// Symmetric buffers shared by the fused exchange. Allocation is collective
+/// and identically sized on every PE (the NVSHMEM symmetric-heap rule that
+/// §5.3 discusses; capacities come from the decomposition maximum plus the
+/// usual over-allocation).
+#[derive(Clone)]
+pub struct FusedBuffers {
+    /// Local coordinates (home + halo) per PE.
+    pub coords: SymVec3,
+    /// Local forces (home + halo) per PE.
+    pub forces: SymVec3,
+    /// Force staging for the network path, laid out per pulse.
+    pub force_stage: SymVec3,
+}
+
+impl FusedBuffers {
+    pub fn alloc(npes: usize, ctx: &CommContext) -> Self {
+        FusedBuffers {
+            coords: SymVec3::alloc(npes, ctx.buf_capacity),
+            forces: SymVec3::alloc(npes, ctx.buf_capacity),
+            force_stage: SymVec3::alloc(npes, ctx.stage_capacity.max(1)),
+        }
+    }
+}
+
+/// Fused coordinate halo exchange (one "kernel" per step). On return all of
+/// this PE's *sends* are issued; arrivals are signalled per pulse — call
+/// [`wait_coordinate_arrivals`] before consuming halo coordinates.
+pub fn fused_pack_comm_x(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_val: u64) {
+    std::thread::scope(|s| {
+        for p in 0..ctx.total_pulses {
+            let pd = &ctx.pulses[p];
+            s.spawn(move || {
+                let dst = pd.send_rank;
+                if pe.nvlink_reachable(dst) {
+                    // NVLink: zero-copy remote stores, pipelined with packing.
+                    for (k, &i) in pd.independent().iter().enumerate() {
+                        let v = bufs.coords.get(ctx.rank, i as usize) + pd.shift;
+                        bufs.coords.set(dst, pd.remote_recv_offset + k, v);
+                    }
+                    for &k in &pd.dep_pulses {
+                        pe.wait_signal(ctx.coord_slot(k), sig_val);
+                    }
+                    for (k, &i) in pd.dependent().iter().enumerate() {
+                        let v = bufs.coords.get(ctx.rank, i as usize) + pd.shift;
+                        bufs.coords.set(dst, pd.remote_recv_offset + pd.dep_offset + k, v);
+                    }
+                    // Fused receiver notification (release publishes stores).
+                    pe.signal(dst, ctx.coord_slot(p), sig_val);
+                } else {
+                    // IB: pack into a staging payload; independent part first,
+                    // overlap dependency resolution with it, then one
+                    // coarsened put-with-signal.
+                    let mut staged = Vec::with_capacity(pd.send_count());
+                    for &i in pd.independent() {
+                        staged.push(bufs.coords.get(ctx.rank, i as usize) + pd.shift);
+                    }
+                    for &k in &pd.dep_pulses {
+                        pe.wait_signal(ctx.coord_slot(k), sig_val);
+                    }
+                    for &i in pd.dependent() {
+                        staged.push(bufs.coords.get(ctx.rank, i as usize) + pd.shift);
+                    }
+                    pe.put_vec3_signal_nbi(
+                        &bufs.coords,
+                        dst,
+                        pd.remote_recv_offset,
+                        &staged,
+                        ctx.coord_slot(p),
+                        sig_val,
+                    );
+                }
+            });
+        }
+    });
+}
+
+/// Block until all coordinate pulses of this step have arrived. In the real
+/// kernel schedule this wait is what gates the non-local non-bonded kernel's
+/// reads of halo data.
+pub fn wait_coordinate_arrivals(pe: &Pe, ctx: &CommContext, sig_val: u64) {
+    for p in 0..ctx.total_pulses {
+        pe.wait_signal(ctx.coord_slot(p), sig_val);
+    }
+}
+
+/// Fused force halo exchange + unpack. `forces` (this PE's segment of
+/// `bufs.forces`) must already hold the locally computed forces for all
+/// local atoms; on return, every *home* entry includes all remote
+/// contributions.
+pub fn fused_comm_unpack_f(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_val: u64) {
+    let total = ctx.total_pulses;
+    if total == 0 {
+        return;
+    }
+    // Local unpack-completion flags (per pulse). The paper's
+    // blockCompletionCounter + DEP_MGMT chain collapses to these because a
+    // pulse here is one thread.
+    let unpack_done = SignalSet::new(total);
+    let ud = &unpack_done;
+    std::thread::scope(|s| {
+        for p in (0..total).rev() {
+            let pd = &ctx.pulses[p];
+            s.spawn(move || {
+                // --- DEP_MGMT: release my region p upstream only after all
+                // later pulses' contributions have been folded in locally.
+                for q in (p + 1)..total {
+                    ud.acquire_wait(q, 1);
+                }
+                let upstream = pd.recv_rank;
+                if pe.nvlink_reachable(upstream) {
+                    // Receiver-driven get path: just publish readiness.
+                    pe.signal(upstream, ctx.force_slot(p), sig_val);
+                } else {
+                    // Network path: put the region into the upstream rank's
+                    // staging buffer with a fused signal.
+                    let mut payload = Vec::with_capacity(pd.recv_count);
+                    for k in 0..pd.recv_count {
+                        payload.push(bufs.forces.get(ctx.rank, pd.recv_offset + k));
+                    }
+                    pe.put_vec3_signal_nbi(
+                        &bufs.force_stage,
+                        upstream,
+                        ctx.remote_stage_offset[p],
+                        &payload,
+                        ctx.force_slot(p),
+                        sig_val,
+                    );
+                }
+
+                // --- DATA: consume the forces computed downstream for the
+                // atoms I sent in pulse p, accumulating via atomicAdd.
+                pe.wait_signal(ctx.force_slot(p), sig_val);
+                let downstream = pd.send_rank;
+                if pe.nvlink_reachable(downstream) {
+                    for (k, &i) in pd.send_index.iter().enumerate() {
+                        let v = bufs.forces.get(downstream, pd.remote_recv_offset + k);
+                        bufs.forces.add(ctx.rank, i as usize, v);
+                    }
+                } else {
+                    for (k, &i) in pd.send_index.iter().enumerate() {
+                        let v = bufs.force_stage.get(ctx.rank, ctx.stage_offset[p] + k);
+                        bufs.forces.add(ctx.rank, i as usize, v);
+                    }
+                }
+                ud.release_store(p, 1);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::build_contexts;
+    use halox_dd::{
+        build_partition, reference_coordinate_exchange, reference_force_exchange, DdGrid,
+        DdPartition,
+    };
+    use halox_md::{GrappaBuilder, Vec3};
+    use halox_shmem::{ProxyConfig, ShmemWorld, Topology};
+    use std::time::Duration;
+
+    fn setup(n: usize, dims: [usize; 3], seed: u64) -> (DdPartition, Vec<CommContext>) {
+        let sys = GrappaBuilder::new(n).seed(seed).build();
+        let part = build_partition(&sys, &DdGrid::new(dims), 0.8);
+        let ctxs = build_contexts(&part);
+        (part, ctxs)
+    }
+
+    fn run_coordinate_case(part: &DdPartition, ctxs: &[CommContext], topo: Topology, proxy: ProxyConfig) {
+        let world = ShmemWorld::new(topo, CommContext::slots_needed(part.total_pulses()))
+            .with_proxy_config(proxy);
+        let bufs = FusedBuffers::alloc(part.n_ranks(), &ctxs[0]);
+
+        let mut expect: Vec<Vec<Vec3>> =
+            part.ranks.iter().map(|r| r.build_positions.clone()).collect();
+        reference_coordinate_exchange(part, &mut expect);
+
+        // Preload home coordinates; poison the halo.
+        for r in &part.ranks {
+            let mut init = r.build_positions.clone();
+            for v in init[r.n_home..].iter_mut() {
+                *v = Vec3::splat(-1e9);
+            }
+            bufs.coords.load_from(r.rank, &init);
+        }
+        let b = &bufs;
+        world.run(|pe| {
+            fused_pack_comm_x(pe, &ctxs[pe.id], b, 1);
+            wait_coordinate_arrivals(pe, &ctxs[pe.id], 1);
+        });
+        for r in &part.ranks {
+            let got = bufs.coords.snapshot(r.rank);
+            for i in 0..r.n_local() {
+                assert!(
+                    (got[i] - expect[r.rank][i]).norm() < 1e-6,
+                    "rank {} local {i}: {:?} vs {:?}",
+                    r.rank,
+                    got[i],
+                    expect[r.rank][i]
+                );
+            }
+        }
+    }
+
+    fn run_force_case(part: &DdPartition, ctxs: &[CommContext], topo: Topology, proxy: ProxyConfig) {
+        let world = ShmemWorld::new(topo, CommContext::slots_needed(part.total_pulses()))
+            .with_proxy_config(proxy);
+        let bufs = FusedBuffers::alloc(part.n_ranks(), &ctxs[0]);
+        let init: Vec<Vec<Vec3>> = part
+            .ranks
+            .iter()
+            .map(|r| {
+                (0..r.n_local())
+                    .map(|i| Vec3::new((r.rank * 1000 + i) as f32 * 0.001, i as f32 * 0.01, 1.0))
+                    .collect()
+            })
+            .collect();
+        let mut expect = init.clone();
+        reference_force_exchange(part, &mut expect);
+
+        for r in &part.ranks {
+            bufs.forces.load_from(r.rank, &init[r.rank]);
+        }
+        let b = &bufs;
+        world.run(|pe| {
+            fused_comm_unpack_f(pe, &ctxs[pe.id], b, 1);
+        });
+        for r in &part.ranks {
+            let got = bufs.forces.snapshot(r.rank);
+            for i in 0..r.n_home {
+                let w = expect[r.rank][i];
+                assert!(
+                    (got[i] - w).norm() <= 1e-4 * w.norm().max(1.0),
+                    "rank {} home {i}: {:?} vs {w:?}",
+                    r.rank,
+                    got[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coordinates_nvlink_2d() {
+        let (part, ctxs) = setup(6000, [2, 2, 1], 41);
+        run_coordinate_case(&part, &ctxs, Topology::all_nvlink(4), ProxyConfig::default());
+    }
+
+    #[test]
+    fn coordinates_mixed_ib_3d() {
+        let (part, ctxs) = setup(12000, [2, 2, 2], 42);
+        run_coordinate_case(&part, &ctxs, Topology::islands(8, 4), ProxyConfig::default());
+    }
+
+    #[test]
+    fn coordinates_all_ib_1d() {
+        let (part, ctxs) = setup(6000, [4, 1, 1], 43);
+        run_coordinate_case(&part, &ctxs, Topology::islands(4, 1), ProxyConfig::default());
+    }
+
+    #[test]
+    fn forces_nvlink_2d() {
+        let (part, ctxs) = setup(6000, [2, 2, 1], 44);
+        run_force_case(&part, &ctxs, Topology::all_nvlink(4), ProxyConfig::default());
+    }
+
+    #[test]
+    fn forces_mixed_ib_3d() {
+        let (part, ctxs) = setup(12000, [2, 2, 2], 45);
+        run_force_case(&part, &ctxs, Topology::islands(8, 4), ProxyConfig::default());
+    }
+
+    #[test]
+    fn forces_all_ib_2d() {
+        let (part, ctxs) = setup(6000, [2, 2, 1], 46);
+        run_force_case(&part, &ctxs, Topology::islands(4, 1), ProxyConfig::default());
+    }
+
+    #[test]
+    fn slow_proxy_does_not_break_correctness() {
+        // §5.5 failure injection: a contended proxy is slow but must stay
+        // correct.
+        let (part, ctxs) = setup(6000, [2, 2, 1], 47);
+        let proxy =
+            ProxyConfig { injected_delay: Some(Duration::from_millis(2)), ..Default::default() };
+        run_coordinate_case(&part, &ctxs, Topology::islands(4, 2), proxy);
+        run_force_case(&part, &ctxs, Topology::islands(4, 2), proxy);
+    }
+
+    #[test]
+    fn repeated_steps_with_monotone_sig_vals() {
+        let (part, ctxs) = setup(6000, [2, 2, 1], 48);
+        let world = ShmemWorld::new(
+            Topology::all_nvlink(part.n_ranks()),
+            CommContext::slots_needed(part.total_pulses()),
+        );
+        let bufs = FusedBuffers::alloc(part.n_ranks(), &ctxs[0]);
+        for r in &part.ranks {
+            bufs.coords.load_from(r.rank, &r.build_positions);
+        }
+        let b = &bufs;
+        let c = &ctxs;
+        world.run(|pe| {
+            for step in 1..=5u64 {
+                fused_pack_comm_x(pe, &c[pe.id], b, step);
+                wait_coordinate_arrivals(pe, &c[pe.id], step);
+                pe.barrier_all();
+            }
+        });
+        // Idempotent on static coordinates: halo equals build positions.
+        for r in &part.ranks {
+            let got = bufs.coords.snapshot(r.rank);
+            for i in 0..r.n_local() {
+                assert!((got[i] - r.build_positions[i]).norm() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn two_pulse_dim_fused_exchange() {
+        // Thin domains: second-neighbour pulses, fully dependent.
+        let sys = GrappaBuilder::new(3000).seed(49).build();
+        let part = build_partition(&sys, &DdGrid::new([4, 1, 1]), 0.8);
+        assert_eq!(part.total_pulses(), 2);
+        let ctxs = build_contexts(&part);
+        run_coordinate_case(&part, &ctxs, Topology::all_nvlink(4), ProxyConfig::default());
+        run_force_case(&part, &ctxs, Topology::islands(4, 2), ProxyConfig::default());
+    }
+}

@@ -1,0 +1,8 @@
+//! Functional execution plane: the halo exchange actually running across
+//! threads with real synchronization.
+
+pub mod fused;
+pub mod mpi;
+pub mod tmpi;
+
+pub use fused::{fused_comm_unpack_f, fused_pack_comm_x, wait_coordinate_arrivals, FusedBuffers};

@@ -1,0 +1,190 @@
+//! Baseline halo exchange: serialized pulses over two-sided messaging.
+//!
+//! This is the GPU-aware-MPI formulation of §5.1 ("Baseline (serialized
+//! pulses)"): for each pulse in global order, pack, `MPI_Sendrecv`, unpack,
+//! then proceed to the next pulse. Forwarding dependencies are satisfied by
+//! the strict pulse ordering — and that serialization is exactly what puts
+//! the exchange on the critical path (Fig 1).
+
+use crate::ctx::CommContext;
+use halox_md::Vec3;
+use halox_shmem::TwoSidedComm;
+
+/// Tag space: coordinate pulses use even tags, force pulses odd.
+fn coord_tag(step: u64, pulse: usize) -> u64 {
+    step * 64 + 2 * pulse as u64
+}
+
+fn force_tag(step: u64, pulse: usize) -> u64 {
+    step * 64 + 2 * pulse as u64 + 1
+}
+
+/// Coordinate halo exchange, serialized pulses. `coords` is this rank's
+/// local array (home + halo); halo regions are filled on return.
+pub fn coordinate_exchange(
+    comm: &TwoSidedComm,
+    ctx: &CommContext,
+    step: u64,
+    coords: &mut [Vec3],
+) {
+    for (p, pd) in ctx.pulses.iter().enumerate() {
+        // Pack: independent and dependent entries alike — earlier pulses
+        // have fully completed, so forwarded data is already in `coords`.
+        let payload: Vec<Vec3> =
+            pd.send_index.iter().map(|&i| coords[i as usize] + pd.shift).collect();
+        let recv = comm.sendrecv(
+            ctx.rank,
+            pd.send_rank,
+            coord_tag(step, p),
+            payload,
+            pd.recv_rank,
+            coord_tag(step, p),
+        );
+        assert_eq!(recv.len(), pd.recv_count, "pulse {p} recv size mismatch");
+        coords[pd.recv_offset..pd.recv_offset + pd.recv_count].copy_from_slice(&recv);
+    }
+}
+
+/// Force halo exchange, serialized pulses in reverse order. `forces` holds
+/// locally accumulated forces for all local atoms; on return every *home*
+/// entry includes all remote contributions (halo entries have been
+/// forwarded).
+pub fn force_exchange(comm: &TwoSidedComm, ctx: &CommContext, step: u64, forces: &mut [Vec3]) {
+    for p in (0..ctx.pulses.len()).rev() {
+        let pd = &ctx.pulses[p];
+        // Send back the forces accumulated for the atoms received in pulse
+        // p (to the rank that sent them); receive the forces for the atoms
+        // we sent (from the rank we sent them to).
+        let payload = forces[pd.recv_offset..pd.recv_offset + pd.recv_count].to_vec();
+        let recv = comm.sendrecv(
+            ctx.rank,
+            pd.recv_rank,
+            force_tag(step, p),
+            payload,
+            pd.send_rank,
+            force_tag(step, p),
+        );
+        assert_eq!(recv.len(), pd.send_count(), "pulse {p} force recv size mismatch");
+        for (k, &i) in pd.send_index.iter().enumerate() {
+            forces[i as usize] += recv[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::build_contexts;
+    use halox_dd::{build_partition, reference_coordinate_exchange, reference_force_exchange, DdGrid};
+    use halox_md::GrappaBuilder;
+
+    /// Run the two-sided exchange on threads and compare with the serial
+    /// reference semantics.
+    #[test]
+    fn matches_reference_coordinate_exchange() {
+        let sys = GrappaBuilder::new(6000).seed(31).build();
+        let part = build_partition(&sys, &DdGrid::new([2, 2, 1]), 0.8);
+        let ctxs = build_contexts(&part);
+        let comm = TwoSidedComm::new(part.n_ranks());
+
+        let mut expect: Vec<Vec<halox_md::Vec3>> =
+            part.ranks.iter().map(|r| r.build_positions.clone()).collect();
+        reference_coordinate_exchange(&part, &mut expect);
+
+        let comm_ref = &comm;
+        let ctxs_ref = &ctxs;
+        let part_ref = &part;
+        let results: Vec<Vec<halox_md::Vec3>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..part_ref.n_ranks())
+                .map(|r| {
+                    s.spawn(move || {
+                        let mut coords = part_ref.ranks[r].build_positions.clone();
+                        // Poison halo to prove the exchange fills it.
+                        for v in coords[part_ref.ranks[r].n_home..].iter_mut() {
+                            *v = halox_md::Vec3::splat(-1e9);
+                        }
+                        coordinate_exchange(comm_ref, &ctxs_ref[r], 0, &mut coords);
+                        coords
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (r, got) in results.iter().enumerate() {
+            for (i, (&g, &w)) in got.iter().zip(&expect[r]).enumerate() {
+                assert!((g - w).norm() < 1e-6, "rank {r} local {i}: {g:?} vs {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_force_exchange() {
+        let sys = GrappaBuilder::new(6000).seed(32).build();
+        let part = build_partition(&sys, &DdGrid::new([2, 2, 2]), 0.8);
+        let ctxs = build_contexts(&part);
+        let comm = TwoSidedComm::new(part.n_ranks());
+
+        // Deterministic pseudo-forces per (rank, local idx).
+        let init: Vec<Vec<halox_md::Vec3>> = part
+            .ranks
+            .iter()
+            .map(|r| {
+                (0..r.n_local())
+                    .map(|i| halox_md::Vec3::new((r.rank * 1000 + i) as f32, i as f32, 1.0))
+                    .collect()
+            })
+            .collect();
+        let mut expect = init.clone();
+        reference_force_exchange(&part, &mut expect);
+
+        let comm_ref = &comm;
+        let ctxs_ref = &ctxs;
+        let init_ref = &init;
+        let results: Vec<Vec<halox_md::Vec3>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..part.n_ranks())
+                .map(|r| {
+                    s.spawn(move || {
+                        let mut f = init_ref[r].clone();
+                        force_exchange(comm_ref, &ctxs_ref[r], 0, &mut f);
+                        f
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (r, got) in results.iter().enumerate() {
+            let n_home = part.ranks[r].n_home;
+            for i in 0..n_home {
+                let g = got[i];
+                let w = expect[r][i];
+                assert!(
+                    (g - w).norm() <= 1e-3 * w.norm().max(1.0),
+                    "rank {r} home {i}: {g:?} vs {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_steps_use_distinct_tags() {
+        let sys = GrappaBuilder::new(3000).seed(33).build();
+        let part = build_partition(&sys, &DdGrid::new([2, 1, 1]), 0.8);
+        let ctxs = build_contexts(&part);
+        let comm = TwoSidedComm::new(part.n_ranks());
+        let comm_ref = &comm;
+        let ctxs_ref = &ctxs;
+        let part_ref = &part;
+        std::thread::scope(|s| {
+            for r in 0..part_ref.n_ranks() {
+                s.spawn(move || {
+                    let mut coords = part_ref.ranks[r].build_positions.clone();
+                    for step in 0..3 {
+                        coordinate_exchange(comm_ref, &ctxs_ref[r], step, &mut coords);
+                        let mut forces = vec![halox_md::Vec3::splat(1.0); coords.len()];
+                        force_exchange(comm_ref, &ctxs_ref[r], step, &mut forces);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,155 @@
+//! Functional thread-MPI halo exchange: event-driven direct DMA copies.
+//!
+//! GROMACS' built-in thread-MPI runs all ranks as threads of one process, so
+//! "communication" is a device-to-device copy enqueued on a GPU stream with
+//! event dependencies — no CPU synchronization, but pulses still execute
+//! serially per rank and pack/unpack stay separate stages (§2.2). This is
+//! the intra-node gold standard the fused NVSHMEM design generalizes:
+//! functionally it is the fused algorithm *without* intra-rank pulse
+//! concurrency, and it requires every peer to be directly reachable
+//! (single process ⇒ all-NVLink).
+
+use crate::ctx::CommContext;
+use crate::exec::fused::FusedBuffers;
+use halox_shmem::Pe;
+
+/// Serialized-pulse coordinate exchange with direct copies. Arrivals are
+/// signalled per pulse; call
+/// [`crate::exec::fused::wait_coordinate_arrivals`] before consuming halo
+/// coordinates.
+pub fn coordinate_exchange(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_val: u64) {
+    for p in 0..ctx.total_pulses {
+        let pd = &ctx.pulses[p];
+        let dst = pd.send_rank;
+        assert!(
+            pe.nvlink_reachable(dst),
+            "thread-MPI is single-process: rank {} cannot reach {dst}",
+            ctx.rank
+        );
+        // Event dependency: forwarded entries need the earlier pulses'
+        // arrivals (serialized pulses make this the only wait).
+        for &k in &pd.dep_pulses {
+            pe.wait_signal(ctx.coord_slot(k), sig_val);
+        }
+        // Pack + D2D copy in one pass (the DMA enqueued on the stream).
+        for (k, &i) in pd.send_index.iter().enumerate() {
+            let v = bufs.coords.get(ctx.rank, i as usize) + pd.shift;
+            bufs.coords.set(dst, pd.remote_recv_offset + k, v);
+        }
+        pe.signal(dst, ctx.coord_slot(p), sig_val);
+    }
+}
+
+/// Serialized-pulse force exchange with direct reads. Reverse pulse order;
+/// by the time pulse `p` is announced upstream, this rank has already
+/// unpacked every later pulse (serial execution provides the DEP_MGMT
+/// guarantee for free).
+pub fn force_exchange(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_val: u64) {
+    for p in (0..ctx.total_pulses).rev() {
+        let pd = &ctx.pulses[p];
+        assert!(
+            pe.nvlink_reachable(pd.recv_rank) && pe.nvlink_reachable(pd.send_rank),
+            "thread-MPI is single-process"
+        );
+        // Region p is final: later pulses were unpacked in earlier loop
+        // iterations.
+        pe.signal(pd.recv_rank, ctx.force_slot(p), sig_val);
+        // Consume the forces computed downstream for the atoms we sent.
+        pe.wait_signal(ctx.force_slot(p), sig_val);
+        for (k, &i) in pd.send_index.iter().enumerate() {
+            let v = bufs.forces.get(pd.send_rank, pd.remote_recv_offset + k);
+            bufs.forces.add(ctx.rank, i as usize, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::build_contexts;
+    use crate::exec::fused::wait_coordinate_arrivals;
+    use halox_dd::{
+        build_partition, reference_coordinate_exchange, reference_force_exchange, DdGrid,
+    };
+    use halox_md::{GrappaBuilder, Vec3};
+    use halox_shmem::{ShmemWorld, Topology};
+
+    #[test]
+    fn coordinates_match_reference() {
+        let sys = GrappaBuilder::new(6000).seed(61).build();
+        let part = build_partition(&sys, &DdGrid::new([2, 2, 1]), 0.8);
+        let ctxs = build_contexts(&part);
+        let world = ShmemWorld::new(
+            Topology::all_nvlink(part.n_ranks()),
+            CommContext::slots_needed(part.total_pulses()),
+        );
+        let bufs = FusedBuffers::alloc(part.n_ranks(), &ctxs[0]);
+        let mut expect: Vec<Vec<Vec3>> =
+            part.ranks.iter().map(|r| r.build_positions.clone()).collect();
+        reference_coordinate_exchange(&part, &mut expect);
+        for r in &part.ranks {
+            bufs.coords.load_from(r.rank, &r.build_positions);
+        }
+        let b = &bufs;
+        let c = &ctxs;
+        world.run(|pe| {
+            coordinate_exchange(pe, &c[pe.id], b, 1);
+            wait_coordinate_arrivals(pe, &c[pe.id], 1);
+        });
+        for r in &part.ranks {
+            let got = bufs.coords.snapshot(r.rank);
+            for i in 0..r.n_local() {
+                assert!((got[i] - expect[r.rank][i]).norm() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn forces_match_reference() {
+        let sys = GrappaBuilder::new(12000).seed(62).build();
+        let part = build_partition(&sys, &DdGrid::new([2, 2, 2]), 0.8);
+        let ctxs = build_contexts(&part);
+        let world = ShmemWorld::new(
+            Topology::all_nvlink(part.n_ranks()),
+            CommContext::slots_needed(part.total_pulses()),
+        );
+        let bufs = FusedBuffers::alloc(part.n_ranks(), &ctxs[0]);
+        let init: Vec<Vec<Vec3>> = part
+            .ranks
+            .iter()
+            .map(|r| (0..r.n_local()).map(|i| Vec3::new(i as f32 * 0.01, 1.0, 0.0)).collect())
+            .collect();
+        let mut expect = init.clone();
+        reference_force_exchange(&part, &mut expect);
+        for r in &part.ranks {
+            bufs.forces.load_from(r.rank, &init[r.rank]);
+        }
+        let b = &bufs;
+        let c = &ctxs;
+        world.run(|pe| force_exchange(pe, &c[pe.id], b, 1));
+        for r in &part.ranks {
+            let got = bufs.forces.snapshot(r.rank);
+            for i in 0..r.n_home {
+                let w = expect[r.rank][i];
+                assert!((got[i] - w).norm() <= 1e-4 * w.norm().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    // The PE thread panics on the reachability assert; the world surfaces it.
+    #[should_panic(expected = "PE thread panicked")]
+    fn cross_node_rejected() {
+        let sys = GrappaBuilder::new(6000).seed(63).build();
+        let part = build_partition(&sys, &DdGrid::new([4, 1, 1]), 0.8);
+        let ctxs = build_contexts(&part);
+        let world = ShmemWorld::new(
+            Topology::islands(part.n_ranks(), 2),
+            CommContext::slots_needed(part.total_pulses()),
+        );
+        let bufs = FusedBuffers::alloc(part.n_ranks(), &ctxs[0]);
+        let b = &bufs;
+        let c = &ctxs;
+        world.run(|pe| coordinate_exchange(pe, &c[pe.id], b, 1));
+    }
+}

@@ -1,0 +1,110 @@
+//! Markers and metric extraction shared by the schedule builders.
+//!
+//! Reproduces the paper's §6.3 instrumentation: *Local work* (local
+//! non-bonded kernel span), *Non-local work* (first pack to last unpack),
+//! *Non-overlap* (end of local NB to end of last unpack, clamped at zero),
+//! and *Time per step* (steady-state step-boundary deltas).
+
+use halox_gpusim::{OpId, TaskGraph, Time, Timeline};
+use serde::{Deserialize, Serialize};
+
+/// A built schedule plus the ops needed to extract metrics.
+pub struct ScheduleRun {
+    pub graph: TaskGraph,
+    pub n_steps: usize,
+    pub n_ranks: usize,
+    /// `[step][rank]` — the local non-bonded kernel.
+    pub local_nb: Vec<Vec<OpId>>,
+    /// `[step][rank]` — every op contributing to the non-local span.
+    pub nonlocal_ops: Vec<Vec<Vec<OpId>>>,
+    /// `[step][rank]` — step-boundary marker (end of update).
+    pub step_end: Vec<Vec<OpId>>,
+}
+
+/// Device-side timing summary (averages over measured steps and ranks), ns.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StepMetrics {
+    pub time_per_step_ns: f64,
+    pub local_work_ns: f64,
+    pub nonlocal_work_ns: f64,
+    pub nonoverlap_ns: f64,
+}
+
+impl StepMetrics {
+    /// Simulation throughput in ns/day for a time step of `dt_fs`.
+    pub fn ns_per_day(&self, dt_fs: f64) -> f64 {
+        86_400.0e9 / self.time_per_step_ns * dt_fs * 1e-6
+    }
+
+    /// Average wall-time per step in milliseconds (the paper's right-hand
+    /// axes).
+    pub fn ms_per_step(&self) -> f64 {
+        self.time_per_step_ns * 1e-6
+    }
+}
+
+impl ScheduleRun {
+    /// Run the simulation and extract metrics, discarding `warmup` steps.
+    pub fn metrics(&self, warmup: usize) -> StepMetrics {
+        assert!(warmup + 1 < self.n_steps, "need at least 2 measured steps");
+        let t = self.graph.run();
+
+        // Steady-state step time: boundary-to-boundary deltas of the
+        // slowest rank.
+        let boundary = |s: usize| -> Time {
+            self.step_end[s].iter().map(|&op| t.end(op)).max().unwrap_or(0)
+        };
+        let first = boundary(warmup);
+        let last = boundary(self.n_steps - 1);
+        let time_per_step = (last - first) as f64 / (self.n_steps - 1 - warmup) as f64;
+
+        let mut local = 0.0;
+        let mut nonlocal = 0.0;
+        let mut nonoverlap = 0.0;
+        let mut n = 0.0;
+        for s in warmup..self.n_steps {
+            for r in 0..self.n_ranks {
+                let lnb = self.local_nb[s][r];
+                local += t.duration(lnb) as f64;
+                let ops = &self.nonlocal_ops[s][r];
+                if !ops.is_empty() {
+                    let lo = ops.iter().map(|&o| t.start(o)).min().unwrap();
+                    let hi = ops.iter().map(|&o| t.end(o)).max().unwrap();
+                    nonlocal += (hi - lo) as f64;
+                    nonoverlap += (hi.saturating_sub(t.end(lnb))) as f64;
+                }
+                n += 1.0;
+            }
+        }
+        StepMetrics {
+            time_per_step_ns: time_per_step,
+            local_work_ns: local / n,
+            nonlocal_work_ns: nonlocal / n,
+            nonoverlap_ns: nonoverlap / n,
+        }
+    }
+
+    /// The raw timeline (for detailed inspection / plots).
+    pub fn timeline(&self) -> Timeline {
+        self.graph.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_per_day_inverts_step_time() {
+        let m = StepMetrics {
+            time_per_step_ns: 104_800.0,
+            local_work_ns: 0.0,
+            nonlocal_work_ns: 0.0,
+            nonoverlap_ns: 0.0,
+        };
+        // Paper: 1649 ns/day at ~105 us/step with dt = 2 fs.
+        let nd = m.ns_per_day(2.0);
+        assert!((nd - 1649.0).abs() < 20.0, "{nd}");
+        assert!((m.ms_per_step() - 0.1048).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,46 @@
+//! Timing plane: lower the halo-exchange step schedules onto the cluster
+//! simulator and extract the paper's device-side metrics.
+
+pub mod input;
+pub mod metrics;
+pub mod mpi;
+pub mod nvshmem;
+pub mod tmpi;
+
+pub use input::{PulseSpec, ScheduleInput};
+pub use metrics::{ScheduleRun, StepMetrics};
+
+/// Which halo-exchange implementation a schedule models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Backend {
+    /// GPU-aware MPI, serialized pulses, CPU-synchronized (Fig 1).
+    Mpi,
+    /// Thread-MPI event-driven DMA copies (intra-node only).
+    ThreadMpi,
+    /// Fused GPU-initiated NVSHMEM exchange (Fig 2).
+    Nvshmem,
+}
+
+impl Backend {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::Mpi => "MPI",
+            Backend::ThreadMpi => "tMPI",
+            Backend::Nvshmem => "NVSHMEM",
+        }
+    }
+}
+
+/// Build a schedule for a backend.
+pub fn build(backend: Backend, input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
+    match backend {
+        Backend::Mpi => mpi::build(input, n_steps),
+        Backend::ThreadMpi => tmpi::build(input, n_steps),
+        Backend::Nvshmem => nvshmem::build(input, n_steps),
+    }
+}
+
+/// Convenience: build, run, and extract steady-state metrics.
+pub fn simulate(backend: Backend, input: &ScheduleInput, n_steps: usize, warmup: usize) -> StepMetrics {
+    build(backend, input, n_steps).metrics(warmup)
+}

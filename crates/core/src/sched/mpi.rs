@@ -1,0 +1,267 @@
+//! Timing schedule: the GPU-aware-MPI halo exchange (paper Fig 1).
+//!
+//! Per pulse and per direction the CPU must (a) launch a pack kernel,
+//! (b) synchronize with the GPU, (c) post MPI, (d) wait for the matching
+//! receive, (e) launch the unpack kernel — and pulses are strictly
+//! serialized. These CPU-GPU round trips are exactly the latencies the
+//! NVSHMEM redesign removes.
+
+use super::input::ScheduleInput;
+use super::metrics::ScheduleRun;
+use halox_gpusim::{streams, OpId, Resource, TaskGraph};
+
+/// Build an `n_steps` MPI schedule.
+pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
+    let m = &input.machine;
+    let nr = input.n_ranks();
+    let np = input.pulses.len();
+    let mut g = TaskGraph::new();
+
+    let mut local_nb = vec![vec![OpId(0); nr]; n_steps];
+    let mut nonlocal_ops = vec![vec![Vec::new(); nr]; n_steps];
+    let mut step_end = vec![vec![OpId(0); nr]; n_steps];
+    let mut prev_update: Vec<Option<OpId>> = vec![None; nr];
+
+    for s in 0..n_steps {
+        // Phase A: per-rank ops in issue order; cross-rank deps in phase B.
+        let mut x_wire = vec![vec![OpId(0); np]; nr];
+        let mut x_wait = vec![vec![OpId(0); np]; nr];
+        let mut x_unpack = vec![vec![OpId(0); np]; nr];
+        let mut f_wire = vec![vec![OpId(0); np]; nr];
+        let mut f_wait = vec![vec![OpId(0); np]; nr];
+        let mut f_unpack = vec![vec![OpId(0); np]; nr];
+
+        for r in 0..nr {
+            let cpu = Resource::Cpu(r);
+            let s_local = Resource::Stream(r, streams::LOCAL);
+            let s_nl = Resource::Stream(r, streams::NONLOCAL);
+            let s_up = Resource::Stream(r, streams::UPDATE);
+
+            // Local non-bonded.
+            let launch = g.add(format!("mpi:{s}:{r}:launch_lnb"), cpu, m.kernel_launch_ns);
+            let lnb = g.add(
+                format!("mpi:{s}:{r}:local_nb"),
+                s_local,
+                m.nb_local_ns(input.atoms_per_rank),
+            );
+            g.dep(lnb, launch, 0);
+            if let Some(pu) = prev_update[r] {
+                g.dep(lnb, pu, 0);
+            }
+            local_nb[s][r] = lnb;
+
+            // Coordinate halo: serialized pulses.
+            for (p, pulse) in input.pulses.iter().enumerate() {
+                let dst = input.send_rank(r, p);
+                let launch_pack =
+                    g.add(format!("mpi:{s}:{r}:launch_xpack{p}"), cpu, m.kernel_launch_ns);
+                let pack = g.add(
+                    format!("mpi:{s}:{r}:xpack{p}"),
+                    s_nl,
+                    m.pack_kernel_fixed_ns + m.pack_work_ns(pulse.send_atoms),
+                );
+                g.dep(pack, launch_pack, 0);
+                if let Some(pu) = prev_update[r] {
+                    g.dep(pack, pu, 0);
+                }
+                // CPU blocks until the pack kernel has finished.
+                let sync = g.add(format!("mpi:{s}:{r}:xsync{p}"), cpu, m.cpu_gpu_sync_ns);
+                g.dep(sync, pack, 0);
+                let post = g.add(format!("mpi:{s}:{r}:xmpi{p}"), cpu, m.mpi_overhead_ns);
+                let wire = g.add(
+                    format!("mpi:{s}:{r}:xwire{p}"),
+                    Resource::Link(r, dst),
+                    m.wire_ns(r, dst, m.payload_bytes(pulse.send_atoms)),
+                );
+                g.dep(wire, post, m.latency_ns(r, dst));
+                let wait = g.add(format!("mpi:{s}:{r}:xwait{p}"), cpu, m.mpi_overhead_ns / 2);
+                let launch_unpack =
+                    g.add(format!("mpi:{s}:{r}:launch_xunpack{p}"), cpu, m.kernel_launch_ns);
+                let unpack = g.add(
+                    format!("mpi:{s}:{r}:xunpack{p}"),
+                    s_nl,
+                    m.pack_kernel_fixed_ns + m.pack_work_ns(pulse.send_atoms),
+                );
+                g.dep(unpack, launch_unpack, 0);
+                x_wire[r][p] = wire;
+                x_wait[r][p] = wait;
+                x_unpack[r][p] = unpack;
+                nonlocal_ops[s][r].extend([pack, unpack]);
+            }
+
+            // Bonded + non-local non-bonded on the non-local stream.
+            let launch_b = g.add(format!("mpi:{s}:{r}:launch_bonded"), cpu, m.kernel_launch_ns);
+            let bonded =
+                g.add(format!("mpi:{s}:{r}:bonded"), s_nl, m.bonded_ns(input.atoms_per_rank));
+            g.dep(bonded, launch_b, 0);
+            let launch_nl = g.add(format!("mpi:{s}:{r}:launch_nlnb"), cpu, m.kernel_launch_ns);
+            let nlnb = g.add(
+                format!("mpi:{s}:{r}:nl_nb"),
+                s_nl,
+                m.nb_nonlocal_ns(input.halo_atoms()),
+            );
+            g.dep(nlnb, launch_nl, 0);
+            nonlocal_ops[s][r].push(nlnb);
+
+            // Mid-step CPU work (event management, clears, auxiliary
+            // launches): hidden under the non-local kernel on large
+            // systems, exposed in the CPU-bound regime (paper SS3).
+            let _misc_mid = g.add(format!("mpi:{s}:{r}:misc_mid"), cpu, m.misc_cpu_ns / 2);
+
+            // Force halo: serialized pulses in reverse.
+            for p in (0..np).rev() {
+                let pulse = &input.pulses[p];
+                // Force data goes back up: send to recv_rank.
+                let dst = input.recv_rank(r, p);
+                let launch_pack =
+                    g.add(format!("mpi:{s}:{r}:launch_fpack{p}"), cpu, m.kernel_launch_ns);
+                let pack = g.add(
+                    format!("mpi:{s}:{r}:fpack{p}"),
+                    s_nl,
+                    m.pack_kernel_fixed_ns + m.pack_work_ns(pulse.send_atoms),
+                );
+                g.dep(pack, launch_pack, 0);
+                let sync = g.add(format!("mpi:{s}:{r}:fsync{p}"), cpu, m.cpu_gpu_sync_ns);
+                g.dep(sync, pack, 0);
+                let post = g.add(format!("mpi:{s}:{r}:fmpi{p}"), cpu, m.mpi_overhead_ns);
+                let wire = g.add(
+                    format!("mpi:{s}:{r}:fwire{p}"),
+                    Resource::Link(r, dst),
+                    m.wire_ns(r, dst, m.payload_bytes(pulse.send_atoms)),
+                );
+                g.dep(wire, post, m.latency_ns(r, dst));
+                let wait = g.add(format!("mpi:{s}:{r}:fwait{p}"), cpu, m.mpi_overhead_ns / 2);
+                let launch_unpack =
+                    g.add(format!("mpi:{s}:{r}:launch_funpack{p}"), cpu, m.kernel_launch_ns);
+                let unpack = g.add(
+                    format!("mpi:{s}:{r}:funpack{p}"),
+                    s_nl,
+                    m.pack_kernel_fixed_ns + m.pack_work_ns(pulse.send_atoms),
+                );
+                g.dep(unpack, launch_unpack, 0);
+                f_wire[r][p] = wire;
+                f_wait[r][p] = wait;
+                f_unpack[r][p] = unpack;
+                nonlocal_ops[s][r].extend([pack, unpack]);
+            }
+
+            // Update (reduce + integrate), prune, step marker.
+            let launch_u = g.add(format!("mpi:{s}:{r}:launch_update"), cpu, m.kernel_launch_ns);
+            if input.prune_stream_opt {
+                let update =
+                    g.add(format!("mpi:{s}:{r}:update"), s_up, m.other_ns(input.atoms_per_rank));
+                g.dep(update, launch_u, 0);
+                g.dep(update, lnb, 0);
+                g.dep(update, nlnb, 0);
+                for p in 0..np {
+                    g.dep(update, f_unpack[r][p], 0);
+                }
+                let prune = g.add(
+                    format!("mpi:{s}:{r}:prune"),
+                    Resource::Stream(r, streams::PRUNE),
+                    m.prune_ns(input.atoms_per_rank),
+                );
+                g.dep(prune, update, 0);
+                let end = g.add(format!("mpi:{s}:{r}:step_end"), s_up, 0);
+                g.dep(end, update, 0);
+                step_end[s][r] = end;
+                prev_update[r] = Some(update);
+            } else {
+                // §5.4 off (the pre-optimization schedule): prune executes
+                // on the same stream ahead of the reduction/update tasks,
+                // blocking the integration and the following step.
+                let prune =
+                    g.add(format!("mpi:{s}:{r}:prune"), s_nl, m.prune_ns(input.atoms_per_rank));
+                g.dep(prune, lnb, 0);
+                let update =
+                    g.add(format!("mpi:{s}:{r}:update"), s_nl, m.other_ns(input.atoms_per_rank));
+                g.dep(update, launch_u, 0);
+                g.dep(update, lnb, 0);
+                g.dep(update, nlnb, 0);
+                for p in 0..np {
+                    g.dep(update, f_unpack[r][p], 0);
+                }
+                let end = g.add(format!("mpi:{s}:{r}:step_end"), s_up, 0);
+                g.dep(end, update, 0);
+                step_end[s][r] = end;
+                prev_update[r] = Some(update);
+            }
+            // Tail CPU work of the step (after the update/prune launches):
+            // with MPI the syncs prevent hiding it across steps, so it
+            // delays the next step's halo launches.
+            let _misc_tail = g.add(format!("mpi:{s}:{r}:misc_tail"), cpu, m.misc_cpu_ns / 2);
+        }
+
+        // Phase B: cross-rank receive dependencies.
+        for r in 0..nr {
+            for p in 0..np {
+                // My incoming coordinate data comes from my up neighbour's
+                // send of pulse p.
+                let src = input.recv_rank(r, p);
+                g.dep(x_wait[r][p], x_wire[src][p], 0);
+                g.dep(x_unpack[r][p], x_wire[src][p], 0);
+                // My incoming force data comes from my *down* neighbour
+                // (reverse direction).
+                let fsrc = input.send_rank(r, p);
+                g.dep(f_wait[r][p], f_wire[fsrc][p], 0);
+                g.dep(f_unpack[r][p], f_wire[fsrc][p], 0);
+            }
+        }
+    }
+
+    ScheduleRun { graph: g, n_steps, n_ranks: nr, local_nb, nonlocal_ops, step_end }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halox_dd::{DdGrid, WorkloadModel};
+    use halox_gpusim::MachineModel;
+
+    fn run_case(atoms: usize, dims: [usize; 3]) -> super::super::metrics::StepMetrics {
+        let grid = DdGrid::new(dims);
+        let model = WorkloadModel::cubic(atoms, 100.0, 1.05, grid);
+        let input = ScheduleInput::from_workload(MachineModel::dgx_h100(), &model);
+        build(&input, 6).metrics(2)
+    }
+
+    #[test]
+    fn intranode_step_times_in_paper_range() {
+        // 45k atoms on 4 GPUs: paper MPI ~153 us/step (1126 ns/day).
+        let m = run_case(45_000, [4, 1, 1]);
+        let us = m.time_per_step_ns / 1000.0;
+        assert!((100.0..250.0).contains(&us), "step time {us} us");
+        // Local work ~22 us.
+        assert!((m.local_work_ns / 1000.0 - 22.0).abs() < 6.0);
+    }
+
+    #[test]
+    fn serialized_pulses_scale_nonlocal_with_dims() {
+        let m1 = run_case(90_000, [8, 1, 1]);
+        let m2 = run_case(180_000, [8, 2, 1]);
+        let m3 = run_case(360_000, [8, 2, 2]);
+        assert!(m2.nonlocal_work_ns > m1.nonlocal_work_ns);
+        assert!(m3.nonlocal_work_ns > m2.nonlocal_work_ns);
+    }
+
+    #[test]
+    fn larger_systems_take_longer() {
+        let small = run_case(45_000, [4, 1, 1]);
+        let large = run_case(360_000, [4, 1, 1]);
+        assert!(large.time_per_step_ns > small.time_per_step_ns * 1.6);
+    }
+
+    #[test]
+    fn prune_stream_optimization_helps() {
+        let grid = DdGrid::new([4, 1, 1]);
+        let model = WorkloadModel::cubic(180_000, 100.0, 1.05, grid);
+        let mut input = ScheduleInput::from_workload(MachineModel::dgx_h100(), &model);
+        let on = build(&input, 6).metrics(2);
+        input.prune_stream_opt = false;
+        let off = build(&input, 6).metrics(2);
+        assert!(on.time_per_step_ns < off.time_per_step_ns, "{on:?} vs {off:?}");
+        // Paper: up to ~10%.
+        let gain = off.time_per_step_ns / on.time_per_step_ns;
+        assert!(gain < 1.25, "implausible prune gain {gain}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Timing schedule: the thread-MPI event-driven halo exchange.
+//!
+//! GROMACS' built-in thread-MPI can enqueue direct DMA copies on GPU
+//! streams with event dependencies and no per-step CPU-GPU synchronization
+//! (§2.2). It shares NVSHMEM's asynchronous launch pipelining but keeps
+//! per-pulse pack/copy/unpack stages serialized on the non-local stream and
+//! is intra-node only (threads of one process). The paper uses it as the
+//! intra-node gold standard that the NVSHMEM design generalizes multi-node.
+
+use super::input::ScheduleInput;
+use super::metrics::ScheduleRun;
+use halox_gpusim::{streams, OpId, Resource, TaskGraph};
+
+/// Build an `n_steps` thread-MPI schedule. Panics if any rank pair crosses
+/// a node boundary (thread-MPI is single-process).
+pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
+    let m = &input.machine;
+    let nr = input.n_ranks();
+    let np = input.pulses.len();
+    for r in 0..nr {
+        for p in 0..np {
+            assert!(
+                m.nvlink_reachable(r, input.send_rank(r, p)),
+                "thread-MPI requires a single node (rank {r} pulse {p})"
+            );
+        }
+    }
+    let mut g = TaskGraph::new();
+    let mut local_nb = vec![vec![OpId(0); nr]; n_steps];
+    let mut nonlocal_ops = vec![vec![Vec::new(); nr]; n_steps];
+    let mut step_end = vec![vec![OpId(0); nr]; n_steps];
+    let mut prev_update: Vec<Option<OpId>> = vec![None; nr];
+
+    for s in 0..n_steps {
+        let mut x_copy = vec![vec![OpId(0); np]; nr];
+        let mut x_unpack = vec![vec![OpId(0); np]; nr];
+        let mut f_copy = vec![vec![OpId(0); np]; nr];
+        let mut f_unpack = vec![vec![OpId(0); np]; nr];
+
+        for r in 0..nr {
+            let cpu = Resource::Cpu(r);
+            let s_local = Resource::Stream(r, streams::LOCAL);
+            let s_nl = Resource::Stream(r, streams::NONLOCAL);
+            let s_up = Resource::Stream(r, streams::UPDATE);
+
+            // All launches up front; event deps instead of syncs.
+            let launch_lnb = g.add(format!("tmpi:{s}:{r}:launch_lnb"), cpu, m.kernel_launch_ns);
+            let lnb = g.add(
+                format!("tmpi:{s}:{r}:local_nb"),
+                s_local,
+                m.nb_local_ns(input.atoms_per_rank),
+            );
+            g.dep(lnb, launch_lnb, 0);
+            if let Some(pu) = prev_update[r] {
+                g.dep(lnb, pu, 0);
+            }
+            local_nb[s][r] = lnb;
+
+            for (p, pulse) in input.pulses.iter().enumerate() {
+                let dst = input.send_rank(r, p);
+                let launch =
+                    g.add(format!("tmpi:{s}:{r}:launch_xpack{p}"), cpu, m.kernel_launch_ns);
+                let pack = g.add(
+                    format!("tmpi:{s}:{r}:xpack{p}"),
+                    s_nl,
+                    m.pack_kernel_fixed_ns + m.pack_work_ns(pulse.send_atoms),
+                );
+                g.dep(pack, launch, 0);
+                if let Some(pu) = prev_update[r] {
+                    g.dep(pack, pu, 0);
+                }
+                // Event-enqueued D2D copy on the copy engine.
+                let copy = g.add(
+                    format!("tmpi:{s}:{r}:xcopy{p}"),
+                    Resource::CopyEngine(r),
+                    m.event_api_ns + m.wire_ns(r, dst, m.payload_bytes(pulse.send_atoms)),
+                );
+                g.dep(copy, pack, 0);
+                let launch_u =
+                    g.add(format!("tmpi:{s}:{r}:launch_xunpack{p}"), cpu, m.kernel_launch_ns);
+                let unpack = g.add(
+                    format!("tmpi:{s}:{r}:xunpack{p}"),
+                    s_nl,
+                    m.pack_kernel_fixed_ns + m.pack_work_ns(pulse.send_atoms),
+                );
+                g.dep(unpack, launch_u, 0);
+                x_copy[r][p] = copy;
+                x_unpack[r][p] = unpack;
+                nonlocal_ops[s][r].extend([pack, unpack]);
+            }
+
+            let launch_b = g.add(format!("tmpi:{s}:{r}:launch_bonded"), cpu, m.kernel_launch_ns);
+            let bonded =
+                g.add(format!("tmpi:{s}:{r}:bonded"), s_nl, m.bonded_ns(input.atoms_per_rank));
+            g.dep(bonded, launch_b, 0);
+            let launch_nl = g.add(format!("tmpi:{s}:{r}:launch_nlnb"), cpu, m.kernel_launch_ns);
+            let nlnb = g.add(
+                format!("tmpi:{s}:{r}:nl_nb"),
+                s_nl,
+                m.nb_nonlocal_ns(input.halo_atoms()),
+            );
+            g.dep(nlnb, launch_nl, 0);
+            nonlocal_ops[s][r].push(nlnb);
+
+            for p in (0..np).rev() {
+                let pulse = &input.pulses[p];
+                let dst = input.recv_rank(r, p);
+                let launch =
+                    g.add(format!("tmpi:{s}:{r}:launch_fpack{p}"), cpu, m.kernel_launch_ns);
+                let pack = g.add(
+                    format!("tmpi:{s}:{r}:fpack{p}"),
+                    s_nl,
+                    m.pack_kernel_fixed_ns + m.pack_work_ns(pulse.send_atoms),
+                );
+                g.dep(pack, launch, 0);
+                let copy = g.add(
+                    format!("tmpi:{s}:{r}:fcopy{p}"),
+                    Resource::CopyEngine(r),
+                    m.event_api_ns + m.wire_ns(r, dst, m.payload_bytes(pulse.send_atoms)),
+                );
+                g.dep(copy, pack, 0);
+                let launch_u =
+                    g.add(format!("tmpi:{s}:{r}:launch_funpack{p}"), cpu, m.kernel_launch_ns);
+                let unpack = g.add(
+                    format!("tmpi:{s}:{r}:funpack{p}"),
+                    s_nl,
+                    m.pack_kernel_fixed_ns + m.pack_work_ns(pulse.send_atoms),
+                );
+                g.dep(unpack, launch_u, 0);
+                f_copy[r][p] = copy;
+                f_unpack[r][p] = unpack;
+                nonlocal_ops[s][r].extend([pack, unpack]);
+            }
+
+            let _misc = g.add(format!("tmpi:{s}:{r}:misc_cpu"), cpu, m.misc_cpu_ns / 2);
+            let launch_up = g.add(format!("tmpi:{s}:{r}:launch_update"), cpu, m.kernel_launch_ns);
+            let upd_stream = if input.prune_stream_opt { s_up } else { s_nl };
+            let update =
+                g.add(format!("tmpi:{s}:{r}:update"), upd_stream, m.other_ns(input.atoms_per_rank));
+            g.dep(update, launch_up, 0);
+            g.dep(update, lnb, 0);
+            g.dep(update, nlnb, 0);
+            for p in 0..np {
+                g.dep(update, f_unpack[r][p], 0);
+            }
+            let prune_res = if input.prune_stream_opt {
+                Resource::Stream(r, streams::PRUNE)
+            } else {
+                s_nl
+            };
+            let prune =
+                g.add(format!("tmpi:{s}:{r}:prune"), prune_res, m.prune_ns(input.atoms_per_rank));
+            if input.prune_stream_opt {
+                g.dep(prune, update, 0);
+            } else {
+                g.dep(prune, lnb, 0);
+                g.dep(update, prune, 0);
+            }
+            let end = g.add(format!("tmpi:{s}:{r}:step_end"), s_up, 0);
+            g.dep(end, update, 0);
+            step_end[s][r] = end;
+            prev_update[r] = Some(update);
+        }
+
+        // Cross-rank: unpack waits on the peer's copy (event dependency).
+        for r in 0..nr {
+            for p in 0..np {
+                let src = input.recv_rank(r, p);
+                g.dep(x_unpack[r][p], x_copy[src][p], m.latency_ns(src, r));
+                let fsrc = input.send_rank(r, p);
+                g.dep(f_unpack[r][p], f_copy[fsrc][p], m.latency_ns(fsrc, r));
+            }
+        }
+    }
+
+    ScheduleRun { graph: g, n_steps, n_ranks: nr, local_nb, nonlocal_ops, step_end }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halox_dd::{DdGrid, WorkloadModel};
+    use halox_gpusim::MachineModel;
+
+    #[test]
+    fn tmpi_between_mpi_and_nvshmem_intranode() {
+        // Paper §2.2/§3: thread-MPI outperforms MPI intra-node in
+        // latency-bound regimes; NVSHMEM matches or beats thread-MPI.
+        let grid = DdGrid::new([4, 1, 1]);
+        let model = WorkloadModel::cubic(45_000, 100.0, 1.05, grid);
+        let input = ScheduleInput::from_workload(MachineModel::dgx_h100(), &model);
+        let tmpi = build(&input, 6).metrics(2);
+        let mpi = super::super::mpi::build(&input, 6).metrics(2);
+        let nvs = super::super::nvshmem::build(&input, 6).metrics(2);
+        assert!(
+            tmpi.time_per_step_ns < mpi.time_per_step_ns,
+            "tMPI {} vs MPI {}",
+            tmpi.time_per_step_ns,
+            mpi.time_per_step_ns
+        );
+        assert!(
+            nvs.time_per_step_ns <= tmpi.time_per_step_ns * 1.05,
+            "NVSHMEM {} vs tMPI {}",
+            nvs.time_per_step_ns,
+            tmpi.time_per_step_ns
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "single node")]
+    fn multinode_rejected() {
+        let grid = DdGrid::new([8, 1, 1]);
+        let model = WorkloadModel::cubic(720_000, 100.0, 1.05, grid);
+        let input = ScheduleInput::from_workload(MachineModel::eos(), &model);
+        let _ = build(&input, 4);
+    }
+}

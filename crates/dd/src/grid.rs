@@ -1,0 +1,316 @@
+//! Domain-decomposition grid selection and rank <-> grid-coordinate maps.
+//!
+//! GROMACS chooses the DD grid from the box shape and rank count
+//! (`dd_choose_grid`); the paper's runs span 1D (4-8 GPUs) to 3D (32+ GPUs)
+//! decompositions. We implement a cost-based chooser — exact eighth-shell
+//! halo volume per candidate factorization plus a per-pulse latency penalty —
+//! and, like `mdrun -dd`, an explicit override used by the figure harnesses
+//! to pin the exact grids the paper reports.
+
+use halox_md::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A DD grid: number of domains along x, y, z.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DdGrid {
+    pub dims: [usize; 3],
+}
+
+impl DdGrid {
+    pub fn new(dims: [usize; 3]) -> Self {
+        assert!(dims.iter().all(|&d| d >= 1), "grid dims must be >= 1: {dims:?}");
+        DdGrid { dims }
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Number of decomposed dimensions (dims > 1).
+    pub fn n_decomposed(&self) -> usize {
+        self.dims.iter().filter(|&&d| d > 1).count()
+    }
+
+    /// Decomposed dimensions in the paper's communication phase order:
+    /// z first, then y, then x.
+    pub fn comm_dims(&self) -> Vec<usize> {
+        [2usize, 1, 0].into_iter().filter(|&d| self.dims[d] > 1).collect()
+    }
+
+    /// Rank id of grid coordinates (x-major, like GROMACS' default order).
+    #[inline]
+    pub fn rank_of(&self, c: [usize; 3]) -> usize {
+        debug_assert!(c[0] < self.dims[0] && c[1] < self.dims[1] && c[2] < self.dims[2]);
+        (c[0] * self.dims[1] + c[1]) * self.dims[2] + c[2]
+    }
+
+    /// Grid coordinates of a rank id.
+    #[inline]
+    pub fn coords_of(&self, rank: usize) -> [usize; 3] {
+        debug_assert!(rank < self.n_ranks());
+        let z = rank % self.dims[2];
+        let y = (rank / self.dims[2]) % self.dims[1];
+        let x = rank / (self.dims[1] * self.dims[2]);
+        [x, y, z]
+    }
+
+    /// Neighbour rank one step "down" (toward lower coordinate, periodic)
+    /// in dimension `dim`: the destination of halo *sends*.
+    pub fn down_neighbor(&self, rank: usize, dim: usize) -> usize {
+        let mut c = self.coords_of(rank);
+        c[dim] = (c[dim] + self.dims[dim] - 1) % self.dims[dim];
+        self.rank_of(c)
+    }
+
+    /// Neighbour rank one step "up" (toward higher coordinate, periodic)
+    /// in dimension `dim`: the source of halo *receives*.
+    pub fn up_neighbor(&self, rank: usize, dim: usize) -> usize {
+        let mut c = self.coords_of(rank);
+        c[dim] = (c[dim] + 1) % self.dims[dim];
+        self.rank_of(c)
+    }
+
+    /// Per-rank domain edge lengths for a box.
+    pub fn domain_lengths(&self, box_lengths: Vec3) -> Vec3 {
+        Vec3::new(
+            box_lengths.x / self.dims[0] as f32,
+            box_lengths.y / self.dims[1] as f32,
+            box_lengths.z / self.dims[2] as f32,
+        )
+    }
+}
+
+/// Options for [`choose_grid`].
+#[derive(Debug, Clone)]
+pub struct GridOptions {
+    /// Halo communication distance (cutoff + Verlet buffer), nm.
+    pub r_comm: f32,
+    /// Latency penalty per decomposed dimension, expressed in "equivalent
+    /// halo atoms"; mirrors the per-pulse launch/latency overheads that make
+    /// GROMACS prefer fewer communication phases at small scale.
+    pub pulse_penalty_atoms: f64,
+    /// Atom number density used to convert zone volumes to atom counts.
+    pub density: f64,
+    /// Explicit grid override (like `mdrun -dd x y z`); must match n_ranks.
+    pub force_grid: Option<[usize; 3]>,
+}
+
+impl Default for GridOptions {
+    fn default() -> Self {
+        GridOptions {
+            r_comm: 1.05,
+            pulse_penalty_atoms: 1200.0,
+            density: halox_md::GRAPPA_ATOM_DENSITY,
+            force_grid: None,
+        }
+    }
+}
+
+/// Estimated per-rank halo atoms for a grid on a box: the sum of the exact
+/// eighth-shell pulse-zone volumes (including forwarded corner extensions)
+/// times the density. Returns None if any decomposed domain is thinner than
+/// `r_comm` (which would require 2 pulses; disallowed by the chooser, as in
+/// all paper configurations).
+pub fn halo_atoms_estimate(grid: &DdGrid, box_lengths: Vec3, opts: &GridOptions) -> Option<f64> {
+    let l = grid.domain_lengths(box_lengths);
+    let rc = opts.r_comm as f64;
+    let dims = grid.comm_dims();
+    for &d in &dims {
+        if (l[d] as f64) < rc {
+            return None;
+        }
+    }
+    // Pulse volume for the i-th communicated dim:
+    //   rc * prod_{earlier dims} (l + rc) * prod_{later dims} l
+    let mut vol = 0.0;
+    for (i, &d) in dims.iter().enumerate() {
+        let mut v = rc;
+        for (j, &e) in dims.iter().enumerate() {
+            if e == d {
+                continue;
+            }
+            v *= if j < i { l[e] as f64 + rc } else { l[e] as f64 };
+        }
+        // Non-decomposed dims span the whole box.
+        for e in 0..3 {
+            if !dims.contains(&e) {
+                v *= l[e] as f64;
+            }
+        }
+        vol += v;
+    }
+    Some(vol * opts.density)
+}
+
+/// Enumerate all factorizations of `n` into [nx, ny, nz].
+pub fn factorizations(n: usize) -> Vec<[usize; 3]> {
+    let mut out = Vec::new();
+    for nx in 1..=n {
+        if !n.is_multiple_of(nx) {
+            continue;
+        }
+        let rem = n / nx;
+        for ny in 1..=rem {
+            if !rem.is_multiple_of(ny) {
+                continue;
+            }
+            out.push([nx, ny, rem / ny]);
+        }
+    }
+    out
+}
+
+/// Choose a DD grid for `n_ranks` on a box, minimizing estimated halo atoms
+/// plus a per-dimension pulse penalty. Panics if no feasible grid exists
+/// (all factorizations produce domains thinner than `r_comm`).
+pub fn choose_grid(n_ranks: usize, box_lengths: Vec3, opts: &GridOptions) -> DdGrid {
+    assert!(n_ranks >= 1);
+    if let Some(f) = opts.force_grid {
+        let g = DdGrid::new(f);
+        assert_eq!(g.n_ranks(), n_ranks, "forced grid {f:?} != {n_ranks} ranks");
+        return g;
+    }
+    let mut best: Option<(f64, DdGrid)> = None;
+    for dims in factorizations(n_ranks) {
+        let g = DdGrid::new(dims);
+        let Some(halo) = halo_atoms_estimate(&g, box_lengths, opts) else {
+            continue;
+        };
+        let cost = halo + opts.pulse_penalty_atoms * g.n_decomposed() as f64;
+        let better = match &best {
+            None => true,
+            Some((c, bg)) => {
+                cost < *c - 1e-9
+                    || ((cost - *c).abs() <= 1e-9
+                        && (dims[0], dims[1], dims[2]) > (bg.dims[0], bg.dims[1], bg.dims[2]))
+            }
+        };
+        if better {
+            best = Some((cost, g));
+        }
+    }
+    best.map(|(_, g)| g)
+        .unwrap_or_else(|| panic!("no feasible DD grid for {n_ranks} ranks on box {box_lengths:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_coord_round_trip() {
+        let g = DdGrid::new([4, 3, 2]);
+        assert_eq!(g.n_ranks(), 24);
+        for r in 0..24 {
+            assert_eq!(g.rank_of(g.coords_of(r)), r);
+        }
+    }
+
+    #[test]
+    fn neighbors_wrap_periodically() {
+        let g = DdGrid::new([4, 1, 1]);
+        let r0 = g.rank_of([0, 0, 0]);
+        let r3 = g.rank_of([3, 0, 0]);
+        assert_eq!(g.down_neighbor(r0, 0), r3);
+        assert_eq!(g.up_neighbor(r3, 0), r0);
+        assert_eq!(g.up_neighbor(r0, 0), g.rank_of([1, 0, 0]));
+    }
+
+    #[test]
+    fn comm_dims_order_z_y_x() {
+        assert_eq!(DdGrid::new([4, 2, 2]).comm_dims(), vec![2, 1, 0]);
+        assert_eq!(DdGrid::new([4, 2, 1]).comm_dims(), vec![1, 0]);
+        assert_eq!(DdGrid::new([4, 1, 1]).comm_dims(), vec![0]);
+        assert_eq!(DdGrid::new([1, 1, 1]).comm_dims(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn factorizations_complete() {
+        let f = factorizations(12);
+        assert!(f.contains(&[12, 1, 1]));
+        assert!(f.contains(&[3, 2, 2]));
+        assert!(f.contains(&[1, 1, 12]));
+        for dims in &f {
+            assert_eq!(dims[0] * dims[1] * dims[2], 12);
+        }
+    }
+
+    #[test]
+    fn forced_grid_respected() {
+        let opts = GridOptions { force_grid: Some([8, 1, 1]), ..Default::default() };
+        let g = choose_grid(8, Vec3::splat(10.0), &opts);
+        assert_eq!(g.dims, [8, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn forced_grid_must_match_ranks() {
+        let opts = GridOptions { force_grid: Some([4, 1, 1]), ..Default::default() };
+        let _ = choose_grid(8, Vec3::splat(10.0), &opts);
+    }
+
+    #[test]
+    fn small_rank_counts_prefer_1d() {
+        // 4 ranks on the 45k-atom box (edge ~7.7 nm): paper runs 1D.
+        let g = choose_grid(4, Vec3::splat(7.66), &GridOptions::default());
+        assert_eq!(g.n_decomposed(), 1, "grid {:?}", g.dims);
+    }
+
+    #[test]
+    fn infeasible_thin_domains_rejected() {
+        let opts = GridOptions::default();
+        // 32 ranks on a small box: 32x1x1 would give 0.24 nm domains.
+        let est = halo_atoms_estimate(&DdGrid::new([32, 1, 1]), Vec3::splat(7.66), &opts);
+        assert!(est.is_none());
+    }
+
+    #[test]
+    fn halo_estimate_matches_hand_computation_1d() {
+        let opts = GridOptions { r_comm: 1.0, density: 100.0, ..Default::default() };
+        let g = DdGrid::new([4, 1, 1]);
+        let est = halo_atoms_estimate(&g, Vec3::splat(8.0), &opts).unwrap();
+        // Single pulse in x: rc * Ly * Lz * rho = 1 * 8 * 8 * 100.
+        assert!((est - 6400.0).abs() < 1e-6, "{est}");
+    }
+
+    #[test]
+    fn halo_estimate_includes_corner_forwarding_3d() {
+        let opts = GridOptions { r_comm: 1.0, density: 1.0, ..Default::default() };
+        let g = DdGrid::new([2, 2, 2]);
+        let l = 4.0f32; // domain edge
+        let est = halo_atoms_estimate(&g, Vec3::splat(8.0), &opts).unwrap();
+        // z pulse: rc*lx*ly = 16; y: rc*lx*(lz+rc) = 20; x: rc*(ly+rc)*(lz+rc) = 25.
+        let expect = (l as f64) * (l as f64)
+            + (l as f64) * (l as f64 + 1.0)
+            + (l as f64 + 1.0) * (l as f64 + 1.0);
+        assert!((est - expect).abs() < 1e-6, "{est} vs {expect}");
+    }
+
+    #[test]
+    fn grappa_progression_matches_paper_1d_2d_3d() {
+        // Paper Figs 7/8: at fixed atoms/GPU, 8 ranks run 1D, 16 ranks 2D,
+        // 32 ranks 3D — driven by the replicated grappa box shapes.
+        let opts = GridOptions::default();
+        let g8 = choose_grid(8, crate::density::grappa_box(90_000, 100.0), &opts);
+        assert_eq!(g8.n_decomposed(), 1, "8 ranks: {:?}", g8.dims);
+        let g16 = choose_grid(16, crate::density::grappa_box(180_000, 100.0), &opts);
+        assert_eq!(g16.n_decomposed(), 2, "16 ranks: {:?}", g16.dims);
+        let g32 = choose_grid(32, crate::density::grappa_box(360_000, 100.0), &opts);
+        assert_eq!(g32.n_decomposed(), 3, "32 ranks: {:?}", g32.dims);
+        // And 4 ranks intra-node stay 1D (Figs 3/6).
+        let g4 = choose_grid(4, crate::density::grappa_box(45_000, 100.0), &opts);
+        assert_eq!(g4.n_decomposed(), 1, "4 ranks: {:?}", g4.dims);
+    }
+
+    #[test]
+    fn more_ranks_eventually_need_more_dims() {
+        // 64 ranks on a 15.3 nm box cannot stay 1D (0.24 nm domains).
+        let g = choose_grid(64, Vec3::splat(15.33), &GridOptions::default());
+        assert!(g.n_decomposed() >= 2, "grid {:?}", g.dims);
+        for (i, &d) in g.dims.iter().enumerate() {
+            if d > 1 {
+                assert!(15.33 / d as f32 >= 1.05, "dim {i} too thin in {:?}", g.dims);
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-pulse halo-exchange metadata: the Rust analogue of the paper's
+//! Algorithm 1 `PulseData`.
+//!
+//! A *pulse* is one communication step within a dimension's phase; phases run
+//! z -> y -> x (paper §2.2). Every rank holds one `PulseData` per global
+//! pulse; global pulse ids are identical across ranks because the grid is
+//! regular. Pulse `p` on rank `R` describes both R's *send* (to its down
+//! neighbour) and R's *receive* (from its up neighbour).
+
+use halox_md::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Metadata for one halo-exchange pulse on one rank.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PulseData {
+    /// Position in the global pulse order `[z.., y.., x..]`.
+    pub global_id: usize,
+    /// Dimension this pulse communicates along (0 = x, 1 = y, 2 = z).
+    pub dim: usize,
+    /// 0 for the first pulse of a dimension, 1 for a second-neighbour pulse.
+    pub pulse_in_dim: usize,
+    /// Rank coordinates are sent to (the down neighbour).
+    pub send_rank: usize,
+    /// Rank coordinates are received from (the up neighbour).
+    pub recv_rank: usize,
+    /// Sender-local indices to pack, *independent entries first*:
+    /// `send_index[..dep_offset]` reference home atoms, the rest reference
+    /// atoms received in earlier pulses (the paper's `indexMap` +
+    /// `depOffset` dependency partitioning).
+    pub send_index: Vec<u32>,
+    /// Boundary between independent (home) and dependent (forwarded) entries.
+    pub dep_offset: usize,
+    /// Global ids of the earlier pulses the dependent entries came from
+    /// (ascending). The fused kernel acquire-waits on these signals before
+    /// packing the dependent range (`firstDependentPulse` chain).
+    pub dep_pulses: Vec<usize>,
+    /// Number of atoms this rank receives in this pulse.
+    pub recv_count: usize,
+    /// Local index at which received atoms land (paper `atomOffset` on the
+    /// receiver side).
+    pub recv_offset: usize,
+    /// Where *our sent atoms* land in the send_rank's local arrays: the
+    /// remote destination offset used for one-sided writes
+    /// (`remoteCoordDst`) and force gets (`remoteForceSrc`).
+    pub remote_recv_offset: usize,
+    /// PBC shift added to coordinates when this pulse wraps around the
+    /// periodic boundary (the paper's `coordShift`).
+    pub shift: Vec3,
+}
+
+impl PulseData {
+    pub fn send_count(&self) -> usize {
+        self.send_index.len()
+    }
+
+    /// Independent (home-atom) slice of the index map.
+    pub fn independent(&self) -> &[u32] {
+        &self.send_index[..self.dep_offset]
+    }
+
+    /// Dependent (forwarded-atom) slice of the index map.
+    pub fn dependent(&self) -> &[u32] {
+        &self.send_index[self.dep_offset..]
+    }
+}
+
+/// The phase/pulse layout shared by all ranks: which dims are decomposed and
+/// how many pulses each has, in global order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PulseLayout {
+    /// (dim, pulses) in communication order (z, y, x).
+    pub per_dim: Vec<(usize, usize)>,
+}
+
+impl PulseLayout {
+    /// Compute the layout for a grid: dims with >1 domains, z -> y -> x, with
+    /// `ceil(r_comm / domain_len)` pulses per dim (max 2, like GROMACS'
+    /// second-neighbour communication).
+    pub fn new(comm_dims: &[usize], domain_lengths: Vec3, r_comm: f32) -> Self {
+        let mut per_dim = Vec::new();
+        for &d in comm_dims {
+            let l = domain_lengths[d];
+            let np = (r_comm / l).ceil() as usize;
+            assert!(
+                np <= 2,
+                "dim {d}: domain length {l} needs {np} pulses for r_comm {r_comm}; max 2 supported"
+            );
+            per_dim.push((d, np.max(1)));
+        }
+        PulseLayout { per_dim }
+    }
+
+    pub fn total_pulses(&self) -> usize {
+        self.per_dim.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Iterate `(global_id, dim, pulse_in_dim)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let mut gid = 0;
+        self.per_dim.iter().flat_map(move |&(d, n)| {
+            (0..n).map(move |k| (d, k))
+        }).map(move |(d, k)| {
+            let out = (gid, d, k);
+            gid += 1;
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_orders_z_y_x() {
+        let layout = PulseLayout::new(&[2, 1, 0], Vec3::splat(2.0), 1.0);
+        assert_eq!(layout.per_dim, vec![(2, 1), (1, 1), (0, 1)]);
+        assert_eq!(layout.total_pulses(), 3);
+        let ids: Vec<_> = layout.iter().collect();
+        assert_eq!(ids, vec![(0, 2, 0), (1, 1, 0), (2, 0, 0)]);
+    }
+
+    #[test]
+    fn thin_domains_get_two_pulses() {
+        let layout = PulseLayout::new(&[0], Vec3::new(0.8, 9.0, 9.0), 1.0);
+        assert_eq!(layout.per_dim, vec![(0, 2)]);
+        let ids: Vec<_> = layout.iter().collect();
+        assert_eq!(ids, vec![(0, 0, 0), (1, 0, 1)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_than_two_pulses_rejected() {
+        let _ = PulseLayout::new(&[0], Vec3::new(0.4, 9.0, 9.0), 1.0);
+    }
+
+    #[test]
+    fn pulse_slices() {
+        let p = PulseData {
+            global_id: 0,
+            dim: 2,
+            pulse_in_dim: 0,
+            send_rank: 1,
+            recv_rank: 2,
+            send_index: vec![0, 1, 2, 7, 9],
+            dep_offset: 3,
+            dep_pulses: vec![],
+            recv_count: 4,
+            recv_offset: 10,
+            remote_recv_offset: 12,
+            shift: Vec3::ZERO,
+        };
+        assert_eq!(p.independent(), &[0, 1, 2]);
+        assert_eq!(p.dependent(), &[7, 9]);
+        assert_eq!(p.send_count(), 5);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests of the decomposition substrate: conservation laws of the
+//! reference exchanges and agreement between analytic and exact halo sizes.
+
+use halox_dd::{
+    build_partition, reference_coordinate_exchange, reference_force_exchange, DdGrid,
+    WorkloadModel,
+};
+use halox_md::{GrappaBuilder, Vec3};
+use proptest::prelude::*;
+
+fn grids() -> impl Strategy<Value = [usize; 3]> {
+    prop_oneof![
+        Just([2, 1, 1]),
+        Just([1, 3, 1]),
+        Just([2, 2, 1]),
+        Just([2, 1, 2]),
+        Just([2, 2, 2]),
+        Just([4, 2, 1]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn coordinate_exchange_is_idempotent(
+        seed in 0u64..10_000,
+        dims in grids(),
+        atoms in 4_000usize..9_000,
+    ) {
+        let sys = GrappaBuilder::new(atoms).seed(seed).build();
+        let part = build_partition(&sys, &DdGrid::new(dims), 0.8);
+        let mut coords: Vec<Vec<Vec3>> =
+            part.ranks.iter().map(|r| r.build_positions.clone()).collect();
+        reference_coordinate_exchange(&part, &mut coords);
+        let first = coords.clone();
+        reference_coordinate_exchange(&part, &mut coords);
+        // Static coordinates: a second exchange changes nothing.
+        for (a, b) in coords.iter().flatten().zip(first.iter().flatten()) {
+            prop_assert!((*a - *b).norm() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn force_exchange_conserves_total_force(
+        seed in 0u64..10_000,
+        dims in grids(),
+        atoms in 4_000usize..9_000,
+    ) {
+        // Every halo force contribution is returned to exactly one owner:
+        // the sum over home entries after the exchange equals the sum over
+        // all local entries before it.
+        let sys = GrappaBuilder::new(atoms).seed(seed).build();
+        let part = build_partition(&sys, &DdGrid::new(dims), 0.8);
+        let mut forces: Vec<Vec<Vec3>> = part
+            .ranks
+            .iter()
+            .map(|r| {
+                (0..r.n_local())
+                    .map(|i| Vec3::new(((i * 7 + r.rank) % 13) as f32, 1.0, -0.5))
+                    .collect()
+            })
+            .collect();
+        let before: f64 = forces
+            .iter()
+            .flatten()
+            .map(|f| (f.x + f.y + f.z) as f64)
+            .sum();
+        reference_force_exchange(&part, &mut forces);
+        let after: f64 = part
+            .ranks
+            .iter()
+            .map(|r| {
+                forces[r.rank][..r.n_home]
+                    .iter()
+                    .map(|f| (f.x + f.y + f.z) as f64)
+                    .sum::<f64>()
+            })
+            .sum();
+        prop_assert!(
+            (before - after).abs() < 1e-2 * before.abs().max(1.0),
+            "{before} vs {after}"
+        );
+    }
+
+    #[test]
+    fn pulse_count_matches_layout(
+        seed in 0u64..10_000,
+        dims in grids(),
+        atoms in 4_000usize..9_000,
+    ) {
+        let sys = GrappaBuilder::new(atoms).seed(seed).build();
+        let grid = DdGrid::new(dims);
+        let part = build_partition(&sys, &grid, 0.8);
+        // Sum(np) pulses reach prod(np)-1 neighbours (paper §2.2): every
+        // rank must end up holding copies from every forward-shell source it
+        // needs, with exactly layout.total_pulses() communication steps.
+        prop_assert_eq!(part.total_pulses(), part.layout.total_pulses());
+        for r in &part.ranks {
+            prop_assert_eq!(r.pulses.len(), part.total_pulses());
+        }
+    }
+
+    #[test]
+    fn analytic_halo_tracks_exact(
+        seed in 0u64..10_000,
+        dims in prop_oneof![Just([2, 2, 1]), Just([2, 2, 2]), Just([4, 2, 1])],
+        atoms in 12_000usize..20_000,
+    ) {
+        let sys = GrappaBuilder::new(atoms).seed(seed).build();
+        let grid = DdGrid::new(dims);
+        let part = build_partition(&sys, &grid, 0.8);
+        let model = WorkloadModel {
+            n_atoms: sys.n_atoms(),
+            density: sys.density(),
+            r_comm: 0.8,
+            grid,
+            box_lengths: sys.pbc.lengths(),
+        };
+        let exact = part.total_halo_atoms() as f64 / part.n_ranks() as f64;
+        let analytic = model.halo_atoms_per_rank();
+        prop_assert!(
+            (analytic - exact).abs() / exact < 0.15,
+            "analytic {analytic} vs exact {exact}"
+        );
+    }
+}

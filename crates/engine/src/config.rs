@@ -1,0 +1,112 @@
+//! Engine configuration.
+
+use halox_shmem::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Which functional halo-exchange backend drives the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExchangeBackend {
+    /// Serialized pulses over two-sided messaging (GPU-aware-MPI analogue).
+    Mpi,
+    /// Fused GPU-initiated exchange over the PGAS runtime (NVSHMEM
+    /// analogue).
+    NvshmemFused,
+    /// Serialized pulses with event-driven direct copies (thread-MPI
+    /// analogue; single NVLink island only).
+    ThreadMpi,
+}
+
+impl ExchangeBackend {
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExchangeBackend::Mpi => "MPI",
+            ExchangeBackend::NvshmemFused => "NVSHMEM",
+            ExchangeBackend::ThreadMpi => "tMPI",
+        }
+    }
+}
+
+/// Time-stepping scheme (GROMACS `integrator = md` vs `md-vv`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Integrator {
+    /// Leapfrog (GROMACS default): velocities at half steps.
+    Leapfrog,
+    /// Velocity Verlet: positions and velocities synchronous; needs forces
+    /// both before and after the position update, i.e. one extra force
+    /// computation per segment.
+    VelocityVerlet,
+}
+
+/// Weak-coupling thermostat parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thermostat {
+    /// Target temperature (K).
+    pub t_ref: f64,
+    /// Coupling time constant (ps).
+    pub tau_ps: f64,
+}
+
+/// Parameters of a domain-decomposed MD run.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Non-bonded cutoff (nm).
+    pub cutoff: f32,
+    /// Verlet buffer (nm); halo distance = cutoff + buffer.
+    pub buffer: f32,
+    /// Time step (ps).
+    pub dt_ps: f32,
+    /// Steps between neighbour-search / repartition events.
+    pub nstlist: usize,
+    pub backend: ExchangeBackend,
+    /// PE fabric (NVLink islands vs all-NVLink); PEs == DD ranks.
+    pub topology_gpus_per_node: Option<usize>,
+    /// Optional Berendsen-style weak coupling (needs a global kinetic-energy
+    /// all-reduce every step — a collective the GPU-resident schedule
+    /// normally avoids, which is why GROMACS couples only every nsttcouple
+    /// steps; we apply it per step for simplicity).
+    pub thermostat: Option<Thermostat>,
+    pub integrator: Integrator,
+}
+
+impl EngineConfig {
+    pub fn new(backend: ExchangeBackend) -> Self {
+        EngineConfig {
+            cutoff: 0.7,
+            buffer: 0.1,
+            dt_ps: 0.0005,
+            nstlist: 10,
+            backend,
+            topology_gpus_per_node: None,
+            thermostat: None,
+            integrator: Integrator::Leapfrog,
+        }
+    }
+
+    pub fn r_comm(&self) -> f32 {
+        self.cutoff + self.buffer
+    }
+
+    pub fn topology(&self, n_ranks: usize) -> Topology {
+        match self.topology_gpus_per_node {
+            Some(g) => Topology::islands(n_ranks, g),
+            None => Topology::all_nvlink(n_ranks),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let c = EngineConfig::new(ExchangeBackend::NvshmemFused);
+        assert!((c.r_comm() - 0.8).abs() < 1e-6);
+        assert!(c.topology(4).nvlink_reachable(0, 3));
+        let c2 = EngineConfig {
+            topology_gpus_per_node: Some(2),
+            ..EngineConfig::new(ExchangeBackend::Mpi)
+        };
+        assert!(!c2.topology(4).nvlink_reachable(0, 3));
+    }
+}

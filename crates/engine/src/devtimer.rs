@@ -1,0 +1,89 @@
+//! Wall-clock phase timing for the functional engine.
+//!
+//! The paper instruments kernels with the GPU `%globaltimer` register
+//! (§6.3) and derives *Local work*, *Non-local work* and *Non-overlap*
+//! intervals. The functional plane is host-threaded, so the analogue is a
+//! per-rank phase timer collecting wall-clock durations of the step phases;
+//! the simulated device-side metrics for Figs 6-8 live in
+//! `halox_core::sched::metrics`.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Named phase accumulator.
+#[derive(Debug, Default, Clone)]
+pub struct PhaseTimer {
+    acc: BTreeMap<&'static str, (Duration, u64)>,
+}
+
+impl PhaseTimer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time a closure under a phase name.
+    pub fn time<T>(&mut self, phase: &'static str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        let dt = t0.elapsed();
+        let e = self.acc.entry(phase).or_insert((Duration::ZERO, 0));
+        e.0 += dt;
+        e.1 += 1;
+        out
+    }
+
+    /// Total time spent in a phase.
+    pub fn total(&self, phase: &str) -> Duration {
+        self.acc.get(phase).map(|&(d, _)| d).unwrap_or(Duration::ZERO)
+    }
+
+    /// Mean time per invocation of a phase, if any.
+    pub fn mean(&self, phase: &str) -> Option<Duration> {
+        self.acc.get(phase).and_then(|&(d, n)| (n > 0).then(|| d / n as u32))
+    }
+
+    /// Iterate `(phase, total, count)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, Duration, u64)> + '_ {
+        self.acc.iter().map(|(&k, &(d, n))| (k, d, n))
+    }
+
+    /// Merge another timer into this one (cross-rank aggregation).
+    pub fn merge(&mut self, other: &PhaseTimer) {
+        for (k, d, n) in other.iter() {
+            let e = self.acc.entry(k).or_insert((Duration::ZERO, 0));
+            e.0 += d;
+            e.1 += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_phases() {
+        let mut t = PhaseTimer::new();
+        let x = t.time("work", || 21 * 2);
+        assert_eq!(x, 42);
+        t.time("work", || std::thread::sleep(Duration::from_millis(1)));
+        assert!(t.total("work") >= Duration::from_millis(1));
+        assert_eq!(t.iter().count(), 1);
+        let (_, _, n) = t.iter().next().unwrap();
+        assert_eq!(n, 2);
+        assert!(t.mean("work").is_some());
+        assert!(t.mean("absent").is_none());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = PhaseTimer::new();
+        a.time("p", || ());
+        let mut b = PhaseTimer::new();
+        b.time("p", || ());
+        b.time("q", || ());
+        a.merge(&b);
+        let counts: Vec<_> = a.iter().map(|(k, _, n)| (k, n)).collect();
+        assert_eq!(counts, vec![("p", 2), ("q", 1)]);
+    }
+}

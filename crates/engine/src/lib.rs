@@ -1,0 +1,16 @@
+//! # halox-engine — the domain-decomposed MD engine
+//!
+//! Runs real multi-PE molecular dynamics over the functional halo-exchange
+//! backends (fused NVSHMEM-style or serialized MPI-style): one thread per DD
+//! rank, eighth-shell zone-pair force computation on home+halo copies,
+//! leapfrog integration of home atoms, and central repartitioning at
+//! neighbour-search boundaries. Correctness is established against the
+//! single-rank [`halox_md::ReferenceSimulation`].
+
+pub mod config;
+pub mod devtimer;
+pub mod runner;
+
+pub use config::{EngineConfig, ExchangeBackend, Integrator, Thermostat};
+pub use devtimer::PhaseTimer;
+pub use runner::{Engine, RunStats};

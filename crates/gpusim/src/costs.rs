@@ -1,0 +1,104 @@
+//! Kernel- and transfer-duration helpers on top of [`MachineModel`].
+
+use crate::machines::MachineModel;
+
+/// Bytes on the wire per atom of coordinate/force payload (float3).
+pub const BYTES_PER_ATOM: f64 = 12.0;
+
+impl MachineModel {
+    /// Local non-bonded kernel duration for `n` local atoms, ns.
+    pub fn nb_local_ns(&self, n: f64) -> u64 {
+        (self.kernel_fixed_ns as f64 + n * self.nb_ns_per_atom).round() as u64
+    }
+
+    /// Non-local non-bonded kernel duration for `halo` received atoms, ns:
+    /// piecewise-linear interpolation over the calibration table.
+    pub fn nb_nonlocal_ns(&self, halo: f64) -> u64 {
+        let t = &self.nb_nonlocal_table;
+        assert!(t.len() >= 2, "calibration table needs >= 2 points");
+        let h = halo.max(0.0);
+        // Find the surrounding segment; extrapolate with the last slope.
+        let (lo, hi) = if h >= t[t.len() - 1].0 {
+            (t[t.len() - 2], t[t.len() - 1])
+        } else {
+            let idx = t.iter().position(|&(x, _)| x >= h).unwrap_or(t.len() - 1).max(1);
+            (t[idx - 1], t[idx])
+        };
+        let slope = (hi.1 - lo.1) / (hi.0 - lo.0).max(1e-12);
+        (lo.1 + slope * (h - lo.0)).round() as u64
+    }
+
+    /// Bonded-force kernel duration (small fraction of non-bonded), ns.
+    pub fn bonded_ns(&self, n: f64) -> u64 {
+        (self.kernel_fixed_ns as f64 * 0.3 + n * 0.04).round() as u64
+    }
+
+    /// Pack or unpack work for `n` atoms, ns (kernel-fixed cost added by the
+    /// caller once per kernel, since fused kernels amortize it).
+    pub fn pack_work_ns(&self, n: f64) -> u64 {
+        (n * self.pack_ns_per_atom).round() as u64
+    }
+
+    /// Integration/reduction/clear work per step, ns.
+    pub fn other_ns(&self, n: f64) -> u64 {
+        (self.other_fixed_ns as f64 + n * self.other_ns_per_atom).round() as u64
+    }
+
+    /// Rolling-prune kernel duration, ns.
+    pub fn prune_ns(&self, n: f64) -> u64 {
+        (self.kernel_fixed_ns as f64 + n * self.prune_ns_per_atom).round() as u64
+    }
+
+    /// Coordinate/force payload size for `n` atoms, bytes.
+    pub fn payload_bytes(&self, n: f64) -> f64 {
+        n * BYTES_PER_ATOM
+    }
+
+    /// SM-interference multiplier applied to co-resident compute kernels in
+    /// the NVSHMEM schedules, given the number of decomposed dimensions.
+    pub fn sm_slowdown(&self, n_comm_dims: usize) -> f64 {
+        1.0 + self.sm_interference_per_dim * n_comm_dims as f64
+    }
+
+    /// Proxy service time for one message, ns (scaled by the §5.5
+    /// contention ablation knob).
+    pub fn proxy_service_ns(&self) -> u64 {
+        (self.proxy_overhead_ns as f64 * self.proxy_contention).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_monotone_in_size() {
+        let m = MachineModel::dgx_h100();
+        assert!(m.nb_local_ns(90_000.0) > m.nb_local_ns(11_250.0));
+        assert!(m.nb_nonlocal_ns(20_000.0) > m.nb_nonlocal_ns(5_000.0));
+        assert!(m.pack_work_ns(10_000.0) > m.pack_work_ns(1_000.0));
+    }
+
+    #[test]
+    fn sm_slowdown_grows_with_dims() {
+        let m = MachineModel::dgx_h100();
+        assert!(m.sm_slowdown(0) == 1.0);
+        assert!(m.sm_slowdown(3) > m.sm_slowdown(1));
+        // Paper Fig 8: ~10% at 2D on 151 us local work.
+        assert!(m.sm_slowdown(3) < 1.15);
+    }
+
+    #[test]
+    fn proxy_contention_scales_service() {
+        let mut m = MachineModel::eos();
+        let base = m.proxy_service_ns();
+        m.proxy_contention = 50.0;
+        assert_eq!(m.proxy_service_ns(), base * 50);
+    }
+
+    #[test]
+    fn payload_is_float3() {
+        let m = MachineModel::eos();
+        assert_eq!(m.payload_bytes(1000.0), 12_000.0);
+    }
+}

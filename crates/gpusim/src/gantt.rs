@@ -1,0 +1,120 @@
+//! ASCII Gantt rendering of simulated timelines for terminal inspection —
+//! a quick look at the Fig 1 / Fig 2 schedule anatomy without leaving the
+//! shell (use the Chrome-trace export for full detail).
+
+use crate::graph::{OpId, Resource, TaskGraph, Time, Timeline};
+use std::collections::BTreeMap;
+
+/// Render the ops of one rank in `[t0, t1)` as rows per resource.
+/// `width` is the number of character columns for the time axis.
+pub fn render_rank(
+    graph: &TaskGraph,
+    t: &Timeline,
+    rank: usize,
+    t0: Time,
+    t1: Time,
+    width: usize,
+) -> String {
+    assert!(t1 > t0 && width >= 10);
+    let span = (t1 - t0) as f64;
+    let col_of = |time: Time| -> usize {
+        (((time.saturating_sub(t0)) as f64 / span) * width as f64) as usize
+    };
+    let row_name = |r: Resource| -> Option<String> {
+        match r {
+            Resource::Cpu(k) if k == rank => Some("cpu      ".into()),
+            Resource::Stream(k, s) if k == rank => Some(format!("stream{s}  ")),
+            Resource::Tma(k) if k == rank => Some("tma      ".into()),
+            Resource::Proxy(k) if k == rank => Some("proxy    ".into()),
+            Resource::CopyEngine(k) if k == rank => Some("copyeng  ".into()),
+            Resource::Lane(k, _) if k == rank => Some("lanes    ".into()),
+            _ => None,
+        }
+    };
+
+    let mut rows: BTreeMap<String, Vec<char>> = BTreeMap::new();
+    for i in 0..graph.n_ops() {
+        let id = OpId(i);
+        let Some(row) = row_name(graph.resource(id)) else {
+            continue;
+        };
+        let (s, e) = (t.start(id), t.end(id));
+        if e <= t0 || s >= t1 {
+            continue;
+        }
+        let line = rows.entry(row).or_insert_with(|| vec![' '; width + 1]);
+        let c0 = col_of(s.max(t0));
+        let c1 = col_of(e.min(t1)).max(c0);
+        // First letter of the op name marks the bar.
+        let mark = graph
+            .label(id)
+            .rsplit(':')
+            .next()
+            .and_then(|n| n.chars().next())
+            .unwrap_or('#');
+        for c in line.iter_mut().take(c1.min(width) + 1).skip(c0) {
+            *c = if *c == ' ' { mark } else { '*' };
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "rank {rank}: {:.1} us .. {:.1} us ({} cols)\n",
+        t0 as f64 / 1e3,
+        t1 as f64 / 1e3,
+        width
+    ));
+    for (name, line) in rows {
+        out.push_str(&name);
+        out.push('|');
+        out.extend(line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Resource as R;
+
+    #[test]
+    fn renders_rows_for_rank_resources() {
+        let mut g = TaskGraph::new();
+        let a = g.add("x:0:0:launch", R::Cpu(0), 10_000);
+        let k = g.add("x:0:0:kernel", R::Stream(0, 1), 40_000);
+        g.dep(k, a, 0);
+        let _other = g.add("x:0:1:foreign", R::Cpu(1), 99_000);
+        let t = g.run();
+        let s = render_rank(&g, &t, 0, 0, 50_000, 40);
+        assert!(s.contains("cpu"), "{s}");
+        assert!(s.contains("stream1"), "{s}");
+        assert!(!s.contains("foreign"));
+        // The kernel bar uses its first letter.
+        assert!(s.contains('k'), "{s}");
+        assert!(s.contains('l'), "{s}");
+    }
+
+    #[test]
+    fn overlapping_ops_marked_with_star() {
+        let mut g = TaskGraph::new();
+        let _a = g.add("x:0:0:aaa", R::Lane(0, 1), 10_000);
+        let _b = g.add("x:0:0:bbb", R::Lane(0, 2), 10_000);
+        let t = g.run();
+        let s = render_rank(&g, &t, 0, 0, 10_000, 20);
+        // Both lanes fold into one "lanes" row; overlap shows as '*'.
+        assert!(s.contains('*'), "{s}");
+    }
+
+    #[test]
+    fn window_clips_ops() {
+        let mut g = TaskGraph::new();
+        let _a = g.add("x:0:0:early", R::Cpu(0), 1_000);
+        let b = g.add("x:0:0:late", R::Cpu(0), 1_000);
+        let t = g.run();
+        // Window covering only the late op.
+        let s = render_rank(&g, &t, 0, t.start(b), t.end(b), 20);
+        assert!(s.contains('l'));
+        assert!(!s.contains('e'), "{s}");
+    }
+}

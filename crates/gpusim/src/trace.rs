@@ -1,0 +1,79 @@
+//! Chrome-trace (about://tracing / Perfetto) export of simulated timelines.
+//!
+//! Each op becomes a complete event (`ph: "X"`); rows are the resources
+//! (CPU thread, streams, TMA engine, proxy, links), grouped per rank, so the
+//! exported JSON visualizes the Fig 1 / Fig 2 schedules directly.
+
+use crate::graph::{Resource, TaskGraph, Timeline};
+use serde_json::{json, Value};
+
+fn resource_row(r: Resource) -> (u64, String) {
+    match r {
+        Resource::Cpu(rank) => (rank as u64, "0 cpu".into()),
+        Resource::Stream(rank, s) => {
+            let name = match s {
+                crate::graph::streams::LOCAL => "1 stream:local",
+                crate::graph::streams::NONLOCAL => "2 stream:nonlocal",
+                crate::graph::streams::UPDATE => "3 stream:update",
+                crate::graph::streams::PRUNE => "4 stream:prune",
+                _ => "5 stream:other",
+            };
+            (rank as u64, name.into())
+        }
+        Resource::CopyEngine(rank) => (rank as u64, "6 copy-engine".into()),
+        Resource::Tma(rank) => (rank as u64, "7 tma".into()),
+        Resource::Proxy(rank) => (rank as u64, "8 proxy".into()),
+        Resource::Lane(rank, _) => (rank as u64, "9 lanes".into()),
+        Resource::Link(a, b) => (1_000_000, format!("link {a}->{b}")),
+    }
+}
+
+impl TaskGraph {
+    /// Serialize a computed [`Timeline`] as Chrome trace JSON. Zero-duration
+    /// markers are skipped. Timestamps are microseconds.
+    pub fn chrome_trace(&self, t: &Timeline) -> String {
+        let mut events: Vec<Value> = Vec::with_capacity(self.n_ops());
+        for i in 0..self.n_ops() {
+            let id = crate::graph::OpId(i);
+            if t.duration(id) == 0 {
+                continue;
+            }
+            let (pid, tid) = resource_row(self.resource(id));
+            events.push(json!({
+                "name": self.label(id),
+                "ph": "X",
+                "ts": t.start(id) as f64 / 1000.0,
+                "dur": t.duration(id) as f64 / 1000.0,
+                "pid": pid,
+                "tid": tid,
+            }));
+        }
+        serde_json::to_string_pretty(&json!({ "traceEvents": events })).expect("trace json")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Resource as R;
+
+    #[test]
+    fn trace_is_valid_json_with_events() {
+        let mut g = TaskGraph::new();
+        let a = g.add("launch", R::Cpu(0), 3000);
+        let k = g.add("kernel", R::Stream(0, 1), 50_000);
+        g.dep(k, a, 0);
+        let _marker = g.add("marker", R::Stream(0, 2), 0);
+        let w = g.add("wire", R::Link(0, 1), 9_000);
+        g.dep(w, k, 400);
+        let t = g.run();
+        let s = g.chrome_trace(&t);
+        let v: serde_json::Value = serde_json::from_str(&s).expect("valid json");
+        let events = v["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 3, "zero-duration marker skipped");
+        let kernel = events.iter().find(|e| e["name"] == "kernel").unwrap();
+        assert_eq!(kernel["ts"].as_f64().unwrap(), 3.0);
+        assert_eq!(kernel["dur"].as_f64().unwrap(), 50.0);
+        assert_eq!(kernel["tid"], "2 stream:nonlocal");
+    }
+}

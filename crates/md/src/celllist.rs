@@ -1,0 +1,185 @@
+//! Cell (link-cell) binning for O(N) neighbour searching.
+//!
+//! Atoms are binned into a regular grid whose cells are at least as large as
+//! the search radius, so all neighbours of an atom lie in its own or the 26
+//! adjacent cells (with periodic wrap-around).
+
+use crate::pbc::PbcBox;
+use crate::vec3::Vec3;
+
+/// A populated cell grid over a periodic box.
+#[derive(Debug, Clone)]
+pub struct CellList {
+    /// Number of cells in each dimension (>= 1).
+    pub dims: [usize; 3],
+    /// Cell edge lengths (nm).
+    pub cell_len: Vec3,
+    /// Start offset of each cell's atom slice in `order` (len = ncells + 1).
+    pub starts: Vec<u32>,
+    /// Atom indices sorted by cell.
+    pub order: Vec<u32>,
+}
+
+impl CellList {
+    /// Bin `positions` (which must lie in the primary cell of `pbc`) into
+    /// cells of size >= `min_cell` nm per dimension.
+    pub fn build(pbc: &PbcBox, positions: &[Vec3], min_cell: f32) -> CellList {
+        assert!(min_cell > 0.0, "min_cell must be positive");
+        let l = pbc.lengths();
+        let dims = [
+            ((l.x / min_cell).floor() as usize).max(1),
+            ((l.y / min_cell).floor() as usize).max(1),
+            ((l.z / min_cell).floor() as usize).max(1),
+        ];
+        let cell_len = Vec3::new(l.x / dims[0] as f32, l.y / dims[1] as f32, l.z / dims[2] as f32);
+        let ncells = dims[0] * dims[1] * dims[2];
+
+        // Counting sort by cell index.
+        let mut counts = vec![0u32; ncells + 1];
+        let mut cell_of = Vec::with_capacity(positions.len());
+        for &p in positions {
+            let c = cell_index_of(p, cell_len, dims);
+            cell_of.push(c as u32);
+            counts[c + 1] += 1;
+        }
+        for i in 0..ncells {
+            counts[i + 1] += counts[i];
+        }
+        let starts = counts.clone();
+        let mut cursor = counts;
+        let mut order = vec![0u32; positions.len()];
+        for (atom, &c) in cell_of.iter().enumerate() {
+            order[cursor[c as usize] as usize] = atom as u32;
+            cursor[c as usize] += 1;
+        }
+        CellList { dims, cell_len, starts, order }
+    }
+
+    #[inline]
+    pub fn n_cells(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Atoms in cell `(cx, cy, cz)`.
+    #[inline]
+    pub fn cell_atoms(&self, cx: usize, cy: usize, cz: usize) -> &[u32] {
+        let c = self.flat_index(cx, cy, cz);
+        let lo = self.starts[c] as usize;
+        let hi = self.starts[c + 1] as usize;
+        &self.order[lo..hi]
+    }
+
+    #[inline]
+    pub fn flat_index(&self, cx: usize, cy: usize, cz: usize) -> usize {
+        debug_assert!(cx < self.dims[0] && cy < self.dims[1] && cz < self.dims[2]);
+        (cx * self.dims[1] + cy) * self.dims[2] + cz
+    }
+
+    /// Iterate over the 27-cell periodic neighbourhood of cell `(cx,cy,cz)`,
+    /// calling `f` with each neighbouring cell's flat index. When the grid is
+    /// fewer than 3 cells wide in a dimension, duplicate cells are skipped.
+    pub fn for_each_neighbor_cell(&self, cx: usize, cy: usize, cz: usize, mut f: impl FnMut(usize)) {
+        let mut seen = Vec::with_capacity(27);
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dz in -1i64..=1 {
+                    let nx = wrap(cx as i64 + dx, self.dims[0]);
+                    let ny = wrap(cy as i64 + dy, self.dims[1]);
+                    let nz = wrap(cz as i64 + dz, self.dims[2]);
+                    let c = self.flat_index(nx, ny, nz);
+                    if !seen.contains(&c) {
+                        seen.push(c);
+                        f(c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn wrap(i: i64, n: usize) -> usize {
+    let n = n as i64;
+    (((i % n) + n) % n) as usize
+}
+
+#[inline]
+fn cell_index_of(p: Vec3, cell_len: Vec3, dims: [usize; 3]) -> usize {
+    // Clamp handles p == L edge cases from f32 rounding.
+    let cx = ((p.x / cell_len.x) as usize).min(dims[0] - 1);
+    let cy = ((p.y / cell_len.y) as usize).min(dims[1] - 1);
+    let cz = ((p.z / cell_len.z) as usize).min(dims[2] - 1);
+    (cx * dims[1] + cy) * dims[2] + cz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::GrappaBuilder;
+
+    #[test]
+    fn every_atom_binned_exactly_once() {
+        let sys = GrappaBuilder::new(3000).build();
+        let cl = CellList::build(&sys.pbc, &sys.positions, 1.0);
+        assert_eq!(cl.order.len(), sys.n_atoms());
+        let mut seen = vec![false; sys.n_atoms()];
+        for &a in &cl.order {
+            assert!(!seen[a as usize], "atom {a} binned twice");
+            seen[a as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn cells_at_least_min_size() {
+        let sys = GrappaBuilder::new(3000).build();
+        let cl = CellList::build(&sys.pbc, &sys.positions, 1.0);
+        assert!(cl.cell_len.x >= 1.0 && cl.cell_len.y >= 1.0 && cl.cell_len.z >= 1.0);
+    }
+
+    #[test]
+    fn atoms_are_in_their_cell() {
+        let sys = GrappaBuilder::new(3000).build();
+        let cl = CellList::build(&sys.pbc, &sys.positions, 1.0);
+        for cx in 0..cl.dims[0] {
+            for cy in 0..cl.dims[1] {
+                for cz in 0..cl.dims[2] {
+                    for &a in cl.cell_atoms(cx, cy, cz) {
+                        let p = sys.positions[a as usize];
+                        let gx = ((p.x / cl.cell_len.x) as usize).min(cl.dims[0] - 1);
+                        let gy = ((p.y / cl.cell_len.y) as usize).min(cl.dims[1] - 1);
+                        let gz = ((p.z / cl.cell_len.z) as usize).min(cl.dims[2] - 1);
+                        assert_eq!((gx, gy, gz), (cx, cy, cz));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_iteration_covers_unique_cells() {
+        let sys = GrappaBuilder::new(3000).build();
+        let cl = CellList::build(&sys.pbc, &sys.positions, 1.0);
+        let mut cells = Vec::new();
+        cl.for_each_neighbor_cell(0, 0, 0, |c| cells.push(c));
+        let expected = 27.min(cl.n_cells());
+        assert_eq!(cells.len(), expected.min(cells.len()).max(cells.len()));
+        let mut dedup = cells.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), cells.len(), "duplicate neighbour cells");
+    }
+
+    #[test]
+    fn tiny_box_single_cell() {
+        use crate::pbc::PbcBox;
+        let pbc = PbcBox::cubic(0.8);
+        let pos = vec![Vec3::new(0.1, 0.1, 0.1), Vec3::new(0.7, 0.7, 0.7)];
+        let cl = CellList::build(&pbc, &pos, 1.0);
+        assert_eq!(cl.dims, [1, 1, 1]);
+        assert_eq!(cl.cell_atoms(0, 0, 0).len(), 2);
+        let mut n = 0;
+        cl.for_each_neighbor_cell(0, 0, 0, |_| n += 1);
+        assert_eq!(n, 1, "degenerate grid must not duplicate the lone cell");
+    }
+}

@@ -1,0 +1,198 @@
+//! Bonded forces: harmonic bonds and harmonic angles.
+//!
+//! In the GPU-resident GROMACS schedule the bonded kernel runs on the
+//! non-local stream between the coordinate halo send and the non-local
+//! non-bonded kernel (paper Algorithm 2, line 3); here it supplies the same
+//! role plus keeps the flexible molecules intact.
+
+use crate::pbc::PbcBox;
+use crate::topology::{Angle, Bond};
+use crate::vec3::Vec3;
+
+/// Accumulate harmonic bond forces; returns the bond potential energy.
+///
+/// `index_of` maps a global atom id to the local coordinate index (for the
+/// single-rank case this is the identity). Bonds with any unmapped atom are
+/// skipped (they are computed by the rank that owns the mapped copy).
+pub fn compute_bonds(
+    pbc: &PbcBox,
+    positions: &[Vec3],
+    bonds: &[Bond],
+    index_of: &dyn Fn(u32) -> Option<u32>,
+    forces: &mut [Vec3],
+) -> f64 {
+    let mut energy = 0.0f64;
+    for b in bonds {
+        let (Some(i), Some(j)) = (index_of(b.i), index_of(b.j)) else {
+            continue;
+        };
+        let (i, j) = (i as usize, j as usize);
+        let d = pbc.min_image(positions[i], positions[j]);
+        let r = d.norm();
+        if r == 0.0 {
+            continue;
+        }
+        let dr = r - b.r0;
+        energy += 0.5 * (b.k * dr * dr) as f64;
+        // F_i = -k (r - r0) * d/r
+        let f = d * (-b.k * dr / r);
+        forces[i] += f;
+        forces[j] -= f;
+    }
+    energy
+}
+
+/// Accumulate harmonic angle forces; returns the angle potential energy.
+pub fn compute_angles(
+    pbc: &PbcBox,
+    positions: &[Vec3],
+    angles: &[Angle],
+    index_of: &dyn Fn(u32) -> Option<u32>,
+    forces: &mut [Vec3],
+) -> f64 {
+    let mut energy = 0.0f64;
+    for a in angles {
+        let (Some(i), Some(j), Some(k)) = (index_of(a.i), index_of(a.j), index_of(a.k_atom)) else {
+            continue;
+        };
+        let (i, j, k) = (i as usize, j as usize, k as usize);
+        let rij = pbc.min_image(positions[i], positions[j]);
+        let rkj = pbc.min_image(positions[k], positions[j]);
+        let nij = rij.norm();
+        let nkj = rkj.norm();
+        if nij == 0.0 || nkj == 0.0 {
+            continue;
+        }
+        let cos_t = (rij.dot(rkj) / (nij * nkj)).clamp(-1.0, 1.0);
+        let theta = cos_t.acos();
+        let dt = theta - a.theta0;
+        energy += 0.5 * (a.k * dt * dt) as f64;
+
+        // F_i = -dV/dr_i = (k (theta - theta0) / sin theta) * dcos(theta)/dr_i.
+        let sin_t = (1.0 - cos_t * cos_t).sqrt().max(1e-6);
+        let coeff = a.k * dt / sin_t;
+        let fi = (rkj / (nij * nkj) - rij * (cos_t / (nij * nij))) * coeff;
+        let fk = (rij / (nij * nkj) - rkj * (cos_t / (nkj * nkj))) * coeff;
+        forces[i] += fi;
+        forces[k] += fk;
+        forces[j] -= fi + fk;
+    }
+    energy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::MoleculeTemplate;
+
+    fn identity(n: usize) -> impl Fn(u32) -> Option<u32> {
+        move |g| if (g as usize) < n { Some(g) } else { None }
+    }
+
+    #[test]
+    fn bond_at_equilibrium_no_force() {
+        let pbc = PbcBox::cubic(10.0);
+        let positions = vec![Vec3::ZERO, Vec3::new(0.1, 0.0, 0.0)];
+        let bonds = vec![Bond { i: 0, j: 1, r0: 0.1, k: 1000.0 }];
+        let mut forces = vec![Vec3::ZERO; 2];
+        let e = compute_bonds(&pbc, &positions, &bonds, &identity(2), &mut forces);
+        assert!(e.abs() < 1e-10);
+        assert!(forces[0].norm() < 1e-4);
+    }
+
+    #[test]
+    fn stretched_bond_pulls_inward() {
+        let pbc = PbcBox::cubic(10.0);
+        let positions = vec![Vec3::ZERO, Vec3::new(0.2, 0.0, 0.0)];
+        let bonds = vec![Bond { i: 0, j: 1, r0: 0.1, k: 1000.0 }];
+        let mut forces = vec![Vec3::ZERO; 2];
+        let e = compute_bonds(&pbc, &positions, &bonds, &identity(2), &mut forces);
+        assert!((e - 0.5 * 1000.0 * 0.01) < 1e-4);
+        assert!(forces[0].x > 0.0, "atom 0 pulled toward atom 1");
+        assert!(forces[1].x < 0.0);
+        assert!((forces[0] + forces[1]).norm() < 1e-5, "Newton's 3rd law");
+    }
+
+    #[test]
+    fn bond_across_periodic_boundary() {
+        let pbc = PbcBox::cubic(5.0);
+        let positions = vec![Vec3::new(0.05, 1.0, 1.0), Vec3::new(4.95, 1.0, 1.0)];
+        let bonds = vec![Bond { i: 0, j: 1, r0: 0.1, k: 1000.0 }];
+        let mut forces = vec![Vec3::ZERO; 2];
+        let e = compute_bonds(&pbc, &positions, &bonds, &identity(2), &mut forces);
+        // Separation via min image is exactly 0.1 = r0.
+        assert!(e.abs() < 1e-8, "e = {e}");
+    }
+
+    #[test]
+    fn angle_at_equilibrium_no_force() {
+        let pbc = PbcBox::cubic(10.0);
+        let w = MoleculeTemplate::water();
+        let positions: Vec<Vec3> = w.geometry.iter().map(|&g| g + Vec3::splat(5.0)).collect();
+        let mut forces = vec![Vec3::ZERO; 3];
+        let e = compute_angles(&pbc, &positions, &w.angles, &identity(3), &mut forces);
+        assert!(e < 1e-6, "e = {e}");
+        for f in &forces {
+            assert!(f.norm() < 0.05, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn bent_angle_forces_sum_to_zero() {
+        let pbc = PbcBox::cubic(10.0);
+        let positions = vec![
+            Vec3::new(0.1, 0.0, 0.0),
+            Vec3::ZERO,
+            Vec3::new(0.0, 0.1, 0.0), // 90 degrees
+        ];
+        let angles = vec![Angle { i: 0, j: 1, k_atom: 2, theta0: 1.9111, k: 383.0 }];
+        let mut forces = vec![Vec3::ZERO; 3];
+        let e = compute_angles(&pbc, &positions, &angles, &identity(3), &mut forces);
+        assert!(e > 0.0);
+        let total: Vec3 = forces.iter().copied().sum();
+        assert!(total.norm() < 1e-4, "{total:?}");
+    }
+
+    #[test]
+    fn angle_force_matches_numeric_gradient() {
+        let pbc = PbcBox::cubic(10.0);
+        let base = vec![
+            Vec3::new(0.11, 0.01, 0.0),
+            Vec3::ZERO,
+            Vec3::new(-0.02, 0.12, 0.03),
+        ];
+        let angles = vec![Angle { i: 0, j: 1, k_atom: 2, theta0: 1.8, k: 383.0 }];
+        let mut forces = vec![Vec3::ZERO; 3];
+        compute_angles(&pbc, &base, &angles, &identity(3), &mut forces);
+        let h = 2e-4f32;
+        for atom in 0..3 {
+            for dim in 0..3 {
+                let mut p = base.clone();
+                p[atom][dim] += h;
+                let mut f = vec![Vec3::ZERO; 3];
+                let ep = compute_angles(&pbc, &p, &angles, &identity(3), &mut f);
+                p[atom][dim] -= 2.0 * h;
+                let mut f = vec![Vec3::ZERO; 3];
+                let em = compute_angles(&pbc, &p, &angles, &identity(3), &mut f);
+                let numeric = -((ep - em) / (2.0 * h as f64)) as f32;
+                let analytic = forces[atom][dim];
+                assert!(
+                    (numeric - analytic).abs() < 0.35 + 0.02 * analytic.abs(),
+                    "atom {atom} dim {dim}: numeric {numeric} analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unmapped_atoms_skip_term() {
+        let pbc = PbcBox::cubic(10.0);
+        let positions = vec![Vec3::ZERO];
+        let bonds = vec![Bond { i: 0, j: 1, r0: 0.1, k: 1000.0 }];
+        let map = |g: u32| if g == 0 { Some(0) } else { None };
+        let mut forces = vec![Vec3::ZERO; 1];
+        let e = compute_bonds(&pbc, &positions, &bonds, &map, &mut forces);
+        assert_eq!(e, 0.0);
+        assert_eq!(forces[0], Vec3::ZERO);
+    }
+}

@@ -1,0 +1,100 @@
+//! Distance metric for local (domain-decomposed) coordinate frames.
+//!
+//! Under domain decomposition, halo copies arrive *pre-shifted*: each copy
+//! stands for one specific periodic image, so distances along decomposed
+//! dimensions must be computed directly — applying minimum-image there could
+//! silently interact a copy through a different image than the one it
+//! represents (and double-count pairs globally, most visibly with two
+//! domains per dimension). Dimensions that are not decomposed still span the
+//! whole box and keep genuine minimum-image periodicity.
+//!
+//! A fully periodic [`Frame`] reproduces plain PBC (single-rank case).
+
+use crate::pbc::PbcBox;
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A local coordinate frame: box lengths plus per-dimension periodicity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    pub box_lengths: Vec3,
+    /// True in dimensions where minimum-image applies (not decomposed).
+    pub periodic: [bool; 3],
+}
+
+impl Frame {
+    /// Fully periodic frame over a box (single-rank / reference use).
+    pub fn fully_periodic(pbc: &PbcBox) -> Self {
+        Frame { box_lengths: pbc.lengths(), periodic: [true; 3] }
+    }
+
+    /// Frame for a DD rank: periodic only in non-decomposed dimensions.
+    pub fn for_decomposition(pbc: &PbcBox, grid_dims: [usize; 3]) -> Self {
+        Frame {
+            box_lengths: pbc.lengths(),
+            periodic: [grid_dims[0] == 1, grid_dims[1] == 1, grid_dims[2] == 1],
+        }
+    }
+
+    /// Displacement `a - b` with minimum-image applied only in periodic dims.
+    #[inline]
+    pub fn displacement(&self, a: Vec3, b: Vec3) -> Vec3 {
+        let mut d = a - b;
+        for k in 0..3 {
+            if self.periodic[k] {
+                let l = self.box_lengths[k];
+                if d[k] > 0.5 * l {
+                    d[k] -= l;
+                } else if d[k] < -0.5 * l {
+                    d[k] += l;
+                }
+            }
+        }
+        d
+    }
+
+    /// Squared distance under this frame's metric.
+    #[inline]
+    pub fn dist2(&self, a: Vec3, b: Vec3) -> f32 {
+        self.displacement(a, b).norm2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_periodic_matches_pbc() {
+        let pbc = PbcBox::cubic(5.0);
+        let f = Frame::fully_periodic(&pbc);
+        let a = Vec3::new(0.1, 2.0, 4.9);
+        let b = Vec3::new(4.9, 2.0, 0.1);
+        assert!((f.dist2(a, b) - pbc.dist2(a, b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decomposed_dims_use_direct_distance() {
+        let pbc = PbcBox::cubic(5.0);
+        // x decomposed over 2 domains; y, z periodic.
+        let f = Frame::for_decomposition(&pbc, [2, 1, 1]);
+        let home = Vec3::new(0.2, 1.0, 1.0);
+        let copy = Vec3::new(4.8, 1.0, 1.0); // represents an atom truly 4.6 away
+        let d = f.displacement(home, copy);
+        assert!((d.x + 4.6).abs() < 1e-5, "direct in x, got {d:?}");
+        // Same points in y wrap as usual.
+        let a = Vec3::new(1.0, 0.2, 1.0);
+        let b = Vec3::new(1.0, 4.8, 1.0);
+        assert!((f.displacement(a, b).y - 0.4).abs() < 1e-5);
+    }
+
+    #[test]
+    fn shifted_halo_copy_is_adjacent_in_direct_metric() {
+        let pbc = PbcBox::cubic(5.0);
+        let f = Frame::for_decomposition(&pbc, [2, 1, 1]);
+        // Copy shifted past the top of the box (+L image of an atom at 0.3).
+        let home = Vec3::new(4.8, 1.0, 1.0);
+        let copy = Vec3::new(5.3, 1.0, 1.0);
+        assert!((f.dist2(home, copy) - 0.25).abs() < 1e-5);
+    }
+}

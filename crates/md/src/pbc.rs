@@ -1,0 +1,186 @@
+//! Rectangular periodic boundary conditions.
+//!
+//! GROMACS supports triclinic boxes; the halo-exchange paper's benchmark
+//! systems (the "grappa" water–ethanol set) use rectangular boxes, which is
+//! all the domain decomposition in this reproduction needs. A [`PbcBox`]
+//! provides minimum-image displacement, coordinate wrapping, and the
+//! per-dimension *shift vectors* that the halo exchange applies when a halo
+//! region wraps around the periodic boundary (`coordShift` in the paper's
+//! Algorithm 1).
+
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Rectangular periodic simulation box with edge lengths `lengths` (nm).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PbcBox {
+    lengths: Vec3,
+}
+
+impl PbcBox {
+    /// A box with the given edge lengths. All edges must be positive and finite.
+    pub fn new(lengths: Vec3) -> Self {
+        assert!(
+            lengths.x > 0.0 && lengths.y > 0.0 && lengths.z > 0.0,
+            "box edges must be positive, got {lengths:?}"
+        );
+        assert!(lengths.is_finite(), "box edges must be finite");
+        PbcBox { lengths }
+    }
+
+    /// A cubic box with edge `l` (nm).
+    pub fn cubic(l: f32) -> Self {
+        Self::new(Vec3::splat(l))
+    }
+
+    #[inline(always)]
+    pub fn lengths(&self) -> Vec3 {
+        self.lengths
+    }
+
+    /// Box volume in nm^3.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        self.lengths.x as f64 * self.lengths.y as f64 * self.lengths.z as f64
+    }
+
+    /// Minimum-image displacement `a - b`.
+    ///
+    /// Valid for separations up to half the box in each dimension, the usual
+    /// MD requirement (cutoff < L/2).
+    #[inline]
+    pub fn min_image(&self, a: Vec3, b: Vec3) -> Vec3 {
+        let mut d = a - b;
+        for k in 0..3 {
+            let l = self.lengths[k];
+            if d[k] > 0.5 * l {
+                d[k] -= l;
+            } else if d[k] < -0.5 * l {
+                d[k] += l;
+            }
+        }
+        d
+    }
+
+    /// Minimum-image squared distance between `a` and `b`.
+    #[inline]
+    pub fn dist2(&self, a: Vec3, b: Vec3) -> f32 {
+        self.min_image(a, b).norm2()
+    }
+
+    /// Wrap a coordinate into the primary cell `[0, L)` per dimension.
+    #[inline]
+    pub fn wrap(&self, mut p: Vec3) -> Vec3 {
+        for k in 0..3 {
+            let l = self.lengths[k];
+            // rem_euclid handles arbitrary excursions, not just +-1 image.
+            p[k] = p[k].rem_euclid(l);
+            // f32 rem_euclid may return exactly `l` for tiny negative values.
+            if p[k] >= l {
+                p[k] = 0.0;
+            }
+        }
+        p
+    }
+
+    /// True if `p` lies in the primary cell `[0, L)` per dimension.
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        (0..3).all(|k| p[k] >= 0.0 && p[k] < self.lengths[k])
+    }
+
+    /// The shift vector to add to coordinates communicated across the
+    /// periodic boundary in dimension `dim` in the *forward* (decreasing
+    /// index receives from increasing index... see below) direction.
+    ///
+    /// In the eighth-shell scheme a rank sends its boundary slab "downward"
+    /// (to the rank at lower grid coordinate); when the sender is at grid
+    /// coordinate 0 the receiver sits at the top of the box and received
+    /// coordinates must be shifted by `+L` in that dimension so that local
+    /// distance computations see them adjacent. `positive` selects the sign.
+    #[inline]
+    pub fn shift_vector(&self, dim: usize, positive: bool) -> Vec3 {
+        let mut s = Vec3::ZERO;
+        s[dim] = if positive { self.lengths[dim] } else { -self.lengths[dim] };
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bx() -> PbcBox {
+        PbcBox::new(Vec3::new(10.0, 8.0, 6.0))
+    }
+
+    #[test]
+    fn min_image_straddles_boundary() {
+        let b = bx();
+        // Points just either side of the x boundary.
+        let a = Vec3::new(9.9, 1.0, 1.0);
+        let c = Vec3::new(0.1, 1.0, 1.0);
+        let d = b.min_image(a, c);
+        assert!((d.x - (-0.2)).abs() < 1e-5, "{d:?}");
+        assert_eq!(d.y, 0.0);
+        // Symmetric in the other order.
+        let d2 = b.min_image(c, a);
+        assert!((d2.x - 0.2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn min_image_interior_is_plain_difference() {
+        let b = bx();
+        let a = Vec3::new(3.0, 2.0, 1.0);
+        let c = Vec3::new(1.0, 1.0, 1.0);
+        assert_eq!(b.min_image(a, c), Vec3::new(2.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn wrap_idempotent_and_in_range() {
+        let b = bx();
+        let p = Vec3::new(-0.5, 8.5, 17.9);
+        let w = b.wrap(p);
+        assert!(b.contains(w), "{w:?}");
+        assert_eq!(b.wrap(w), w);
+        assert!((w.x - 9.5).abs() < 1e-5);
+        assert!((w.y - 0.5).abs() < 1e-5);
+        assert!((w.z - 5.9).abs() < 1e-4);
+    }
+
+    #[test]
+    fn wrap_handles_multiple_images() {
+        let b = PbcBox::cubic(2.0);
+        let w = b.wrap(Vec3::new(7.5, -6.5, 0.0));
+        assert!((w.x - 1.5).abs() < 1e-6);
+        assert!((w.y - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shift_vectors() {
+        let b = bx();
+        assert_eq!(b.shift_vector(0, true), Vec3::new(10.0, 0.0, 0.0));
+        assert_eq!(b.shift_vector(2, false), Vec3::new(0.0, 0.0, -6.0));
+    }
+
+    #[test]
+    fn volume() {
+        assert!((bx().volume() - 480.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_box() {
+        let _ = PbcBox::new(Vec3::new(1.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn dist2_matches_min_image() {
+        let b = bx();
+        let a = Vec3::new(0.1, 0.1, 0.1);
+        let c = Vec3::new(9.9, 7.9, 5.9);
+        // All three dims wrap: true distance is ~0.2*sqrt(3)... squared.
+        let d2 = b.dist2(a, c);
+        assert!((d2 - 3.0 * 0.2f32 * 0.2).abs() < 1e-4, "{d2}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Trajectory I/O: extended-XYZ frames (write + read round trip) and a
+//! simple multi-frame writer — so runs can be inspected with standard
+//! visualization tools (OVITO, VMD, ASE).
+
+use crate::pbc::PbcBox;
+use crate::topology::AtomKind;
+use crate::vec3::Vec3;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+
+fn kind_symbol(k: AtomKind) -> &'static str {
+    match k {
+        AtomKind::Ow => "O",
+        AtomKind::Hw => "H",
+        AtomKind::Ch3 => "C3",
+        AtomKind::Ch2 => "C2",
+        AtomKind::Oh => "OH",
+    }
+}
+
+fn symbol_kind(s: &str) -> Option<AtomKind> {
+    Some(match s {
+        "O" => AtomKind::Ow,
+        "H" => AtomKind::Hw,
+        "C3" => AtomKind::Ch3,
+        "C2" => AtomKind::Ch2,
+        "OH" => AtomKind::Oh,
+        _ => return None,
+    })
+}
+
+/// One decoded trajectory frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    pub comment: String,
+    pub box_lengths: Vec3,
+    pub kinds: Vec<AtomKind>,
+    pub positions: Vec<Vec3>,
+}
+
+/// Serialize one extended-XYZ frame (positions in nm; the Lattice record
+/// carries the box).
+pub fn write_xyz_frame(
+    pbc: &PbcBox,
+    kinds: &[AtomKind],
+    positions: &[Vec3],
+    comment: &str,
+) -> String {
+    assert_eq!(kinds.len(), positions.len());
+    let l = pbc.lengths();
+    let mut out = String::with_capacity(positions.len() * 48 + 128);
+    let _ = writeln!(out, "{}", positions.len());
+    let _ = writeln!(
+        out,
+        "Lattice=\"{} 0 0 0 {} 0 0 0 {}\" {}",
+        l.x, l.y, l.z, comment
+    );
+    for (k, p) in kinds.iter().zip(positions) {
+        let _ = writeln!(out, "{} {:.6} {:.6} {:.6}", kind_symbol(*k), p.x, p.y, p.z);
+    }
+    out
+}
+
+/// Parse one extended-XYZ frame from a line reader. Returns None at EOF.
+pub fn read_xyz_frame(reader: &mut impl BufRead) -> io::Result<Option<Frame>> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        if !line.trim().is_empty() {
+            break;
+        }
+    }
+    let n: usize = line
+        .trim()
+        .parse()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("atom count: {e}")))?;
+    let mut comment = String::new();
+    reader.read_line(&mut comment)?;
+    let comment = comment.trim_end().to_string();
+
+    // Extract the lattice diagonal.
+    let box_lengths = parse_lattice(&comment)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing Lattice record"))?;
+
+    let mut kinds = Vec::with_capacity(n);
+    let mut positions = Vec::with_capacity(n);
+    for _ in 0..n {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated frame"));
+        }
+        let mut it = line.split_whitespace();
+        let sym = it.next().ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty row"))?;
+        let kind = symbol_kind(sym)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("unknown symbol {sym}")))?;
+        let mut coord = [0f32; 3];
+        for c in coord.iter_mut() {
+            *c = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad coordinate"))?;
+        }
+        kinds.push(kind);
+        positions.push(Vec3::new(coord[0], coord[1], coord[2]));
+    }
+    Ok(Some(Frame { comment, box_lengths, kinds, positions }))
+}
+
+fn parse_lattice(comment: &str) -> Option<Vec3> {
+    let start = comment.find("Lattice=\"")? + "Lattice=\"".len();
+    let end = start + comment[start..].find('"')?;
+    let vals: Vec<f32> = comment[start..end]
+        .split_whitespace()
+        .filter_map(|v| v.parse().ok())
+        .collect();
+    if vals.len() == 9 {
+        Some(Vec3::new(vals[0], vals[4], vals[8]))
+    } else {
+        None
+    }
+}
+
+/// Appends frames to any writer.
+pub struct TrajectoryWriter<W: Write> {
+    sink: W,
+    frames: usize,
+}
+
+impl<W: Write> TrajectoryWriter<W> {
+    pub fn new(sink: W) -> Self {
+        TrajectoryWriter { sink, frames: 0 }
+    }
+
+    pub fn frames_written(&self) -> usize {
+        self.frames
+    }
+
+    pub fn write_frame(
+        &mut self,
+        pbc: &PbcBox,
+        kinds: &[AtomKind],
+        positions: &[Vec3],
+        time_ps: f64,
+    ) -> io::Result<()> {
+        let s = write_xyz_frame(pbc, kinds, positions, &format!("Time={time_ps}"));
+        self.sink.write_all(s.as_bytes())?;
+        self.frames += 1;
+        Ok(())
+    }
+
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::GrappaBuilder;
+    use std::io::BufReader;
+
+    #[test]
+    fn frame_round_trip() {
+        let sys = GrappaBuilder::new(300).seed(71).build();
+        let text = write_xyz_frame(&sys.pbc, &sys.kinds, &sys.positions, "Time=0.5");
+        let mut reader = BufReader::new(text.as_bytes());
+        let frame = read_xyz_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(frame.kinds, sys.kinds);
+        assert_eq!(frame.positions.len(), sys.n_atoms());
+        for (a, b) in frame.positions.iter().zip(&sys.positions) {
+            assert!((*a - *b).norm() < 1e-5);
+        }
+        assert!((frame.box_lengths - sys.pbc.lengths()).norm() < 1e-5);
+        assert!(frame.comment.contains("Time=0.5"));
+        // EOF afterwards.
+        assert!(read_xyz_frame(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn multi_frame_writer_and_reader() {
+        let sys = GrappaBuilder::new(90).seed(72).build();
+        let mut w = TrajectoryWriter::new(Vec::<u8>::new());
+        for t in 0..3 {
+            w.write_frame(&sys.pbc, &sys.kinds, &sys.positions, t as f64).unwrap();
+        }
+        assert_eq!(w.frames_written(), 3);
+        let buf = w.into_inner();
+        let mut reader = BufReader::new(&buf[..]);
+        let mut count = 0;
+        while let Some(f) = read_xyz_frame(&mut reader).unwrap() {
+            assert_eq!(f.positions.len(), 90);
+            count += 1;
+        }
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn malformed_input_is_an_error() {
+        let mut r = BufReader::new("3\nno lattice here\nO 0 0 0\n".as_bytes());
+        assert!(read_xyz_frame(&mut r).is_err());
+        let mut r = BufReader::new("nonsense\n".as_bytes());
+        assert!(read_xyz_frame(&mut r).is_err());
+        let mut r = BufReader::new("2\nLattice=\"1 0 0 0 1 0 0 0 1\"\nO 0 0 0\n".as_bytes());
+        assert!(read_xyz_frame(&mut r).is_err(), "truncated frame");
+    }
+
+    #[test]
+    fn all_kinds_round_trip_symbols() {
+        for k in [AtomKind::Ow, AtomKind::Hw, AtomKind::Ch3, AtomKind::Ch2, AtomKind::Oh] {
+            assert_eq!(symbol_kind(kind_symbol(k)), Some(k));
+        }
+        assert_eq!(symbol_kind("Xx"), None);
+    }
+}

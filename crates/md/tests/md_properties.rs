@@ -1,0 +1,86 @@
+//! Property tests of the MD substrate: PBC invariants, pair-search
+//! completeness under the DD-frame metric, cluster-kernel equivalence, and
+//! trajectory round trips.
+
+use halox_md::cluster::{compute_nonbonded_clusters, ClusterPairList};
+use halox_md::forces::{compute_nonbonded, NonbondedParams};
+use halox_md::pairlist::brute_force_pairs;
+use halox_md::trajectory::{read_xyz_frame, write_xyz_frame};
+use halox_md::{Frame, GrappaBuilder, PairList, PbcBox, Vec3};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (-20.0f32..20.0, -20.0f32..20.0, -20.0f32..20.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn wrap_is_idempotent_and_in_cell(p in vec3(), edge in 1.0f32..10.0) {
+        let pbc = PbcBox::cubic(edge);
+        let w = pbc.wrap(p);
+        prop_assert!(pbc.contains(w));
+        prop_assert_eq!(pbc.wrap(w), w);
+    }
+
+    #[test]
+    fn min_image_is_antisymmetric_and_bounded(a in vec3(), b in vec3(), edge in 2.0f32..10.0) {
+        let pbc = PbcBox::cubic(edge);
+        let (a, b) = (pbc.wrap(a), pbc.wrap(b));
+        let d1 = pbc.min_image(a, b);
+        let d2 = pbc.min_image(b, a);
+        prop_assert!((d1 + d2).norm() < 1e-4);
+        for k in 0..3 {
+            prop_assert!(d1[k].abs() <= 0.5 * edge + 1e-4);
+        }
+    }
+
+    #[test]
+    fn min_image_never_longer_than_direct(a in vec3(), b in vec3(), edge in 2.0f32..10.0) {
+        let pbc = PbcBox::cubic(edge);
+        let (a, b) = (pbc.wrap(a), pbc.wrap(b));
+        prop_assert!(pbc.dist2(a, b) <= (a - b).norm2() + 1e-3);
+    }
+
+    #[test]
+    fn pair_list_matches_brute_force(seed in 0u64..10_000, atoms in 600usize..2_000, r in 0.4f32..0.8) {
+        let sys = GrappaBuilder::new(atoms).seed(seed).build();
+        let frame = Frame::fully_periodic(&sys.pbc);
+        let all = |_: usize, _: usize| true;
+        let pl = PairList::build(&sys.pbc, &sys.positions, r, &all);
+        let mut got: Vec<(u32, u32)> = pl.iter_pairs().collect();
+        got.sort_unstable();
+        let want = brute_force_pairs(&frame, &sys.positions, r, &all);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cluster_kernel_equals_plain_kernel(seed in 0u64..10_000, atoms in 600usize..1_500) {
+        let sys = GrappaBuilder::new(atoms).seed(seed).build();
+        let frame = Frame::fully_periodic(&sys.pbc);
+        let params = NonbondedParams::new(0.6);
+        let rule = |a: usize, b: usize| !sys.is_excluded(a, b);
+        let pl = PairList::build(&sys.pbc, &sys.positions, 0.65, &rule);
+        let mut f1 = vec![Vec3::ZERO; sys.n_atoms()];
+        let e1 = compute_nonbonded(&frame, &sys.positions, &sys.kinds, &pl, &params, &mut f1);
+        let cl = ClusterPairList::build(&sys.pbc, &sys.positions, 0.65);
+        let mut f2 = vec![Vec3::ZERO; sys.n_atoms()];
+        let e2 = compute_nonbonded_clusters(
+            &frame, &sys.positions, &sys.kinds, &cl, &params, &rule, &mut f2,
+        );
+        prop_assert!((e1 - e2).abs() < 1e-6 * e1.abs().max(1.0), "{e1} vs {e2}");
+    }
+
+    #[test]
+    fn xyz_round_trip_preserves_frame(seed in 0u64..10_000, atoms in 30usize..300) {
+        let sys = GrappaBuilder::new(atoms).seed(seed).build();
+        let text = write_xyz_frame(&sys.pbc, &sys.kinds, &sys.positions, "Time=1");
+        let frame = read_xyz_frame(&mut BufReader::new(text.as_bytes())).unwrap().unwrap();
+        prop_assert_eq!(frame.kinds, sys.kinds);
+        for (a, b) in frame.positions.iter().zip(&sys.positions) {
+            prop_assert!((*a - *b).norm() < 1e-4);
+        }
+    }
+}

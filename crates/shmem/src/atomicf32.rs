@@ -1,0 +1,85 @@
+//! An atomic `f32` built on `AtomicU32` bit-casting — the stand-in for CUDA's
+//! `atomicAdd(float*)`, which the fused force-unpack kernel (paper Alg. 6)
+//! relies on to accumulate halo forces from all pulses in parallel.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A 32-bit float supporting atomic load/store/add.
+#[derive(Debug, Default)]
+pub struct AtomicF32 {
+    bits: AtomicU32,
+}
+
+impl AtomicF32 {
+    pub fn new(v: f32) -> Self {
+        AtomicF32 { bits: AtomicU32::new(v.to_bits()) }
+    }
+
+    #[inline]
+    pub fn load(&self, order: Ordering) -> f32 {
+        f32::from_bits(self.bits.load(order))
+    }
+
+    #[inline]
+    pub fn store(&self, v: f32, order: Ordering) {
+        self.bits.store(v.to_bits(), order);
+    }
+
+    /// Atomic `+= v` via a compare-exchange loop; returns the previous value.
+    /// Uses the given ordering for the read-modify-write.
+    #[inline]
+    pub fn fetch_add(&self, v: f32, order: Ordering) -> f32 {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f32::from_bits(cur) + v).to_bits();
+            match self.bits.compare_exchange_weak(cur, new, order, Ordering::Relaxed) {
+                Ok(prev) => return f32::from_bits(prev),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering::Relaxed;
+
+    #[test]
+    fn load_store_round_trip() {
+        let a = AtomicF32::new(1.25);
+        assert_eq!(a.load(Relaxed), 1.25);
+        a.store(-3.5, Relaxed);
+        assert_eq!(a.load(Relaxed), -3.5);
+    }
+
+    #[test]
+    fn fetch_add_returns_previous() {
+        let a = AtomicF32::new(1.0);
+        let prev = a.fetch_add(2.0, Relaxed);
+        assert_eq!(prev, 1.0);
+        assert_eq!(a.load(Relaxed), 3.0);
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let a = AtomicF32::new(0.0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        a.fetch_add(1.0, Relaxed);
+                    }
+                });
+            }
+        });
+        // 80k is exactly representable in f32, so no rounding loss.
+        assert_eq!(a.load(Relaxed), 80_000.0);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let a = AtomicF32::default();
+        assert_eq!(a.load(Relaxed), 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! A sense-reversing spin barrier (no OS blocking), used for
+//! `shmem_barrier_all` and step synchronization in the functional runtime.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Reusable barrier for a fixed number of participants.
+#[derive(Debug)]
+pub struct SenseBarrier {
+    n: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SenseBarrier {
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        SenseBarrier { n, count: AtomicUsize::new(0), generation: AtomicUsize::new(0) }
+    }
+
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// Block (spin) until all `n` participants have arrived. Returns true
+    /// for exactly one participant per round (the last arriver), like
+    /// `std::sync::Barrier`'s leader flag.
+    pub fn wait(&self) -> bool {
+        let gen = self.generation.load(Ordering::Acquire);
+        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            // Release so that waiters observing the new generation also
+            // observe everything written before any participant arrived.
+            self.generation.fetch_add(1, Ordering::Release);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = SenseBarrier::new(1);
+        assert!(b.wait());
+        assert!(b.wait());
+    }
+
+    #[test]
+    fn exactly_one_leader_per_round() {
+        let b = SenseBarrier::new(4);
+        let leaders = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        if b.wait() {
+                            leaders.fetch_add(1, Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Relaxed), 100);
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        // No participant may enter phase k+1 before all finished phase k.
+        let b = SenseBarrier::new(3);
+        let phase_counts = [AtomicUsize::new(0), AtomicUsize::new(0), AtomicUsize::new(0)];
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for (phase, _) in phase_counts.iter().enumerate() {
+                        phase_counts[phase].fetch_add(1, Relaxed);
+                        b.wait();
+                        // After the barrier, everyone must have bumped.
+                        assert_eq!(phase_counts[phase].load(Relaxed), 3);
+                    }
+                });
+            }
+        });
+    }
+}

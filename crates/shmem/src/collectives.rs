@@ -1,0 +1,153 @@
+//! Collective operations over the PE world: sum all-reduce (used for global
+//! kinetic-energy reduction by the thermostat) and min/max variants.
+//!
+//! Implemented with an atomic f64 accumulator and the sense-reversing
+//! barrier: add — barrier — read — barrier — leader-reset — barrier. Three
+//! barrier crossings per reduction keep the accumulator reusable without
+//! generation counters.
+
+use crate::barrier::SenseBarrier;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An atomic `f64` built on `AtomicU64` bit-casting.
+#[derive(Debug, Default)]
+pub struct AtomicF64 {
+    bits: AtomicU64,
+}
+
+impl AtomicF64 {
+    pub fn new(v: f64) -> Self {
+        AtomicF64 { bits: AtomicU64::new(v.to_bits()) }
+    }
+
+    #[inline]
+    pub fn load(&self, order: Ordering) -> f64 {
+        f64::from_bits(self.bits.load(order))
+    }
+
+    #[inline]
+    pub fn store(&self, v: f64, order: Ordering) {
+        self.bits.store(v.to_bits(), order);
+    }
+
+    /// Atomic `+= v` via compare-exchange; returns the previous value.
+    #[inline]
+    pub fn fetch_add(&self, v: f64, order: Ordering) -> f64 {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self.bits.compare_exchange_weak(cur, new, order, Ordering::Relaxed) {
+                Ok(prev) => return f64::from_bits(prev),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Atomic `max` via compare-exchange; returns the previous value.
+    #[inline]
+    pub fn fetch_max(&self, v: f64, order: Ordering) -> f64 {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let c = f64::from_bits(cur);
+            if c >= v {
+                return c;
+            }
+            match self.bits.compare_exchange_weak(cur, v.to_bits(), order, Ordering::Relaxed) {
+                Ok(prev) => return f64::from_bits(prev),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Reusable collective context for a fixed PE count.
+#[derive(Debug)]
+pub struct Collectives {
+    sum: AtomicF64,
+    max: AtomicF64,
+    barrier: SenseBarrier,
+}
+
+impl Collectives {
+    pub fn new(npes: usize) -> Self {
+        Collectives {
+            sum: AtomicF64::new(0.0),
+            max: AtomicF64::new(f64::NEG_INFINITY),
+            barrier: SenseBarrier::new(npes),
+        }
+    }
+
+    /// Sum `my` over all PEs; every PE gets the total. All PEs of the world
+    /// must participate.
+    pub fn allreduce_sum(&self, my: f64) -> f64 {
+        self.sum.fetch_add(my, Ordering::AcqRel);
+        self.barrier.wait();
+        let total = self.sum.load(Ordering::Acquire);
+        // Everyone must read before the leader resets for the next round.
+        if self.barrier.wait() {
+            self.sum.store(0.0, Ordering::Release);
+        }
+        self.barrier.wait();
+        total
+    }
+
+    /// Max of `my` over all PEs.
+    pub fn allreduce_max(&self, my: f64) -> f64 {
+        self.max.fetch_max(my, Ordering::AcqRel);
+        self.barrier.wait();
+        let total = self.max.load(Ordering::Acquire);
+        if self.barrier.wait() {
+            self.max.store(f64::NEG_INFINITY, Ordering::Release);
+        }
+        self.barrier.wait();
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering::Relaxed;
+
+    #[test]
+    fn atomic_f64_ops() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.fetch_add(2.5, Relaxed), 1.5);
+        assert_eq!(a.load(Relaxed), 4.0);
+        assert_eq!(a.fetch_max(3.0, Relaxed), 4.0);
+        assert_eq!(a.fetch_max(5.0, Relaxed), 4.0);
+        assert_eq!(a.load(Relaxed), 5.0);
+    }
+
+    #[test]
+    fn allreduce_sum_over_threads() {
+        let c = Collectives::new(4);
+        std::thread::scope(|s| {
+            for pe in 0..4 {
+                let c = &c;
+                s.spawn(move || {
+                    for round in 0..50 {
+                        let total = c.allreduce_sum((pe + 1) as f64 * (round + 1) as f64);
+                        assert_eq!(total, 10.0 * (round + 1) as f64, "round {round}");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn allreduce_max_over_threads() {
+        let c = Collectives::new(3);
+        std::thread::scope(|s| {
+            for pe in 0..3 {
+                let c = &c;
+                s.spawn(move || {
+                    for round in 0..20 {
+                        let m = c.allreduce_max(pe as f64 - round as f64);
+                        assert_eq!(m, 2.0 - round as f64);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,178 @@
+//! Device-visible signals with release/acquire semantics.
+//!
+//! The paper's fused kernels notify receivers with `st.release.sys.global`
+//! (after data writes) or `st.relaxed.sys.global` (when nothing needs
+//! flushing), and consumers spin with acquire loads. [`SignalSet`] provides
+//! exactly those three operations on a cache-padded `AtomicU64` array, one
+//! slot per pulse (coordinate and force exchanges use disjoint slots).
+//!
+//! Signal values are monotonically increasing per step (`sigVal` in the
+//! paper's `CommContext`), so slots never need resetting between steps.
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-size array of signal slots owned by one PE.
+#[derive(Debug)]
+pub struct SignalSet {
+    slots: Vec<CachePadded<AtomicU64>>,
+}
+
+impl SignalSet {
+    pub fn new(n_slots: usize) -> Self {
+        SignalSet { slots: (0..n_slots).map(|_| CachePadded::new(AtomicU64::new(0))).collect() }
+    }
+
+    pub fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Release-store: makes all prior (relaxed) data writes visible to any
+    /// thread that acquire-reads `val` from this slot. The paper's
+    /// `system_release_store`.
+    #[inline]
+    pub fn release_store(&self, slot: usize, val: u64) {
+        self.slots[slot].store(val, Ordering::Release);
+    }
+
+    /// Relaxed store for notifications with no preceding data writes (the
+    /// first pulse of the force send in the paper). The paper's
+    /// `system_relaxed_store`.
+    #[inline]
+    pub fn relaxed_store(&self, slot: usize, val: u64) {
+        self.slots[slot].store(val, Ordering::Relaxed);
+    }
+
+    /// Spin until the slot reaches at least `val`, with acquire ordering —
+    /// the paper's `acquire_wait(signal == sigVal)`. Values are monotone, so
+    /// `>=` is the robust comparison.
+    #[inline]
+    pub fn acquire_wait(&self, slot: usize, val: u64) {
+        let mut spins = 0u32;
+        while self.slots[slot].load(Ordering::Acquire) < val {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                // PEs may be oversubscribed on the test machine: yield so the
+                // producing thread can run.
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Non-blocking acquire probe.
+    #[inline]
+    pub fn try_acquire(&self, slot: usize, val: u64) -> bool {
+        self.slots[slot].load(Ordering::Acquire) >= val
+    }
+
+    /// Acquire-wait with a deadline; returns false on timeout. Used by
+    /// debugging harnesses to turn protocol deadlocks into diagnosable
+    /// failures instead of hangs.
+    pub fn acquire_wait_timeout(&self, slot: usize, val: u64, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut spins = 0u32;
+        while self.slots[slot].load(Ordering::Acquire) < val {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                if std::time::Instant::now() >= deadline {
+                    return false;
+                }
+                std::thread::yield_now();
+            }
+        }
+        true
+    }
+
+    /// Current value (relaxed; diagnostics only).
+    pub fn peek(&self, slot: usize) -> u64 {
+        self.slots[slot].load(Ordering::Relaxed)
+    }
+
+    /// Reset all slots to zero. Only safe between phases when no thread is
+    /// waiting (used by tests and world teardown).
+    pub fn reset(&self) {
+        for s in &self.slots {
+            s.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
+
+    #[test]
+    fn wait_returns_when_signalled() {
+        let s = SignalSet::new(2);
+        s.release_store(1, 7);
+        s.acquire_wait(1, 7); // must not hang
+        assert!(s.try_acquire(1, 7));
+        assert!(!s.try_acquire(0, 1));
+    }
+
+    #[test]
+    fn monotone_comparison_accepts_larger_values() {
+        let s = SignalSet::new(1);
+        s.release_store(0, 10);
+        s.acquire_wait(0, 3);
+        assert!(s.try_acquire(0, 10));
+    }
+
+    #[test]
+    fn release_acquire_publishes_data() {
+        // The message-passing litmus test: data written relaxed before a
+        // release signal must be visible after an acquire wait.
+        let sig = SignalSet::new(1);
+        let data = AtomicU32::new(0);
+        for round in 1..200u64 {
+            std::thread::scope(|sc| {
+                sc.spawn(|| {
+                    data.store(round as u32, Relaxed);
+                    sig.release_store(0, round);
+                });
+                sc.spawn(|| {
+                    sig.acquire_wait(0, round);
+                    assert_eq!(data.load(Relaxed), round as u32);
+                });
+            });
+        }
+    }
+
+    #[test]
+    fn cross_thread_handoff_many_slots() {
+        let sig = SignalSet::new(8);
+        std::thread::scope(|sc| {
+            sc.spawn(|| {
+                for slot in 0..8 {
+                    sig.release_store(slot, (slot + 1) as u64);
+                }
+            });
+            sc.spawn(|| {
+                for slot in (0..8).rev() {
+                    sig.acquire_wait(slot, (slot + 1) as u64);
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn timeout_wait_reports_missing_signal() {
+        let s = SignalSet::new(1);
+        assert!(!s.acquire_wait_timeout(0, 1, std::time::Duration::from_millis(5)));
+        s.release_store(0, 1);
+        assert!(s.acquire_wait_timeout(0, 1, std::time::Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let s = SignalSet::new(3);
+        s.release_store(2, 5);
+        s.reset();
+        assert_eq!(s.peek(2), 0);
+    }
+}

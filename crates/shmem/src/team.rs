@@ -1,0 +1,239 @@
+//! Team-scoped symmetric allocation — the paper's future-work wish (§7).
+//!
+//! NVSHMEM's symmetric heap is COMM_WORLD-wide: every PE must participate in
+//! every allocation, which clashes with GROMACS' PP/PME rank specialization
+//! (§5.3): PP-only halo buffers would require redundant allocations on PME
+//! ranks and vice versa, and with cuFFTMp those allocations are not even
+//! user-controllable. The paper: *"We hope that this drawback can be
+//! resolved with a team-based allocation extension in NVSHMEM."*
+//!
+//! This module implements that extension for our runtime: a [`Team`] is an
+//! ordered subset of world PEs with its own barrier and collectives, and
+//! [`TeamSymVec3`] allocates segments **only on team members**, addressed by
+//! team rank. A PP team and a PME team can each hold their working buffers
+//! with no redundant allocation on the other side.
+
+use crate::barrier::SenseBarrier;
+use crate::collectives::Collectives;
+use crate::sym::SymVec3;
+use halox_md::Vec3;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An ordered subset of world PEs.
+#[derive(Clone)]
+pub struct Team {
+    members: Arc<Vec<usize>>,
+    index: Arc<HashMap<usize, usize>>,
+    barrier: Arc<SenseBarrier>,
+    collectives: Arc<Collectives>,
+}
+
+impl Team {
+    /// Build a team from distinct world ranks (order defines team ranks).
+    pub fn new(members: Vec<usize>) -> Self {
+        assert!(!members.is_empty(), "empty team");
+        let mut index = HashMap::with_capacity(members.len());
+        for (t, &w) in members.iter().enumerate() {
+            assert!(index.insert(w, t).is_none(), "duplicate member {w}");
+        }
+        Team {
+            barrier: Arc::new(SenseBarrier::new(members.len())),
+            collectives: Arc::new(Collectives::new(members.len())),
+            members: Arc::new(members),
+            index: Arc::new(index),
+        }
+    }
+
+    /// Split a world of `npes` ranks into teams by a membership key, like
+    /// `shmem_team_split` / MPI_Comm_split: ranks with equal keys share a
+    /// team; returned in ascending key order.
+    pub fn split(npes: usize, key: impl Fn(usize) -> usize) -> Vec<Team> {
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for pe in 0..npes {
+            let k = key(pe);
+            match groups.iter_mut().find(|(g, _)| *g == k) {
+                Some((_, v)) => v.push(pe),
+                None => groups.push((k, vec![pe])),
+            }
+        }
+        groups.sort_by_key(|&(k, _)| k);
+        groups.into_iter().map(|(_, m)| Team::new(m)).collect()
+    }
+
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    pub fn contains(&self, world_rank: usize) -> bool {
+        self.index.contains_key(&world_rank)
+    }
+
+    /// Team rank of a world rank (None for non-members).
+    pub fn team_rank(&self, world_rank: usize) -> Option<usize> {
+        self.index.get(&world_rank).copied()
+    }
+
+    /// World rank of a team rank.
+    pub fn world_rank(&self, team_rank: usize) -> usize {
+        self.members[team_rank]
+    }
+
+    /// Team barrier; caller must be a member.
+    pub fn barrier(&self, world_rank: usize) -> bool {
+        assert!(self.contains(world_rank), "PE {world_rank} is not in this team");
+        self.barrier.wait()
+    }
+
+    /// Team-scoped sum all-reduce; caller must be a member.
+    pub fn allreduce_sum(&self, world_rank: usize, v: f64) -> f64 {
+        assert!(self.contains(world_rank), "PE {world_rank} is not in this team");
+        self.collectives.allreduce_sum(v)
+    }
+}
+
+/// A symmetric `Vec3` buffer allocated **only on team members** and
+/// addressed by *team* rank — the allocation model that makes PP/PME rank
+/// specialization compatible with GPU-initiated communication.
+#[derive(Clone)]
+pub struct TeamSymVec3 {
+    team: Team,
+    buf: SymVec3,
+}
+
+impl TeamSymVec3 {
+    /// Collective over the team: every member gets a `len`-element segment;
+    /// non-members allocate nothing.
+    pub fn alloc(team: &Team, len: usize) -> Self {
+        TeamSymVec3 { buf: SymVec3::alloc(team.size(), len), team: team.clone() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn team(&self) -> &Team {
+        &self.team
+    }
+
+    /// Total segments actually allocated (== team size, not world size).
+    pub fn segments(&self) -> usize {
+        self.buf.npes()
+    }
+
+    fn seg(&self, world_rank: usize) -> usize {
+        self.team
+            .team_rank(world_rank)
+            .unwrap_or_else(|| panic!("PE {world_rank} has no segment in this team allocation"))
+    }
+
+    pub fn get(&self, world_rank: usize, idx: usize) -> Vec3 {
+        self.buf.get(self.seg(world_rank), idx)
+    }
+
+    pub fn set(&self, world_rank: usize, idx: usize, v: Vec3) {
+        self.buf.set(self.seg(world_rank), idx, v);
+    }
+
+    pub fn write_slice(&self, world_rank: usize, offset: usize, src: &[Vec3]) {
+        self.buf.write_slice(self.seg(world_rank), offset, src);
+    }
+
+    pub fn read_slice(&self, world_rank: usize, offset: usize, dst: &mut [Vec3]) {
+        self.buf.read_slice(self.seg(world_rank), offset, dst);
+    }
+
+    pub fn snapshot(&self, world_rank: usize) -> Vec<Vec3> {
+        self.buf.snapshot(self.seg(world_rank))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{ShmemWorld, Topology};
+
+    #[test]
+    fn team_rank_translation() {
+        let t = Team::new(vec![2, 5, 7]);
+        assert_eq!(t.size(), 3);
+        assert_eq!(t.team_rank(5), Some(1));
+        assert_eq!(t.team_rank(3), None);
+        assert_eq!(t.world_rank(2), 7);
+        assert!(t.contains(7));
+        assert!(!t.contains(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_members_rejected() {
+        let _ = Team::new(vec![1, 1]);
+    }
+
+    #[test]
+    fn split_groups_by_key() {
+        // The PP/PME pattern: last rank of each 4-GPU node is a PME rank.
+        let teams = Team::split(8, |pe| usize::from(pe % 4 == 3));
+        assert_eq!(teams.len(), 2);
+        assert_eq!(teams[0].members(), &[0, 1, 2, 4, 5, 6]); // PP
+        assert_eq!(teams[1].members(), &[3, 7]); // PME
+    }
+
+    #[test]
+    fn team_allocation_skips_non_members() {
+        let pp = Team::new(vec![0, 1, 2]);
+        let buf = TeamSymVec3::alloc(&pp, 100);
+        // Only 3 segments exist — no redundant allocation on PE 3 (the
+        // "PME rank"), unlike world-wide symmetric allocation.
+        assert_eq!(buf.segments(), 3);
+        let world_wide = SymVec3::alloc(4, 100);
+        assert_eq!(world_wide.npes(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no segment")]
+    fn non_member_access_rejected() {
+        let pp = Team::new(vec![0, 1, 2]);
+        let buf = TeamSymVec3::alloc(&pp, 4);
+        let _ = buf.get(3, 0);
+    }
+
+    #[test]
+    fn rank_specialization_scenario() {
+        // 4 PEs: 3 PP ranks exchange halos in a team buffer while the PME
+        // rank works in its own team buffer — concurrently, with no shared
+        // allocation (the configuration §5.3 says world-symmetric NVSHMEM
+        // cannot express).
+        let world = ShmemWorld::new(Topology::all_nvlink(4), 4);
+        let pp = Team::new(vec![0, 1, 2]);
+        let pme = Team::new(vec![3]);
+        let pp_buf = TeamSymVec3::alloc(&pp, 8);
+        let pme_buf = TeamSymVec3::alloc(&pme, 2);
+        let (ppr, pmer, ppb, pmeb) = (&pp, &pme, &pp_buf, &pme_buf);
+        world.run(|pe| {
+            if let Some(tr) = ppr.team_rank(pe.id) {
+                // Ring put within the team (by team rank).
+                let next = ppr.world_rank((tr + 1) % ppr.size());
+                ppb.set(next, 0, halox_md::Vec3::splat(pe.id as f32));
+                ppr.barrier(pe.id);
+                let got = ppb.get(pe.id, 0);
+                let prev = ppr.world_rank((tr + ppr.size() - 1) % ppr.size());
+                assert_eq!(got, halox_md::Vec3::splat(prev as f32));
+                let total = ppr.allreduce_sum(pe.id, pe.id as f64);
+                assert_eq!(total, 3.0); // 0 + 1 + 2
+            } else {
+                pmeb.set(pe.id, 1, halox_md::Vec3::splat(-1.0));
+                assert_eq!(pmeb.get(pe.id, 1), halox_md::Vec3::splat(-1.0));
+                assert_eq!(pmer.allreduce_sum(pe.id, 42.0), 42.0);
+            }
+        });
+    }
+}

@@ -1,0 +1,126 @@
+//! A minimal two-sided message-passing fabric: the stand-in for GPU-aware
+//! MPI in the baseline halo exchange.
+//!
+//! Semantics follow MPI point-to-point ordering: messages between one
+//! (sender, receiver) pair are non-overtaking; `recv` matches the next
+//! message from the given source and asserts the expected tag, which is how
+//! the serialized-pulse baseline consumes them.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use halox_md::Vec3;
+use parking_lot::Mutex;
+
+/// One message: tag + payload.
+#[derive(Debug, Clone)]
+pub struct Message {
+    pub tag: u64,
+    pub data: Vec<Vec3>,
+}
+
+/// A fully connected two-sided communicator over `n` ranks.
+pub struct TwoSidedComm {
+    /// txs[src][dst]
+    txs: Vec<Vec<Sender<Message>>>,
+    /// rxs[dst][src], behind a mutex so the comm handle can be shared.
+    rxs: Vec<Vec<Mutex<Receiver<Message>>>>,
+}
+
+impl TwoSidedComm {
+    pub fn new(n: usize) -> Self {
+        let mut txs: Vec<Vec<Sender<Message>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+        let mut rxs: Vec<Vec<Mutex<Receiver<Message>>>> =
+            (0..n).map(|_| Vec::with_capacity(n)).collect();
+        // One channel per ordered (src, dst) pair: the src-outer / dst-inner
+        // loop appends exactly once per cell, yielding txs[src][dst] and
+        // rxs[dst][src].
+        for _src in 0..n {
+            for dst in 0..n {
+                let (tx, rx) = unbounded();
+                txs[_src].push(tx);
+                rxs[dst].push(Mutex::new(rx));
+            }
+        }
+        TwoSidedComm { txs, rxs }
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.rxs.len()
+    }
+
+    /// Non-blocking send of `data` from `src` to `dst` with `tag`.
+    pub fn send(&self, src: usize, dst: usize, tag: u64, data: Vec<Vec3>) {
+        self.txs[src][dst].send(Message { tag, data }).expect("receiver dropped");
+    }
+
+    /// Blocking receive of the next message from `src` to `dst`; asserts the
+    /// tag matches (MPI non-overtaking order makes this deterministic).
+    pub fn recv(&self, dst: usize, src: usize, tag: u64) -> Vec<Vec3> {
+        let msg = self.rxs[dst][src].lock().recv().expect("sender dropped");
+        assert_eq!(msg.tag, tag, "message order violation: got tag {}, want {tag}", msg.tag);
+        msg.data
+    }
+
+    /// Combined send+recv (the classic halo `MPI_Sendrecv`).
+    pub fn sendrecv(
+        &self,
+        me: usize,
+        dst: usize,
+        send_tag: u64,
+        data: Vec<Vec3>,
+        src: usize,
+        recv_tag: u64,
+    ) -> Vec<Vec3> {
+        self.send(me, dst, send_tag, data);
+        self.recv(me, src, recv_tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let c = TwoSidedComm::new(2);
+        c.send(0, 1, 7, vec![Vec3::splat(1.0)]);
+        let got = c.recv(1, 0, 7);
+        assert_eq!(got, vec![Vec3::splat(1.0)]);
+    }
+
+    #[test]
+    fn per_pair_ordering_preserved() {
+        let c = TwoSidedComm::new(2);
+        for t in 0..10 {
+            c.send(0, 1, t, vec![Vec3::splat(t as f32)]);
+        }
+        for t in 0..10 {
+            let got = c.recv(1, 0, t);
+            assert_eq!(got[0], Vec3::splat(t as f32));
+        }
+    }
+
+    #[test]
+    fn ring_sendrecv_across_threads() {
+        let n = 4;
+        let c = TwoSidedComm::new(n);
+        let cref = &c;
+        std::thread::scope(|s| {
+            for me in 0..n {
+                s.spawn(move || {
+                    let dst = (me + n - 1) % n; // send down
+                    let src = (me + 1) % n; // receive from up
+                    let got = cref.sendrecv(me, dst, 0, vec![Vec3::splat(me as f32)], src, 0);
+                    assert_eq!(got[0], Vec3::splat(src as f32));
+                });
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn tag_mismatch_is_detected() {
+        let c = TwoSidedComm::new(2);
+        c.send(0, 1, 1, vec![]);
+        let _ = c.recv(1, 0, 2);
+    }
+}

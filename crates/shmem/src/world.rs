@@ -1,0 +1,478 @@
+//! The PGAS world: PEs (threads), cluster topology, signals, transports.
+//!
+//! The world stands in for `nvshmem_init` + the NVSHMEM runtime:
+//!
+//! * PEs are OS threads launched by [`ShmemWorld::run`];
+//! * `nvshmem_ptr()` reachability becomes [`Pe::nvlink_reachable`] — true
+//!   within an NVLink island (node, or the whole machine for MNNVL), false
+//!   across the network, where puts go through a *proxy thread* per PE, just
+//!   like NVSHMEM's IBRC transport (paper §5.5);
+//! * `nvshmem_float_put_signal_nbi` becomes [`Pe::put_vec3_signal_nbi`]:
+//!   direct relaxed stores + release signal over "NVLink", or a staged
+//!   payload handed to the proxy over "InfiniBand";
+//! * `nvshmem_quiet` becomes [`Pe::quiet`].
+//!
+//! The proxy can be configured with an injected delay to emulate a slow /
+//! contended proxy thread (the paper's §5.5 pathology) in stress tests.
+
+use crate::barrier::SenseBarrier;
+use crate::collectives::Collectives;
+use crate::signal::SignalSet;
+use crate::sym::SymVec3;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use halox_md::Vec3;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Interconnect shape of the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fabric {
+    /// Every PE pair is NVLink-reachable (single node, or GB200-style
+    /// multi-node NVLink).
+    AllNvlink,
+    /// NVLink only within islands of `gpus_per_node` consecutive PEs;
+    /// the network (InfiniBand) connects islands.
+    NvlinkIslands { gpus_per_node: usize },
+}
+
+/// Cluster topology: PE count plus fabric shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    pub npes: usize,
+    pub fabric: Fabric,
+}
+
+impl Topology {
+    pub fn all_nvlink(npes: usize) -> Self {
+        Topology { npes, fabric: Fabric::AllNvlink }
+    }
+
+    pub fn islands(npes: usize, gpus_per_node: usize) -> Self {
+        assert!(gpus_per_node >= 1);
+        Topology { npes, fabric: Fabric::NvlinkIslands { gpus_per_node } }
+    }
+
+    /// True if `a` can load/store `b`'s memory directly (`nvshmem_ptr`
+    /// non-null).
+    pub fn nvlink_reachable(&self, a: usize, b: usize) -> bool {
+        match self.fabric {
+            Fabric::AllNvlink => true,
+            Fabric::NvlinkIslands { gpus_per_node } => a / gpus_per_node == b / gpus_per_node,
+        }
+    }
+
+    /// Node index of a PE.
+    pub fn node_of(&self, pe: usize) -> usize {
+        match self.fabric {
+            Fabric::AllNvlink => 0,
+            Fabric::NvlinkIslands { gpus_per_node } => pe / gpus_per_node,
+        }
+    }
+}
+
+/// Configuration knobs for the per-PE proxy thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProxyConfig {
+    /// Artificial delay per proxied operation — failure-injection hook
+    /// emulating a contended proxy core (paper §5.5 reports up to 50x
+    /// slowdowns from proxy-thread pinning mistakes).
+    pub injected_delay: Option<Duration>,
+    /// Randomized per-operation delay up to `max_us` microseconds, seeded
+    /// per proxy thread — adversarial-timing stress for the signal
+    /// protocol (correctness must not depend on message timing).
+    pub random_delay: Option<(u64, u64)>,
+}
+
+enum ProxyCmd {
+    /// Staged put (+ optional signal on the destination PE's signal set).
+    Put {
+        buf: SymVec3,
+        dst_pe: usize,
+        offset: usize,
+        payload: Vec<Vec3>,
+        signal: Option<(usize, u64)>,
+    },
+    /// Pure remote signal.
+    Signal { dst_pe: usize, slot: usize, val: u64 },
+    /// Completion fence: ack when everything queued before has been applied.
+    Flush(Sender<()>),
+}
+
+/// The shared world state.
+pub struct ShmemWorld {
+    pub topology: Topology,
+    signals: Vec<Arc<SignalSet>>,
+    barrier: SenseBarrier,
+    collectives: Collectives,
+    proxy_config: ProxyConfig,
+}
+
+impl ShmemWorld {
+    /// Create a world with `n_signal_slots` signal slots per PE.
+    pub fn new(topology: Topology, n_signal_slots: usize) -> Self {
+        let signals = (0..topology.npes)
+            .map(|_| Arc::new(SignalSet::new(n_signal_slots)))
+            .collect();
+        ShmemWorld {
+            barrier: SenseBarrier::new(topology.npes),
+            collectives: Collectives::new(topology.npes),
+            signals,
+            topology,
+            proxy_config: ProxyConfig::default(),
+        }
+    }
+
+    pub fn with_proxy_config(mut self, cfg: ProxyConfig) -> Self {
+        self.proxy_config = cfg;
+        self
+    }
+
+    pub fn npes(&self) -> usize {
+        self.topology.npes
+    }
+
+    /// Signal set of a PE (for diagnostics; PEs use [`Pe`] methods).
+    pub fn signal_set(&self, pe: usize) -> &SignalSet {
+        &self.signals[pe]
+    }
+
+    /// Reset all signal slots (between independent runs on one world).
+    pub fn reset_signals(&self) {
+        for s in &self.signals {
+            s.reset();
+        }
+    }
+
+    /// Launch one thread per PE running `f`, plus one proxy thread per PE;
+    /// returns the per-PE results in PE order.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Pe) -> R + Sync,
+    {
+        let npes = self.npes();
+        // Proxy channels.
+        let mut proxy_tx = Vec::with_capacity(npes);
+        let mut proxy_rx: Vec<Receiver<ProxyCmd>> = Vec::with_capacity(npes);
+        for _ in 0..npes {
+            let (tx, rx) = unbounded();
+            proxy_tx.push(tx);
+            proxy_rx.push(rx);
+        }
+
+        std::thread::scope(|scope| {
+            // Proxy threads (one per PE, like the NVSHMEM IBRC proxy).
+            for rx in proxy_rx.into_iter() {
+                let signals = self.signals.clone();
+                let cfg = self.proxy_config;
+                scope.spawn(move || proxy_main(rx, signals, cfg));
+            }
+            // PE threads.
+            let mut handles = Vec::with_capacity(npes);
+            for id in 0..npes {
+                let tx = proxy_tx[id].clone();
+                let fref = &f;
+                handles.push(scope.spawn(move || {
+                    let pe = Pe { id, world: self, proxy: tx };
+                    fref(&pe)
+                }));
+            }
+            // Drop our proxy senders so proxies exit when PEs finish.
+            drop(proxy_tx);
+            handles.into_iter().map(|h| h.join().expect("PE thread panicked")).collect()
+        })
+    }
+}
+
+fn proxy_main(rx: Receiver<ProxyCmd>, signals: Vec<Arc<SignalSet>>, cfg: ProxyConfig) {
+    // Tiny xorshift so the stress knob needs no external RNG dependency.
+    let mut rng_state: u64 = cfg.random_delay.map(|(seed, _)| seed | 1).unwrap_or(1);
+    let mut next_rand = move || {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state
+    };
+    while let Ok(cmd) = rx.recv() {
+        if let Some(d) = cfg.injected_delay {
+            std::thread::sleep(d);
+        }
+        if let Some((_, max_us)) = cfg.random_delay {
+            if max_us > 0 {
+                std::thread::sleep(Duration::from_micros(next_rand() % max_us));
+            }
+        }
+        match cmd {
+            ProxyCmd::Put { buf, dst_pe, offset, payload, signal } => {
+                buf.write_slice(dst_pe, offset, &payload);
+                if let Some((slot, val)) = signal {
+                    signals[dst_pe].release_store(slot, val);
+                }
+            }
+            ProxyCmd::Signal { dst_pe, slot, val } => {
+                signals[dst_pe].release_store(slot, val);
+            }
+            ProxyCmd::Flush(ack) => {
+                let _ = ack.send(());
+            }
+        }
+    }
+}
+
+/// A processing element: the per-thread handle to the world.
+pub struct Pe<'w> {
+    pub id: usize,
+    world: &'w ShmemWorld,
+    proxy: Sender<ProxyCmd>,
+}
+
+impl<'w> Pe<'w> {
+    pub fn npes(&self) -> usize {
+        self.world.npes()
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.world.topology
+    }
+
+    /// `nvshmem_ptr(peer) != null`: can we load/store the peer directly?
+    pub fn nvlink_reachable(&self, peer: usize) -> bool {
+        self.world.topology.nvlink_reachable(self.id, peer)
+    }
+
+    /// This PE's own signal set (waits happen here).
+    pub fn my_signals(&self) -> &SignalSet {
+        &self.world.signals[self.id]
+    }
+
+    /// Direct put: relaxed stores into the peer's segment. Use only inside
+    /// an NVLink island, or when a separate signal orders visibility.
+    pub fn put_vec3(&self, buf: &SymVec3, dst_pe: usize, offset: usize, src: &[Vec3]) {
+        buf.write_slice(dst_pe, offset, src);
+    }
+
+    /// Put-with-signal, non-blocking-interface: over NVLink this is direct
+    /// stores + a release signal (the paper's TMA store + `st.release.sys`
+    /// notification); across the network it stages the payload and hands it
+    /// to the proxy (`nvshmem_float_put_signal_nbi` on IBRC).
+    pub fn put_vec3_signal_nbi(
+        &self,
+        buf: &SymVec3,
+        dst_pe: usize,
+        offset: usize,
+        src: &[Vec3],
+        slot: usize,
+        val: u64,
+    ) {
+        if self.nvlink_reachable(dst_pe) {
+            buf.write_slice(dst_pe, offset, src);
+            self.world.signals[dst_pe].release_store(slot, val);
+        } else {
+            self.proxy
+                .send(ProxyCmd::Put {
+                    buf: buf.clone(),
+                    dst_pe,
+                    offset,
+                    payload: src.to_vec(), // the staging-buffer copy
+                    signal: Some((slot, val)),
+                })
+                .expect("proxy thread gone");
+        }
+    }
+
+    /// Remote notification without data (release ordering: publishes all of
+    /// this thread's prior relaxed writes).
+    ///
+    /// Note: the paper distinguishes `system_relaxed_store` for signals with
+    /// no preceding data writes; in our memory model the release upgrade is
+    /// free on x86 and required for cross-thread publication, so both map
+    /// here (the relaxed/release distinction is retained in the *timing*
+    /// plane cost model instead).
+    pub fn signal(&self, dst_pe: usize, slot: usize, val: u64) {
+        if self.nvlink_reachable(dst_pe) {
+            self.world.signals[dst_pe].release_store(slot, val);
+        } else {
+            self.proxy
+                .send(ProxyCmd::Signal { dst_pe, slot, val })
+                .expect("proxy thread gone");
+        }
+    }
+
+    /// Acquire-wait on one of *my* signal slots.
+    pub fn wait_signal(&self, slot: usize, val: u64) {
+        self.world.signals[self.id].acquire_wait(slot, val);
+    }
+
+    /// Non-blocking probe of one of my slots.
+    pub fn try_signal(&self, slot: usize, val: u64) -> bool {
+        self.world.signals[self.id].try_acquire(slot, val)
+    }
+
+    /// Device-initiated get: read a peer's segment directly. NVLink only —
+    /// panics across the network, where `nvshmem_ptr` would return null and
+    /// the algorithm must use the put path (exactly the paper's transport
+    /// split in Algorithm 6).
+    pub fn get_vec3(&self, buf: &SymVec3, src_pe: usize, offset: usize, dst: &mut [Vec3]) {
+        assert!(
+            self.nvlink_reachable(src_pe),
+            "get from PE {src_pe} requires NVLink reachability (use put-with-signal over IB)"
+        );
+        buf.read_slice(src_pe, offset, dst);
+    }
+
+    /// `nvshmem_quiet`: wait until all of this PE's proxied operations have
+    /// been applied remotely. (NVLink-path operations complete immediately.)
+    pub fn quiet(&self) {
+        let (tx, rx) = unbounded();
+        self.proxy.send(ProxyCmd::Flush(tx)).expect("proxy thread gone");
+        rx.recv().expect("proxy dropped flush ack");
+    }
+
+    /// `shmem_barrier_all`.
+    pub fn barrier_all(&self) {
+        self.world.barrier.wait();
+    }
+
+    /// Sum all-reduce across all PEs (every PE must participate).
+    pub fn allreduce_sum(&self, v: f64) -> f64 {
+        self.world.collectives.allreduce_sum(v)
+    }
+
+    /// Max all-reduce across all PEs.
+    pub fn allreduce_max(&self, v: f64) -> f64 {
+        self.world.collectives.allreduce_max(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_reachability() {
+        let t = Topology::islands(8, 4);
+        assert!(t.nvlink_reachable(0, 3));
+        assert!(!t.nvlink_reachable(3, 4));
+        assert!(t.nvlink_reachable(5, 7));
+        assert_eq!(t.node_of(5), 1);
+        let all = Topology::all_nvlink(8);
+        assert!(all.nvlink_reachable(0, 7));
+        assert_eq!(all.node_of(7), 0);
+    }
+
+    #[test]
+    fn run_returns_per_pe_results() {
+        let w = ShmemWorld::new(Topology::all_nvlink(4), 1);
+        let out = w.run(|pe| pe.id * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn nvlink_put_with_signal_is_visible_after_wait() {
+        let w = ShmemWorld::new(Topology::all_nvlink(2), 1);
+        let buf = SymVec3::alloc(2, 4);
+        let b = &buf;
+        w.run(|pe| {
+            if pe.id == 0 {
+                let data = [Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0)];
+                pe.put_vec3_signal_nbi(b, 1, 1, &data, 0, 1);
+            } else {
+                pe.wait_signal(0, 1);
+                let mut got = [Vec3::ZERO; 2];
+                pe.get_vec3(b, 1, 1, &mut got);
+                assert_eq!(got[0], Vec3::new(1.0, 2.0, 3.0));
+                assert_eq!(got[1], Vec3::new(4.0, 5.0, 6.0));
+            }
+        });
+    }
+
+    #[test]
+    fn ib_put_goes_through_proxy_and_signals() {
+        let w = ShmemWorld::new(Topology::islands(2, 1), 1);
+        let buf = SymVec3::alloc(2, 4);
+        let b = &buf;
+        w.run(|pe| {
+            if pe.id == 0 {
+                assert!(!pe.nvlink_reachable(1));
+                let data = [Vec3::splat(7.0)];
+                pe.put_vec3_signal_nbi(b, 1, 2, &data, 0, 5);
+                pe.quiet();
+            } else {
+                pe.wait_signal(0, 5);
+                assert_eq!(b.get(1, 2), Vec3::splat(7.0));
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_across_network_panics() {
+        let w = ShmemWorld::new(Topology::islands(2, 1), 1);
+        let buf = SymVec3::alloc(2, 1);
+        let b = &buf;
+        w.run(|pe| {
+            if pe.id == 0 {
+                let mut dst = [Vec3::ZERO];
+                pe.get_vec3(b, 1, 0, &mut dst);
+            }
+        });
+    }
+
+    #[test]
+    fn quiet_fences_proxied_puts() {
+        // With an injected proxy delay, data must still be there after
+        // quiet() + a peer barrier.
+        let w = ShmemWorld::new(Topology::islands(2, 1), 1)
+            .with_proxy_config(ProxyConfig {
+                injected_delay: Some(Duration::from_millis(5)),
+                ..Default::default()
+            });
+        let buf = SymVec3::alloc(2, 1);
+        let b = &buf;
+        w.run(|pe| {
+            if pe.id == 0 {
+                pe.put_vec3(b, 0, 0, &[Vec3::splat(1.0)]); // warm-up direct
+                pe.put_vec3_signal_nbi(b, 1, 0, &[Vec3::splat(9.0)], 0, 1);
+                pe.quiet();
+            }
+            pe.barrier_all();
+            if pe.id == 1 {
+                assert_eq!(b.get(1, 0), Vec3::splat(9.0));
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_all_synchronizes_pes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let w = ShmemWorld::new(Topology::all_nvlink(4), 1);
+        let counter = AtomicUsize::new(0);
+        let c = &counter;
+        w.run(|pe| {
+            c.fetch_add(1, Ordering::SeqCst);
+            pe.barrier_all();
+            assert_eq!(c.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn allreduce_through_pe_handles() {
+        let w = ShmemWorld::new(Topology::all_nvlink(4), 1);
+        w.run(|pe| {
+            let total = pe.allreduce_sum(pe.id as f64);
+            assert_eq!(total, 6.0);
+            let m = pe.allreduce_max(pe.id as f64);
+            assert_eq!(m, 3.0);
+        });
+    }
+
+    #[test]
+    fn signal_only_notification() {
+        let w = ShmemWorld::new(Topology::islands(4, 2), 2);
+        w.run(|pe| {
+            let peer = (pe.id + 2) % 4; // cross-island
+            pe.signal(peer, 1, (pe.id + 1) as u64);
+            pe.wait_signal(1, ((peer) + 1) as u64);
+        });
+    }
+}

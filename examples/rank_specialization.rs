@@ -1,0 +1,74 @@
+//! Rank specialization with team-based symmetric allocation — the paper's
+//! future-work item (§5.3/§7) demonstrated end to end.
+//!
+//! GROMACS dedicates some ranks to long-range PME work while the rest (PP
+//! ranks) run particle-particle forces and the halo exchange. NVSHMEM's
+//! world-wide symmetric allocation breaks this split: PP halo buffers would
+//! have to exist on PME ranks too. With team-scoped allocation, each group
+//! allocates only what it uses; this example runs a PP team doing real
+//! fused-style ring exchanges next to a PME-like team doing reduction work,
+//! and reports the memory the team allocation saves.
+//!
+//! ```sh
+//! cargo run --release --example rank_specialization
+//! ```
+
+use halox::shmem::{ShmemWorld, SymVec3, Team, TeamSymVec3, Topology};
+use halox::prelude::Vec3;
+
+const PP_BUF_LEN: usize = 200_000; // a halo-exchange coordinate buffer
+const PME_BUF_LEN: usize = 20_000; // an FFT-grid-slab stand-in
+
+fn main() {
+    let npes = 8;
+    // Paper-style split: the last rank of each 4-GPU node becomes PME.
+    let teams = Team::split(npes, |pe| usize::from(pe % 4 == 3));
+    let pp = teams[0].clone();
+    let pme = teams[1].clone();
+    println!("world: {npes} PEs -> PP team {:?}, PME team {:?}", pp.members(), pme.members());
+
+    // Team allocations: segments exist only on members.
+    let pp_coords = TeamSymVec3::alloc(&pp, PP_BUF_LEN);
+    let pme_grid = TeamSymVec3::alloc(&pme, PME_BUF_LEN);
+    let team_bytes =
+        (pp.size() * PP_BUF_LEN + pme.size() * PME_BUF_LEN) * 12;
+    let world_bytes = npes * (PP_BUF_LEN + PME_BUF_LEN) * 12;
+    println!(
+        "symmetric memory: world-wide {} MiB vs team-scoped {} MiB ({}% saved)",
+        world_bytes / (1 << 20),
+        team_bytes / (1 << 20),
+        100 - team_bytes * 100 / world_bytes
+    );
+
+    // The world-wide model for comparison (what plain NVSHMEM forces):
+    let _world_wide = SymVec3::alloc(npes, 1); // every PE pays for every buffer
+
+    let world = ShmemWorld::new(Topology::islands(npes, 4), 4);
+    let (ppr, pmer, coords, grid) = (&pp, &pme, &pp_coords, &pme_grid);
+    world.run(|pe| {
+        if let Some(tr) = ppr.team_rank(pe.id) {
+            // PP work: a staged ring coordinate exchange within the team.
+            let next = ppr.world_rank((tr + 1) % ppr.size());
+            for k in 0..16 {
+                coords.set(next, k, Vec3::splat((pe.id * 100 + k) as f32));
+            }
+            ppr.barrier(pe.id);
+            let prev = ppr.world_rank((tr + ppr.size() - 1) % ppr.size());
+            let got = coords.get(pe.id, 3);
+            assert_eq!(got, Vec3::splat((prev * 100 + 3) as f32));
+            // Team reduction over "local work" counters.
+            let total = ppr.allreduce_sum(pe.id, 1.0);
+            assert_eq!(total, ppr.size() as f64);
+        } else {
+            // PME-like work: fill a grid slab and reduce its checksum over
+            // the PME team only.
+            for k in 0..64 {
+                grid.set(pe.id, k % PME_BUF_LEN, Vec3::splat(k as f32));
+            }
+            let checksum = pmer.allreduce_sum(pe.id, pe.id as f64);
+            assert_eq!(checksum, (3 + 7) as f64);
+        }
+    });
+    println!("PP ring exchange + PME reductions completed with disjoint team allocations.");
+    println!("done.");
+}

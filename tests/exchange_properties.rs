@@ -1,0 +1,202 @@
+//! Property-based tests of the halo-exchange algorithms: for randomized
+//! system sizes, seeds, grids, and transports, the concurrent fused
+//! implementation must reproduce the serial reference semantics.
+
+use halox::core::{build_contexts, exec, CommContext, FusedBuffers};
+use halox::dd::{build_partition, reference_coordinate_exchange, reference_force_exchange, DdGrid};
+use halox::prelude::*;
+use halox::shmem::Topology;
+use proptest::prelude::*;
+
+fn arbitrary_grid() -> impl Strategy<Value = [usize; 3]> {
+    prop_oneof![
+        Just([2, 1, 1]),
+        Just([4, 1, 1]),
+        Just([2, 2, 1]),
+        Just([1, 2, 2]),
+        Just([2, 2, 2]),
+        Just([3, 1, 1]),
+        Just([3, 2, 1]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fused_coordinate_exchange_matches_reference(
+        seed in 0u64..1000,
+        dims in arbitrary_grid(),
+        atoms in 4_000usize..9_000,
+        gpus_per_node in 1usize..5,
+    ) {
+        let sys = GrappaBuilder::new(atoms).seed(seed).build();
+        let grid = DdGrid::new(dims);
+        let part = build_partition(&sys, &grid, 0.8);
+        let ctxs = build_contexts(&part);
+        let world = halox::shmem::ShmemWorld::new(
+            Topology::islands(part.n_ranks(), gpus_per_node),
+            CommContext::slots_needed(part.total_pulses()),
+        );
+        let bufs = FusedBuffers::alloc(part.n_ranks(), &ctxs[0]);
+
+        let mut expect: Vec<Vec<Vec3>> =
+            part.ranks.iter().map(|r| r.build_positions.clone()).collect();
+        reference_coordinate_exchange(&part, &mut expect);
+
+        for r in &part.ranks {
+            bufs.coords.load_from(r.rank, &r.build_positions);
+        }
+        let b = &bufs;
+        let c = &ctxs;
+        world.run(|pe| {
+            exec::fused_pack_comm_x(pe, &c[pe.id], b, 1);
+            exec::wait_coordinate_arrivals(pe, &c[pe.id], 1);
+        });
+        for r in &part.ranks {
+            let got = bufs.coords.snapshot(r.rank);
+            for i in 0..r.n_local() {
+                prop_assert!(
+                    (got[i] - expect[r.rank][i]).norm() < 1e-6,
+                    "rank {} local {i}", r.rank
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_force_exchange_matches_reference(
+        seed in 0u64..1000,
+        dims in arbitrary_grid(),
+        atoms in 4_000usize..9_000,
+        gpus_per_node in 1usize..5,
+    ) {
+        let sys = GrappaBuilder::new(atoms).seed(seed).build();
+        let grid = DdGrid::new(dims);
+        let part = build_partition(&sys, &grid, 0.8);
+        let ctxs = build_contexts(&part);
+        let world = halox::shmem::ShmemWorld::new(
+            Topology::islands(part.n_ranks(), gpus_per_node),
+            CommContext::slots_needed(part.total_pulses()),
+        );
+        let bufs = FusedBuffers::alloc(part.n_ranks(), &ctxs[0]);
+
+        let init: Vec<Vec<Vec3>> = part
+            .ranks
+            .iter()
+            .map(|r| {
+                (0..r.n_local())
+                    .map(|i| Vec3::new(((r.rank + 1) * (i + 1)) as f32 * 1e-3, i as f32 * 1e-2, 1.0))
+                    .collect()
+            })
+            .collect();
+        let mut expect = init.clone();
+        reference_force_exchange(&part, &mut expect);
+
+        for r in &part.ranks {
+            bufs.forces.load_from(r.rank, &init[r.rank]);
+        }
+        let b = &bufs;
+        let c = &ctxs;
+        world.run(|pe| exec::fused_comm_unpack_f(pe, &c[pe.id], b, 1));
+        for r in &part.ranks {
+            let got = bufs.forces.snapshot(r.rank);
+            for i in 0..r.n_home {
+                let w = expect[r.rank][i];
+                prop_assert!(
+                    (got[i] - w).norm() <= 1e-4 * w.norm().max(1.0),
+                    "rank {} home {i}: {:?} vs {w:?}", r.rank, got[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_exchange_correct_under_adversarial_proxy_timing(
+        seed in 0u64..500,
+        atoms in 4_000usize..7_000,
+        max_delay_us in 1u64..200,
+    ) {
+        // Randomized proxy delays reorder message application across pulses;
+        // the per-pulse signal protocol must stay correct regardless.
+        use halox::shmem::ProxyConfig;
+        let sys = GrappaBuilder::new(atoms).seed(seed).build();
+        let grid = DdGrid::new([2, 2, 1]);
+        let part = build_partition(&sys, &grid, 0.8);
+        let ctxs = build_contexts(&part);
+        let world = halox::shmem::ShmemWorld::new(
+            Topology::islands(part.n_ranks(), 1), // everything crosses "IB"
+            CommContext::slots_needed(part.total_pulses()),
+        )
+        .with_proxy_config(ProxyConfig {
+            injected_delay: None,
+            random_delay: Some((seed.wrapping_mul(0x9E3779B9) | 1, max_delay_us)),
+        });
+        let bufs = FusedBuffers::alloc(part.n_ranks(), &ctxs[0]);
+        let mut expect: Vec<Vec<Vec3>> =
+            part.ranks.iter().map(|r| r.build_positions.clone()).collect();
+        reference_coordinate_exchange(&part, &mut expect);
+        for r in &part.ranks {
+            bufs.coords.load_from(r.rank, &r.build_positions);
+        }
+        let b = &bufs;
+        let c = &ctxs;
+        world.run(|pe| {
+            exec::fused_pack_comm_x(pe, &c[pe.id], b, 1);
+            exec::wait_coordinate_arrivals(pe, &c[pe.id], 1);
+            exec::fused_comm_unpack_f(pe, &c[pe.id], b, 1);
+        });
+        for r in &part.ranks {
+            let got = bufs.coords.snapshot(r.rank);
+            for i in 0..r.n_local() {
+                prop_assert!((got[i] - expect[r.rank][i]).norm() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_exact_cover(
+        seed in 0u64..1000,
+        dims in arbitrary_grid(),
+        atoms in 3_000usize..8_000,
+    ) {
+        let sys = GrappaBuilder::new(atoms).seed(seed).build();
+        let part = build_partition(&sys, &DdGrid::new(dims), 0.8);
+        let mut owned = vec![0u8; sys.n_atoms()];
+        for r in &part.ranks {
+            for &g in &r.global_ids[..r.n_home] {
+                owned[g as usize] += 1;
+            }
+        }
+        prop_assert!(owned.iter().all(|&c| c == 1));
+        // Staged pulses reach all forward neighbours with sum(np) steps.
+        let expected_pulses: usize = part.grid.comm_dims().len();
+        prop_assert!(part.total_pulses() >= expected_pulses);
+    }
+
+    #[test]
+    fn dep_offset_is_stable_partition(
+        seed in 0u64..1000,
+        dims in prop_oneof![Just([2, 2, 1]), Just([2, 2, 2]), Just([3, 2, 1])],
+        atoms in 5_000usize..9_000,
+    ) {
+        let sys = GrappaBuilder::new(atoms).seed(seed).build();
+        let part = build_partition(&sys, &DdGrid::new(dims), 0.8);
+        for r in &part.ranks {
+            for pd in &r.pulses {
+                for &i in pd.independent() {
+                    prop_assert!((i as usize) < r.n_home);
+                }
+                let mut last = None;
+                for &i in pd.dependent() {
+                    prop_assert!((i as usize) >= r.n_home);
+                    // Dependent entries arrive in local-index (arrival) order.
+                    if let Some(l) = last {
+                        prop_assert!(i > l);
+                    }
+                    last = Some(i);
+                }
+            }
+        }
+    }
+}

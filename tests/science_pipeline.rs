@@ -1,0 +1,81 @@
+//! End-to-end "downstream user" test: equilibrate with the thermostat,
+//! stream trajectory frames through the observer hook, and compute
+//! structure/dynamics observables — all on top of the fused GPU-initiated
+//! halo exchange.
+
+use halox::engine::Thermostat;
+use halox::md::analysis::{MsdTracker, Rdf};
+use halox::md::trajectory::{read_xyz_frame, TrajectoryWriter};
+use halox::md::AtomKind;
+use halox::prelude::*;
+use std::io::BufReader;
+
+#[test]
+fn trajectory_rdf_and_msd_from_decomposed_run() {
+    let mut system = GrappaBuilder::new(6_000).seed(2025).temperature(250.0).build();
+    steepest_descent(&mut system, MinimizeOptions::default());
+
+    let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
+    cfg.nstlist = 10;
+    cfg.thermostat = Some(Thermostat { t_ref: 300.0, tau_ps: 0.01 });
+    let mut engine = Engine::new(system, DdGrid::new([2, 2, 1]), cfg);
+
+    let mut writer = TrajectoryWriter::new(Vec::<u8>::new());
+    let mut rdf = Rdf::new(1.0, 50);
+    let mut msd = MsdTracker::new();
+    let dt = engine.config.dt_ps as f64;
+    engine.run_with_observer(50, |done, sys| {
+        writer.write_frame(&sys.pbc, &sys.kinds, &sys.positions, done as f64 * dt).unwrap();
+        rdf.accumulate(&sys.pbc, &sys.positions, &sys.kinds, AtomKind::Ow, AtomKind::Ow);
+        msd.record(&sys.pbc, done as f64 * dt, &sys.positions);
+    });
+
+    // Trajectory: 5 segments -> 5 readable frames.
+    assert_eq!(writer.frames_written(), 5);
+    let buf = writer.into_inner();
+    let mut reader = BufReader::new(&buf[..]);
+    let mut frames = 0;
+    while let Some(f) = read_xyz_frame(&mut reader).unwrap() {
+        assert_eq!(f.positions.len(), 6_000);
+        frames += 1;
+    }
+    assert_eq!(frames, 5);
+
+    // Structure: empty steric core, non-trivial first peak.
+    let g = rdf.g_of_r();
+    let g_small: f64 = g.iter().take(8).map(|&(_, v)| v).sum();
+    assert!(g_small < 0.5, "steric core not empty: {g_small}");
+    let peak = g.iter().map(|&(_, v)| v).fold(0.0, f64::max);
+    assert!(peak > 1.2, "no liquid structure: peak g = {peak}");
+
+    // Dynamics: atoms moved, MSD monotone-ish and finite.
+    let series = msd.series();
+    assert_eq!(series.len(), 5);
+    let last = series.last().unwrap().1;
+    assert!(last > 0.0 && last.is_finite());
+    assert!(last < 1.0, "MSD {last} nm^2 implausible for 25 fs");
+}
+
+#[test]
+fn integrators_give_consistent_equilibrium_structure() {
+    use halox::engine::Integrator;
+    // Leapfrog and velocity Verlet must sample the same structure.
+    let mut system = GrappaBuilder::new(3_000).seed(2026).temperature(250.0).build();
+    steepest_descent(&mut system, MinimizeOptions::default());
+    let rdf_of = |integrator: Integrator| {
+        let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
+        cfg.nstlist = 10;
+        cfg.integrator = integrator;
+        let mut engine = Engine::new(system.clone(), DdGrid::new([2, 1, 1]), cfg);
+        let mut rdf = Rdf::new(0.8, 16);
+        engine.run_with_observer(20, |_, sys| {
+            rdf.accumulate(&sys.pbc, &sys.positions, &sys.kinds, AtomKind::Ow, AtomKind::Ow);
+        });
+        rdf.g_of_r()
+    };
+    let a = rdf_of(Integrator::Leapfrog);
+    let b = rdf_of(Integrator::VelocityVerlet);
+    for (&(r, ga), &(_, gb)) in a.iter().zip(&b) {
+        assert!((ga - gb).abs() < 0.4, "g({r}) differs: {ga} vs {gb}");
+    }
+}
