@@ -43,6 +43,9 @@ fn bench_fused_exchange(c: &mut Criterion) {
                 world.run(|pe| {
                     exec::fused_pack_comm_x(pe, &ctxs[pe.id], bufs, s0);
                     exec::wait_coordinate_arrivals(pe, &ctxs[pe.id], s0);
+                    // Release the halo regions for the next iteration's
+                    // overwrite (cross-step reuse fence, DESIGN.md §3.1).
+                    exec::ack_coordinate_consumed(pe, &ctxs[pe.id], s0);
                     exec::fused_comm_unpack_f(pe, &ctxs[pe.id], bufs, s0);
                 });
                 black_box(())
@@ -66,12 +69,12 @@ fn bench_serialized_exchange(c: &mut Criterion) {
                 let ctxs = &ctxs;
                 let part = &part;
                 std::thread::scope(|s| {
-                    for r in 0..part.n_ranks() {
+                    for (r, ctx) in ctxs.iter().enumerate() {
                         s.spawn(move || {
                             let mut coords = part.ranks[r].build_positions.clone();
-                            exec::mpi::coordinate_exchange(comm, &ctxs[r], s0, &mut coords);
+                            exec::mpi::coordinate_exchange(comm, ctx, s0, &mut coords, None);
                             let mut forces = coords.clone();
-                            exec::mpi::force_exchange(comm, &ctxs[r], s0, &mut forces);
+                            exec::mpi::force_exchange(comm, ctx, s0, &mut forces, None);
                             black_box(forces.len())
                         });
                     }

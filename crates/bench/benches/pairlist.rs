@@ -45,5 +45,10 @@ fn bench_partition_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cell_list, bench_pair_list, bench_partition_build);
+criterion_group!(
+    benches,
+    bench_cell_list,
+    bench_pair_list,
+    bench_partition_build
+);
 criterion_main!(benches);

@@ -107,9 +107,10 @@ pub fn fusion() -> Vec<AblationRow> {
     let machine = MachineModel::eos();
     let grid = grid_for(2_880_000, 32, Some([8, 2, 2]));
     let mut rows = Vec::new();
-    for (variant, backend) in
-        [("serialized pulses (MPI)", Backend::Mpi), ("fused pulses (NVSHMEM)", Backend::Nvshmem)]
-    {
+    for (variant, backend) in [
+        ("serialized pulses (MPI)", Backend::Mpi),
+        ("fused pulses (NVSHMEM)", Backend::Nvshmem),
+    ] {
         let m = run_config(&machine, 2_880_000, grid, backend);
         rows.push(AblationRow {
             study: "fusion",

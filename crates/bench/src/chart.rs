@@ -72,7 +72,11 @@ pub fn scaling_chart(title: &str, rows: &[PerfRow]) -> String {
         W - MR,
         H - MB
     );
-    let _ = write!(s, r#"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="black"/>"#, H - MB);
+    let _ = write!(
+        s,
+        r#"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="black"/>"#,
+        H - MB
+    );
     // X ticks at powers of two.
     let mut x = x_min;
     while x <= x_max * 1.001 {
@@ -116,10 +120,20 @@ pub fn scaling_chart(title: &str, rows: &[PerfRow]) -> String {
     // Series.
     for (k, ((atoms, backend), pts)) in series.iter().enumerate() {
         let color = COLORS[k % COLORS.len()];
-        let dash = if *backend == "MPI" { r#" stroke-dasharray="6 3""# } else { "" };
+        let dash = if *backend == "MPI" {
+            r#" stroke-dasharray="6 3""#
+        } else {
+            ""
+        };
         let mut d = String::new();
         for (i, &(x, y)) in pts.iter().enumerate() {
-            let _ = write!(d, "{}{:.1},{:.1} ", if i == 0 { "M" } else { "L" }, px(x), py(y));
+            let _ = write!(
+                d,
+                "{}{:.1},{:.1} ",
+                if i == 0 { "M" } else { "L" },
+                px(x),
+                py(y)
+            );
         }
         let _ = write!(
             s,
@@ -151,7 +165,9 @@ pub fn scaling_chart(title: &str, rows: &[PerfRow]) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

@@ -66,7 +66,11 @@ pub fn run_config(
 /// explicit override (the grids the paper reports) when provided.
 pub fn grid_for(atoms: usize, n_ranks: usize, force: Option<[usize; 3]>) -> DdGrid {
     let box_l = halox_dd::density::grappa_box(atoms, 100.0);
-    let opts = GridOptions { r_comm: R_COMM, force_grid: force, ..Default::default() };
+    let opts = GridOptions {
+        r_comm: R_COMM,
+        force_grid: force,
+        ..Default::default()
+    };
     choose_grid(n_ranks, box_l, &opts)
 }
 
@@ -232,9 +236,11 @@ pub fn fig6() -> Vec<TimingRow> {
 pub fn fig7() -> Vec<TimingRow> {
     let machine = MachineModel::eos();
     let mut rows = Vec::new();
-    for &(atoms, dims) in
-        &[(90_000usize, [8, 1, 1]), (180_000, [8, 2, 1]), (360_000, [8, 2, 2])]
-    {
+    for &(atoms, dims) in &[
+        (90_000usize, [8, 1, 1]),
+        (180_000, [8, 2, 1]),
+        (360_000, [8, 2, 2]),
+    ] {
         let grid = grid_for(atoms, dims.iter().product(), Some(dims));
         for backend in [Backend::Mpi, Backend::Nvshmem] {
             rows.push(timing_row("fig7", &machine, atoms, grid, backend));
@@ -247,9 +253,11 @@ pub fn fig7() -> Vec<TimingRow> {
 pub fn fig8() -> Vec<TimingRow> {
     let machine = MachineModel::eos();
     let mut rows = Vec::new();
-    for &(atoms, dims) in
-        &[(720_000usize, [8, 1, 1]), (1_440_000, [8, 2, 1]), (2_880_000, [8, 2, 2])]
-    {
+    for &(atoms, dims) in &[
+        (720_000usize, [8, 1, 1]),
+        (1_440_000, [8, 2, 1]),
+        (2_880_000, [8, 2, 2]),
+    ] {
         let grid = grid_for(atoms, dims.iter().product(), Some(dims));
         for backend in [Backend::Mpi, Backend::Nvshmem] {
             rows.push(timing_row("fig8", &machine, atoms, grid, backend));
@@ -267,9 +275,20 @@ mod tests {
         let rows = fig3();
         assert_eq!(rows.len(), 16);
         // Headline: 45k @ 4 GPUs, NVSHMEM wins big.
-        let mpi = rows.iter().find(|r| r.system_atoms == 45_000 && r.n_gpus == 4 && r.backend == "MPI").unwrap();
-        let nvs = rows.iter().find(|r| r.system_atoms == 45_000 && r.n_gpus == 4 && r.backend == "NVSHMEM").unwrap();
-        assert!(nvs.ns_per_day > mpi.ns_per_day * 1.15, "{} vs {}", nvs.ns_per_day, mpi.ns_per_day);
+        let mpi = rows
+            .iter()
+            .find(|r| r.system_atoms == 45_000 && r.n_gpus == 4 && r.backend == "MPI")
+            .unwrap();
+        let nvs = rows
+            .iter()
+            .find(|r| r.system_atoms == 45_000 && r.n_gpus == 4 && r.backend == "NVSHMEM")
+            .unwrap();
+        assert!(
+            nvs.ns_per_day > mpi.ns_per_day * 1.15,
+            "{} vs {}",
+            nvs.ns_per_day,
+            mpi.ns_per_day
+        );
     }
 
     #[test]
@@ -282,7 +301,10 @@ mod tests {
         }
         // Larger systems scale better at 8 nodes.
         let eff8 = |atoms: usize| {
-            rows.iter().find(|r| r.system_atoms == atoms && r.n_nodes == 8).unwrap().efficiency
+            rows.iter()
+                .find(|r| r.system_atoms == atoms && r.n_nodes == 8)
+                .unwrap()
+                .efficiency
         };
         assert!(eff8(1_440_000) > eff8(720_000));
         assert!(eff8(2_880_000) > eff8(1_440_000));
@@ -306,7 +328,14 @@ mod tests {
     #[test]
     fn fig6_local_work_matches_paper() {
         let rows = fig6();
-        let r45 = rows.iter().find(|r| r.system_atoms == 45_000 && r.backend == "MPI").unwrap();
-        assert!((r45.local_work_us - 22.0).abs() < 6.0, "{}", r45.local_work_us);
+        let r45 = rows
+            .iter()
+            .find(|r| r.system_atoms == 45_000 && r.backend == "MPI")
+            .unwrap();
+        assert!(
+            (r45.local_work_us - 22.0).abs() < 6.0,
+            "{}",
+            r45.local_work_us
+        );
     }
 }

@@ -27,13 +27,18 @@ pub struct FunctionalRow {
 /// works) and collect throughput.
 pub fn run_matrix() -> Vec<FunctionalRow> {
     let mut rows = Vec::new();
-    let mut base = GrappaBuilder::new(6_000).seed(99).temperature(250.0).build();
+    let mut base = GrappaBuilder::new(6_000)
+        .seed(99)
+        .temperature(250.0)
+        .build();
     minimize::steepest_descent(&mut base, MinimizeOptions::default());
     let steps = 20;
     for dims in [[2usize, 1, 1], [2, 2, 1], [2, 2, 2]] {
-        for backend in
-            [ExchangeBackend::Mpi, ExchangeBackend::ThreadMpi, ExchangeBackend::NvshmemFused]
-        {
+        for backend in [
+            ExchangeBackend::Mpi,
+            ExchangeBackend::ThreadMpi,
+            ExchangeBackend::NvshmemFused,
+        ] {
             let mut cfg = EngineConfig::new(backend);
             cfg.nstlist = 10;
             let mut engine = Engine::new(base.clone(), DdGrid::new(dims), cfg);
@@ -102,8 +107,11 @@ pub fn print_critical_paths() {
     for backend in [Backend::Mpi, Backend::Nvshmem] {
         let run = sched::build(backend, &input, 6);
         let t = run.timeline();
-        println!("
-== Critical path breakdown, 45k @ 4 GPUs, {} ==", backend.label());
+        println!(
+            "
+== Critical path breakdown, 45k @ 4 GPUs, {} ==",
+            backend.label()
+        );
         let breakdown = run.graph.critical_path_breakdown(&t, &prefixes);
         let total: u64 = breakdown.iter().map(|(_, v)| *v).sum();
         for (name, ns) in breakdown.iter().filter(|(_, v)| *v > 0) {
@@ -117,7 +125,11 @@ pub fn print_critical_paths() {
         // Top utilized resources.
         println!("  busiest resources:");
         for (r, busy, frac) in run.graph.utilization(&t).into_iter().take(4) {
-            println!("    {r:?}: {:.1} us busy ({:.0}%)", busy as f64 / 1e3, frac * 100.0);
+            println!(
+                "    {r:?}: {:.1} us busy ({:.0}%)",
+                busy as f64 / 1e3,
+                frac * 100.0
+            );
         }
     }
 }
@@ -134,9 +146,15 @@ pub fn print_gantt() {
         let span = t.makespan();
         let t0 = span * 3 / 6;
         let t1 = span * 4 / 6;
-        println!("
-== One {} step (rank 0) ==", backend.label());
-        print!("{}", halox_gpusim::gantt::render_rank(&run.graph, &t, 0, t0, t1, 100));
+        println!(
+            "
+== One {} step (rank 0) ==",
+            backend.label()
+        );
+        print!(
+            "{}",
+            halox_gpusim::gantt::render_rank(&run.graph, &t, 0, t0, t1, 100)
+        );
     }
 }
 
@@ -150,7 +168,10 @@ pub fn print_sweep(atoms: usize, nodes: usize, machine_name: &str) {
     };
     let gpus = nodes * machine.gpus_per_node;
     let box_l = halox_dd::grappa_box(atoms, 100.0);
-    let opts = halox_dd::GridOptions { r_comm: R_COMM, ..Default::default() };
+    let opts = halox_dd::GridOptions {
+        r_comm: R_COMM,
+        ..Default::default()
+    };
     let grid = halox_dd::choose_grid(gpus, box_l, &opts);
     let model = WorkloadModel::grappa(atoms, R_COMM, grid);
     let input = ScheduleInput::from_workload(machine.clone(), &model);

@@ -5,7 +5,8 @@
 
 pub mod ablation;
 pub mod chart;
-pub mod functional;
 pub mod figures;
+pub mod ftrace;
+pub mod functional;
 pub mod report;
 pub mod validate;

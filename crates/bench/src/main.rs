@@ -1,6 +1,6 @@
 //! `halox-bench` — regenerate the paper's figures on the timing simulator.
 
-use halox_bench::{ablation, chart, figures, functional, report, validate};
+use halox_bench::{ablation, chart, figures, ftrace, functional, report, validate};
 use std::path::Path;
 
 fn print_and_save(checks: &[halox_bench::validate::Check], results: &Path) -> bool {
@@ -17,17 +17,26 @@ fn main() {
     let run_fig = |name: &str| match name {
         "fig3" => {
             let rows = figures::fig3();
-            report::print_perf_table("Fig 3: intra-node MPI vs NVSHMEM (DGX-H100, 4/8 GPUs)", &rows);
+            report::print_perf_table(
+                "Fig 3: intra-node MPI vs NVSHMEM (DGX-H100, 4/8 GPUs)",
+                &rows,
+            );
             report::write_csv(&results.join("fig3.csv"), &rows).unwrap();
-            std::fs::write(results.join("fig3.svg"), chart::scaling_chart("Fig 3: intra-node strong scaling (DGX-H100)", &rows))
-                .unwrap();
+            std::fs::write(
+                results.join("fig3.svg"),
+                chart::scaling_chart("Fig 3: intra-node strong scaling (DGX-H100)", &rows),
+            )
+            .unwrap();
         }
         "fig4" => {
             let rows = figures::fig4();
             report::print_perf_table("Fig 4: NVSHMEM strong scaling on GB200 NVL72", &rows);
             report::write_csv(&results.join("fig4.csv"), &rows).unwrap();
-            std::fs::write(results.join("fig4.svg"), chart::scaling_chart("Fig 4: NVSHMEM strong scaling (GB200 NVL72)", &rows))
-                .unwrap();
+            std::fs::write(
+                results.join("fig4.svg"),
+                chart::scaling_chart("Fig 4: NVSHMEM strong scaling (GB200 NVL72)", &rows),
+            )
+            .unwrap();
             let est = figures::fig4_mpi_estimate();
             report::print_perf_table(
                 "Fig 4 aside: estimated MPI on MNNVL (paper footnote: ~2x NVSHMEM win at scale)",
@@ -39,8 +48,11 @@ fn main() {
             let rows = figures::fig5();
             report::print_perf_table("Fig 5: multi-node MPI vs NVSHMEM on Eos", &rows);
             report::write_csv(&results.join("fig5.csv"), &rows).unwrap();
-            std::fs::write(results.join("fig5.svg"), chart::scaling_chart("Fig 5: multi-node strong scaling (Eos)", &rows))
-                .unwrap();
+            std::fs::write(
+                results.join("fig5.svg"),
+                chart::scaling_chart("Fig 5: multi-node strong scaling (Eos)", &rows),
+            )
+            .unwrap();
         }
         "fig6" => {
             let rows = figures::fig6();
@@ -102,7 +114,13 @@ fn main() {
         "trace" => {
             let path = results.join("nvshmem_step_trace.json");
             functional::export_trace(&path);
-            println!("wrote {} (open in chrome://tracing or Perfetto)", path.display());
+            println!(
+                "wrote {} (open in chrome://tracing or Perfetto)",
+                path.display()
+            );
+        }
+        "ftrace" => {
+            ftrace::run(results);
         }
         other => {
             eprintln!("unknown figure: {other}");
@@ -111,7 +129,20 @@ fn main() {
     };
 
     if what == "all" {
-        for f in ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "functional", "critical-path", "trace", "validate"] {
+        for f in [
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "ablation",
+            "functional",
+            "critical-path",
+            "trace",
+            "ftrace",
+            "validate",
+        ] {
             run_fig(f);
         }
     } else {

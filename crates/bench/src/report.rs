@@ -24,10 +24,12 @@ pub fn write_csv<T: Serialize>(path: &Path, rows: &[T]) -> std::io::Result<()> {
             .values()
             .map(|v| match v {
                 serde_json::Value::String(s) => s.clone(),
-                serde_json::Value::Array(a) => a.iter()
-                        .map(|x| x.to_string())
-                        .collect::<Vec<_>>()
-                        .join("x").to_string(),
+                serde_json::Value::Array(a) => a
+                    .iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join("x")
+                    .to_string(),
                 other => other.to_string(),
             })
             .collect();
@@ -67,7 +69,15 @@ pub fn print_timing_table(title: &str, rows: &[TimingRow]) {
     println!("\n== {title} ==");
     println!(
         "{:>10} {:>5} {:>10} {:>9} {:>8} {:>9} {:>11} {:>11} {:>11}",
-        "atoms", "gpus", "atoms/gpu", "grid", "backend", "local_us", "nonlocal_us", "nonovl_us", "step_us"
+        "atoms",
+        "gpus",
+        "atoms/gpu",
+        "grid",
+        "backend",
+        "local_us",
+        "nonlocal_us",
+        "nonovl_us",
+        "step_us"
     );
     for r in rows {
         println!(

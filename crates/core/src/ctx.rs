@@ -1,11 +1,22 @@
 //! Per-rank communication context: the Rust analogue of the paper's
 //! Algorithm 1 `CommContext` plus the staging-buffer layout.
 //!
-//! Signal slot layout (per PE, monotone values — `sigVal` bumps each step):
+//! Signal slot layout (per PE, monotone values — `sigVal` bumps each step;
+//! `P` = total pulses). See DESIGN.md §3 for the full lifecycle rules.
 //!
 //! * slot `p` — coordinate pulse `p` data arrived at me;
 //! * slot `P + p` — my down-neighbour's forces for pulse `p` are ready
-//!   (NVLink get path) / arrived in my staging buffer (IB put path).
+//!   (NVLink get path) / arrived in my staging buffer (IB put path);
+//! * slot `2P + p` — *coordinate ack*: the halo data I sent in pulse `p`
+//!   has been consumed by the receiver, so I may overwrite their halo
+//!   region next step;
+//! * slot `3P + p` — *force ack*: the force data I published for pulse `p`
+//!   (my force buffer on the NVLink get path / the receiver's staging area
+//!   on the IB path) has been read, so I may reuse the region next step.
+//!
+//! The ack slots close the cross-step reuse window: without them nothing
+//! orders step `N+1`'s buffer overwrite after the neighbour's step-`N`
+//! read of the same symmetric region.
 
 use halox_dd::{DdPartition, PulseData};
 
@@ -43,9 +54,23 @@ impl CommContext {
         self.total_pulses + p
     }
 
+    /// Signal slot for "my pulse-`p` coordinate halo was consumed by its
+    /// receiver" (completion ack, waited on before re-sending).
+    #[inline]
+    pub fn coord_ack_slot(&self, p: usize) -> usize {
+        2 * self.total_pulses + p
+    }
+
+    /// Signal slot for "my pulse-`p` force region was read by its
+    /// consumer" (completion ack, waited on before the region is reused).
+    #[inline]
+    pub fn force_ack_slot(&self, p: usize) -> usize {
+        3 * self.total_pulses + p
+    }
+
     /// Number of signal slots a world must provide per PE.
     pub fn slots_needed(total_pulses: usize) -> usize {
-        2 * total_pulses.max(1)
+        4 * total_pulses.max(1)
     }
 }
 
@@ -77,10 +102,29 @@ pub fn build_contexts(part: &DdPartition) -> Vec<CommContext> {
     part.ranks
         .iter()
         .map(|r| {
+            // The stage region I target on `recv_rank` is the one *their*
+            // pulse with my global pulse id owns. Resolve the peer's local
+            // position of that pulse — indexing their offset table by my
+            // `global_id` directly is only correct when every rank lists
+            // its pulses densely in global order, which asymmetric
+            // decompositions (different pulse counts per dim) break.
             let remote_stage_offset = r
                 .pulses
                 .iter()
-                .map(|p| offsets[p.recv_rank][p.global_id])
+                .map(|p| {
+                    let peer = &part.ranks[p.recv_rank];
+                    let pos = peer
+                        .pulses
+                        .iter()
+                        .position(|q| q.global_id == p.global_id)
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "rank {} has no pulse with global id {} (needed by rank {})",
+                                p.recv_rank, p.global_id, r.rank
+                            )
+                        });
+                    offsets[p.recv_rank][pos]
+                })
                 .collect();
             CommContext {
                 rank: r.rank,
@@ -112,7 +156,11 @@ mod tests {
         assert_eq!(c.total_pulses, 2);
         assert_eq!(c.coord_slot(1), 1);
         assert_eq!(c.force_slot(0), 2);
-        assert_eq!(CommContext::slots_needed(2), 4);
+        assert_eq!(c.coord_ack_slot(0), 4);
+        assert_eq!(c.coord_ack_slot(1), 5);
+        assert_eq!(c.force_ack_slot(0), 6);
+        assert_eq!(c.force_ack_slot(1), 7);
+        assert_eq!(CommContext::slots_needed(2), 8);
     }
 
     #[test]

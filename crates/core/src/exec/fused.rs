@@ -20,9 +20,30 @@
 //!   Over NVLink the receiver *gets* from the peer's force buffer
 //!   (receiver-driven, like the TMA bulk loads); over IB the producer puts
 //!   into the receiver's staging buffer.
+//!
+//! # Cross-step reuse fencing
+//!
+//! One fused call only orders *within* a step; nothing in the data-arrival
+//! signals orders step `N+1`'s reuse of a symmetric region after the
+//! neighbour's step-`N` access of it. Concretely, on the NVLink get path a
+//! rank could overwrite its force buffer (`load_from` for the next
+//! evaluation) while the downstream neighbour's step-`N` get was still
+//! reading it — there was no reverse completion ack. Both exchanges
+//! therefore carry per-pulse *completion acks* (see `CommContext` ack
+//! slots and DESIGN.md §3):
+//!
+//! * forces are self-fencing: each pulse acks its producer right after the
+//!   reads, and [`fused_comm_unpack_f`] does not return until all of this
+//!   PE's published regions are acked — so the caller may immediately
+//!   reuse the buffers;
+//! * coordinates are acked by the *caller* via [`ack_coordinate_consumed`]
+//!   once it has read the halo (the exchange cannot know when the
+//!   consumer is done), and [`fused_pack_comm_x`] waits for the previous
+//!   step's ack before overwriting a peer's halo region.
 
 use crate::ctx::CommContext;
 use halox_shmem::{Pe, SignalSet, SymVec3};
+use halox_trace::{record_opt, span_opt, Payload, Region};
 
 /// Symmetric buffers shared by the fused exchange. Allocation is collective
 /// and identically sized on every PE (the NVSHMEM symmetric-heap rule that
@@ -56,7 +77,24 @@ pub fn fused_pack_comm_x(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_va
         for p in 0..ctx.total_pulses {
             let pd = &ctx.pulses[p];
             s.spawn(move || {
+                let _span = span_opt(pe.trace(), ctx.rank as u32, "pack_x", p as i32);
                 let dst = pd.send_rank;
+                // Cross-step fence: the halo region this pulse writes on
+                // `dst` may still be read by `dst`'s previous step. Wait
+                // for their consumption ack of step sig_val-1 before
+                // overwriting (slot starts at 0, so step 1 passes
+                // immediately).
+                pe.wait_signal(ctx.coord_ack_slot(p), sig_val.saturating_sub(1));
+                record_opt(
+                    pe.trace(),
+                    ctx.rank as u32,
+                    Payload::RegionWrite {
+                        owner: dst as u32,
+                        region: Region::Coords,
+                        lo: pd.remote_recv_offset as u32,
+                        hi: (pd.remote_recv_offset + pd.send_count()) as u32,
+                    },
+                );
                 if pe.nvlink_reachable(dst) {
                     // NVLink: zero-copy remote stores, pipelined with packing.
                     for (k, &i) in pd.independent().iter().enumerate() {
@@ -68,7 +106,8 @@ pub fn fused_pack_comm_x(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_va
                     }
                     for (k, &i) in pd.dependent().iter().enumerate() {
                         let v = bufs.coords.get(ctx.rank, i as usize) + pd.shift;
-                        bufs.coords.set(dst, pd.remote_recv_offset + pd.dep_offset + k, v);
+                        bufs.coords
+                            .set(dst, pd.remote_recv_offset + pd.dep_offset + k, v);
                     }
                     // Fused receiver notification (release publishes stores).
                     pe.signal(dst, ctx.coord_slot(p), sig_val);
@@ -109,10 +148,46 @@ pub fn wait_coordinate_arrivals(pe: &Pe, ctx: &CommContext, sig_val: u64) {
     }
 }
 
+/// Tell each coordinate sender that this PE is done reading the halo data
+/// of step `sig_val`, releasing their pulse regions for the next step.
+///
+/// Call after the last read of halo coordinates for this step (after the
+/// force kernels that consume them). A driver that skips this will
+/// deadlock the *next* [`fused_pack_comm_x`] on the reuse fence — by
+/// design: overwriting an unacked halo is exactly the cross-step race the
+/// fence exists to prevent.
+pub fn ack_coordinate_consumed(pe: &Pe, ctx: &CommContext, sig_val: u64) {
+    for (p, pd) in ctx.pulses.iter().enumerate() {
+        // The read event marks the *consumer-side* access of the halo
+        // region; it is sequenced after the arrival wait and before the
+        // ack release, which is what lets the checker pair it with the
+        // sender's next-step overwrite.
+        record_opt(
+            pe.trace(),
+            ctx.rank as u32,
+            Payload::RegionRead {
+                owner: ctx.rank as u32,
+                region: Region::Coords,
+                lo: pd.recv_offset as u32,
+                hi: (pd.recv_offset + pd.recv_count) as u32,
+            },
+        );
+        pe.signal(pd.recv_rank, ctx.coord_ack_slot(p), sig_val);
+    }
+}
+
 /// Fused force halo exchange + unpack. `forces` (this PE's segment of
 /// `bufs.forces`) must already hold the locally computed forces for all
 /// local atoms; on return, every *home* entry includes all remote
 /// contributions.
+///
+/// The call is *self-fencing across steps*: it returns only after every
+/// region this PE published (its force buffer on the get path, the
+/// upstream's staging area on the put path) has been acked by its
+/// consumer, so the caller may immediately overwrite the force buffer for
+/// the next evaluation. Without that reverse ack, step `N+1`'s
+/// `load_from` races the downstream neighbour's still-in-flight step-`N`
+/// get.
 pub fn fused_comm_unpack_f(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_val: u64) {
     let total = ctx.total_pulses;
     if total == 0 {
@@ -127,6 +202,7 @@ pub fn fused_comm_unpack_f(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_
         for p in (0..total).rev() {
             let pd = &ctx.pulses[p];
             s.spawn(move || {
+                let _span = span_opt(pe.trace(), ctx.rank as u32, "unpack_f", p as i32);
                 // --- DEP_MGMT: release my region p upstream only after all
                 // later pulses' contributions have been folded in locally.
                 for q in (p + 1)..total {
@@ -143,6 +219,16 @@ pub fn fused_comm_unpack_f(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_
                     for k in 0..pd.recv_count {
                         payload.push(bufs.forces.get(ctx.rank, pd.recv_offset + k));
                     }
+                    record_opt(
+                        pe.trace(),
+                        ctx.rank as u32,
+                        Payload::RegionWrite {
+                            owner: upstream as u32,
+                            region: Region::ForceStage,
+                            lo: ctx.remote_stage_offset[p] as u32,
+                            hi: (ctx.remote_stage_offset[p] + payload.len()) as u32,
+                        },
+                    );
                     pe.put_vec3_signal_nbi(
                         &bufs.force_stage,
                         upstream,
@@ -158,20 +244,50 @@ pub fn fused_comm_unpack_f(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_
                 pe.wait_signal(ctx.force_slot(p), sig_val);
                 let downstream = pd.send_rank;
                 if pe.nvlink_reachable(downstream) {
+                    record_opt(
+                        pe.trace(),
+                        ctx.rank as u32,
+                        Payload::RegionRead {
+                            owner: downstream as u32,
+                            region: Region::Forces,
+                            lo: pd.remote_recv_offset as u32,
+                            hi: (pd.remote_recv_offset + pd.send_index.len()) as u32,
+                        },
+                    );
                     for (k, &i) in pd.send_index.iter().enumerate() {
                         let v = bufs.forces.get(downstream, pd.remote_recv_offset + k);
                         bufs.forces.add(ctx.rank, i as usize, v);
                     }
                 } else {
+                    record_opt(
+                        pe.trace(),
+                        ctx.rank as u32,
+                        Payload::RegionRead {
+                            owner: ctx.rank as u32,
+                            region: Region::ForceStage,
+                            lo: ctx.stage_offset[p] as u32,
+                            hi: (ctx.stage_offset[p] + pd.send_index.len()) as u32,
+                        },
+                    );
                     for (k, &i) in pd.send_index.iter().enumerate() {
                         let v = bufs.force_stage.get(ctx.rank, ctx.stage_offset[p] + k);
                         bufs.forces.add(ctx.rank, i as usize, v);
                     }
                 }
+                // Completion ack: the producer of what this pulse just read
+                // (`downstream`'s force region over NVLink, my staging area
+                // that `downstream` filled over IB) may reuse it next step.
+                pe.signal(downstream, ctx.force_ack_slot(p), sig_val);
                 ud.release_store(p, 1);
             });
         }
     });
+    // Epoch fence: do not return until every region *I* published this
+    // step has been consumed. My consumer for pulse p is the upstream
+    // neighbour, whose DATA phase acks my force_ack slot after its reads.
+    for p in 0..total {
+        pe.wait_signal(ctx.force_ack_slot(p), sig_val);
+    }
 }
 
 #[cfg(test)]
@@ -193,13 +309,21 @@ mod tests {
         (part, ctxs)
     }
 
-    fn run_coordinate_case(part: &DdPartition, ctxs: &[CommContext], topo: Topology, proxy: ProxyConfig) {
+    fn run_coordinate_case(
+        part: &DdPartition,
+        ctxs: &[CommContext],
+        topo: Topology,
+        proxy: ProxyConfig,
+    ) {
         let world = ShmemWorld::new(topo, CommContext::slots_needed(part.total_pulses()))
             .with_proxy_config(proxy);
         let bufs = FusedBuffers::alloc(part.n_ranks(), &ctxs[0]);
 
-        let mut expect: Vec<Vec<Vec3>> =
-            part.ranks.iter().map(|r| r.build_positions.clone()).collect();
+        let mut expect: Vec<Vec<Vec3>> = part
+            .ranks
+            .iter()
+            .map(|r| r.build_positions.clone())
+            .collect();
         reference_coordinate_exchange(part, &mut expect);
 
         // Preload home coordinates; poison the halo.
@@ -229,7 +353,12 @@ mod tests {
         }
     }
 
-    fn run_force_case(part: &DdPartition, ctxs: &[CommContext], topo: Topology, proxy: ProxyConfig) {
+    fn run_force_case(
+        part: &DdPartition,
+        ctxs: &[CommContext],
+        topo: Topology,
+        proxy: ProxyConfig,
+    ) {
         let world = ShmemWorld::new(topo, CommContext::slots_needed(part.total_pulses()))
             .with_proxy_config(proxy);
         let bufs = FusedBuffers::alloc(part.n_ranks(), &ctxs[0]);
@@ -269,37 +398,67 @@ mod tests {
     #[test]
     fn coordinates_nvlink_2d() {
         let (part, ctxs) = setup(6000, [2, 2, 1], 41);
-        run_coordinate_case(&part, &ctxs, Topology::all_nvlink(4), ProxyConfig::default());
+        run_coordinate_case(
+            &part,
+            &ctxs,
+            Topology::all_nvlink(4),
+            ProxyConfig::default(),
+        );
     }
 
     #[test]
     fn coordinates_mixed_ib_3d() {
         let (part, ctxs) = setup(12000, [2, 2, 2], 42);
-        run_coordinate_case(&part, &ctxs, Topology::islands(8, 4), ProxyConfig::default());
+        run_coordinate_case(
+            &part,
+            &ctxs,
+            Topology::islands(8, 4),
+            ProxyConfig::default(),
+        );
     }
 
     #[test]
     fn coordinates_all_ib_1d() {
         let (part, ctxs) = setup(6000, [4, 1, 1], 43);
-        run_coordinate_case(&part, &ctxs, Topology::islands(4, 1), ProxyConfig::default());
+        run_coordinate_case(
+            &part,
+            &ctxs,
+            Topology::islands(4, 1),
+            ProxyConfig::default(),
+        );
     }
 
     #[test]
     fn forces_nvlink_2d() {
         let (part, ctxs) = setup(6000, [2, 2, 1], 44);
-        run_force_case(&part, &ctxs, Topology::all_nvlink(4), ProxyConfig::default());
+        run_force_case(
+            &part,
+            &ctxs,
+            Topology::all_nvlink(4),
+            ProxyConfig::default(),
+        );
     }
 
     #[test]
     fn forces_mixed_ib_3d() {
         let (part, ctxs) = setup(12000, [2, 2, 2], 45);
-        run_force_case(&part, &ctxs, Topology::islands(8, 4), ProxyConfig::default());
+        run_force_case(
+            &part,
+            &ctxs,
+            Topology::islands(8, 4),
+            ProxyConfig::default(),
+        );
     }
 
     #[test]
     fn forces_all_ib_2d() {
         let (part, ctxs) = setup(6000, [2, 2, 1], 46);
-        run_force_case(&part, &ctxs, Topology::islands(4, 1), ProxyConfig::default());
+        run_force_case(
+            &part,
+            &ctxs,
+            Topology::islands(4, 1),
+            ProxyConfig::default(),
+        );
     }
 
     #[test]
@@ -307,8 +466,10 @@ mod tests {
         // §5.5 failure injection: a contended proxy is slow but must stay
         // correct.
         let (part, ctxs) = setup(6000, [2, 2, 1], 47);
-        let proxy =
-            ProxyConfig { injected_delay: Some(Duration::from_millis(2)), ..Default::default() };
+        let proxy = ProxyConfig {
+            injected_delay: Some(Duration::from_millis(2)),
+            ..Default::default()
+        };
         run_coordinate_case(&part, &ctxs, Topology::islands(4, 2), proxy);
         run_force_case(&part, &ctxs, Topology::islands(4, 2), proxy);
     }
@@ -330,6 +491,9 @@ mod tests {
             for step in 1..=5u64 {
                 fused_pack_comm_x(pe, &c[pe.id], b, step);
                 wait_coordinate_arrivals(pe, &c[pe.id], step);
+                // Release the senders' halo regions for the next step; the
+                // pack fence would (deliberately) deadlock without this.
+                ack_coordinate_consumed(pe, &c[pe.id], step);
                 pe.barrier_all();
             }
         });
@@ -349,7 +513,17 @@ mod tests {
         let part = build_partition(&sys, &DdGrid::new([4, 1, 1]), 0.8);
         assert_eq!(part.total_pulses(), 2);
         let ctxs = build_contexts(&part);
-        run_coordinate_case(&part, &ctxs, Topology::all_nvlink(4), ProxyConfig::default());
-        run_force_case(&part, &ctxs, Topology::islands(4, 2), ProxyConfig::default());
+        run_coordinate_case(
+            &part,
+            &ctxs,
+            Topology::all_nvlink(4),
+            ProxyConfig::default(),
+        );
+        run_force_case(
+            &part,
+            &ctxs,
+            Topology::islands(4, 2),
+            ProxyConfig::default(),
+        );
     }
 }

@@ -5,4 +5,7 @@ pub mod fused;
 pub mod mpi;
 pub mod tmpi;
 
-pub use fused::{fused_comm_unpack_f, fused_pack_comm_x, wait_coordinate_arrivals, FusedBuffers};
+pub use fused::{
+    ack_coordinate_consumed, fused_comm_unpack_f, fused_pack_comm_x, wait_coordinate_arrivals,
+    FusedBuffers,
+};

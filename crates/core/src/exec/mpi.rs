@@ -9,6 +9,7 @@
 use crate::ctx::CommContext;
 use halox_md::Vec3;
 use halox_shmem::TwoSidedComm;
+use halox_trace::{span_opt, Recorder};
 
 /// Tag space: coordinate pulses use even tags, force pulses odd.
 fn coord_tag(step: u64, pulse: usize) -> u64 {
@@ -21,17 +22,27 @@ fn force_tag(step: u64, pulse: usize) -> u64 {
 
 /// Coordinate halo exchange, serialized pulses. `coords` is this rank's
 /// local array (home + halo); halo regions are filled on return.
+///
+/// `trace` records per-pulse spans when the caller is collecting a
+/// functional trace; the two-sided rendezvous itself needs no protocol
+/// edges (payloads are private copies, so there is no symmetric-region
+/// reuse to fence).
 pub fn coordinate_exchange(
     comm: &TwoSidedComm,
     ctx: &CommContext,
     step: u64,
     coords: &mut [Vec3],
+    trace: Option<&Recorder>,
 ) {
     for (p, pd) in ctx.pulses.iter().enumerate() {
+        let _span = span_opt(trace, ctx.rank as u32, "mpi_sendrecv_x", p as i32);
         // Pack: independent and dependent entries alike — earlier pulses
         // have fully completed, so forwarded data is already in `coords`.
-        let payload: Vec<Vec3> =
-            pd.send_index.iter().map(|&i| coords[i as usize] + pd.shift).collect();
+        let payload: Vec<Vec3> = pd
+            .send_index
+            .iter()
+            .map(|&i| coords[i as usize] + pd.shift)
+            .collect();
         let recv = comm.sendrecv(
             ctx.rank,
             pd.send_rank,
@@ -49,9 +60,16 @@ pub fn coordinate_exchange(
 /// locally accumulated forces for all local atoms; on return every *home*
 /// entry includes all remote contributions (halo entries have been
 /// forwarded).
-pub fn force_exchange(comm: &TwoSidedComm, ctx: &CommContext, step: u64, forces: &mut [Vec3]) {
+pub fn force_exchange(
+    comm: &TwoSidedComm,
+    ctx: &CommContext,
+    step: u64,
+    forces: &mut [Vec3],
+    trace: Option<&Recorder>,
+) {
     for p in (0..ctx.pulses.len()).rev() {
         let pd = &ctx.pulses[p];
+        let _span = span_opt(trace, ctx.rank as u32, "mpi_sendrecv_f", p as i32);
         // Send back the forces accumulated for the atoms received in pulse
         // p (to the rank that sent them); receive the forces for the atoms
         // we sent (from the rank we sent them to).
@@ -64,7 +82,11 @@ pub fn force_exchange(comm: &TwoSidedComm, ctx: &CommContext, step: u64, forces:
             pd.send_rank,
             force_tag(step, p),
         );
-        assert_eq!(recv.len(), pd.send_count(), "pulse {p} force recv size mismatch");
+        assert_eq!(
+            recv.len(),
+            pd.send_count(),
+            "pulse {p} force recv size mismatch"
+        );
         for (k, &i) in pd.send_index.iter().enumerate() {
             forces[i as usize] += recv[k];
         }
@@ -75,7 +97,9 @@ pub fn force_exchange(comm: &TwoSidedComm, ctx: &CommContext, step: u64, forces:
 mod tests {
     use super::*;
     use crate::ctx::build_contexts;
-    use halox_dd::{build_partition, reference_coordinate_exchange, reference_force_exchange, DdGrid};
+    use halox_dd::{
+        build_partition, reference_coordinate_exchange, reference_force_exchange, DdGrid,
+    };
     use halox_md::GrappaBuilder;
 
     /// Run the two-sided exchange on threads and compare with the serial
@@ -87,8 +111,11 @@ mod tests {
         let ctxs = build_contexts(&part);
         let comm = TwoSidedComm::new(part.n_ranks());
 
-        let mut expect: Vec<Vec<halox_md::Vec3>> =
-            part.ranks.iter().map(|r| r.build_positions.clone()).collect();
+        let mut expect: Vec<Vec<halox_md::Vec3>> = part
+            .ranks
+            .iter()
+            .map(|r| r.build_positions.clone())
+            .collect();
         reference_coordinate_exchange(&part, &mut expect);
 
         let comm_ref = &comm;
@@ -103,7 +130,7 @@ mod tests {
                         for v in coords[part_ref.ranks[r].n_home..].iter_mut() {
                             *v = halox_md::Vec3::splat(-1e9);
                         }
-                        coordinate_exchange(comm_ref, &ctxs_ref[r], 0, &mut coords);
+                        coordinate_exchange(comm_ref, &ctxs_ref[r], 0, &mut coords, None);
                         coords
                     })
                 })
@@ -145,7 +172,7 @@ mod tests {
                 .map(|r| {
                     s.spawn(move || {
                         let mut f = init_ref[r].clone();
-                        force_exchange(comm_ref, &ctxs_ref[r], 0, &mut f);
+                        force_exchange(comm_ref, &ctxs_ref[r], 0, &mut f, None);
                         f
                     })
                 })
@@ -179,9 +206,9 @@ mod tests {
                 s.spawn(move || {
                     let mut coords = part_ref.ranks[r].build_positions.clone();
                     for step in 0..3 {
-                        coordinate_exchange(comm_ref, &ctxs_ref[r], step, &mut coords);
+                        coordinate_exchange(comm_ref, &ctxs_ref[r], step, &mut coords, None);
                         let mut forces = vec![halox_md::Vec3::splat(1.0); coords.len()];
-                        force_exchange(comm_ref, &ctxs_ref[r], step, &mut forces);
+                        force_exchange(comm_ref, &ctxs_ref[r], step, &mut forces, None);
                     }
                 });
             }

@@ -12,25 +12,45 @@
 use crate::ctx::CommContext;
 use crate::exec::fused::FusedBuffers;
 use halox_shmem::Pe;
+use halox_trace::{record_opt, span_opt, Payload, Region};
 
 /// Serialized-pulse coordinate exchange with direct copies. Arrivals are
 /// signalled per pulse; call
 /// [`crate::exec::fused::wait_coordinate_arrivals`] before consuming halo
 /// coordinates.
+///
+/// Carries the same cross-step reuse fence as the fused path: each pulse
+/// waits for the receiver's previous-step consumption ack (see
+/// [`crate::exec::fused::ack_coordinate_consumed`]) before overwriting
+/// their halo region.
 pub fn coordinate_exchange(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_val: u64) {
     for p in 0..ctx.total_pulses {
         let pd = &ctx.pulses[p];
+        let _span = span_opt(pe.trace(), ctx.rank as u32, "tmpi_pack_x", p as i32);
         let dst = pd.send_rank;
         assert!(
             pe.nvlink_reachable(dst),
             "thread-MPI is single-process: rank {} cannot reach {dst}",
             ctx.rank
         );
+        // Cross-step fence: dst may still be reading the halo we wrote
+        // last step.
+        pe.wait_signal(ctx.coord_ack_slot(p), sig_val.saturating_sub(1));
         // Event dependency: forwarded entries need the earlier pulses'
         // arrivals (serialized pulses make this the only wait).
         for &k in &pd.dep_pulses {
             pe.wait_signal(ctx.coord_slot(k), sig_val);
         }
+        record_opt(
+            pe.trace(),
+            ctx.rank as u32,
+            Payload::RegionWrite {
+                owner: dst as u32,
+                region: Region::Coords,
+                lo: pd.remote_recv_offset as u32,
+                hi: (pd.remote_recv_offset + pd.send_count()) as u32,
+            },
+        );
         // Pack + D2D copy in one pass (the DMA enqueued on the stream).
         for (k, &i) in pd.send_index.iter().enumerate() {
             let v = bufs.coords.get(ctx.rank, i as usize) + pd.shift;
@@ -44,9 +64,14 @@ pub fn coordinate_exchange(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_
 /// by the time pulse `p` is announced upstream, this rank has already
 /// unpacked every later pulse (serial execution provides the DEP_MGMT
 /// guarantee for free).
+///
+/// Self-fencing across steps like [`crate::exec::fused::fused_comm_unpack_f`]:
+/// returns only after every published force region has been acked by its
+/// reader, so the caller may immediately reload the force buffer.
 pub fn force_exchange(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_val: u64) {
     for p in (0..ctx.total_pulses).rev() {
         let pd = &ctx.pulses[p];
+        let _span = span_opt(pe.trace(), ctx.rank as u32, "tmpi_unpack_f", p as i32);
         assert!(
             pe.nvlink_reachable(pd.recv_rank) && pe.nvlink_reachable(pd.send_rank),
             "thread-MPI is single-process"
@@ -56,10 +81,26 @@ pub fn force_exchange(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_val: 
         pe.signal(pd.recv_rank, ctx.force_slot(p), sig_val);
         // Consume the forces computed downstream for the atoms we sent.
         pe.wait_signal(ctx.force_slot(p), sig_val);
+        record_opt(
+            pe.trace(),
+            ctx.rank as u32,
+            Payload::RegionRead {
+                owner: pd.send_rank as u32,
+                region: Region::Forces,
+                lo: pd.remote_recv_offset as u32,
+                hi: (pd.remote_recv_offset + pd.send_index.len()) as u32,
+            },
+        );
         for (k, &i) in pd.send_index.iter().enumerate() {
             let v = bufs.forces.get(pd.send_rank, pd.remote_recv_offset + k);
             bufs.forces.add(ctx.rank, i as usize, v);
         }
+        // Completion ack: the producer's force region is free for reuse.
+        pe.signal(pd.send_rank, ctx.force_ack_slot(p), sig_val);
+    }
+    // Epoch fence: wait until this rank's own published regions are acked.
+    for p in 0..ctx.total_pulses {
+        pe.wait_signal(ctx.force_ack_slot(p), sig_val);
     }
 }
 
@@ -84,8 +125,11 @@ mod tests {
             CommContext::slots_needed(part.total_pulses()),
         );
         let bufs = FusedBuffers::alloc(part.n_ranks(), &ctxs[0]);
-        let mut expect: Vec<Vec<Vec3>> =
-            part.ranks.iter().map(|r| r.build_positions.clone()).collect();
+        let mut expect: Vec<Vec<Vec3>> = part
+            .ranks
+            .iter()
+            .map(|r| r.build_positions.clone())
+            .collect();
         reference_coordinate_exchange(&part, &mut expect);
         for r in &part.ranks {
             bufs.coords.load_from(r.rank, &r.build_positions);
@@ -117,7 +161,11 @@ mod tests {
         let init: Vec<Vec<Vec3>> = part
             .ranks
             .iter()
-            .map(|r| (0..r.n_local()).map(|i| Vec3::new(i as f32 * 0.01, 1.0, 0.0)).collect())
+            .map(|r| {
+                (0..r.n_local())
+                    .map(|i| Vec3::new(i as f32 * 0.01, 1.0, 0.0))
+                    .collect()
+            })
             .collect();
         let mut expect = init.clone();
         reference_force_exchange(&part, &mut expect);

@@ -38,7 +38,11 @@ impl ScheduleInput {
         let pulses = model
             .pulse_sizes()
             .iter()
-            .map(|p| PulseSpec { dim: p.dim, send_atoms: p.send_atoms, dep_fraction: p.dep_fraction })
+            .map(|p| PulseSpec {
+                dim: p.dim,
+                send_atoms: p.send_atoms,
+                dep_fraction: p.dep_fraction,
+            })
             .collect();
         ScheduleInput {
             machine,

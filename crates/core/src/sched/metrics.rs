@@ -52,7 +52,11 @@ impl ScheduleRun {
         // Steady-state step time: boundary-to-boundary deltas of the
         // slowest rank.
         let boundary = |s: usize| -> Time {
-            self.step_end[s].iter().map(|&op| t.end(op)).max().unwrap_or(0)
+            self.step_end[s]
+                .iter()
+                .map(|&op| t.end(op))
+                .max()
+                .unwrap_or(0)
         };
         let first = boundary(warmup);
         let last = boundary(self.n_steps - 1);

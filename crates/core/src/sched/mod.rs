@@ -41,6 +41,11 @@ pub fn build(backend: Backend, input: &ScheduleInput, n_steps: usize) -> Schedul
 }
 
 /// Convenience: build, run, and extract steady-state metrics.
-pub fn simulate(backend: Backend, input: &ScheduleInput, n_steps: usize, warmup: usize) -> StepMetrics {
+pub fn simulate(
+    backend: Backend,
+    input: &ScheduleInput,
+    n_steps: usize,
+    warmup: usize,
+) -> StepMetrics {
     build(backend, input, n_steps).metrics(warmup)
 }

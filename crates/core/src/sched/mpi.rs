@@ -53,8 +53,11 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
             // Coordinate halo: serialized pulses.
             for (p, pulse) in input.pulses.iter().enumerate() {
                 let dst = input.send_rank(r, p);
-                let launch_pack =
-                    g.add(format!("mpi:{s}:{r}:launch_xpack{p}"), cpu, m.kernel_launch_ns);
+                let launch_pack = g.add(
+                    format!("mpi:{s}:{r}:launch_xpack{p}"),
+                    cpu,
+                    m.kernel_launch_ns,
+                );
                 let pack = g.add(
                     format!("mpi:{s}:{r}:xpack{p}"),
                     s_nl,
@@ -75,8 +78,11 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
                 );
                 g.dep(wire, post, m.latency_ns(r, dst));
                 let wait = g.add(format!("mpi:{s}:{r}:xwait{p}"), cpu, m.mpi_overhead_ns / 2);
-                let launch_unpack =
-                    g.add(format!("mpi:{s}:{r}:launch_xunpack{p}"), cpu, m.kernel_launch_ns);
+                let launch_unpack = g.add(
+                    format!("mpi:{s}:{r}:launch_xunpack{p}"),
+                    cpu,
+                    m.kernel_launch_ns,
+                );
                 let unpack = g.add(
                     format!("mpi:{s}:{r}:xunpack{p}"),
                     s_nl,
@@ -90,9 +96,16 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
             }
 
             // Bonded + non-local non-bonded on the non-local stream.
-            let launch_b = g.add(format!("mpi:{s}:{r}:launch_bonded"), cpu, m.kernel_launch_ns);
-            let bonded =
-                g.add(format!("mpi:{s}:{r}:bonded"), s_nl, m.bonded_ns(input.atoms_per_rank));
+            let launch_b = g.add(
+                format!("mpi:{s}:{r}:launch_bonded"),
+                cpu,
+                m.kernel_launch_ns,
+            );
+            let bonded = g.add(
+                format!("mpi:{s}:{r}:bonded"),
+                s_nl,
+                m.bonded_ns(input.atoms_per_rank),
+            );
             g.dep(bonded, launch_b, 0);
             let launch_nl = g.add(format!("mpi:{s}:{r}:launch_nlnb"), cpu, m.kernel_launch_ns);
             let nlnb = g.add(
@@ -113,8 +126,11 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
                 let pulse = &input.pulses[p];
                 // Force data goes back up: send to recv_rank.
                 let dst = input.recv_rank(r, p);
-                let launch_pack =
-                    g.add(format!("mpi:{s}:{r}:launch_fpack{p}"), cpu, m.kernel_launch_ns);
+                let launch_pack = g.add(
+                    format!("mpi:{s}:{r}:launch_fpack{p}"),
+                    cpu,
+                    m.kernel_launch_ns,
+                );
                 let pack = g.add(
                     format!("mpi:{s}:{r}:fpack{p}"),
                     s_nl,
@@ -131,8 +147,11 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
                 );
                 g.dep(wire, post, m.latency_ns(r, dst));
                 let wait = g.add(format!("mpi:{s}:{r}:fwait{p}"), cpu, m.mpi_overhead_ns / 2);
-                let launch_unpack =
-                    g.add(format!("mpi:{s}:{r}:launch_funpack{p}"), cpu, m.kernel_launch_ns);
+                let launch_unpack = g.add(
+                    format!("mpi:{s}:{r}:launch_funpack{p}"),
+                    cpu,
+                    m.kernel_launch_ns,
+                );
                 let unpack = g.add(
                     format!("mpi:{s}:{r}:funpack{p}"),
                     s_nl,
@@ -146,10 +165,17 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
             }
 
             // Update (reduce + integrate), prune, step marker.
-            let launch_u = g.add(format!("mpi:{s}:{r}:launch_update"), cpu, m.kernel_launch_ns);
+            let launch_u = g.add(
+                format!("mpi:{s}:{r}:launch_update"),
+                cpu,
+                m.kernel_launch_ns,
+            );
             if input.prune_stream_opt {
-                let update =
-                    g.add(format!("mpi:{s}:{r}:update"), s_up, m.other_ns(input.atoms_per_rank));
+                let update = g.add(
+                    format!("mpi:{s}:{r}:update"),
+                    s_up,
+                    m.other_ns(input.atoms_per_rank),
+                );
                 g.dep(update, launch_u, 0);
                 g.dep(update, lnb, 0);
                 g.dep(update, nlnb, 0);
@@ -170,11 +196,17 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
                 // §5.4 off (the pre-optimization schedule): prune executes
                 // on the same stream ahead of the reduction/update tasks,
                 // blocking the integration and the following step.
-                let prune =
-                    g.add(format!("mpi:{s}:{r}:prune"), s_nl, m.prune_ns(input.atoms_per_rank));
+                let prune = g.add(
+                    format!("mpi:{s}:{r}:prune"),
+                    s_nl,
+                    m.prune_ns(input.atoms_per_rank),
+                );
                 g.dep(prune, lnb, 0);
-                let update =
-                    g.add(format!("mpi:{s}:{r}:update"), s_nl, m.other_ns(input.atoms_per_rank));
+                let update = g.add(
+                    format!("mpi:{s}:{r}:update"),
+                    s_nl,
+                    m.other_ns(input.atoms_per_rank),
+                );
                 g.dep(update, launch_u, 0);
                 g.dep(update, lnb, 0);
                 g.dep(update, nlnb, 0);
@@ -209,7 +241,14 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
         }
     }
 
-    ScheduleRun { graph: g, n_steps, n_ranks: nr, local_nb, nonlocal_ops, step_end }
+    ScheduleRun {
+        graph: g,
+        n_steps,
+        n_ranks: nr,
+        local_nb,
+        nonlocal_ops,
+        step_end,
+    }
 }
 
 #[cfg(test)]
@@ -259,7 +298,10 @@ mod tests {
         let on = build(&input, 6).metrics(2);
         input.prune_stream_opt = false;
         let off = build(&input, 6).metrics(2);
-        assert!(on.time_per_step_ns < off.time_per_step_ns, "{on:?} vs {off:?}");
+        assert!(
+            on.time_per_step_ns < off.time_per_step_ns,
+            "{on:?} vs {off:?}"
+        );
         // Paper: up to ~10%.
         let gain = off.time_per_step_ns / on.time_per_step_ns;
         assert!(gain < 1.25, "implausible prune gain {gain}");

@@ -55,10 +55,18 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
                     (
                         g.add(format!("nvs:{s}:{r}:launch_lnb"), cpu, m.kernel_launch_ns),
                         g.add(format!("nvs:{s}:{r}:launch_x"), cpu, m.kernel_launch_ns),
-                        g.add(format!("nvs:{s}:{r}:launch_bonded"), cpu, m.kernel_launch_ns),
+                        g.add(
+                            format!("nvs:{s}:{r}:launch_bonded"),
+                            cpu,
+                            m.kernel_launch_ns,
+                        ),
                         g.add(format!("nvs:{s}:{r}:launch_nlnb"), cpu, m.kernel_launch_ns),
                         g.add(format!("nvs:{s}:{r}:launch_f"), cpu, m.kernel_launch_ns),
-                        g.add(format!("nvs:{s}:{r}:launch_update"), cpu, m.kernel_launch_ns),
+                        g.add(
+                            format!("nvs:{s}:{r}:launch_update"),
+                            cpu,
+                            m.kernel_launch_ns,
+                        ),
                     )
                 };
 
@@ -146,8 +154,11 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
             }
 
             // --- Bonded and non-local non-bonded. ---
-            let bonded =
-                g.add(format!("nvs:{s}:{r}:bonded"), s_nl, m.bonded_ns(input.atoms_per_rank));
+            let bonded = g.add(
+                format!("nvs:{s}:{r}:bonded"),
+                s_nl,
+                m.bonded_ns(input.atoms_per_rank),
+            );
             g.dep(bonded, launch_b, 0);
             let nlnb = g.add(
                 format!("nvs:{s}:{r}:nl_nb"),
@@ -219,13 +230,20 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
 
             // Residual CPU work; with no syncs it pipelines across steps.
             // Graph capture also eliminates most per-step event management.
-            let misc_ns = if input.cuda_graphs { m.misc_cpu_ns / 8 } else { m.misc_cpu_ns / 2 };
+            let misc_ns = if input.cuda_graphs {
+                m.misc_cpu_ns / 8
+            } else {
+                m.misc_cpu_ns / 2
+            };
             let _misc = g.add(format!("nvs:{s}:{r}:misc_cpu"), cpu, misc_ns);
 
             // --- Update / prune / step marker. ---
             if input.prune_stream_opt {
-                let update =
-                    g.add(format!("nvs:{s}:{r}:update"), s_up, m.other_ns(input.atoms_per_rank));
+                let update = g.add(
+                    format!("nvs:{s}:{r}:update"),
+                    s_up,
+                    m.other_ns(input.atoms_per_rank),
+                );
                 g.dep(update, launch_u, 0);
                 g.dep(update, lnb, 0);
                 g.dep(update, fend, 0);
@@ -248,8 +266,11 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
                     m.prune_ns(input.atoms_per_rank),
                 );
                 g.dep(prune, lnb, 0);
-                let update =
-                    g.add(format!("nvs:{s}:{r}:update"), s_nl, m.other_ns(input.atoms_per_rank));
+                let update = g.add(
+                    format!("nvs:{s}:{r}:update"),
+                    s_nl,
+                    m.other_ns(input.atoms_per_rank),
+                );
                 g.dep(update, launch_u, 0);
                 g.dep(update, lnb, 0);
                 g.dep(update, fend, 0);
@@ -286,7 +307,14 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
         }
     }
 
-    ScheduleRun { graph: g, n_steps, n_ranks: nr, local_nb, nonlocal_ops, step_end }
+    ScheduleRun {
+        graph: g,
+        n_steps,
+        n_ranks: nr,
+        local_nb,
+        nonlocal_ops,
+        step_end,
+    }
 }
 
 #[cfg(test)]

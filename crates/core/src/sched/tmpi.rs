@@ -58,8 +58,11 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
 
             for (p, pulse) in input.pulses.iter().enumerate() {
                 let dst = input.send_rank(r, p);
-                let launch =
-                    g.add(format!("tmpi:{s}:{r}:launch_xpack{p}"), cpu, m.kernel_launch_ns);
+                let launch = g.add(
+                    format!("tmpi:{s}:{r}:launch_xpack{p}"),
+                    cpu,
+                    m.kernel_launch_ns,
+                );
                 let pack = g.add(
                     format!("tmpi:{s}:{r}:xpack{p}"),
                     s_nl,
@@ -76,8 +79,11 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
                     m.event_api_ns + m.wire_ns(r, dst, m.payload_bytes(pulse.send_atoms)),
                 );
                 g.dep(copy, pack, 0);
-                let launch_u =
-                    g.add(format!("tmpi:{s}:{r}:launch_xunpack{p}"), cpu, m.kernel_launch_ns);
+                let launch_u = g.add(
+                    format!("tmpi:{s}:{r}:launch_xunpack{p}"),
+                    cpu,
+                    m.kernel_launch_ns,
+                );
                 let unpack = g.add(
                     format!("tmpi:{s}:{r}:xunpack{p}"),
                     s_nl,
@@ -89,9 +95,16 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
                 nonlocal_ops[s][r].extend([pack, unpack]);
             }
 
-            let launch_b = g.add(format!("tmpi:{s}:{r}:launch_bonded"), cpu, m.kernel_launch_ns);
-            let bonded =
-                g.add(format!("tmpi:{s}:{r}:bonded"), s_nl, m.bonded_ns(input.atoms_per_rank));
+            let launch_b = g.add(
+                format!("tmpi:{s}:{r}:launch_bonded"),
+                cpu,
+                m.kernel_launch_ns,
+            );
+            let bonded = g.add(
+                format!("tmpi:{s}:{r}:bonded"),
+                s_nl,
+                m.bonded_ns(input.atoms_per_rank),
+            );
             g.dep(bonded, launch_b, 0);
             let launch_nl = g.add(format!("tmpi:{s}:{r}:launch_nlnb"), cpu, m.kernel_launch_ns);
             let nlnb = g.add(
@@ -105,8 +118,11 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
             for p in (0..np).rev() {
                 let pulse = &input.pulses[p];
                 let dst = input.recv_rank(r, p);
-                let launch =
-                    g.add(format!("tmpi:{s}:{r}:launch_fpack{p}"), cpu, m.kernel_launch_ns);
+                let launch = g.add(
+                    format!("tmpi:{s}:{r}:launch_fpack{p}"),
+                    cpu,
+                    m.kernel_launch_ns,
+                );
                 let pack = g.add(
                     format!("tmpi:{s}:{r}:fpack{p}"),
                     s_nl,
@@ -119,8 +135,11 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
                     m.event_api_ns + m.wire_ns(r, dst, m.payload_bytes(pulse.send_atoms)),
                 );
                 g.dep(copy, pack, 0);
-                let launch_u =
-                    g.add(format!("tmpi:{s}:{r}:launch_funpack{p}"), cpu, m.kernel_launch_ns);
+                let launch_u = g.add(
+                    format!("tmpi:{s}:{r}:launch_funpack{p}"),
+                    cpu,
+                    m.kernel_launch_ns,
+                );
                 let unpack = g.add(
                     format!("tmpi:{s}:{r}:funpack{p}"),
                     s_nl,
@@ -133,10 +152,17 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
             }
 
             let _misc = g.add(format!("tmpi:{s}:{r}:misc_cpu"), cpu, m.misc_cpu_ns / 2);
-            let launch_up = g.add(format!("tmpi:{s}:{r}:launch_update"), cpu, m.kernel_launch_ns);
+            let launch_up = g.add(
+                format!("tmpi:{s}:{r}:launch_update"),
+                cpu,
+                m.kernel_launch_ns,
+            );
             let upd_stream = if input.prune_stream_opt { s_up } else { s_nl };
-            let update =
-                g.add(format!("tmpi:{s}:{r}:update"), upd_stream, m.other_ns(input.atoms_per_rank));
+            let update = g.add(
+                format!("tmpi:{s}:{r}:update"),
+                upd_stream,
+                m.other_ns(input.atoms_per_rank),
+            );
             g.dep(update, launch_up, 0);
             g.dep(update, lnb, 0);
             g.dep(update, nlnb, 0);
@@ -148,8 +174,11 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
             } else {
                 s_nl
             };
-            let prune =
-                g.add(format!("tmpi:{s}:{r}:prune"), prune_res, m.prune_ns(input.atoms_per_rank));
+            let prune = g.add(
+                format!("tmpi:{s}:{r}:prune"),
+                prune_res,
+                m.prune_ns(input.atoms_per_rank),
+            );
             if input.prune_stream_opt {
                 g.dep(prune, update, 0);
             } else {
@@ -173,7 +202,14 @@ pub fn build(input: &ScheduleInput, n_steps: usize) -> ScheduleRun {
         }
     }
 
-    ScheduleRun { graph: g, n_steps, n_ranks: nr, local_nb, nonlocal_ops, step_end }
+    ScheduleRun {
+        graph: g,
+        n_steps,
+        n_ranks: nr,
+        local_nb,
+        nonlocal_ops,
+        step_end,
+    }
 }
 
 #[cfg(test)]

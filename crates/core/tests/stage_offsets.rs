@@ -1,0 +1,129 @@
+//! Property tests for the staging-buffer layout cross-referencing in
+//! `build_contexts`.
+//!
+//! The IB force path has two views of one region: the *producer* (rank
+//! `w`, pulse `p`) puts its accumulated forces at
+//! `w.remote_stage_offset[p]` inside the consumer's staging buffer, and
+//! the *consumer* reads its own `stage_offset` at the local position of
+//! the matching pulse. These are computed independently (the producer
+//! resolves the peer's table, the consumer its own prefix sums), so a
+//! mismatch silently corrupts forces. Indexing the peer's table by
+//! `global_id` instead of the peer's local pulse position is exactly such
+//! a bug on decompositions where pulse lists are not dense in global
+//! order — these properties pin the correct cross-reference over grids
+//! with mixed 1- and 2-pulse dimensions.
+
+use halox_core::{build_contexts, CommContext};
+use halox_dd::{build_partition, DdGrid, DdPartition};
+use halox_md::GrappaBuilder;
+use proptest::prelude::*;
+
+/// Grids chosen to exercise asymmetric pulse structure: thin dimensions
+/// (4+ domains) produce second-neighbour pulses while fat dimensions keep
+/// a single pulse, so ranks mix 1- and 2-pulse dims in one plan.
+fn arbitrary_grid() -> impl Strategy<Value = [usize; 3]> {
+    prop_oneof![
+        Just([4, 1, 1]),
+        Just([4, 2, 1]),
+        Just([1, 4, 2]),
+        Just([3, 2, 1]),
+        Just([2, 2, 2]),
+        Just([5, 1, 1]),
+        Just([3, 3, 1]),
+        Just([2, 4, 1]),
+    ]
+}
+
+fn build(seed: u64, dims: [usize; 3], atoms: usize) -> (DdPartition, Vec<CommContext>) {
+    let sys = GrappaBuilder::new(atoms).seed(seed).build();
+    let part = build_partition(&sys, &DdGrid::new(dims), 0.8);
+    let ctxs = build_contexts(&part);
+    (part, ctxs)
+}
+
+/// Local position of the pulse with a given global id on `ctx`.
+fn pos_of(ctx: &CommContext, global_id: usize) -> usize {
+    ctx.pulses
+        .iter()
+        .position(|q| q.global_id == global_id)
+        .unwrap_or_else(|| panic!("rank {} lacks pulse {global_id}", ctx.rank))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn stage_layouts_cross_reference(
+        seed in 0u64..500,
+        dims in arbitrary_grid(),
+        atoms in 3_000usize..8_000,
+    ) {
+        let (_part, ctxs) = build(seed, dims, atoms);
+        for c in &ctxs {
+            for (p, pd) in c.pulses.iter().enumerate() {
+                // Producer → consumer: where I put forces on my up
+                // neighbour must be where they expect forces for the
+                // atoms they sent in the matching pulse.
+                let up = &ctxs[pd.recv_rank];
+                let up_pos = pos_of(up, pd.global_id);
+                prop_assert_eq!(
+                    c.remote_stage_offset[p], up.stage_offset[up_pos],
+                    "rank {} pulse {} stage target vs rank {} local offset",
+                    c.rank, p, pd.recv_rank
+                );
+                // The matching pulse really is the reverse edge, and the
+                // payload sizes agree: I return recv_count forces, they
+                // sent send_count atoms.
+                prop_assert_eq!(up.pulses[up_pos].send_rank, c.rank);
+                prop_assert_eq!(up.pulses[up_pos].send_count(), pd.recv_count);
+            }
+        }
+    }
+
+    #[test]
+    fn remote_recv_offsets_cross_reference(
+        seed in 500u64..1000,
+        dims in arbitrary_grid(),
+        atoms in 3_000usize..8_000,
+    ) {
+        let (_part, ctxs) = build(seed, dims, atoms);
+        for c in &ctxs {
+            for pd in &c.pulses {
+                // Coordinate direction: where I write halo atoms on my
+                // down neighbour must be where they expect pulse arrivals.
+                let down = &ctxs[pd.send_rank];
+                let down_pos = pos_of(down, pd.global_id);
+                prop_assert_eq!(down.pulses[down_pos].recv_rank, c.rank);
+                prop_assert_eq!(pd.remote_recv_offset, down.pulses[down_pos].recv_offset);
+                prop_assert_eq!(pd.send_count(), down.pulses[down_pos].recv_count);
+            }
+        }
+    }
+
+    #[test]
+    fn stage_regions_are_disjoint_and_capacity_bounded(
+        seed in 1000u64..1500,
+        dims in arbitrary_grid(),
+        atoms in 3_000usize..8_000,
+    ) {
+        let (_part, ctxs) = build(seed, dims, atoms);
+        for c in &ctxs {
+            // Regions [stage_offset[p], +send_count) must tile without
+            // overlap and fit the symmetric capacity, otherwise two
+            // producers' puts collide inside one staging buffer.
+            let mut regions: Vec<(usize, usize)> = c
+                .pulses
+                .iter()
+                .enumerate()
+                .map(|(p, pd)| (c.stage_offset[p], c.stage_offset[p] + pd.send_count()))
+                .collect();
+            regions.sort_unstable();
+            for w in regions.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "rank {} stage regions overlap: {w:?}", c.rank);
+            }
+            if let Some(&(_, end)) = regions.last() {
+                prop_assert!(end <= c.stage_capacity);
+            }
+        }
+    }
+}

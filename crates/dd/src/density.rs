@@ -39,7 +39,13 @@ impl WorkloadModel {
     /// Cubic box sized for `n_atoms` at `density`, decomposed over `grid`.
     pub fn cubic(n_atoms: usize, density: f64, r_comm: f32, grid: DdGrid) -> Self {
         let edge = (n_atoms as f64 / density).cbrt() as f32;
-        WorkloadModel { n_atoms, density, r_comm, grid, box_lengths: Vec3::splat(edge) }
+        WorkloadModel {
+            n_atoms,
+            density,
+            r_comm,
+            grid,
+            box_lengths: Vec3::splat(edge),
+        }
     }
 
     /// A grappa-set system: the benchmark family is built by replicating the
@@ -50,7 +56,13 @@ impl WorkloadModel {
     /// Sizes that are not `45k * 2^k` fall back to a cubic box.
     pub fn grappa(n_atoms: usize, r_comm: f32, grid: DdGrid) -> Self {
         let density = 100.0;
-        WorkloadModel { n_atoms, density, r_comm, grid, box_lengths: grappa_box(n_atoms, density) }
+        WorkloadModel {
+            n_atoms,
+            density,
+            r_comm,
+            grid,
+            box_lengths: grappa_box(n_atoms, density),
+        }
     }
 
     /// Home atoms per rank.
@@ -196,7 +208,11 @@ mod tests {
             .sum::<f64>()
             / part.n_ranks() as f64;
         let rel = (sizes[0].send_atoms - mean_send).abs() / mean_send;
-        assert!(rel < 0.12, "analytic {} vs exact {mean_send}", sizes[0].send_atoms);
+        assert!(
+            rel < 0.12,
+            "analytic {} vs exact {mean_send}",
+            sizes[0].send_atoms
+        );
         assert_eq!(sizes[0].dep_fraction, 0.0, "1D has no forwarding");
     }
 
@@ -223,7 +239,11 @@ mod tests {
                 .sum::<f64>()
                 / part.n_ranks() as f64;
             let rel = (sm.send_atoms - mean_send).abs() / mean_send;
-            assert!(rel < 0.12, "pulse {k}: analytic {} vs exact {mean_send}", sm.send_atoms);
+            assert!(
+                rel < 0.12,
+                "pulse {k}: analytic {} vs exact {mean_send}",
+                sm.send_atoms
+            );
         }
         // Second pulse (x after y) has a forwarded fraction ~ rc/(l_y + rc).
         let l = model.domain_lengths();
@@ -266,12 +286,21 @@ mod tests {
         let close = |a: Vec3, b: Vec3| (a - b).norm() < 1e-3;
         assert!(close(grappa_box(45_000, 100.0), Vec3::new(e, e, e)));
         assert!(close(grappa_box(90_000, 100.0), Vec3::new(2.0 * e, e, e)));
-        assert!(close(grappa_box(180_000, 100.0), Vec3::new(2.0 * e, 2.0 * e, e)));
+        assert!(close(
+            grappa_box(180_000, 100.0),
+            Vec3::new(2.0 * e, 2.0 * e, e)
+        ));
         assert!(close(grappa_box(360_000, 100.0), Vec3::splat(2.0 * e)));
-        assert!(close(grappa_box(720_000, 100.0), Vec3::new(4.0 * e, 2.0 * e, 2.0 * e)));
+        assert!(close(
+            grappa_box(720_000, 100.0),
+            Vec3::new(4.0 * e, 2.0 * e, 2.0 * e)
+        ));
         assert!(close(grappa_box(23_040_000, 100.0), Vec3::splat(8.0 * e)));
         // Non-family size: cubic fallback.
-        assert!(close(grappa_box(100_000, 100.0), Vec3::splat((1000.0f64).cbrt() as f32)));
+        assert!(close(
+            grappa_box(100_000, 100.0),
+            Vec3::splat((1000.0f64).cbrt() as f32)
+        ));
     }
 
     #[test]
@@ -312,7 +341,11 @@ mod tests {
                 .sum::<f64>()
                 / part.n_ranks() as f64;
             let rel = (sm.send_atoms - mean).abs() / mean.max(1.0);
-            assert!(rel < 0.2, "pulse {k}: analytic {} vs exact {mean}", sm.send_atoms);
+            assert!(
+                rel < 0.2,
+                "pulse {k}: analytic {} vs exact {mean}",
+                sm.send_atoms
+            );
         }
     }
 
@@ -323,7 +356,10 @@ mod tests {
         let model = WorkloadModel::cubic(23_040_000, 100.0, 1.05, grid);
         assert!((model.atoms_per_rank() - 20_000.0).abs() < 1.0);
         let halo = model.halo_atoms_per_rank();
-        assert!(halo > 1000.0 && halo < model.atoms_per_rank() * 3.0, "halo {halo}");
+        assert!(
+            halo > 1000.0 && halo < model.atoms_per_rank() * 3.0,
+            "halo {halo}"
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@ pub struct DdGrid {
 
 impl DdGrid {
     pub fn new(dims: [usize; 3]) -> Self {
-        assert!(dims.iter().all(|&d| d >= 1), "grid dims must be >= 1: {dims:?}");
+        assert!(
+            dims.iter().all(|&d| d >= 1),
+            "grid dims must be >= 1: {dims:?}"
+        );
         DdGrid { dims }
     }
 
@@ -34,7 +37,10 @@ impl DdGrid {
     /// Decomposed dimensions in the paper's communication phase order:
     /// z first, then y, then x.
     pub fn comm_dims(&self) -> Vec<usize> {
-        [2usize, 1, 0].into_iter().filter(|&d| self.dims[d] > 1).collect()
+        [2usize, 1, 0]
+            .into_iter()
+            .filter(|&d| self.dims[d] > 1)
+            .collect()
     }
 
     /// Rank id of grid coordinates (x-major, like GROMACS' default order).
@@ -237,7 +243,10 @@ mod tests {
 
     #[test]
     fn forced_grid_respected() {
-        let opts = GridOptions { force_grid: Some([8, 1, 1]), ..Default::default() };
+        let opts = GridOptions {
+            force_grid: Some([8, 1, 1]),
+            ..Default::default()
+        };
         let g = choose_grid(8, Vec3::splat(10.0), &opts);
         assert_eq!(g.dims, [8, 1, 1]);
     }
@@ -245,7 +254,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn forced_grid_must_match_ranks() {
-        let opts = GridOptions { force_grid: Some([4, 1, 1]), ..Default::default() };
+        let opts = GridOptions {
+            force_grid: Some([4, 1, 1]),
+            ..Default::default()
+        };
         let _ = choose_grid(8, Vec3::splat(10.0), &opts);
     }
 
@@ -266,7 +278,11 @@ mod tests {
 
     #[test]
     fn halo_estimate_matches_hand_computation_1d() {
-        let opts = GridOptions { r_comm: 1.0, density: 100.0, ..Default::default() };
+        let opts = GridOptions {
+            r_comm: 1.0,
+            density: 100.0,
+            ..Default::default()
+        };
         let g = DdGrid::new([4, 1, 1]);
         let est = halo_atoms_estimate(&g, Vec3::splat(8.0), &opts).unwrap();
         // Single pulse in x: rc * Ly * Lz * rho = 1 * 8 * 8 * 100.
@@ -275,7 +291,11 @@ mod tests {
 
     #[test]
     fn halo_estimate_includes_corner_forwarding_3d() {
-        let opts = GridOptions { r_comm: 1.0, density: 1.0, ..Default::default() };
+        let opts = GridOptions {
+            r_comm: 1.0,
+            density: 1.0,
+            ..Default::default()
+        };
         let g = DdGrid::new([2, 2, 2]);
         let l = 4.0f32; // domain edge
         let est = halo_atoms_estimate(&g, Vec3::splat(8.0), &opts).unwrap();

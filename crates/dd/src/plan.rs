@@ -171,7 +171,11 @@ pub fn build_partition(system: &System, grid: &DdGrid, r_comm: f32) -> DdPartiti
             let c = grid.coords_of(r);
             let lo = c[dim] as f32 * dom_l[dim];
             let limit = lo + r_comm;
-            let shift = if c[dim] == 0 { system.pbc.shift_vector(dim, true) } else { Vec3::ZERO };
+            let shift = if c[dim] == 0 {
+                system.pbc.shift_vector(dim, true)
+            } else {
+                Vec3::ZERO
+            };
             let st = &states[r];
             let mut indep = Vec::new();
             let mut dep: Vec<(u32, usize)> = Vec::new();
@@ -191,7 +195,8 @@ pub fn build_partition(system: &System, grid: &DdGrid, r_comm: f32) -> DdPartiti
             let mut index = indep;
             index.extend(dep.iter().map(|&(i, _)| i));
             let payload_ids: Vec<u32> = index.iter().map(|&i| st.ids[i as usize]).collect();
-            let payload_pos: Vec<Vec3> = index.iter().map(|&i| st.pos[i as usize] + shift).collect();
+            let payload_pos: Vec<Vec3> =
+                index.iter().map(|&i| st.pos[i as usize] + shift).collect();
             let payload_disp: Vec<Displacement> = index
                 .iter()
                 .map(|&i| {
@@ -200,7 +205,15 @@ pub fn build_partition(system: &System, grid: &DdGrid, r_comm: f32) -> DdPartiti
                     d
                 })
                 .collect();
-            sends.push(Send { index, dep_offset, dep_pulses, shift, payload_ids, payload_pos, payload_disp });
+            sends.push(Send {
+                index,
+                dep_offset,
+                dep_pulses,
+                shift,
+                payload_ids,
+                payload_pos,
+                payload_disp,
+            });
         }
         // Mark sent flags.
         for r in 0..n_ranks {
@@ -257,7 +270,10 @@ pub fn build_partition(system: &System, grid: &DdGrid, r_comm: f32) -> DdPartiti
     let resolve_rank = |atom_ids: &[u32]| -> usize {
         let mut coords = [0usize; 3];
         for d in 0..3 {
-            let mut vals: Vec<usize> = atom_ids.iter().map(|&a| owner_coords[a as usize][d]).collect();
+            let mut vals: Vec<usize> = atom_ids
+                .iter()
+                .map(|&a| owner_coords[a as usize][d])
+                .collect();
             vals.sort_unstable();
             vals.dedup();
             coords[d] = match vals.len() {
@@ -272,7 +288,9 @@ pub fn build_partition(system: &System, grid: &DdGrid, r_comm: f32) -> DdPartiti
                         .iter()
                         .find(|&&x| owner_coords[x as usize][d] == vals[1])
                         .unwrap();
-                    let disp = system.pbc.min_image(wrapped[b as usize], wrapped[a as usize]);
+                    let disp = system
+                        .pbc
+                        .min_image(wrapped[b as usize], wrapped[a as usize]);
                     if disp[d] > 0.0 {
                         vals[0]
                     } else {
@@ -308,10 +326,17 @@ pub fn build_partition(system: &System, grid: &DdGrid, r_comm: f32) -> DdPartiti
         let halo: Vec<HaloEntry> = st.ids[n_home[r]..]
             .iter()
             .zip(&st.origin[n_home[r]..])
-            .map(|(&g, o)| HaloEntry { global_id: g, origin_pulse: o.expect("halo entry without origin") })
+            .map(|(&g, o)| HaloEntry {
+                global_id: g,
+                origin_pulse: o.expect("halo entry without origin"),
+            })
             .collect();
         let kinds: Vec<_> = st.ids.iter().map(|&g| system.kinds[g as usize]).collect();
-        let inv_mass: Vec<_> = st.ids.iter().map(|&g| system.inv_mass[g as usize]).collect();
+        let inv_mass: Vec<_> = st
+            .ids
+            .iter()
+            .map(|&g| system.inv_mass[g as usize])
+            .collect();
         let map_bond = |b: &Bond| Bond {
             i: global_to_local[&b.i],
             j: global_to_local[&b.j],
@@ -349,7 +374,12 @@ pub fn build_partition(system: &System, grid: &DdGrid, r_comm: f32) -> DdPartiti
         });
     }
 
-    DdPartition { grid: *grid, r_comm, layout, ranks }
+    DdPartition {
+        grid: *grid,
+        r_comm,
+        layout,
+        ranks,
+    }
 }
 
 /// Serial reference coordinate halo exchange: executes pulses strictly in
@@ -367,7 +397,12 @@ pub fn reference_coordinate_exchange(partition: &DdPartition, coords: &mut [Vec<
         for rank in &partition.ranks {
             let pd = &rank.pulses[p];
             let src = &coords[rank.rank];
-            staged.push(pd.send_index.iter().map(|&i| src[i as usize] + pd.shift).collect());
+            staged.push(
+                pd.send_index
+                    .iter()
+                    .map(|&i| src[i as usize] + pd.shift)
+                    .collect(),
+            );
         }
         for rank in &partition.ranks {
             let pd = &rank.pulses[p];
@@ -424,7 +459,10 @@ mod tests {
                 seen[g as usize] += 1;
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "home sets must partition atoms");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "home sets must partition atoms"
+        );
     }
 
     #[test]
@@ -456,10 +494,16 @@ mod tests {
         for r in &part.ranks {
             for pd in &r.pulses {
                 for &i in pd.independent() {
-                    assert!((i as usize) < r.n_home, "independent entry must be a home atom");
+                    assert!(
+                        (i as usize) < r.n_home,
+                        "independent entry must be a home atom"
+                    );
                 }
                 for &i in pd.dependent() {
-                    assert!((i as usize) >= r.n_home, "dependent entry must be forwarded");
+                    assert!(
+                        (i as usize) >= r.n_home,
+                        "dependent entry must be forwarded"
+                    );
                     let origin = r.halo[i as usize - r.n_home].origin_pulse;
                     assert!(pd.dep_pulses.contains(&origin));
                     assert!(origin < pd.global_id, "dependency must be an earlier pulse");
@@ -489,8 +533,7 @@ mod tests {
                 let peer = &part.ranks[pd.recv_rank];
                 assert_eq!(pd.recv_count, peer.pulses[pd.global_id].send_count());
                 assert_eq!(
-                    peer.pulses[pd.global_id].send_rank,
-                    r.rank,
+                    peer.pulses[pd.global_id].send_rank, r.rank,
                     "my up-neighbour's down-neighbour must be me"
                 );
                 // And my send lands where my down neighbour expects it.
@@ -562,14 +605,15 @@ mod tests {
                         continue;
                     };
                     let (li, lj) = (li as usize, lj as usize);
-                    let in_reach = frame.dist2(r.build_positions[li], r.build_positions[lj])
-                        < r_comm * r_comm;
+                    let in_reach =
+                        frame.dist2(r.build_positions[li], r.build_positions[lj]) < r_comm * r_comm;
                     if in_reach && eighth_shell_rule(&r.displacement, li, lj) {
                         count += 1;
                     }
                 }
                 assert_eq!(
-                    count, 1,
+                    count,
+                    1,
                     "pair ({i},{j}) dist {} computable on {count} ranks",
                     d2.sqrt()
                 );
@@ -626,9 +670,12 @@ mod tests {
             for (k, h) in r.halo.iter().enumerate() {
                 let d = r.displacement[r.n_home + k];
                 let pulse_dim = r.pulses[h.origin_pulse].dim;
-                assert!(d[pulse_dim] >= 1, "halo entry displacement must include its arrival dim");
+                assert!(
+                    d[pulse_dim] >= 1,
+                    "halo entry displacement must include its arrival dim"
+                );
                 let total: u8 = d.iter().sum();
-                assert!(total >= 1 && total <= 3);
+                assert!((1..=3).contains(&total));
             }
         }
     }
@@ -739,8 +786,11 @@ mod tests {
         });
         assert!(any_dep, "expected second pulses made of forwarded atoms");
         // And coordinates still exchange correctly.
-        let mut coords: Vec<Vec<Vec3>> =
-            part.ranks.iter().map(|r| r.build_positions.clone()).collect();
+        let mut coords: Vec<Vec<Vec3>> = part
+            .ranks
+            .iter()
+            .map(|r| r.build_positions.clone())
+            .collect();
         reference_coordinate_exchange(&part, &mut coords);
         for r in &part.ranks {
             for (got, want) in coords[r.rank].iter().zip(&r.build_positions) {

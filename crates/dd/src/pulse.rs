@@ -97,13 +97,14 @@ impl PulseLayout {
     /// Iterate `(global_id, dim, pulse_in_dim)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
         let mut gid = 0;
-        self.per_dim.iter().flat_map(move |&(d, n)| {
-            (0..n).map(move |k| (d, k))
-        }).map(move |(d, k)| {
-            let out = (gid, d, k);
-            gid += 1;
-            out
-        })
+        self.per_dim
+            .iter()
+            .flat_map(move |&(d, n)| (0..n).map(move |k| (d, k)))
+            .map(move |(d, k)| {
+                let out = (gid, d, k);
+                gid += 1;
+                out
+            })
     }
 }
 

@@ -2,8 +2,7 @@
 //! reference exchanges and agreement between analytic and exact halo sizes.
 
 use halox_dd::{
-    build_partition, reference_coordinate_exchange, reference_force_exchange, DdGrid,
-    WorkloadModel,
+    build_partition, reference_coordinate_exchange, reference_force_exchange, DdGrid, WorkloadModel,
 };
 use halox_md::{GrappaBuilder, Vec3};
 use proptest::prelude::*;

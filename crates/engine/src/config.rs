@@ -1,7 +1,9 @@
 //! Engine configuration.
 
 use halox_shmem::Topology;
+use halox_trace::Recorder;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which functional halo-exchange backend drives the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -66,6 +68,11 @@ pub struct EngineConfig {
     /// steps; we apply it per step for simplicity).
     pub thermostat: Option<Thermostat>,
     pub integrator: Integrator,
+    /// Functional-plane event recorder. When set, every segment's world is
+    /// built with the recorder attached and the exchange paths emit
+    /// signal/region/span events into it (see `halox-trace`); the caller
+    /// drains it after the run for Chrome-trace export or protocol checking.
+    pub trace: Option<Arc<Recorder>>,
 }
 
 impl EngineConfig {
@@ -79,6 +86,7 @@ impl EngineConfig {
             topology_gpus_per_node: None,
             thermostat: None,
             integrator: Integrator::Leapfrog,
+            trace: None,
         }
     }
 

@@ -34,12 +34,17 @@ impl PhaseTimer {
 
     /// Total time spent in a phase.
     pub fn total(&self, phase: &str) -> Duration {
-        self.acc.get(phase).map(|&(d, _)| d).unwrap_or(Duration::ZERO)
+        self.acc
+            .get(phase)
+            .map(|&(d, _)| d)
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Mean time per invocation of a phase, if any.
     pub fn mean(&self, phase: &str) -> Option<Duration> {
-        self.acc.get(phase).and_then(|&(d, n)| (n > 0).then(|| d / n as u32))
+        self.acc
+            .get(phase)
+            .and_then(|&(d, n)| (n > 0).then(|| d / n as u32))
     }
 
     /// Iterate `(phase, total, count)` in name order.

@@ -23,6 +23,7 @@ use halox_md::forces::{
 use halox_md::pairlist::eighth_shell_rule;
 use halox_md::{integrate, EnergyReport, Frame, PairList, System, Vec3};
 use halox_shmem::{ShmemWorld, TwoSidedComm};
+use halox_trace::{record_opt, Payload, Region};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -62,7 +63,13 @@ pub struct Engine {
 
 impl Engine {
     pub fn new(system: System, grid: DdGrid, config: EngineConfig) -> Self {
-        Engine { system, grid, config, cached_buffers: None, realloc_count: 0 }
+        Engine {
+            system,
+            grid,
+            config,
+            cached_buffers: None,
+            realloc_count: 0,
+        }
     }
 
     /// Advance `n_steps`; returns per-step energies and throughput.
@@ -110,7 +117,13 @@ impl Engine {
         let system = Arc::new(self.system.clone());
         let total_pulses = part.total_pulses();
 
-        let world = ShmemWorld::new(cfg.topology(n_ranks), CommContext::slots_needed(total_pulses));
+        let mut world = ShmemWorld::new(
+            cfg.topology(n_ranks),
+            CommContext::slots_needed(total_pulses),
+        );
+        if let Some(rec) = &cfg.trace {
+            world = world.with_trace(Arc::clone(rec));
+        }
         // Symmetric allocation with over-allocation: reuse the buffers from
         // the previous segment when capacities still fit, else grow by 10%.
         let need_buf = ctxs[0].buf_capacity;
@@ -147,8 +160,7 @@ impl Engine {
             )
         });
 
-        self.cached_buffers =
-            Some((bufs.clone(), bufs.coords.len(), bufs.force_stage.len()));
+        self.cached_buffers = Some((bufs.clone(), bufs.coords.len(), bufs.force_stage.len()));
 
         // Gather home atoms back into the global system.
         let mut energies = vec![EnergyReport::default(); steps];
@@ -188,8 +200,10 @@ fn rank_segment(
 
     // Local state: DD-frame positions (home + halo), home velocities.
     let mut positions = plan.build_positions.clone();
-    let mut velocities: Vec<Vec3> =
-        plan.global_ids[..n_home].iter().map(|&g| system.velocities[g as usize]).collect();
+    let mut velocities: Vec<Vec3> = plan.global_ids[..n_home]
+        .iter()
+        .map(|&g| system.velocities[g as usize])
+        .collect();
     let mut forces = vec![Vec3::ZERO; n_local];
     let mut energies = Vec::with_capacity(steps);
 
@@ -198,8 +212,7 @@ fn rank_segment(
     let ids = &plan.global_ids;
     let sys = system.as_ref();
     let rule = move |i: usize, j: usize| {
-        eighth_shell_rule(disp, i, j)
-            && !sys.is_excluded(ids[i] as usize, ids[j] as usize)
+        eighth_shell_rule(disp, i, j) && !sys.is_excluded(ids[i] as usize, ids[j] as usize)
     };
 
     let mut pairlist: Option<PairList> = None;
@@ -219,16 +232,28 @@ fn rank_segment(
                     bufs.coords.write_slice(ctx.rank, 0, &positions[..n_home]);
                     exec::fused_pack_comm_x(pe, ctx, bufs, sig);
                     exec::wait_coordinate_arrivals(pe, ctx, sig);
-                    bufs.coords.read_slice(ctx.rank, n_home, &mut positions[n_home..]);
+                    bufs.coords
+                        .read_slice(ctx.rank, n_home, &mut positions[n_home..]);
+                    // Completion ack: senders may overwrite our halo regions
+                    // next step only after this (cross-step reuse fence).
+                    exec::ack_coordinate_consumed(pe, ctx, sig);
                 }
                 ExchangeBackend::ThreadMpi => {
                     bufs.coords.write_slice(ctx.rank, 0, &positions[..n_home]);
                     exec::tmpi::coordinate_exchange(pe, ctx, bufs, sig);
                     exec::wait_coordinate_arrivals(pe, ctx, sig);
-                    bufs.coords.read_slice(ctx.rank, n_home, &mut positions[n_home..]);
+                    bufs.coords
+                        .read_slice(ctx.rank, n_home, &mut positions[n_home..]);
+                    exec::ack_coordinate_consumed(pe, ctx, sig);
                 }
                 ExchangeBackend::Mpi => {
-                    exec::mpi::coordinate_exchange(comm, ctx, sig, &mut positions);
+                    exec::mpi::coordinate_exchange(
+                        comm,
+                        ctx,
+                        sig,
+                        &mut positions,
+                        cfg.trace.as_deref(),
+                    );
                 }
             }
 
@@ -241,8 +266,12 @@ fn rank_segment(
                 .as_ref()
                 .is_none_or(|pl| pl.needs_rebuild(&positions, cfg.buffer));
             if stale {
-                pairlist =
-                    Some(PairList::build_in_frame(&frame, &positions, cfg.r_comm(), &rule));
+                pairlist = Some(PairList::build_in_frame(
+                    &frame,
+                    &positions,
+                    cfg.r_comm(),
+                    &rule,
+                ));
             }
             let pl = pairlist.as_ref().expect("pair list just ensured");
 
@@ -252,10 +281,20 @@ fn rank_segment(
             let (nonbonded, w_nb) =
                 compute_nonbonded_virial(&frame, &positions, &plan.kinds, pl, &params, &mut forces);
             let local_ident = |g: u32| Some(g);
-            let bonds =
-                compute_bonds(&system.pbc, &positions, &plan.bonds, &local_ident, &mut forces);
-            let angles =
-                compute_angles(&system.pbc, &positions, &plan.angles, &local_ident, &mut forces);
+            let bonds = compute_bonds(
+                &system.pbc,
+                &positions,
+                &plan.bonds,
+                &local_ident,
+                &mut forces,
+            );
+            let angles = compute_angles(
+                &system.pbc,
+                &positions,
+                &plan.angles,
+                &local_ident,
+                &mut forces,
+            );
             // Pairs and bonded terms are each computed on exactly one rank,
             // so per-rank virials sum to the global one.
             let virial = w_nb
@@ -265,17 +304,41 @@ fn rank_segment(
             // --- Force halo exchange ---
             match cfg.backend {
                 ExchangeBackend::NvshmemFused => {
+                    // This overwrite of the whole symmetric force buffer is
+                    // exactly the cross-step hazard the ack protocol fences:
+                    // the previous step's `fused_comm_unpack_f` returned only
+                    // after every downstream reader acked.
+                    record_opt(
+                        pe.trace(),
+                        ctx.rank as u32,
+                        Payload::RegionWrite {
+                            owner: ctx.rank as u32,
+                            region: Region::Forces,
+                            lo: 0,
+                            hi: n_local as u32,
+                        },
+                    );
                     bufs.forces.load_from(ctx.rank, &forces);
                     exec::fused_comm_unpack_f(pe, ctx, bufs, sig);
                     bufs.forces.read_slice(ctx.rank, 0, &mut forces[..n_home]);
                 }
                 ExchangeBackend::ThreadMpi => {
+                    record_opt(
+                        pe.trace(),
+                        ctx.rank as u32,
+                        Payload::RegionWrite {
+                            owner: ctx.rank as u32,
+                            region: Region::Forces,
+                            lo: 0,
+                            hi: n_local as u32,
+                        },
+                    );
                     bufs.forces.load_from(ctx.rank, &forces);
                     exec::tmpi::force_exchange(pe, ctx, bufs, sig);
                     bufs.forces.read_slice(ctx.rank, 0, &mut forces[..n_home]);
                 }
                 ExchangeBackend::Mpi => {
-                    exec::mpi::force_exchange(comm, ctx, sig, &mut forces);
+                    exec::mpi::force_exchange(comm, ctx, sig, &mut forces, cfg.trace.as_deref());
                 }
             }
             (nonbonded, bonds, angles, virial)
@@ -307,9 +370,14 @@ fn rank_segment(
         crate::config::Integrator::Leapfrog => {
             for _step in 0..steps {
                 let (nonbonded, bonds, angles, virial) = force_round!();
-                let kinetic =
-                    integrate::kinetic_energy(&velocities, &plan.inv_mass[..n_home]);
-                energies.push(EnergyReport { nonbonded, bonds, angles, kinetic, virial });
+                let kinetic = integrate::kinetic_energy(&velocities, &plan.inv_mass[..n_home]);
+                energies.push(EnergyReport {
+                    nonbonded,
+                    bonds,
+                    angles,
+                    kinetic,
+                    virial,
+                });
                 apply_thermostat!(kinetic);
                 integrate::leapfrog_step(
                     &mut positions[..n_home],
@@ -340,9 +408,14 @@ fn rank_segment(
                 );
                 // Positions and velocities are synchronous: record the
                 // proper conserved energy of this step.
-                let kinetic =
-                    integrate::kinetic_energy(&velocities, &plan.inv_mass[..n_home]);
-                energies.push(EnergyReport { nonbonded, bonds, angles, kinetic, virial });
+                let kinetic = integrate::kinetic_energy(&velocities, &plan.inv_mass[..n_home]);
+                energies.push(EnergyReport {
+                    nonbonded,
+                    bonds,
+                    angles,
+                    kinetic,
+                    virial,
+                });
                 apply_thermostat!(kinetic);
             }
         }
@@ -367,7 +440,12 @@ mod tests {
         sys
     }
 
-    fn run_engine(sys: &System, dims: [usize; 3], backend: ExchangeBackend, steps: usize) -> (System, RunStats) {
+    fn run_engine(
+        sys: &System,
+        dims: [usize; 3],
+        backend: ExchangeBackend,
+        steps: usize,
+    ) -> (System, RunStats) {
         let mut cfg = EngineConfig::new(backend);
         cfg.nstlist = 5;
         let mut engine = Engine::new(sys.clone(), DdGrid::new(dims), cfg);
@@ -390,7 +468,12 @@ mod tests {
         let stats = engine.run(1);
         let e_dd = stats.energies[0];
         let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1.0);
-        assert!(rel(e_dd.nonbonded, e_ref.nonbonded) < 1e-5, "{} vs {}", e_dd.nonbonded, e_ref.nonbonded);
+        assert!(
+            rel(e_dd.nonbonded, e_ref.nonbonded) < 1e-5,
+            "{} vs {}",
+            e_dd.nonbonded,
+            e_ref.nonbonded
+        );
         assert!(rel(e_dd.bonds, e_ref.bonds) < 1e-5);
         assert!(rel(e_dd.angles, e_ref.angles) < 1e-5);
         assert!(rel(e_dd.kinetic, e_ref.kinetic) < 1e-9);
@@ -526,9 +609,8 @@ mod tests {
         // the thermostat must hold the temperature closer to the target.
         let sys = relaxed_system(3000, 82);
         let n = sys.n_atoms() as f64;
-        let temp = |e: &halox_md::EnergyReport| {
-            2.0 * e.kinetic / ((3.0 * n - 3.0) * halox_md::KB as f64)
-        };
+        let temp =
+            |e: &halox_md::EnergyReport| 2.0 * e.kinetic / ((3.0 * n - 3.0) * halox_md::KB as f64);
         let run = |thermostat: Option<Thermostat>| {
             let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
             cfg.nstlist = 10;
@@ -538,12 +620,18 @@ mod tests {
             temp(stats.energies.last().unwrap())
         };
         let t_free = run(None);
-        let t_coupled = run(Some(Thermostat { t_ref: 300.0, tau_ps: 0.005 }));
+        let t_coupled = run(Some(Thermostat {
+            t_ref: 300.0,
+            tau_ps: 0.005,
+        }));
         assert!(
             (t_coupled - 300.0).abs() < (t_free - 300.0).abs(),
             "coupled {t_coupled} K must be closer to 300 K than free {t_free} K"
         );
-        assert!(t_coupled < t_free, "thermostat must remove equilibration heat");
+        assert!(
+            t_coupled < t_free,
+            "thermostat must remove equilibration heat"
+        );
     }
 
     #[test]

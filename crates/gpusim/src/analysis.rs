@@ -138,7 +138,10 @@ mod tests {
         let (g, t) = sample();
         let chain = g.critical_path(&t);
         let labels: Vec<&str> = chain.iter().map(|c| c.label.as_str()).collect();
-        assert_eq!(labels, vec!["x:0:0:launch", "x:0:0:kernel1", "x:0:0:kernel2"]);
+        assert_eq!(
+            labels,
+            vec!["x:0:0:launch", "x:0:0:kernel1", "x:0:0:kernel2"]
+        );
         // Contiguous in time.
         for w in chain.windows(2) {
             assert_eq!(w[0].end, w[1].start);

@@ -21,7 +21,11 @@ impl MachineModel {
         let (lo, hi) = if h >= t[t.len() - 1].0 {
             (t[t.len() - 2], t[t.len() - 1])
         } else {
-            let idx = t.iter().position(|&(x, _)| x >= h).unwrap_or(t.len() - 1).max(1);
+            let idx = t
+                .iter()
+                .position(|&(x, _)| x >= h)
+                .unwrap_or(t.len() - 1)
+                .max(1);
             (t[idx - 1], t[idx])
         };
         let slope = (hi.1 - lo.1) / (hi.0 - lo.0).max(1e-12);

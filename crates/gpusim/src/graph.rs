@@ -75,7 +75,12 @@ impl TaskGraph {
     /// Add an operation; returns its id. Ops on one resource run in the
     /// order they were added.
     pub fn add(&mut self, label: impl Into<String>, resource: Resource, duration: Time) -> OpId {
-        self.ops.push(Op { label: label.into(), resource, duration, deps: Vec::new() });
+        self.ops.push(Op {
+            label: label.into(),
+            resource,
+            duration,
+            deps: Vec::new(),
+        });
         OpId(self.ops.len() - 1)
     }
 
@@ -164,7 +169,11 @@ impl TaskGraph {
             start[i] = s;
             end[i] = s + self.ops[i].duration;
         }
-        Timeline { start, end, labels: self.ops.iter().map(|o| o.label.clone()).collect() }
+        Timeline {
+            start,
+            end,
+            labels: self.ops.iter().map(|o| o.label.clone()).collect(),
+        }
     }
 }
 

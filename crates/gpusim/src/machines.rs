@@ -213,7 +213,11 @@ impl MachineModel {
 
     /// Wire time for `bytes` between two ranks, ns.
     pub fn wire_ns(&self, a: usize, b: usize, bytes: f64) -> u64 {
-        let bw = if self.nvlink_reachable(a, b) { self.nvlink_gbps } else { self.ib_gbps };
+        let bw = if self.nvlink_reachable(a, b) {
+            self.nvlink_gbps
+        } else {
+            self.ib_gbps
+        };
         (bytes / bw).ceil() as u64
     }
 }

@@ -50,8 +50,18 @@ impl Rdf {
             self.r_max < 0.5 * l.x.min(l.y).min(l.z),
             "r_max must be below half the box"
         );
-        let sel_a: Vec<usize> = kinds.iter().enumerate().filter(|(_, &k)| k == a).map(|(i, _)| i).collect();
-        let sel_b: Vec<usize> = kinds.iter().enumerate().filter(|(_, &k)| k == b).map(|(i, _)| i).collect();
+        let sel_a: Vec<usize> = kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k == a)
+            .map(|(i, _)| i)
+            .collect();
+        let sel_b: Vec<usize> = kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k == b)
+            .map(|(i, _)| i)
+            .collect();
         self.same_selection = a == b;
         self.n_a = sel_a.len();
         self.n_b = sel_b.len();
@@ -163,7 +173,13 @@ mod tests {
         let pbc = PbcBox::cubic(8.0);
         let mut rng = StdRng::seed_from_u64(5);
         let positions: Vec<Vec3> = (0..4000)
-            .map(|_| Vec3::new(rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)))
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(0.0..8.0),
+                    rng.gen_range(0.0..8.0),
+                    rng.gen_range(0.0..8.0),
+                )
+            })
             .collect();
         let kinds = vec![AtomKind::Ow; positions.len()];
         let mut rdf = Rdf::new(2.0, 40);
@@ -181,23 +197,39 @@ mod tests {
         // lattice spacing: g must not be flat.
         let sys = GrappaBuilder::new(9000).seed(6).build();
         let mut rdf = Rdf::new(1.2, 60);
-        rdf.accumulate(&sys.pbc, &sys.positions, &sys.kinds, AtomKind::Ow, AtomKind::Ow);
+        rdf.accumulate(
+            &sys.pbc,
+            &sys.positions,
+            &sys.kinds,
+            AtomKind::Ow,
+            AtomKind::Ow,
+        );
         let g = rdf.g_of_r();
         let g_at = |r: f32| {
-            g.iter().min_by(|a, b| {
-                (a.0 - r).abs().partial_cmp(&(b.0 - r).abs()).unwrap()
-            }).unwrap().1
+            g.iter()
+                .min_by(|a, b| (a.0 - r).abs().partial_cmp(&(b.0 - r).abs()).unwrap())
+                .unwrap()
+                .1
         };
         assert!(g_at(0.1) < 0.1, "steric core must be empty");
         let peak = g.iter().map(|&(_, v)| v).fold(0.0, f64::max);
-        assert!(peak > 1.5, "lattice structure must show a peak, max g = {peak}");
+        assert!(
+            peak > 1.5,
+            "lattice structure must show a peak, max g = {peak}"
+        );
     }
 
     #[test]
     fn cross_species_rdf_uses_both_selections() {
         let sys = GrappaBuilder::new(3000).seed(7).build();
         let mut rdf = Rdf::new(1.0, 20);
-        rdf.accumulate(&sys.pbc, &sys.positions, &sys.kinds, AtomKind::Ow, AtomKind::Hw);
+        rdf.accumulate(
+            &sys.pbc,
+            &sys.positions,
+            &sys.kinds,
+            AtomKind::Ow,
+            AtomKind::Hw,
+        );
         let g = rdf.g_of_r();
         assert!(!g.is_empty());
         // Intramolecular O-H at ~0.1 nm shows as a sharp peak somewhere in
@@ -227,7 +259,10 @@ mod tests {
         // msd(t) = (v t)^2
         for &(t, msd) in s.iter().skip(1) {
             let expect = (0.3 * t) * (0.3 * t);
-            assert!((msd - expect).abs() < 1e-4 * expect.max(1.0), "t={t}: {msd} vs {expect}");
+            assert!(
+                (msd - expect).abs() < 1e-4 * expect.max(1.0),
+                "t={t}: {msd} vs {expect}"
+            );
         }
     }
 

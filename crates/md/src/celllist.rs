@@ -31,7 +31,11 @@ impl CellList {
             ((l.y / min_cell).floor() as usize).max(1),
             ((l.z / min_cell).floor() as usize).max(1),
         ];
-        let cell_len = Vec3::new(l.x / dims[0] as f32, l.y / dims[1] as f32, l.z / dims[2] as f32);
+        let cell_len = Vec3::new(
+            l.x / dims[0] as f32,
+            l.y / dims[1] as f32,
+            l.z / dims[2] as f32,
+        );
         let ncells = dims[0] * dims[1] * dims[2];
 
         // Counting sort by cell index.
@@ -52,7 +56,12 @@ impl CellList {
             order[cursor[c as usize] as usize] = atom as u32;
             cursor[c as usize] += 1;
         }
-        CellList { dims, cell_len, starts, order }
+        CellList {
+            dims,
+            cell_len,
+            starts,
+            order,
+        }
     }
 
     #[inline]
@@ -78,7 +87,13 @@ impl CellList {
     /// Iterate over the 27-cell periodic neighbourhood of cell `(cx,cy,cz)`,
     /// calling `f` with each neighbouring cell's flat index. When the grid is
     /// fewer than 3 cells wide in a dimension, duplicate cells are skipped.
-    pub fn for_each_neighbor_cell(&self, cx: usize, cy: usize, cz: usize, mut f: impl FnMut(usize)) {
+    pub fn for_each_neighbor_cell(
+        &self,
+        cx: usize,
+        cy: usize,
+        cz: usize,
+        mut f: impl FnMut(usize),
+    ) {
         let mut seen = Vec::with_capacity(27);
         for dx in -1i64..=1 {
             for dy in -1i64..=1 {

@@ -79,7 +79,13 @@ impl ClusterPairList {
                 }
             }
         }
-        ClusterPairList { clusters, centers, radii, pairs, r_list }
+        ClusterPairList {
+            clusters,
+            centers,
+            radii,
+            pairs,
+            r_list,
+        }
     }
 
     pub fn n_clusters(&self) -> usize {
@@ -189,8 +195,14 @@ mod tests {
 
         let pl = PairList::build(&sys.pbc, &sys.positions, 0.75, &rule);
         let mut f_plain = vec![Vec3::ZERO; sys.n_atoms()];
-        let e_plain =
-            compute_nonbonded(&frame, &sys.positions, &sys.kinds, &pl, &params, &mut f_plain);
+        let e_plain = compute_nonbonded(
+            &frame,
+            &sys.positions,
+            &sys.kinds,
+            &pl,
+            &params,
+            &mut f_plain,
+        );
 
         let list = ClusterPairList::build(&sys.pbc, &sys.positions, 0.75);
         let mut f_cluster = vec![Vec3::ZERO; sys.n_atoms()];
@@ -230,8 +242,14 @@ mod tests {
         for i in 0..sys.n_atoms() {
             for j in (i + 1)..sys.n_atoms() {
                 if sys.pbc.dist2(sys.positions[i], sys.positions[j]) < r * r {
-                    let (a, b) = (cluster_of[i].min(cluster_of[j]), cluster_of[i].max(cluster_of[j]));
-                    assert!(pair_set.contains(&(a, b)), "pair ({i},{j}) missing cluster pair");
+                    let (a, b) = (
+                        cluster_of[i].min(cluster_of[j]),
+                        cluster_of[i].max(cluster_of[j]),
+                    );
+                    assert!(
+                        pair_set.contains(&(a, b)),
+                        "pair ({i},{j}) missing cluster pair"
+                    );
                 }
             }
         }

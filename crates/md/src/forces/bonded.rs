@@ -93,7 +93,12 @@ mod tests {
     fn bond_at_equilibrium_no_force() {
         let pbc = PbcBox::cubic(10.0);
         let positions = vec![Vec3::ZERO, Vec3::new(0.1, 0.0, 0.0)];
-        let bonds = vec![Bond { i: 0, j: 1, r0: 0.1, k: 1000.0 }];
+        let bonds = vec![Bond {
+            i: 0,
+            j: 1,
+            r0: 0.1,
+            k: 1000.0,
+        }];
         let mut forces = vec![Vec3::ZERO; 2];
         let e = compute_bonds(&pbc, &positions, &bonds, &identity(2), &mut forces);
         assert!(e.abs() < 1e-10);
@@ -104,7 +109,12 @@ mod tests {
     fn stretched_bond_pulls_inward() {
         let pbc = PbcBox::cubic(10.0);
         let positions = vec![Vec3::ZERO, Vec3::new(0.2, 0.0, 0.0)];
-        let bonds = vec![Bond { i: 0, j: 1, r0: 0.1, k: 1000.0 }];
+        let bonds = vec![Bond {
+            i: 0,
+            j: 1,
+            r0: 0.1,
+            k: 1000.0,
+        }];
         let mut forces = vec![Vec3::ZERO; 2];
         let e = compute_bonds(&pbc, &positions, &bonds, &identity(2), &mut forces);
         assert!((e - 0.5 * 1000.0 * 0.01) < 1e-4);
@@ -117,7 +127,12 @@ mod tests {
     fn bond_across_periodic_boundary() {
         let pbc = PbcBox::cubic(5.0);
         let positions = vec![Vec3::new(0.05, 1.0, 1.0), Vec3::new(4.95, 1.0, 1.0)];
-        let bonds = vec![Bond { i: 0, j: 1, r0: 0.1, k: 1000.0 }];
+        let bonds = vec![Bond {
+            i: 0,
+            j: 1,
+            r0: 0.1,
+            k: 1000.0,
+        }];
         let mut forces = vec![Vec3::ZERO; 2];
         let e = compute_bonds(&pbc, &positions, &bonds, &identity(2), &mut forces);
         // Separation via min image is exactly 0.1 = r0.
@@ -145,7 +160,13 @@ mod tests {
             Vec3::ZERO,
             Vec3::new(0.0, 0.1, 0.0), // 90 degrees
         ];
-        let angles = vec![Angle { i: 0, j: 1, k_atom: 2, theta0: 1.9111, k: 383.0 }];
+        let angles = vec![Angle {
+            i: 0,
+            j: 1,
+            k_atom: 2,
+            theta0: 1.9111,
+            k: 383.0,
+        }];
         let mut forces = vec![Vec3::ZERO; 3];
         let e = compute_angles(&pbc, &positions, &angles, &identity(3), &mut forces);
         assert!(e > 0.0);
@@ -161,7 +182,13 @@ mod tests {
             Vec3::ZERO,
             Vec3::new(-0.02, 0.12, 0.03),
         ];
-        let angles = vec![Angle { i: 0, j: 1, k_atom: 2, theta0: 1.8, k: 383.0 }];
+        let angles = vec![Angle {
+            i: 0,
+            j: 1,
+            k_atom: 2,
+            theta0: 1.8,
+            k: 383.0,
+        }];
         let mut forces = vec![Vec3::ZERO; 3];
         compute_angles(&pbc, &base, &angles, &identity(3), &mut forces);
         let h = 2e-4f32;
@@ -188,7 +215,12 @@ mod tests {
     fn unmapped_atoms_skip_term() {
         let pbc = PbcBox::cubic(10.0);
         let positions = vec![Vec3::ZERO];
-        let bonds = vec![Bond { i: 0, j: 1, r0: 0.1, k: 1000.0 }];
+        let bonds = vec![Bond {
+            i: 0,
+            j: 1,
+            r0: 0.1,
+            k: 1000.0,
+        }];
         let map = |g: u32| if g == 0 { Some(0) } else { None };
         let mut forces = vec![Vec3::ZERO; 1];
         let e = compute_bonds(&pbc, &positions, &bonds, &map, &mut forces);

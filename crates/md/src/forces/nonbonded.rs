@@ -6,8 +6,8 @@
 //! truncation does not inject energy.
 
 use crate::frame::Frame;
-use crate::topology::{lj_table, AtomKind, LjParams};
 use crate::pairlist::PairList;
+use crate::topology::{lj_table, AtomKind, LjParams};
 use crate::vec3::Vec3;
 
 /// Coulomb conversion factor in MD units (kJ mol^-1 nm e^-2).
@@ -52,7 +52,14 @@ impl NonbondedParams {
                 vshift_lj[a][b] = x12 / (rc6 * rc6) - x6 / rc6;
             }
         }
-        NonbondedParams { cutoff, k_rf, c_rf, c6, c12, vshift_lj }
+        NonbondedParams {
+            cutoff,
+            k_rf,
+            c_rf,
+            c6,
+            c12,
+            vshift_lj,
+        }
     }
 
     /// LJ + RF pair energy and force scalar `f/r` for kinds (a, b), charges

@@ -113,7 +113,8 @@ mod tests {
         let mut f1 = vec![Vec3::ZERO; sys.n_atoms()];
         let e1 = compute_nonbonded(&frame, &sys.positions, &sys.kinds, &pl, &params, &mut f1);
         let mut f2 = vec![Vec3::ZERO; sys.n_atoms()];
-        let (e2, w) = compute_nonbonded_virial(&frame, &sys.positions, &sys.kinds, &pl, &params, &mut f2);
+        let (e2, w) =
+            compute_nonbonded_virial(&frame, &sys.positions, &sys.kinds, &pl, &params, &mut f2);
         assert_eq!(e1, e2);
         assert_eq!(f1, f2);
         assert!(w.is_finite());
@@ -130,7 +131,8 @@ mod tests {
         let pl = PairList::build(&pbc, &positions, 1.0, &all);
         let params = NonbondedParams::new(0.9);
         let mut forces = vec![Vec3::ZERO; 2];
-        let (_, w) = compute_nonbonded_virial(&frame, &positions, &kinds, &pl, &params, &mut forces);
+        let (_, w) =
+            compute_nonbonded_virial(&frame, &positions, &kinds, &pl, &params, &mut forces);
         let (_, f_over_r) = params.pair(AtomKind::Ch3, AtomKind::Ch3, 0.0, 0.0, 0.25);
         assert!((w - (f_over_r * 0.25) as f64).abs() < 1e-9, "{w}");
     }
@@ -139,7 +141,12 @@ mod tests {
     fn bond_at_equilibrium_has_zero_virial() {
         let pbc = PbcBox::cubic(5.0);
         let positions = vec![Vec3::splat(1.0), Vec3::new(1.1, 1.0, 1.0)];
-        let bonds = vec![Bond { i: 0, j: 1, r0: 0.1, k: 1000.0 }];
+        let bonds = vec![Bond {
+            i: 0,
+            j: 1,
+            r0: 0.1,
+            k: 1000.0,
+        }];
         let w = bond_virial(&pbc, &positions, &bonds);
         assert!(w.abs() < 1e-4, "{w}");
         // Stretched bond: attractive force, negative virial.
@@ -168,7 +175,11 @@ mod tests {
         // theta the virial vanishes.
         let pbc = PbcBox::cubic(5.0);
         let tmpl = crate::topology::MoleculeTemplate::water();
-        let positions: Vec<Vec3> = tmpl.geometry.iter().map(|&g| g + Vec3::splat(2.0)).collect();
+        let positions: Vec<Vec3> = tmpl
+            .geometry
+            .iter()
+            .map(|&g| g + Vec3::splat(2.0))
+            .collect();
         let w = angle_virial(&pbc, &positions, &tmpl.angles);
         assert!(w.abs() < 1e-4, "{w}");
     }

@@ -25,7 +25,10 @@ pub struct Frame {
 impl Frame {
     /// Fully periodic frame over a box (single-rank / reference use).
     pub fn fully_periodic(pbc: &PbcBox) -> Self {
-        Frame { box_lengths: pbc.lengths(), periodic: [true; 3] }
+        Frame {
+            box_lengths: pbc.lengths(),
+            periodic: [true; 3],
+        }
     }
 
     /// Frame for a DD rank: periodic only in non-decomposed dimensions.

@@ -33,8 +33,8 @@ pub use celllist::CellList;
 pub use cluster::{compute_nonbonded_clusters, ClusterPairList, CLUSTER};
 pub use forces::{compute_angles, compute_bonds, compute_nonbonded, NonbondedParams};
 pub use frame::Frame;
-pub use observables::{DriftTracker, EnergyReport};
 pub use minimize::{steepest_descent, MinimizeOptions};
+pub use observables::{DriftTracker, EnergyReport};
 pub use pairlist::PairList;
 pub use pbc::PbcBox;
 pub use system::{GrappaBuilder, System, GRAPPA_ATOM_DENSITY, KB};
@@ -59,8 +59,7 @@ impl ReferenceSimulation {
     pub fn new(system: System, cutoff: f32, buffer: f32) -> Self {
         let sys_ref = &system;
         let rule = move |a: usize, b: usize| !sys_ref.is_excluded(a, b);
-        let pairlist =
-            PairList::build(&system.pbc, &system.positions, cutoff + buffer, &rule);
+        let pairlist = PairList::build(&system.pbc, &system.positions, cutoff + buffer, &rule);
         let n = system.n_atoms();
         ReferenceSimulation {
             params: NonbondedParams::new(cutoff),
@@ -89,12 +88,27 @@ impl ReferenceSimulation {
             &self.params,
             &mut self.forces,
         );
-        let bonds = compute_bonds(&self.system.pbc, &self.system.positions, &self.system.bonds, &id, &mut self.forces);
-        let angles =
-            compute_angles(&self.system.pbc, &self.system.positions, &self.system.angles, &id, &mut self.forces);
+        let bonds = compute_bonds(
+            &self.system.pbc,
+            &self.system.positions,
+            &self.system.bonds,
+            &id,
+            &mut self.forces,
+        );
+        let angles = compute_angles(
+            &self.system.pbc,
+            &self.system.positions,
+            &self.system.angles,
+            &id,
+            &mut self.forces,
+        );
         let virial = w_nb
             + forces::bond_virial(&self.system.pbc, &self.system.positions, &self.system.bonds)
-            + forces::angle_virial(&self.system.pbc, &self.system.positions, &self.system.angles);
+            + forces::angle_virial(
+                &self.system.pbc,
+                &self.system.positions,
+                &self.system.angles,
+            );
         EnergyReport {
             nonbonded,
             bonds,
@@ -107,7 +121,10 @@ impl ReferenceSimulation {
     /// Advance one step of size `dt` ps; rebuilds the pair list when the
     /// Verlet buffer is exhausted. Returns the pre-step energies.
     pub fn step(&mut self, dt: f32) -> EnergyReport {
-        if self.pairlist.needs_rebuild(&self.system.positions, self.buffer) {
+        if self
+            .pairlist
+            .needs_rebuild(&self.system.positions, self.buffer)
+        {
             self.rebuild_pairlist();
         }
         let report = self.compute_forces();
@@ -129,8 +146,12 @@ impl ReferenceSimulation {
         }
         let sys_ref = &self.system;
         let rule = move |a: usize, b: usize| !sys_ref.is_excluded(a, b);
-        self.pairlist =
-            PairList::build(&self.system.pbc, &self.system.positions, self.cutoff + self.buffer, &rule);
+        self.pairlist = PairList::build(
+            &self.system.pbc,
+            &self.system.positions,
+            self.cutoff + self.buffer,
+            &rule,
+        );
     }
 }
 

@@ -23,7 +23,11 @@ pub struct MinimizeOptions {
 
 impl Default for MinimizeOptions {
     fn default() -> Self {
-        MinimizeOptions { steps: 40, max_disp: 0.01, cutoff: 0.7 }
+        MinimizeOptions {
+            steps: 40,
+            max_disp: 0.01,
+            cutoff: 0.7,
+        }
     }
 }
 
@@ -46,9 +50,28 @@ pub fn steepest_descent(system: &mut System, opts: MinimizeOptions) -> (f64, f64
         forces.resize(n, Vec3::ZERO);
         let id = |g: u32| if (g as usize) < n { Some(g) } else { None };
         let frame = crate::frame::Frame::fully_periodic(&system.pbc);
-        let mut e = compute_nonbonded(&frame, &system.positions, &system.kinds, &pl, &params, &mut forces);
-        e += compute_bonds(&system.pbc, &system.positions, &system.bonds, &id, &mut forces);
-        e += compute_angles(&system.pbc, &system.positions, &system.angles, &id, &mut forces);
+        let mut e = compute_nonbonded(
+            &frame,
+            &system.positions,
+            &system.kinds,
+            &pl,
+            &params,
+            &mut forces,
+        );
+        e += compute_bonds(
+            &system.pbc,
+            &system.positions,
+            &system.bonds,
+            &id,
+            &mut forces,
+        );
+        e += compute_angles(
+            &system.pbc,
+            &system.positions,
+            &system.angles,
+            &id,
+            &mut forces,
+        );
         e_first.get_or_insert(e);
         e_last = e;
         for (p, f) in system.positions.iter_mut().zip(&forces) {
@@ -85,7 +108,13 @@ mod tests {
     #[test]
     fn positions_stay_wrapped() {
         let mut sys = GrappaBuilder::new(600).seed(22).build();
-        steepest_descent(&mut sys, MinimizeOptions { steps: 5, ..Default::default() });
+        steepest_descent(
+            &mut sys,
+            MinimizeOptions {
+                steps: 5,
+                ..Default::default()
+            },
+        );
         for &p in &sys.positions {
             assert!(sys.pbc.contains(p));
         }
@@ -95,7 +124,13 @@ mod tests {
     fn zero_steps_is_identity_on_energy_reporting() {
         let mut sys = GrappaBuilder::new(300).seed(23).build();
         let before = sys.positions.clone();
-        let (e0, e1) = steepest_descent(&mut sys, MinimizeOptions { steps: 0, ..Default::default() });
+        let (e0, e1) = steepest_descent(
+            &mut sys,
+            MinimizeOptions {
+                steps: 0,
+                ..Default::default()
+            },
+        );
         assert_eq!(e0, 0.0);
         assert_eq!(e1, 0.0);
         // Final wrap only; positions already wrapped by the builder.

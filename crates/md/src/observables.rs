@@ -87,7 +87,13 @@ mod tests {
 
     #[test]
     fn report_sums() {
-        let r = EnergyReport { nonbonded: 1.0, bonds: 2.0, angles: 3.0, kinetic: 4.0, virial: 0.0 };
+        let r = EnergyReport {
+            nonbonded: 1.0,
+            bonds: 2.0,
+            angles: 3.0,
+            kinetic: 4.0,
+            virial: 0.0,
+        };
         assert_eq!(r.potential(), 6.0);
         assert_eq!(r.total(), 10.0);
         // Ideal-gas limit: P V = 2/3 K.

@@ -106,7 +106,13 @@ impl PairList {
             starts.push(j_atoms.len() as u32);
         }
 
-        PairList { starts, j_atoms, r_list, frame: *frame, ref_positions: positions.to_vec() }
+        PairList {
+            starts,
+            j_atoms,
+            r_list,
+            frame: *frame,
+            ref_positions: positions.to_vec(),
+        }
     }
 
     /// True if any atom has moved more than `buffer / 2` since the list was
@@ -194,7 +200,14 @@ impl Binning {
             order[cursor[c as usize] as usize] = atom as u32;
             cursor[c as usize] += 1;
         }
-        Binning { dims, lo, cell_len, periodic: frame.periodic, starts, order }
+        Binning {
+            dims,
+            lo,
+            cell_len,
+            periodic: frame.periodic,
+            starts,
+            order,
+        }
     }
 
     #[inline]
@@ -321,7 +334,10 @@ mod tests {
         let excl = |a: usize, b: usize| !sys.is_excluded(a, b);
         let pl = PairList::build(&sys.pbc, &sys.positions, 0.6, &excl);
         for (i, j) in pl.iter_pairs() {
-            assert!(!sys.is_excluded(i as usize, j as usize), "excluded pair listed: {i} {j}");
+            assert!(
+                !sys.is_excluded(i as usize, j as usize),
+                "excluded pair listed: {i} {j}"
+            );
             assert_ne!(sys.molecule_of[i as usize], sys.molecule_of[j as usize]);
         }
     }

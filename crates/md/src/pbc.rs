@@ -101,7 +101,11 @@ impl PbcBox {
     #[inline]
     pub fn shift_vector(&self, dim: usize, positive: bool) -> Vec3 {
         let mut s = Vec3::ZERO;
-        s[dim] = if positive { self.lengths[dim] } else { -self.lengths[dim] };
+        s[dim] = if positive {
+            self.lengths[dim]
+        } else {
+            -self.lengths[dim]
+        };
         s
     }
 }

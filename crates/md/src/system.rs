@@ -7,7 +7,7 @@
 //! Maxwell–Boltzmann velocities at 300 K.
 
 use crate::pbc::PbcBox;
-use crate::topology::{AtomKind, Bond, Angle, MoleculeTemplate};
+use crate::topology::{Angle, AtomKind, Bond, MoleculeTemplate};
 use crate::vec3::Vec3;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -176,7 +176,8 @@ impl GrappaBuilder {
                         break 'outer;
                     }
                     // Interleave ethanol evenly through the lattice.
-                    let is_eth = n_eth > 0 && (mol_idx * n_eth) / n_mols != ((mol_idx + 1) * n_eth) / n_mols;
+                    let is_eth =
+                        n_eth > 0 && (mol_idx * n_eth) / n_mols != ((mol_idx + 1) * n_eth) / n_mols;
                     let tmpl = if is_eth { &ethanol } else { &water };
 
                     let jit = Vec3::new(
@@ -203,15 +204,25 @@ impl GrappaBuilder {
                         velocities.push(maxwell_boltzmann(&mut rng, kind.mass(), self.temperature));
                     }
                     for b in &tmpl.bonds {
-                        bonds.push(Bond { i: base + b.i, j: base + b.j, ..*b });
+                        bonds.push(Bond {
+                            i: base + b.i,
+                            j: base + b.j,
+                            ..*b
+                        });
                     }
                     for a in &tmpl.angles {
-                        angles.push(Angle { i: base + a.i, j: base + a.j, k_atom: base + a.k_atom, ..*a });
+                        angles.push(Angle {
+                            i: base + a.i,
+                            j: base + a.j,
+                            k_atom: base + a.k_atom,
+                            ..*a
+                        });
                     }
                     // Full intramolecular exclusion (3-site molecules).
                     let n = tmpl.n_sites() as u32;
                     for s in 0..n {
-                        let mut ex: Vec<u32> = (0..n).filter(|&t| t != s).map(|t| base + t).collect();
+                        let mut ex: Vec<u32> =
+                            (0..n).filter(|&t| t != s).map(|t| base + t).collect();
                         ex.sort_unstable();
                         exclusions.push(ex);
                     }
@@ -270,7 +281,10 @@ mod tests {
     fn density_close_to_target() {
         let sys = GrappaBuilder::new(9000).build();
         let d = sys.density();
-        assert!((d - GRAPPA_ATOM_DENSITY).abs() / GRAPPA_ATOM_DENSITY < 0.01, "{d}");
+        assert!(
+            (d - GRAPPA_ATOM_DENSITY).abs() / GRAPPA_ATOM_DENSITY < 0.01,
+            "{d}"
+        );
     }
 
     #[test]
@@ -301,7 +315,11 @@ mod tests {
     #[test]
     fn ethanol_fraction_respected() {
         let sys = GrappaBuilder::new(30000).build();
-        let n_eth_sites = sys.kinds.iter().filter(|k| matches!(k, AtomKind::Ch3)).count();
+        let n_eth_sites = sys
+            .kinds
+            .iter()
+            .filter(|k| matches!(k, AtomKind::Ch3))
+            .count();
         let n_mols = sys.n_atoms() / 3;
         let frac = n_eth_sites as f64 / n_mols as f64;
         assert!((frac - ETHANOL_MOLE_FRACTION).abs() < 0.01, "{frac}");
@@ -315,7 +333,10 @@ mod tests {
         }
         for a in &sys.angles {
             assert_eq!(sys.molecule_of[a.i as usize], sys.molecule_of[a.j as usize]);
-            assert_eq!(sys.molecule_of[a.i as usize], sys.molecule_of[a.k_atom as usize]);
+            assert_eq!(
+                sys.molecule_of[a.i as usize],
+                sys.molecule_of[a.k_atom as usize]
+            );
         }
     }
 
@@ -324,7 +345,10 @@ mod tests {
         let sys = GrappaBuilder::new(900).build();
         for i in 0..sys.n_atoms() {
             for &j in &sys.exclusions[i] {
-                assert!(sys.is_excluded(j as usize, i), "exclusion not symmetric: {i} {j}");
+                assert!(
+                    sys.is_excluded(j as usize, i),
+                    "exclusion not symmetric: {i} {j}"
+                );
             }
         }
     }

@@ -95,13 +95,28 @@ impl LjParams {
 /// Per-kind LJ parameter table (SPC-ish water, GROMOS-ish united atoms).
 pub fn lj_table() -> [LjParams; AtomKind::COUNT] {
     [
-        LjParams { sigma: 0.3166, epsilon: 0.650 }, // Ow
+        LjParams {
+            sigma: 0.3166,
+            epsilon: 0.650,
+        }, // Ow
         // Hw gets a small LJ core (unlike SPC) so that intermolecular O-H
         // Coulomb attraction cannot collapse without constraint algorithms.
-        LjParams { sigma: 0.1200, epsilon: 0.10 },  // Hw
-        LjParams { sigma: 0.3748, epsilon: 0.867 }, // Ch3
-        LjParams { sigma: 0.3905, epsilon: 0.494 }, // Ch2
-        LjParams { sigma: 0.3066, epsilon: 0.880 }, // Oh
+        LjParams {
+            sigma: 0.1200,
+            epsilon: 0.10,
+        }, // Hw
+        LjParams {
+            sigma: 0.3748,
+            epsilon: 0.867,
+        }, // Ch3
+        LjParams {
+            sigma: 0.3905,
+            epsilon: 0.494,
+        }, // Ch2
+        LjParams {
+            sigma: 0.3066,
+            epsilon: 0.880,
+        }, // Oh
     ]
 }
 
@@ -168,8 +183,18 @@ impl MoleculeTemplate {
                 Vec3::new(-r_oh * half.sin(), r_oh * half.cos(), 0.0),
             ],
             bonds: vec![
-                Bond { i: 0, j: 1, r0: r_oh, k: 345_000.0 },
-                Bond { i: 0, j: 2, r0: r_oh, k: 345_000.0 },
+                Bond {
+                    i: 0,
+                    j: 1,
+                    r0: r_oh,
+                    k: 345_000.0,
+                },
+                Bond {
+                    i: 0,
+                    j: 2,
+                    r0: r_oh,
+                    k: 345_000.0,
+                },
             ],
             angles: vec![Angle {
                 i: 1,
@@ -192,13 +217,33 @@ impl MoleculeTemplate {
             geometry: vec![
                 Vec3::ZERO,
                 Vec3::new(r_cc, 0.0, 0.0),
-                Vec3::new(r_cc + r_co * (std::f32::consts::PI - theta).cos().abs(), r_co * theta.sin(), 0.0),
+                Vec3::new(
+                    r_cc + r_co * (std::f32::consts::PI - theta).cos().abs(),
+                    r_co * theta.sin(),
+                    0.0,
+                ),
             ],
             bonds: vec![
-                Bond { i: 0, j: 1, r0: r_cc, k: 224_000.0 },
-                Bond { i: 1, j: 2, r0: r_co, k: 268_000.0 },
+                Bond {
+                    i: 0,
+                    j: 1,
+                    r0: r_cc,
+                    k: 224_000.0,
+                },
+                Bond {
+                    i: 1,
+                    j: 2,
+                    r0: r_co,
+                    k: 268_000.0,
+                },
             ],
-            angles: vec![Angle { i: 0, j: 1, k_atom: 2, theta0: theta, k: 520.0 }],
+            angles: vec![Angle {
+                i: 0,
+                j: 1,
+                k_atom: 2,
+                theta0: theta,
+                k: 520.0,
+            }],
         }
     }
 }
@@ -261,7 +306,10 @@ mod tests {
 
     #[test]
     fn c6_c12_consistent() {
-        let p = LjParams { sigma: 0.3, epsilon: 0.5 };
+        let p = LjParams {
+            sigma: 0.3,
+            epsilon: 0.5,
+        };
         let (c6, c12) = p.c6_c12();
         // At r = sigma the LJ potential is zero: c12/r^12 == c6/r^6.
         let r6 = p.sigma.powi(6);
@@ -270,7 +318,13 @@ mod tests {
 
     #[test]
     fn kind_indices_are_dense() {
-        let kinds = [AtomKind::Ow, AtomKind::Hw, AtomKind::Ch3, AtomKind::Ch2, AtomKind::Oh];
+        let kinds = [
+            AtomKind::Ow,
+            AtomKind::Hw,
+            AtomKind::Ch3,
+            AtomKind::Ch2,
+            AtomKind::Oh,
+        ];
         let mut seen = [false; AtomKind::COUNT];
         for k in kinds {
             seen[k.index()] = true;

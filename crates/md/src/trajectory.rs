@@ -90,12 +90,18 @@ pub fn read_xyz_frame(reader: &mut impl BufRead) -> io::Result<Option<Frame>> {
     for _ in 0..n {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated frame"));
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated frame",
+            ));
         }
         let mut it = line.split_whitespace();
-        let sym = it.next().ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty row"))?;
-        let kind = symbol_kind(sym)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("unknown symbol {sym}")))?;
+        let sym = it
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty row"))?;
+        let kind = symbol_kind(sym).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("unknown symbol {sym}"))
+        })?;
         let mut coord = [0f32; 3];
         for c in coord.iter_mut() {
             *c = it
@@ -106,7 +112,12 @@ pub fn read_xyz_frame(reader: &mut impl BufRead) -> io::Result<Option<Frame>> {
         kinds.push(kind);
         positions.push(Vec3::new(coord[0], coord[1], coord[2]));
     }
-    Ok(Some(Frame { comment, box_lengths, kinds, positions }))
+    Ok(Some(Frame {
+        comment,
+        box_lengths,
+        kinds,
+        positions,
+    }))
 }
 
 fn parse_lattice(comment: &str) -> Option<Vec3> {
@@ -184,7 +195,8 @@ mod tests {
         let sys = GrappaBuilder::new(90).seed(72).build();
         let mut w = TrajectoryWriter::new(Vec::<u8>::new());
         for t in 0..3 {
-            w.write_frame(&sys.pbc, &sys.kinds, &sys.positions, t as f64).unwrap();
+            w.write_frame(&sys.pbc, &sys.kinds, &sys.positions, t as f64)
+                .unwrap();
         }
         assert_eq!(w.frames_written(), 3);
         let buf = w.into_inner();
@@ -209,7 +221,13 @@ mod tests {
 
     #[test]
     fn all_kinds_round_trip_symbols() {
-        for k in [AtomKind::Ow, AtomKind::Hw, AtomKind::Ch3, AtomKind::Ch2, AtomKind::Oh] {
+        for k in [
+            AtomKind::Ow,
+            AtomKind::Hw,
+            AtomKind::Ch3,
+            AtomKind::Ch2,
+            AtomKind::Oh,
+        ] {
             assert_eq!(symbol_kind(kind_symbol(k)), Some(k));
         }
         assert_eq!(symbol_kind("Xx"), None);

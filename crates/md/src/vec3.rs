@@ -7,7 +7,9 @@
 
 use serde::{Deserialize, Serialize};
 use std::iter::Sum;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// Single-precision 3-vector (positions, velocities, forces).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -28,7 +30,11 @@ pub struct DVec3 {
 }
 
 impl Vec3 {
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     #[inline(always)]
     pub const fn new(x: f32, y: f32, z: f32) -> Self {
@@ -91,7 +97,11 @@ impl Vec3 {
     /// Widen to double precision.
     #[inline(always)]
     pub fn to_dvec(self) -> DVec3 {
-        DVec3 { x: self.x as f64, y: self.y as f64, z: self.z as f64 }
+        DVec3 {
+            x: self.x as f64,
+            y: self.y as f64,
+            z: self.z as f64,
+        }
     }
 
     /// True if all components are finite.
@@ -102,7 +112,11 @@ impl Vec3 {
 }
 
 impl DVec3 {
-    pub const ZERO: DVec3 = DVec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: DVec3 = DVec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     #[inline(always)]
     pub const fn new(x: f64, y: f64, z: f64) -> Self {
@@ -122,7 +136,11 @@ impl DVec3 {
     /// Narrow to single precision.
     #[inline(always)]
     pub fn to_vec3(self) -> Vec3 {
-        Vec3 { x: self.x as f32, y: self.y as f32, z: self.z as f32 }
+        Vec3 {
+            x: self.x as f32,
+            y: self.y as f32,
+            z: self.z as f32,
+        }
     }
 }
 

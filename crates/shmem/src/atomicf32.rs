@@ -12,7 +12,9 @@ pub struct AtomicF32 {
 
 impl AtomicF32 {
     pub fn new(v: f32) -> Self {
-        AtomicF32 { bits: AtomicU32::new(v.to_bits()) }
+        AtomicF32 {
+            bits: AtomicU32::new(v.to_bits()),
+        }
     }
 
     #[inline]
@@ -32,7 +34,10 @@ impl AtomicF32 {
         let mut cur = self.bits.load(Ordering::Relaxed);
         loop {
             let new = (f32::from_bits(cur) + v).to_bits();
-            match self.bits.compare_exchange_weak(cur, new, order, Ordering::Relaxed) {
+            match self
+                .bits
+                .compare_exchange_weak(cur, new, order, Ordering::Relaxed)
+            {
                 Ok(prev) => return f32::from_bits(prev),
                 Err(actual) => cur = actual,
             }

@@ -14,7 +14,11 @@ pub struct SenseBarrier {
 impl SenseBarrier {
     pub fn new(n: usize) -> Self {
         assert!(n >= 1);
-        SenseBarrier { n, count: AtomicUsize::new(0), generation: AtomicUsize::new(0) }
+        SenseBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
     }
 
     pub fn participants(&self) -> usize {
@@ -82,7 +86,11 @@ mod tests {
     fn barrier_orders_phases() {
         // No participant may enter phase k+1 before all finished phase k.
         let b = SenseBarrier::new(3);
-        let phase_counts = [AtomicUsize::new(0), AtomicUsize::new(0), AtomicUsize::new(0)];
+        let phase_counts = [
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+        ];
         std::thread::scope(|s| {
             for _ in 0..3 {
                 s.spawn(|| {

@@ -17,7 +17,9 @@ pub struct AtomicF64 {
 
 impl AtomicF64 {
     pub fn new(v: f64) -> Self {
-        AtomicF64 { bits: AtomicU64::new(v.to_bits()) }
+        AtomicF64 {
+            bits: AtomicU64::new(v.to_bits()),
+        }
     }
 
     #[inline]
@@ -36,7 +38,10 @@ impl AtomicF64 {
         let mut cur = self.bits.load(Ordering::Relaxed);
         loop {
             let new = (f64::from_bits(cur) + v).to_bits();
-            match self.bits.compare_exchange_weak(cur, new, order, Ordering::Relaxed) {
+            match self
+                .bits
+                .compare_exchange_weak(cur, new, order, Ordering::Relaxed)
+            {
                 Ok(prev) => return f64::from_bits(prev),
                 Err(actual) => cur = actual,
             }
@@ -52,7 +57,10 @@ impl AtomicF64 {
             if c >= v {
                 return c;
             }
-            match self.bits.compare_exchange_weak(cur, v.to_bits(), order, Ordering::Relaxed) {
+            match self
+                .bits
+                .compare_exchange_weak(cur, v.to_bits(), order, Ordering::Relaxed)
+            {
                 Ok(prev) => return f64::from_bits(prev),
                 Err(actual) => cur = actual,
             }

@@ -20,7 +20,11 @@ pub struct SignalSet {
 
 impl SignalSet {
     pub fn new(n_slots: usize) -> Self {
-        SignalSet { slots: (0..n_slots).map(|_| CachePadded::new(AtomicU64::new(0))).collect() }
+        SignalSet {
+            slots: (0..n_slots)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        }
     }
 
     pub fn n_slots(&self) -> usize {
@@ -30,9 +34,27 @@ impl SignalSet {
     /// Release-store: makes all prior (relaxed) data writes visible to any
     /// thread that acquire-reads `val` from this slot. The paper's
     /// `system_release_store`.
+    ///
+    /// Only safe when this thread is the *sole* writer of the slot for the
+    /// current step — a plain store can move the value backwards if another
+    /// sender raced a larger value in first. Delivery paths where two
+    /// senders can target one slot (direct NVLink store racing a proxied IB
+    /// signal) must use [`SignalSet::release_max`] instead.
     #[inline]
     pub fn release_store(&self, slot: usize, val: u64) {
         self.slots[slot].store(val, Ordering::Release);
+    }
+
+    /// Monotone release: advance the slot to at least `val` without ever
+    /// regressing it (`fetch_max`). With `AcqRel` ordering the RMW both
+    /// publishes this thread's prior writes and joins the slot's existing
+    /// release chain, so concurrent senders into one slot compose: a
+    /// consumer that observes `max(a, b)` is ordered after *both* senders.
+    /// This is the safe delivery primitive for signal slots that several
+    /// transports may hit in the same step.
+    #[inline]
+    pub fn release_max(&self, slot: usize, val: u64) {
+        self.slots[slot].fetch_max(val, Ordering::AcqRel);
     }
 
     /// Relaxed store for notifications with no preceding data writes (the
@@ -45,11 +67,17 @@ impl SignalSet {
 
     /// Spin until the slot reaches at least `val`, with acquire ordering —
     /// the paper's `acquire_wait(signal == sigVal)`. Values are monotone, so
-    /// `>=` is the robust comparison.
+    /// `>=` is the robust comparison. Returns the value actually observed
+    /// (>= `val`), which protocol tracing records to pair the acquire with
+    /// the releases it synchronised with.
     #[inline]
-    pub fn acquire_wait(&self, slot: usize, val: u64) {
+    pub fn acquire_wait(&self, slot: usize, val: u64) -> u64 {
         let mut spins = 0u32;
-        while self.slots[slot].load(Ordering::Acquire) < val {
+        loop {
+            let observed = self.slots[slot].load(Ordering::Acquire);
+            if observed >= val {
+                return observed;
+            }
             spins += 1;
             if spins < 64 {
                 std::hint::spin_loop();
@@ -70,7 +98,12 @@ impl SignalSet {
     /// Acquire-wait with a deadline; returns false on timeout. Used by
     /// debugging harnesses to turn protocol deadlocks into diagnosable
     /// failures instead of hangs.
-    pub fn acquire_wait_timeout(&self, slot: usize, val: u64, timeout: std::time::Duration) -> bool {
+    pub fn acquire_wait_timeout(
+        &self,
+        slot: usize,
+        val: u64,
+        timeout: std::time::Duration,
+    ) -> bool {
         let deadline = std::time::Instant::now() + timeout;
         let mut spins = 0u32;
         while self.slots[slot].load(Ordering::Acquire) < val {
@@ -166,6 +199,57 @@ mod tests {
         assert!(!s.acquire_wait_timeout(0, 1, std::time::Duration::from_millis(5)));
         s.release_store(0, 1);
         assert!(s.acquire_wait_timeout(0, 1, std::time::Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn release_max_never_regresses() {
+        let s = SignalSet::new(1);
+        s.release_max(0, 5);
+        s.release_max(0, 3); // late smaller value must not regress the slot
+        assert_eq!(s.peek(0), 5);
+        s.release_max(0, 9);
+        assert_eq!(s.peek(0), 9);
+    }
+
+    #[test]
+    fn racing_senders_compose_via_release_max() {
+        // Two senders race different values into one slot; a consumer that
+        // observes the max must see BOTH senders' prior data writes (the
+        // RMW chain makes every earlier release in the modification order
+        // visible).
+        use std::sync::atomic::AtomicU32;
+        for _ in 0..200 {
+            let sig = SignalSet::new(1);
+            let a = AtomicU32::new(0);
+            let b = AtomicU32::new(0);
+            std::thread::scope(|sc| {
+                sc.spawn(|| {
+                    a.store(11, Relaxed);
+                    sig.release_max(0, 1);
+                });
+                sc.spawn(|| {
+                    b.store(22, Relaxed);
+                    sig.release_max(0, 2);
+                });
+                sc.spawn(|| {
+                    let obs = sig.acquire_wait(0, 2);
+                    assert!(obs >= 2);
+                    // value 2's sender data must be visible ...
+                    assert_eq!(b.load(Relaxed), 22);
+                    // ... and if 1 was already merged into the chain the
+                    // max is still 2, so we can't assert on `a` — but the
+                    // slot itself must never show a regressed value.
+                    assert!(sig.peek(0) >= 2);
+                });
+            });
+        }
+    }
+
+    #[test]
+    fn acquire_wait_returns_observed_value() {
+        let s = SignalSet::new(1);
+        s.release_store(0, 10);
+        assert_eq!(s.acquire_wait(0, 3), 10);
     }
 
     #[test]

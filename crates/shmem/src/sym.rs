@@ -34,7 +34,10 @@ impl SymVec3 {
         let segs = (0..npes)
             .map(|_| (0..len * 3).map(|_| AtomicU32::new(0)).collect())
             .collect();
-        SymVec3 { segs: Arc::new(segs), len }
+        SymVec3 {
+            segs: Arc::new(segs),
+            len,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -115,7 +118,10 @@ impl SymVec3 {
 
     /// Overwrite a PE's whole segment from a plain slice (len-checked).
     pub fn load_from(&self, pe: usize, src: &[Vec3]) {
-        assert!(src.len() <= self.len, "source larger than symmetric segment");
+        assert!(
+            src.len() <= self.len,
+            "source larger than symmetric segment"
+        );
         self.write_slice(pe, 0, src);
     }
 
@@ -141,7 +147,10 @@ impl SymF32 {
         let segs = (0..npes)
             .map(|_| (0..len).map(|_| AtomicF32::new(0.0)).collect())
             .collect();
-        SymF32 { segs: Arc::new(segs), len }
+        SymF32 {
+            segs: Arc::new(segs),
+            len,
+        }
     }
 
     pub fn len(&self) -> usize {

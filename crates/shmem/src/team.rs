@@ -85,13 +85,19 @@ impl Team {
 
     /// Team barrier; caller must be a member.
     pub fn barrier(&self, world_rank: usize) -> bool {
-        assert!(self.contains(world_rank), "PE {world_rank} is not in this team");
+        assert!(
+            self.contains(world_rank),
+            "PE {world_rank} is not in this team"
+        );
         self.barrier.wait()
     }
 
     /// Team-scoped sum all-reduce; caller must be a member.
     pub fn allreduce_sum(&self, world_rank: usize, v: f64) -> f64 {
-        assert!(self.contains(world_rank), "PE {world_rank} is not in this team");
+        assert!(
+            self.contains(world_rank),
+            "PE {world_rank} is not in this team"
+        );
         self.collectives.allreduce_sum(v)
     }
 }
@@ -109,7 +115,10 @@ impl TeamSymVec3 {
     /// Collective over the team: every member gets a `len`-element segment;
     /// non-members allocate nothing.
     pub fn alloc(team: &Team, len: usize) -> Self {
-        TeamSymVec3 { buf: SymVec3::alloc(team.size(), len), team: team.clone() }
+        TeamSymVec3 {
+            buf: SymVec3::alloc(team.size(), len),
+            team: team.clone(),
+        }
     }
 
     pub fn len(&self) -> usize {

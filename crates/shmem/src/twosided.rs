@@ -49,14 +49,20 @@ impl TwoSidedComm {
 
     /// Non-blocking send of `data` from `src` to `dst` with `tag`.
     pub fn send(&self, src: usize, dst: usize, tag: u64, data: Vec<Vec3>) {
-        self.txs[src][dst].send(Message { tag, data }).expect("receiver dropped");
+        self.txs[src][dst]
+            .send(Message { tag, data })
+            .expect("receiver dropped");
     }
 
     /// Blocking receive of the next message from `src` to `dst`; asserts the
     /// tag matches (MPI non-overtaking order makes this deterministic).
     pub fn recv(&self, dst: usize, src: usize, tag: u64) -> Vec<Vec3> {
         let msg = self.rxs[dst][src].lock().recv().expect("sender dropped");
-        assert_eq!(msg.tag, tag, "message order violation: got tag {}, want {tag}", msg.tag);
+        assert_eq!(
+            msg.tag, tag,
+            "message order violation: got tag {}, want {tag}",
+            msg.tag
+        );
         msg.data
     }
 

@@ -21,6 +21,7 @@ use crate::signal::SignalSet;
 use crate::sym::SymVec3;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use halox_md::Vec3;
+use halox_trace::{Payload, Recorder, DRIVER_PE};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -44,12 +45,18 @@ pub struct Topology {
 
 impl Topology {
     pub fn all_nvlink(npes: usize) -> Self {
-        Topology { npes, fabric: Fabric::AllNvlink }
+        Topology {
+            npes,
+            fabric: Fabric::AllNvlink,
+        }
     }
 
     pub fn islands(npes: usize, gpus_per_node: usize) -> Self {
         assert!(gpus_per_node >= 1);
-        Topology { npes, fabric: Fabric::NvlinkIslands { gpus_per_node } }
+        Topology {
+            npes,
+            fabric: Fabric::NvlinkIslands { gpus_per_node },
+        }
     }
 
     /// True if `a` can load/store `b`'s memory directly (`nvshmem_ptr`
@@ -91,9 +98,17 @@ enum ProxyCmd {
         offset: usize,
         payload: Vec<Vec3>,
         signal: Option<(usize, u64)>,
+        /// Recorder timestamp at enqueue (0 when tracing is off); lets the
+        /// proxy report time-in-queue.
+        enqueued_us: u64,
     },
     /// Pure remote signal.
-    Signal { dst_pe: usize, slot: usize, val: u64 },
+    Signal {
+        dst_pe: usize,
+        slot: usize,
+        val: u64,
+        enqueued_us: u64,
+    },
     /// Completion fence: ack when everything queued before has been applied.
     Flush(Sender<()>),
 }
@@ -105,6 +120,7 @@ pub struct ShmemWorld {
     barrier: SenseBarrier,
     collectives: Collectives,
     proxy_config: ProxyConfig,
+    trace: Option<Arc<Recorder>>,
 }
 
 impl ShmemWorld {
@@ -119,12 +135,27 @@ impl ShmemWorld {
             signals,
             topology,
             proxy_config: ProxyConfig::default(),
+            trace: None,
         }
     }
 
     pub fn with_proxy_config(mut self, cfg: ProxyConfig) -> Self {
         self.proxy_config = cfg;
         self
+    }
+
+    /// Attach a functional-plane event recorder: signal sets/waits,
+    /// barriers and proxy service get recorded for `halox-trace`'s Chrome
+    /// export and protocol checker. Tracing is off (zero-cost `None`
+    /// checks) unless this is called.
+    pub fn with_trace(mut self, rec: Arc<Recorder>) -> Self {
+        self.trace = Some(rec);
+        self
+    }
+
+    /// The attached recorder, if any.
+    pub fn trace(&self) -> Option<&Recorder> {
+        self.trace.as_deref()
     }
 
     pub fn npes(&self) -> usize {
@@ -151,6 +182,12 @@ impl ShmemWorld {
         F: Fn(&Pe) -> R + Sync,
     {
         let npes = self.npes();
+        // A fresh world run is a global synchronisation point (this thread
+        // spawns every PE thread below and joins them before returning);
+        // the protocol checker uses this to scope per-world signal state.
+        if let Some(t) = &self.trace {
+            t.record(DRIVER_PE, Payload::WorldStart { pes: npes as u32 });
+        }
         // Proxy channels.
         let mut proxy_tx = Vec::with_capacity(npes);
         let mut proxy_rx: Vec<Receiver<ProxyCmd>> = Vec::with_capacity(npes);
@@ -162,10 +199,11 @@ impl ShmemWorld {
 
         std::thread::scope(|scope| {
             // Proxy threads (one per PE, like the NVSHMEM IBRC proxy).
-            for rx in proxy_rx.into_iter() {
+            for (id, rx) in proxy_rx.into_iter().enumerate() {
                 let signals = self.signals.clone();
                 let cfg = self.proxy_config;
-                scope.spawn(move || proxy_main(rx, signals, cfg));
+                let trace = self.trace.clone();
+                scope.spawn(move || proxy_main(id, rx, signals, cfg, trace));
             }
             // PE threads.
             let mut handles = Vec::with_capacity(npes);
@@ -173,18 +211,31 @@ impl ShmemWorld {
                 let tx = proxy_tx[id].clone();
                 let fref = &f;
                 handles.push(scope.spawn(move || {
-                    let pe = Pe { id, world: self, proxy: tx };
+                    let pe = Pe {
+                        id,
+                        world: self,
+                        proxy: tx,
+                    };
                     fref(&pe)
                 }));
             }
             // Drop our proxy senders so proxies exit when PEs finish.
             drop(proxy_tx);
-            handles.into_iter().map(|h| h.join().expect("PE thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("PE thread panicked"))
+                .collect()
         })
     }
 }
 
-fn proxy_main(rx: Receiver<ProxyCmd>, signals: Vec<Arc<SignalSet>>, cfg: ProxyConfig) {
+fn proxy_main(
+    pe: usize,
+    rx: Receiver<ProxyCmd>,
+    signals: Vec<Arc<SignalSet>>,
+    cfg: ProxyConfig,
+    trace: Option<Arc<Recorder>>,
+) {
     // Tiny xorshift so the stress knob needs no external RNG dependency.
     let mut rng_state: u64 = cfg.random_delay.map(|(seed, _)| seed | 1).unwrap_or(1);
     let mut next_rand = move || {
@@ -194,6 +245,14 @@ fn proxy_main(rx: Receiver<ProxyCmd>, signals: Vec<Arc<SignalSet>>, cfg: ProxyCo
         rng_state
     };
     while let Ok(cmd) = rx.recv() {
+        if let Some(t) = &trace {
+            t.record(
+                pe as u32,
+                Payload::ProxyDepth {
+                    depth: rx.len() as u32,
+                },
+            );
+        }
         if let Some(d) = cfg.injected_delay {
             std::thread::sleep(d);
         }
@@ -202,15 +261,45 @@ fn proxy_main(rx: Receiver<ProxyCmd>, signals: Vec<Arc<SignalSet>>, cfg: ProxyCo
                 std::thread::sleep(Duration::from_micros(next_rand() % max_us));
             }
         }
+        // Delivery uses the monotone release so a proxied signal can never
+        // regress a slot a direct NVLink sender already advanced.
+        let service = |t: &Option<Arc<Recorder>>, kind: &'static str, enqueued_us: u64| {
+            if let Some(t) = t {
+                let now = t.now_us();
+                t.record_timed(
+                    pe as u32,
+                    now,
+                    0,
+                    Payload::ProxyService {
+                        kind,
+                        queued_us: now.saturating_sub(enqueued_us),
+                    },
+                );
+            }
+        };
         match cmd {
-            ProxyCmd::Put { buf, dst_pe, offset, payload, signal } => {
+            ProxyCmd::Put {
+                buf,
+                dst_pe,
+                offset,
+                payload,
+                signal,
+                enqueued_us,
+            } => {
                 buf.write_slice(dst_pe, offset, &payload);
                 if let Some((slot, val)) = signal {
-                    signals[dst_pe].release_store(slot, val);
+                    signals[dst_pe].release_max(slot, val);
                 }
+                service(&trace, "put", enqueued_us);
             }
-            ProxyCmd::Signal { dst_pe, slot, val } => {
-                signals[dst_pe].release_store(slot, val);
+            ProxyCmd::Signal {
+                dst_pe,
+                slot,
+                val,
+                enqueued_us,
+            } => {
+                signals[dst_pe].release_max(slot, val);
+                service(&trace, "signal", enqueued_us);
             }
             ProxyCmd::Flush(ack) => {
                 let _ = ack.send(());
@@ -245,6 +334,14 @@ impl<'w> Pe<'w> {
         &self.world.signals[self.id]
     }
 
+    /// The world's functional-plane recorder, if tracing is attached.
+    /// Exchange algorithms use this to record pack/unpack spans and
+    /// symmetric-region accesses alongside the signal edges the world
+    /// records itself.
+    pub fn trace(&self) -> Option<&Recorder> {
+        self.world.trace.as_deref()
+    }
+
     /// Direct put: relaxed stores into the peer's segment. Use only inside
     /// an NVLink island, or when a separate signal orders visibility.
     pub fn put_vec3(&self, buf: &SymVec3, dst_pe: usize, offset: usize, src: &[Vec3]) {
@@ -264,9 +361,24 @@ impl<'w> Pe<'w> {
         slot: usize,
         val: u64,
     ) {
-        if self.nvlink_reachable(dst_pe) {
+        let via_proxy = !self.nvlink_reachable(dst_pe);
+        // Recorded before the release store / proxy enqueue so the set
+        // event is sequenced before the matching wait-done (see
+        // halox-trace recorder docs).
+        if let Some(t) = self.trace() {
+            t.record(
+                self.id as u32,
+                Payload::SignalSet {
+                    dst_pe: dst_pe as u32,
+                    slot: slot as u32,
+                    value: val,
+                    via_proxy,
+                },
+            );
+        }
+        if !via_proxy {
             buf.write_slice(dst_pe, offset, src);
-            self.world.signals[dst_pe].release_store(slot, val);
+            self.world.signals[dst_pe].release_max(slot, val);
         } else {
             self.proxy
                 .send(ProxyCmd::Put {
@@ -275,6 +387,7 @@ impl<'w> Pe<'w> {
                     offset,
                     payload: src.to_vec(), // the staging-buffer copy
                     signal: Some((slot, val)),
+                    enqueued_us: self.trace().map_or(0, |t| t.now_us()),
                 })
                 .expect("proxy thread gone");
         }
@@ -289,18 +402,50 @@ impl<'w> Pe<'w> {
     /// here (the relaxed/release distinction is retained in the *timing*
     /// plane cost model instead).
     pub fn signal(&self, dst_pe: usize, slot: usize, val: u64) {
-        if self.nvlink_reachable(dst_pe) {
-            self.world.signals[dst_pe].release_store(slot, val);
+        let via_proxy = !self.nvlink_reachable(dst_pe);
+        if let Some(t) = self.trace() {
+            t.record(
+                self.id as u32,
+                Payload::SignalSet {
+                    dst_pe: dst_pe as u32,
+                    slot: slot as u32,
+                    value: val,
+                    via_proxy,
+                },
+            );
+        }
+        if !via_proxy {
+            self.world.signals[dst_pe].release_max(slot, val);
         } else {
             self.proxy
-                .send(ProxyCmd::Signal { dst_pe, slot, val })
+                .send(ProxyCmd::Signal {
+                    dst_pe,
+                    slot,
+                    val,
+                    enqueued_us: self.trace().map_or(0, |t| t.now_us()),
+                })
                 .expect("proxy thread gone");
         }
     }
 
     /// Acquire-wait on one of *my* signal slots.
     pub fn wait_signal(&self, slot: usize, val: u64) {
-        self.world.signals[self.id].acquire_wait(slot, val);
+        if let Some(t) = self.trace() {
+            let start = t.now_us();
+            let observed = self.world.signals[self.id].acquire_wait(slot, val);
+            t.record_timed(
+                self.id as u32,
+                start,
+                t.now_us().saturating_sub(start),
+                Payload::SignalWaitDone {
+                    slot: slot as u32,
+                    required: val,
+                    observed,
+                },
+            );
+        } else {
+            self.world.signals[self.id].acquire_wait(slot, val);
+        }
     }
 
     /// Non-blocking probe of one of my slots.
@@ -324,23 +469,36 @@ impl<'w> Pe<'w> {
     /// been applied remotely. (NVLink-path operations complete immediately.)
     pub fn quiet(&self) {
         let (tx, rx) = unbounded();
-        self.proxy.send(ProxyCmd::Flush(tx)).expect("proxy thread gone");
+        self.proxy
+            .send(ProxyCmd::Flush(tx))
+            .expect("proxy thread gone");
         rx.recv().expect("proxy dropped flush ack");
     }
 
     /// `shmem_barrier_all`.
     pub fn barrier_all(&self) {
+        halox_trace::record_opt(self.trace(), self.id as u32, Payload::BarrierArrive);
         self.world.barrier.wait();
+        halox_trace::record_opt(self.trace(), self.id as u32, Payload::BarrierDepart);
     }
 
     /// Sum all-reduce across all PEs (every PE must participate).
+    ///
+    /// Collectives are global rendezvous points, so they are recorded as
+    /// barrier arrive/depart pairs for the protocol checker.
     pub fn allreduce_sum(&self, v: f64) -> f64 {
-        self.world.collectives.allreduce_sum(v)
+        halox_trace::record_opt(self.trace(), self.id as u32, Payload::BarrierArrive);
+        let r = self.world.collectives.allreduce_sum(v);
+        halox_trace::record_opt(self.trace(), self.id as u32, Payload::BarrierDepart);
+        r
     }
 
     /// Max all-reduce across all PEs.
     pub fn allreduce_max(&self, v: f64) -> f64 {
-        self.world.collectives.allreduce_max(v)
+        halox_trace::record_opt(self.trace(), self.id as u32, Payload::BarrierArrive);
+        let r = self.world.collectives.allreduce_max(v);
+        halox_trace::record_opt(self.trace(), self.id as u32, Payload::BarrierDepart);
+        r
     }
 }
 
@@ -422,11 +580,10 @@ mod tests {
     fn quiet_fences_proxied_puts() {
         // With an injected proxy delay, data must still be there after
         // quiet() + a peer barrier.
-        let w = ShmemWorld::new(Topology::islands(2, 1), 1)
-            .with_proxy_config(ProxyConfig {
-                injected_delay: Some(Duration::from_millis(5)),
-                ..Default::default()
-            });
+        let w = ShmemWorld::new(Topology::islands(2, 1), 1).with_proxy_config(ProxyConfig {
+            injected_delay: Some(Duration::from_millis(5)),
+            ..Default::default()
+        });
         let buf = SymVec3::alloc(2, 1);
         let b = &buf;
         w.run(|pe| {
@@ -464,6 +621,105 @@ mod tests {
             let m = pe.allreduce_max(pe.id as f64);
             assert_eq!(m, 3.0);
         });
+    }
+
+    #[test]
+    fn reset_signals_allows_world_reuse() {
+        // Reusing one world for several independent runs: each run restarts
+        // sigVals at 1, which is only sound if the slots were reset in
+        // between (monotone `>=` waits would otherwise pass on stale values
+        // from the previous run).
+        let w = ShmemWorld::new(Topology::islands(2, 1), 2);
+        for _run in 0..3 {
+            w.run(|pe| {
+                let peer = 1 - pe.id;
+                pe.signal(peer, 0, 1);
+                pe.wait_signal(0, 1);
+                pe.barrier_all();
+                pe.signal(peer, 1, 2);
+                pe.wait_signal(1, 2);
+                pe.quiet();
+            });
+            assert_eq!(w.signal_set(0).peek(0), 1);
+            assert_eq!(w.signal_set(1).peek(1), 2);
+            w.reset_signals();
+            for pe in 0..2 {
+                for slot in 0..2 {
+                    assert_eq!(w.signal_set(pe).peek(slot), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_direct_and_proxied_signals_one_slot_never_regress() {
+        // One destination slot fed by BOTH transports at once: pe0 signals
+        // pe1 directly over NVLink while pe2 signals the same slot through
+        // its (randomly delayed) proxy. The slot must never move backwards
+        // — a late-arriving proxied value below the current one has to be
+        // absorbed, not stored (release_max delivery).
+        let w = ShmemWorld::new(Topology::islands(4, 2), 1).with_proxy_config(ProxyConfig {
+            random_delay: Some((0xfeed_beef, 300)),
+            ..Default::default()
+        });
+        w.run(|pe| {
+            for round in 0..50u64 {
+                let lo = round * 2 + 1;
+                let hi = round * 2 + 2;
+                match pe.id {
+                    2 => pe.signal(1, 0, lo), // cross-island: proxied, delayed
+                    0 => pe.signal(1, 0, hi), // same island: direct store
+                    _ => {}
+                }
+                if pe.id == 1 {
+                    pe.wait_signal(0, hi);
+                    // Give the delayed proxy time to land its (smaller)
+                    // value, then check it did not regress the slot.
+                    std::thread::sleep(Duration::from_micros(500));
+                    assert!(
+                        pe.my_signals().peek(0) >= hi,
+                        "slot regressed below {hi} at round {round}"
+                    );
+                }
+                pe.barrier_all();
+            }
+        });
+    }
+
+    #[test]
+    fn attached_recorder_captures_signal_edges_and_checks_clean() {
+        let rec = Arc::new(Recorder::new());
+        let w = ShmemWorld::new(Topology::islands(2, 1), 1).with_trace(Arc::clone(&rec));
+        let buf = SymVec3::alloc(2, 4);
+        let b = &buf;
+        w.run(|pe| {
+            if pe.id == 0 {
+                pe.put_vec3_signal_nbi(b, 1, 0, &[Vec3::splat(3.0)], 0, 1);
+            } else {
+                pe.wait_signal(0, 1);
+                assert_eq!(b.get(1, 0), Vec3::splat(3.0));
+            }
+            pe.barrier_all();
+        });
+        let trace = rec.drain();
+        assert!(trace.events.iter().any(|e| matches!(
+            e.payload,
+            Payload::SignalSet {
+                via_proxy: true,
+                value: 1,
+                ..
+            }
+        )));
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e.payload, Payload::SignalWaitDone { observed: 1, .. })));
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e.payload, Payload::WorldStart { pes: 2 })));
+        let report = halox_trace::check(&trace);
+        assert!(report.is_clean(), "{report}");
     }
 
     #[test]

@@ -1,0 +1,666 @@
+//! Post-hoc signal-protocol checker.
+//!
+//! Replays a recorded [`Trace`] and reconstructs the happens-before
+//! relation implied by the recorded synchronisation edges using vector
+//! clocks — release signals, acquire waits, barriers, and world
+//! boundaries. Against that relation it checks the three invariants the
+//! halo-exchange protocol depends on:
+//!
+//! 1. **SigVal monotonicity** — the value released into a slot never
+//!    regresses ([`Violation::NonMonotoneSignal`]). With multiple
+//!    senders racing into one slot (NVLink-direct + proxied IB), a
+//!    regressing value would let a consumer's `>=` wait pass on stale
+//!    data.
+//! 2. **Release→acquire pairing** — every completed wait observed a
+//!    value that some recorded release actually published
+//!    ([`Violation::UnpairedWait`]); a wait satisfied by a value nobody
+//!    released this world means a slot leaked across reuse.
+//! 3. **Symmetric-region reuse** — a write to a symmetric region another
+//!    PE read (or wrote) must happen-after that access
+//!    ([`Violation::RacingRegionAccess`]). This is the checker that
+//!    mechanically catches the cross-step force-exchange bug: without a
+//!    completion ack, step N+1's `load_from` overwrite of the force
+//!    buffer is concurrent with the downstream neighbour's step-N get.
+//!
+//! Detection is **deterministic**: it flags the *absence of an ordering
+//! edge*, not an unlucky interleaving, so a racy protocol is reported
+//! even on runs where the race did not corrupt data.
+//!
+//! # Model and limitations
+//!
+//! Only edges that the instrumentation records are modelled: signal
+//! release/acquire, barriers/collectives, and world start (thread
+//! join/spawn). `Pe::quiet()` ordering and channel-FIFO ordering between
+//! proxied commands are *not* modelled; protocols relying on those for
+//! data ordering will produce false positives — the shipped exchange
+//! paths do not.
+
+use crate::recorder::{Payload, Region, Trace, DRIVER_PE};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One invariant violation found during replay.
+#[derive(Debug, Clone)]
+pub enum Violation {
+    /// A release published a value lower than one already published to
+    /// the same slot.
+    NonMonotoneSignal {
+        seq: u64,
+        src_pe: u32,
+        dst_pe: u32,
+        slot: u32,
+        value: u64,
+        prev_max: u64,
+    },
+    /// A wait completed observing a value no recorded release published
+    /// (>= its requirement) in this world.
+    UnpairedWait {
+        seq: u64,
+        pe: u32,
+        slot: u32,
+        required: u64,
+        observed: u64,
+    },
+    /// Two conflicting accesses (at least one write, different PEs) to
+    /// overlapping words of the same symmetric region with no
+    /// happens-before edge between them.
+    RacingRegionAccess {
+        first_seq: u64,
+        first_pe: u32,
+        first_write: bool,
+        second_seq: u64,
+        second_pe: u32,
+        second_write: bool,
+        owner: u32,
+        region: Region,
+        lo: u32,
+        hi: u32,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::NonMonotoneSignal {
+                seq,
+                src_pe,
+                dst_pe,
+                slot,
+                value,
+                prev_max,
+            } => write!(
+                f,
+                "non-monotone signal at seq {seq}: pe{src_pe} released {value} to \
+                 pe{dst_pe}[{slot}] after {prev_max} was already published"
+            ),
+            Violation::UnpairedWait {
+                seq,
+                pe,
+                slot,
+                required,
+                observed,
+            } => write!(
+                f,
+                "unpaired wait at seq {seq}: pe{pe} wait on slot {slot} (>= {required}) \
+                 observed {observed}, which no recorded release published this world"
+            ),
+            Violation::RacingRegionAccess {
+                first_seq,
+                first_pe,
+                first_write,
+                second_seq,
+                second_pe,
+                second_write,
+                owner,
+                region,
+                lo,
+                hi,
+            } => {
+                let k = |w: bool| if w { "write" } else { "read" };
+                write!(
+                    f,
+                    "racing access to pe{owner}.{}[{lo}..{hi}): {} by pe{second_pe} \
+                     (seq {second_seq}) is concurrent with {} by pe{first_pe} (seq {first_seq}) \
+                     — no release/acquire or barrier edge orders them",
+                    region.name(),
+                    k(*second_write),
+                    k(*first_write),
+                )
+            }
+        }
+    }
+}
+
+/// Result of [`check`].
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    pub violations: Vec<Violation>,
+    /// Events replayed.
+    pub events: usize,
+    /// Events dropped by the recorder (capacity overflow); a non-zero
+    /// value means the replay saw an incomplete edge set and a clean
+    /// report is not trustworthy.
+    pub dropped: usize,
+}
+
+impl CheckReport {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.dropped == 0
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "protocol check: {} events, {} dropped, {} violation(s)",
+            self.events,
+            self.dropped,
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone)]
+struct RegionAccess {
+    pe: u32,
+    write: bool,
+    lo: u32,
+    hi: u32,
+    seq: u64,
+    clock: Vec<u64>,
+}
+
+#[derive(Default)]
+struct SlotState {
+    max_set: u64,
+    /// (value, releaser clock) for every release into this slot this
+    /// world, in replay order.
+    sets: Vec<(u64, Vec<u64>)>,
+}
+
+fn join(into: &mut [u64], from: &[u64]) {
+    for (a, b) in into.iter_mut().zip(from) {
+        *a = (*a).max(*b);
+    }
+}
+
+/// Replay the trace and report protocol violations. See module docs.
+pub fn check(trace: &Trace) -> CheckReport {
+    // Number of vector-clock components: one per real PE id seen either
+    // as a recorder, a signal destination, or a region owner.
+    let mut npes = 0usize;
+    for ev in &trace.events {
+        if ev.pe != DRIVER_PE {
+            npes = npes.max(ev.pe as usize + 1);
+        }
+        match ev.payload {
+            Payload::SignalSet { dst_pe, .. } => npes = npes.max(dst_pe as usize + 1),
+            Payload::RegionWrite { owner, .. } | Payload::RegionRead { owner, .. } => {
+                npes = npes.max(owner as usize + 1)
+            }
+            Payload::WorldStart { pes } => npes = npes.max(pes as usize),
+            _ => {}
+        }
+    }
+
+    let mut violations = Vec::new();
+    let mut vc: Vec<Vec<u64>> = vec![vec![0; npes]; npes];
+    let mut slots: HashMap<(u32, u32), SlotState> = HashMap::new();
+    let mut regions: HashMap<(u32, Region), Vec<RegionAccess>> = HashMap::new();
+    // Barrier rounds: per-PE round counter plus the accumulated arrival
+    // clock for each round.
+    let mut rounds: Vec<usize> = vec![0; npes];
+    let mut bar_clocks: Vec<Vec<u64>> = Vec::new();
+
+    for ev in &trace.events {
+        if let Payload::WorldStart { .. } = ev.payload {
+            // World boundary: the driver joined every PE thread and will
+            // spawn fresh ones, so everything before is ordered before
+            // everything after. Collapse all clocks to their join and
+            // reset per-world state (signal slots are freshly allocated).
+            let mut m = vec![0u64; npes];
+            for c in &vc {
+                join(&mut m, c);
+            }
+            for c in vc.iter_mut() {
+                c.copy_from_slice(&m);
+            }
+            slots.clear();
+            regions.clear();
+            rounds.iter_mut().for_each(|r| *r = 0);
+            bar_clocks.clear();
+            continue;
+        }
+        if ev.pe == DRIVER_PE || ev.pe as usize >= npes {
+            continue;
+        }
+        let p = ev.pe as usize;
+        vc[p][p] += 1;
+
+        match ev.payload {
+            Payload::SignalSet {
+                dst_pe,
+                slot,
+                value,
+                ..
+            } => {
+                let st = slots.entry((dst_pe, slot)).or_default();
+                if value < st.max_set {
+                    violations.push(Violation::NonMonotoneSignal {
+                        seq: ev.seq,
+                        src_pe: ev.pe,
+                        dst_pe,
+                        slot,
+                        value,
+                        prev_max: st.max_set,
+                    });
+                }
+                st.max_set = st.max_set.max(value);
+                st.sets.push((value, vc[p].clone()));
+            }
+            Payload::SignalWaitDone {
+                slot,
+                required,
+                observed,
+            } => {
+                match slots.get(&(ev.pe, slot)) {
+                    Some(st) if st.max_set >= required => {
+                        // The acquire read value `observed` from the
+                        // slot's RMW chain; it synchronises with every
+                        // release earlier in the modification order,
+                        // i.e. all releases of values <= observed.
+                        let mut acc = vec![0u64; npes];
+                        for (value, clock) in &st.sets {
+                            if *value <= observed {
+                                join(&mut acc, clock);
+                            }
+                        }
+                        join(&mut vc[p], &acc);
+                    }
+                    _ => {
+                        if required > 0 {
+                            violations.push(Violation::UnpairedWait {
+                                seq: ev.seq,
+                                pe: ev.pe,
+                                slot,
+                                required,
+                                observed,
+                            });
+                        }
+                    }
+                }
+            }
+            Payload::BarrierArrive => {
+                let k = rounds[p];
+                if bar_clocks.len() <= k {
+                    bar_clocks.resize(k + 1, vec![0u64; npes]);
+                }
+                let clock = vc[p].clone();
+                join(&mut bar_clocks[k], &clock);
+            }
+            Payload::BarrierDepart => {
+                let k = rounds[p];
+                if let Some(bc) = bar_clocks.get(k) {
+                    let bc = bc.clone();
+                    join(&mut vc[p], &bc);
+                }
+                rounds[p] += 1;
+            }
+            Payload::RegionWrite {
+                owner,
+                region,
+                lo,
+                hi,
+            }
+            | Payload::RegionRead {
+                owner,
+                region,
+                lo,
+                hi,
+            } => {
+                let write = matches!(ev.payload, Payload::RegionWrite { .. });
+                let list = regions.entry((owner, region)).or_default();
+                for prior in list.iter() {
+                    let overlap = lo < prior.hi && prior.lo < hi;
+                    let conflict = write || prior.write;
+                    if overlap && conflict && prior.pe != ev.pe {
+                        let ordered = prior.clock[prior.pe as usize] <= vc[p][prior.pe as usize];
+                        if !ordered {
+                            violations.push(Violation::RacingRegionAccess {
+                                first_seq: prior.seq,
+                                first_pe: prior.pe,
+                                first_write: prior.write,
+                                second_seq: ev.seq,
+                                second_pe: ev.pe,
+                                second_write: write,
+                                owner,
+                                region,
+                                lo: lo.max(prior.lo),
+                                hi: hi.min(prior.hi),
+                            });
+                        }
+                    }
+                }
+                list.push(RegionAccess {
+                    pe: ev.pe,
+                    write,
+                    lo,
+                    hi,
+                    seq: ev.seq,
+                    clock: vc[p].clone(),
+                });
+            }
+            Payload::Span { .. }
+            | Payload::ProxyDepth { .. }
+            | Payload::ProxyService { .. }
+            | Payload::WorldStart { .. } => {}
+        }
+    }
+
+    CheckReport {
+        violations,
+        events: trace.events.len(),
+        dropped: trace.dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Event, Payload, Region};
+
+    /// Build a trace from (pe, payload) tuples with synthetic
+    /// timestamps; seq order is list order, which is what the checker
+    /// consumes.
+    fn trace_of(events: &[(u32, Payload)]) -> Trace {
+        Trace {
+            events: events
+                .iter()
+                .enumerate()
+                .map(|(i, (pe, payload))| Event {
+                    seq: i as u64,
+                    pe: *pe,
+                    ts_us: i as u64,
+                    dur_us: 0,
+                    payload: *payload,
+                })
+                .collect(),
+            dropped: 0,
+        }
+    }
+
+    const W: fn(u32, Region, u32, u32) -> Payload = |owner, region, lo, hi| Payload::RegionWrite {
+        owner,
+        region,
+        lo,
+        hi,
+    };
+    const R: fn(u32, Region, u32, u32) -> Payload = |owner, region, lo, hi| Payload::RegionRead {
+        owner,
+        region,
+        lo,
+        hi,
+    };
+
+    #[test]
+    fn clean_release_acquire_chain_passes() {
+        // pe0 writes pe1's coords, releases; pe1 acquires then reads.
+        let t = trace_of(&[
+            (DRIVER_PE, Payload::WorldStart { pes: 2 }),
+            (0, W(1, Region::Coords, 0, 8)),
+            (
+                0,
+                Payload::SignalSet {
+                    dst_pe: 1,
+                    slot: 0,
+                    value: 1,
+                    via_proxy: false,
+                },
+            ),
+            (
+                1,
+                Payload::SignalWaitDone {
+                    slot: 0,
+                    required: 1,
+                    observed: 1,
+                },
+            ),
+            (1, R(1, Region::Coords, 0, 8)),
+        ]);
+        let report = check(&t);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn unordered_write_after_remote_read_is_flagged() {
+        // The fused-exchange force bug in miniature: pe1 reads pe0's
+        // forces after a signal, then pe0 overwrites them for the next
+        // step without any ack edge from pe1.
+        let t = trace_of(&[
+            (DRIVER_PE, Payload::WorldStart { pes: 2 }),
+            (0, W(0, Region::Forces, 0, 16)),
+            (
+                0,
+                Payload::SignalSet {
+                    dst_pe: 1,
+                    slot: 1,
+                    value: 1,
+                    via_proxy: false,
+                },
+            ),
+            (
+                1,
+                Payload::SignalWaitDone {
+                    slot: 1,
+                    required: 1,
+                    observed: 1,
+                },
+            ),
+            (1, R(0, Region::Forces, 4, 12)),
+            // step 2: overwrite with no ack from pe1
+            (0, W(0, Region::Forces, 0, 16)),
+        ]);
+        let report = check(&t);
+        assert_eq!(report.violations.len(), 1, "{report}");
+        match &report.violations[0] {
+            Violation::RacingRegionAccess {
+                first_pe,
+                second_pe,
+                owner,
+                region,
+                ..
+            } => {
+                assert_eq!((*first_pe, *second_pe), (1, 0));
+                assert_eq!(*owner, 0);
+                assert_eq!(*region, Region::Forces);
+            }
+            other => panic!("wrong violation {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ack_edge_makes_reuse_clean() {
+        // Same shape, but pe1 acks after reading and pe0 waits on the
+        // ack before overwriting — the fix pattern.
+        let t = trace_of(&[
+            (DRIVER_PE, Payload::WorldStart { pes: 2 }),
+            (0, W(0, Region::Forces, 0, 16)),
+            (
+                0,
+                Payload::SignalSet {
+                    dst_pe: 1,
+                    slot: 1,
+                    value: 1,
+                    via_proxy: false,
+                },
+            ),
+            (
+                1,
+                Payload::SignalWaitDone {
+                    slot: 1,
+                    required: 1,
+                    observed: 1,
+                },
+            ),
+            (1, R(0, Region::Forces, 4, 12)),
+            (
+                1,
+                Payload::SignalSet {
+                    dst_pe: 0,
+                    slot: 3,
+                    value: 1,
+                    via_proxy: false,
+                },
+            ),
+            (
+                0,
+                Payload::SignalWaitDone {
+                    slot: 3,
+                    required: 1,
+                    observed: 1,
+                },
+            ),
+            (0, W(0, Region::Forces, 0, 16)),
+        ]);
+        let report = check(&t);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn barrier_orders_accesses() {
+        let t = trace_of(&[
+            (DRIVER_PE, Payload::WorldStart { pes: 2 }),
+            (1, R(0, Region::Forces, 0, 8)),
+            (1, Payload::BarrierArrive),
+            (0, Payload::BarrierArrive),
+            (0, Payload::BarrierDepart),
+            (1, Payload::BarrierDepart),
+            (0, W(0, Region::Forces, 0, 8)),
+        ]);
+        let report = check(&t);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn non_monotone_signal_is_flagged() {
+        let t = trace_of(&[
+            (DRIVER_PE, Payload::WorldStart { pes: 3 }),
+            (
+                0,
+                Payload::SignalSet {
+                    dst_pe: 2,
+                    slot: 0,
+                    value: 5,
+                    via_proxy: false,
+                },
+            ),
+            (
+                1,
+                Payload::SignalSet {
+                    dst_pe: 2,
+                    slot: 0,
+                    value: 4,
+                    via_proxy: true,
+                },
+            ),
+        ]);
+        let report = check(&t);
+        assert_eq!(report.violations.len(), 1, "{report}");
+        assert!(matches!(
+            report.violations[0],
+            Violation::NonMonotoneSignal {
+                value: 4,
+                prev_max: 5,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn wait_without_any_release_is_unpaired() {
+        let t = trace_of(&[
+            (DRIVER_PE, Payload::WorldStart { pes: 2 }),
+            (
+                1,
+                Payload::SignalWaitDone {
+                    slot: 0,
+                    required: 2,
+                    observed: 2,
+                },
+            ),
+        ]);
+        let report = check(&t);
+        assert_eq!(report.violations.len(), 1, "{report}");
+        assert!(matches!(
+            report.violations[0],
+            Violation::UnpairedWait { required: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn world_boundary_is_a_global_sync_and_resets_slots() {
+        // Two sequential worlds: cross-world region reuse is ordered by
+        // the join/spawn boundary, and sigVals restarting at 1 in the
+        // second world are not a monotonicity violation.
+        let t = trace_of(&[
+            (DRIVER_PE, Payload::WorldStart { pes: 2 }),
+            (
+                0,
+                Payload::SignalSet {
+                    dst_pe: 1,
+                    slot: 0,
+                    value: 7,
+                    via_proxy: false,
+                },
+            ),
+            (
+                1,
+                Payload::SignalWaitDone {
+                    slot: 0,
+                    required: 7,
+                    observed: 7,
+                },
+            ),
+            (1, R(0, Region::Forces, 0, 8)),
+            (DRIVER_PE, Payload::WorldStart { pes: 2 }),
+            (
+                0,
+                Payload::SignalSet {
+                    dst_pe: 1,
+                    slot: 0,
+                    value: 1,
+                    via_proxy: false,
+                },
+            ),
+            (0, W(0, Region::Forces, 0, 8)),
+            (
+                1,
+                Payload::SignalWaitDone {
+                    slot: 0,
+                    required: 1,
+                    observed: 1,
+                },
+            ),
+        ]);
+        let report = check(&t);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn disjoint_and_same_pe_accesses_do_not_conflict() {
+        let t = trace_of(&[
+            (DRIVER_PE, Payload::WorldStart { pes: 2 }),
+            (0, W(0, Region::Coords, 0, 8)),
+            (0, W(0, Region::Coords, 0, 8)), // same pe: program order
+            (1, W(0, Region::Coords, 8, 16)), // disjoint range
+            (1, R(0, Region::Coords, 8, 16)), // read-read with the write? same pe
+        ]);
+        let report = check(&t);
+        assert!(report.is_clean(), "{report}");
+    }
+}

@@ -10,7 +10,10 @@ use halox::prelude::*;
 
 fn main() {
     let machine = MachineModel::dgx_h100();
-    println!("Intra-node strong scaling on {} (timing plane)", machine.name);
+    println!(
+        "Intra-node strong scaling on {} (timing plane)",
+        machine.name
+    );
     println!(
         "{:>9} {:>5} {:>9} {:>11} {:>11} {:>11} {:>9}",
         "atoms", "gpus", "grid", "MPI", "tMPI", "NVSHMEM", "NVS/MPI"
@@ -18,7 +21,10 @@ fn main() {
     for &atoms in &[45_000usize, 90_000, 180_000, 360_000] {
         for &gpus in &[2usize, 4, 8] {
             let box_l = halox::dd::grappa_box(atoms, 100.0);
-            let opts = GridOptions { r_comm: 1.05, ..Default::default() };
+            let opts = GridOptions {
+                r_comm: 1.05,
+                ..Default::default()
+            };
             let grid = choose_grid(gpus, box_l, &opts);
             let model = WorkloadModel::grappa(atoms, 1.05, grid);
             let input = ScheduleInput::from_workload(machine.clone(), &model);

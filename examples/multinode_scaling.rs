@@ -18,7 +18,10 @@ fn sweep(machine: &MachineModel, atoms: usize, node_list: &[usize]) {
     for &nodes in node_list {
         let gpus = nodes * machine.gpus_per_node;
         let box_l = halox::dd::grappa_box(atoms, 100.0);
-        let opts = GridOptions { r_comm: 1.05, ..Default::default() };
+        let opts = GridOptions {
+            r_comm: 1.05,
+            ..Default::default()
+        };
         let grid = choose_grid(gpus, box_l, &opts);
         let model = WorkloadModel::grappa(atoms, 1.05, grid);
         let input = ScheduleInput::from_workload(machine.clone(), &model);

@@ -11,7 +11,10 @@ fn main() {
     // 1. Build a grappa-like water-ethanol system (~9k atoms) and relax the
     //    lattice contacts, the role `gmx grompp` inputs play for the paper.
     println!("Building and relaxing a 9k-atom water-ethanol system...");
-    let mut system = GrappaBuilder::new(9_000).seed(2024).temperature(250.0).build();
+    let mut system = GrappaBuilder::new(9_000)
+        .seed(2024)
+        .temperature(250.0)
+        .build();
     let (e0, e1) = steepest_descent(&mut system, MinimizeOptions::default());
     println!("  minimization: {e0:.0} -> {e1:.0} kJ/mol");
 
@@ -21,7 +24,10 @@ fn main() {
     let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
     cfg.nstlist = 10;
     let mut engine = Engine::new(system.clone(), grid, cfg);
-    println!("Running 50 steps on {} ranks (fused NVSHMEM-style exchange)...", grid.n_ranks());
+    println!(
+        "Running 50 steps on {} ranks (fused NVSHMEM-style exchange)...",
+        grid.n_ranks()
+    );
     let stats = engine.run(50);
     let first = stats.energies.first().unwrap();
     let last = stats.energies.last().unwrap();
@@ -40,7 +46,12 @@ fn main() {
     let mut engine2 = Engine::new(system, grid, cfg2);
     engine2.run(50);
     let mut max_dev = 0.0f32;
-    for (a, b) in engine.system.positions.iter().zip(&engine2.system.positions) {
+    for (a, b) in engine
+        .system
+        .positions
+        .iter()
+        .zip(&engine2.system.positions)
+    {
         max_dev = max_dev.max(engine.system.pbc.dist2(*a, *b).sqrt());
     }
     println!("  max position deviation fused vs serialized backend: {max_dev:.2e} nm");

@@ -13,8 +13,8 @@
 //! cargo run --release --example rank_specialization
 //! ```
 
-use halox::shmem::{ShmemWorld, SymVec3, Team, TeamSymVec3, Topology};
 use halox::prelude::Vec3;
+use halox::shmem::{ShmemWorld, SymVec3, Team, TeamSymVec3, Topology};
 
 const PP_BUF_LEN: usize = 200_000; // a halo-exchange coordinate buffer
 const PME_BUF_LEN: usize = 20_000; // an FFT-grid-slab stand-in
@@ -25,13 +25,16 @@ fn main() {
     let teams = Team::split(npes, |pe| usize::from(pe % 4 == 3));
     let pp = teams[0].clone();
     let pme = teams[1].clone();
-    println!("world: {npes} PEs -> PP team {:?}, PME team {:?}", pp.members(), pme.members());
+    println!(
+        "world: {npes} PEs -> PP team {:?}, PME team {:?}",
+        pp.members(),
+        pme.members()
+    );
 
     // Team allocations: segments exist only on members.
     let pp_coords = TeamSymVec3::alloc(&pp, PP_BUF_LEN);
     let pme_grid = TeamSymVec3::alloc(&pme, PME_BUF_LEN);
-    let team_bytes =
-        (pp.size() * PP_BUF_LEN + pme.size() * PME_BUF_LEN) * 12;
+    let team_bytes = (pp.size() * PP_BUF_LEN + pme.size() * PME_BUF_LEN) * 12;
     let world_bytes = npes * (PP_BUF_LEN + PME_BUF_LEN) * 12;
     println!(
         "symmetric memory: world-wide {} MiB vs team-scoped {} MiB ({}% saved)",

@@ -14,15 +14,24 @@ use halox::prelude::*;
 
 fn main() {
     println!("Building and relaxing a 9k-atom water-ethanol system...");
-    let mut system = GrappaBuilder::new(9_000).seed(11).temperature(250.0).build();
+    let mut system = GrappaBuilder::new(9_000)
+        .seed(11)
+        .temperature(250.0)
+        .build();
     steepest_descent(
         &mut system,
-        MinimizeOptions { steps: 80, ..MinimizeOptions::default() },
+        MinimizeOptions {
+            steps: 80,
+            ..MinimizeOptions::default()
+        },
     );
 
     let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
     cfg.nstlist = 10;
-    cfg.thermostat = Some(Thermostat { t_ref: 300.0, tau_ps: 0.01 });
+    cfg.thermostat = Some(Thermostat {
+        t_ref: 300.0,
+        tau_ps: 0.01,
+    });
     let mut engine = Engine::new(system, DdGrid::new([2, 2, 1]), cfg);
 
     println!("Equilibrating 100 steps at 300 K on 4 ranks...");
@@ -33,7 +42,11 @@ fn main() {
     let mut msd = MsdTracker::new();
     let dt_frame = 20.0 * engine.config.dt_ps as f64;
     for frame in 0..10 {
-        msd.record(&engine.system.pbc, frame as f64 * dt_frame, &engine.system.positions);
+        msd.record(
+            &engine.system.pbc,
+            frame as f64 * dt_frame,
+            &engine.system.positions,
+        );
         rdf.accumulate(
             &engine.system.pbc,
             &engine.system.positions,
@@ -47,7 +60,7 @@ fn main() {
     println!("\nO-O radial distribution function:");
     println!("{:>8} {:>8}", "r (nm)", "g(r)");
     for (r, g) in rdf.g_of_r().iter().step_by(4) {
-        let bar: String = std::iter::repeat('#').take((g * 12.0) as usize).collect();
+        let bar = "#".repeat((g * 12.0) as usize);
         println!("{r:>8.3} {g:>8.2}  {bar}");
     }
 

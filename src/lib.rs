@@ -30,6 +30,7 @@ pub use halox_engine as engine;
 pub use halox_gpusim as gpusim;
 pub use halox_md as md;
 pub use halox_shmem as shmem;
+pub use halox_trace as trace;
 
 /// The most common entry points.
 pub mod prelude {

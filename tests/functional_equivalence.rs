@@ -18,7 +18,13 @@ fn max_deviation(a: &System, b: &System) -> f32 {
         .fold(0.0, f32::max)
 }
 
-fn run(sys: &System, dims: [usize; 3], backend: ExchangeBackend, gpus_per_node: Option<usize>, steps: usize) -> System {
+fn run(
+    sys: &System,
+    dims: [usize; 3],
+    backend: ExchangeBackend,
+    gpus_per_node: Option<usize>,
+    steps: usize,
+) -> System {
     let mut cfg = EngineConfig::new(backend);
     cfg.nstlist = 5;
     cfg.topology_gpus_per_node = gpus_per_node;

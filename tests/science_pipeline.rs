@@ -12,12 +12,18 @@ use std::io::BufReader;
 
 #[test]
 fn trajectory_rdf_and_msd_from_decomposed_run() {
-    let mut system = GrappaBuilder::new(6_000).seed(2025).temperature(250.0).build();
+    let mut system = GrappaBuilder::new(6_000)
+        .seed(2025)
+        .temperature(250.0)
+        .build();
     steepest_descent(&mut system, MinimizeOptions::default());
 
     let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
     cfg.nstlist = 10;
-    cfg.thermostat = Some(Thermostat { t_ref: 300.0, tau_ps: 0.01 });
+    cfg.thermostat = Some(Thermostat {
+        t_ref: 300.0,
+        tau_ps: 0.01,
+    });
     let mut engine = Engine::new(system, DdGrid::new([2, 2, 1]), cfg);
 
     let mut writer = TrajectoryWriter::new(Vec::<u8>::new());
@@ -25,8 +31,16 @@ fn trajectory_rdf_and_msd_from_decomposed_run() {
     let mut msd = MsdTracker::new();
     let dt = engine.config.dt_ps as f64;
     engine.run_with_observer(50, |done, sys| {
-        writer.write_frame(&sys.pbc, &sys.kinds, &sys.positions, done as f64 * dt).unwrap();
-        rdf.accumulate(&sys.pbc, &sys.positions, &sys.kinds, AtomKind::Ow, AtomKind::Ow);
+        writer
+            .write_frame(&sys.pbc, &sys.kinds, &sys.positions, done as f64 * dt)
+            .unwrap();
+        rdf.accumulate(
+            &sys.pbc,
+            &sys.positions,
+            &sys.kinds,
+            AtomKind::Ow,
+            AtomKind::Ow,
+        );
         msd.record(&sys.pbc, done as f64 * dt, &sys.positions);
     });
 
@@ -60,7 +74,10 @@ fn trajectory_rdf_and_msd_from_decomposed_run() {
 fn integrators_give_consistent_equilibrium_structure() {
     use halox::engine::Integrator;
     // Leapfrog and velocity Verlet must sample the same structure.
-    let mut system = GrappaBuilder::new(3_000).seed(2026).temperature(250.0).build();
+    let mut system = GrappaBuilder::new(3_000)
+        .seed(2026)
+        .temperature(250.0)
+        .build();
     steepest_descent(&mut system, MinimizeOptions::default());
     let rdf_of = |integrator: Integrator| {
         let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
@@ -69,7 +86,13 @@ fn integrators_give_consistent_equilibrium_structure() {
         let mut engine = Engine::new(system.clone(), DdGrid::new([2, 1, 1]), cfg);
         let mut rdf = Rdf::new(0.8, 16);
         engine.run_with_observer(20, |_, sys| {
-            rdf.accumulate(&sys.pbc, &sys.positions, &sys.kinds, AtomKind::Ow, AtomKind::Ow);
+            rdf.accumulate(
+                &sys.pbc,
+                &sys.positions,
+                &sys.kinds,
+                AtomKind::Ow,
+                AtomKind::Ow,
+            );
         });
         rdf.g_of_r()
     };

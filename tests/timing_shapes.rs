@@ -18,9 +18,18 @@ fn headline_45k_intranode_speedup() {
     let mpi = ns_day(&m, 45_000, [4, 1, 1], Backend::Mpi);
     let nvs = ns_day(&m, 45_000, [4, 1, 1], Backend::Nvshmem);
     let ratio = nvs / mpi;
-    assert!((1.25..1.65).contains(&ratio), "speedup {ratio} (paper 1.46)");
-    assert!((mpi - 1126.0).abs() / 1126.0 < 0.15, "MPI {mpi} (paper 1126)");
-    assert!((nvs - 1649.0).abs() / 1649.0 < 0.15, "NVSHMEM {nvs} (paper 1649)");
+    assert!(
+        (1.25..1.65).contains(&ratio),
+        "speedup {ratio} (paper 1.46)"
+    );
+    assert!(
+        (mpi - 1126.0).abs() / 1126.0 < 0.15,
+        "MPI {mpi} (paper 1126)"
+    );
+    assert!(
+        (nvs - 1649.0).abs() / 1649.0 < 0.15,
+        "NVSHMEM {nvs} (paper 1649)"
+    );
 }
 
 #[test]
@@ -41,8 +50,14 @@ fn eight_gpu_advantages_match_paper() {
         / ns_day(&m, 180_000, [8, 1, 1], Backend::Mpi);
     let r360 = ns_day(&m, 360_000, [4, 2, 1], Backend::Nvshmem)
         / ns_day(&m, 360_000, [4, 2, 1], Backend::Mpi);
-    assert!((1.10..1.40).contains(&r180), "180k@8 ratio {r180} (paper 1.28)");
-    assert!((1.05..1.30).contains(&r360), "360k@8 ratio {r360} (paper 1.17)");
+    assert!(
+        (1.10..1.40).contains(&r180),
+        "180k@8 ratio {r180} (paper 1.28)"
+    );
+    assert!(
+        (1.05..1.30).contains(&r360),
+        "360k@8 ratio {r360} (paper 1.17)"
+    );
 }
 
 #[test]
@@ -54,7 +69,10 @@ fn multinode_advantage_grows_with_scale() {
     let high = ns_day(&m, 5_760_000, [16, 8, 4], Backend::Nvshmem)
         / ns_day(&m, 5_760_000, [16, 8, 4], Backend::Mpi);
     assert!(low < 1.05, "2-node ratio {low} should be ~1 or below");
-    assert!((1.15..1.45).contains(&high), "128-node ratio {high} (paper ~1.3)");
+    assert!(
+        (1.15..1.45).contains(&high),
+        "128-node ratio {high} (paper ~1.3)"
+    );
     assert!(high > low);
 }
 
@@ -66,7 +84,11 @@ fn mpi_marginally_wins_compute_bound_low_node_counts() {
     let mpi = ns_day(&m, 23_040_000, [4, 4, 2], Backend::Mpi);
     let nvs = ns_day(&m, 23_040_000, [4, 4, 2], Backend::Nvshmem);
     assert!(mpi > nvs, "MPI {mpi} must edge out NVSHMEM {nvs} here");
-    assert!(mpi / nvs < 1.10, "MPI edge must stay marginal: {}", mpi / nvs);
+    assert!(
+        mpi / nvs < 1.10,
+        "MPI edge must stay marginal: {}",
+        mpi / nvs
+    );
 }
 
 #[test]
@@ -82,8 +104,14 @@ fn gb200_parallel_efficiency_ladder() {
     let e720_8 = eff(720_000, [4, 1, 1], [8, 4, 1], 8.0);
     let e1440_8 = eff(1_440_000, [4, 1, 1], [8, 4, 1], 8.0);
     assert!(e720_2 > e720_8, "efficiency must fall with scale");
-    assert!((0.2..0.55).contains(&e720_8), "720k@8 nodes eff {e720_8} (paper 0.32)");
-    assert!(e1440_8 > e720_8, "larger system scales better (paper 48% vs 32%)");
+    assert!(
+        (0.2..0.55).contains(&e720_8),
+        "720k@8 nodes eff {e720_8} (paper 0.32)"
+    );
+    assert!(
+        e1440_8 > e720_8,
+        "larger system scales better (paper 48% vs 32%)"
+    );
 }
 
 #[test]
@@ -97,20 +125,30 @@ fn nonlocal_work_progression_fig7_fig8() {
         let input = ScheduleInput::from_workload(m.clone(), &model);
         simulate(b, &input, 8, 3)
     };
-    let configs = [(720_000usize, [8, 1, 1]), (1_440_000, [8, 2, 1]), (2_880_000, [8, 2, 2])];
+    let configs = [
+        (720_000usize, [8, 1, 1]),
+        (1_440_000, [8, 2, 1]),
+        (2_880_000, [8, 2, 2]),
+    ];
     let mut prev_gap = 0.0;
     for (atoms, dims) in configs {
         let mpi = metrics(atoms, dims, Backend::Mpi);
         let nvs = metrics(atoms, dims, Backend::Nvshmem);
         let gap = mpi.nonlocal_work_ns - nvs.nonlocal_work_ns;
         assert!(gap > 0.0, "NVSHMEM non-local must be shorter at {dims:?}");
-        assert!(gap >= prev_gap * 0.9, "gap should grow with dims: {gap} after {prev_gap}");
+        assert!(
+            gap >= prev_gap * 0.9,
+            "gap should grow with dims: {gap} after {prev_gap}"
+        );
         prev_gap = gap;
         // SM interference: NVSHMEM local work is slower.
         assert!(nvs.local_work_ns > mpi.local_work_ns);
     }
     // 3D gap in the paper's 50-60us band (ours in ns).
-    assert!((30_000.0..80_000.0).contains(&prev_gap), "3D gap {prev_gap} ns");
+    assert!(
+        (30_000.0..80_000.0).contains(&prev_gap),
+        "3D gap {prev_gap} ns"
+    );
 }
 
 #[test]
@@ -137,5 +175,8 @@ fn proxy_contention_degrades_multinode_performance() {
     let base = ns_day(&m, 720_000, [8, 1, 1], Backend::Nvshmem);
     m.proxy_contention = 50.0;
     let contended = ns_day(&m, 720_000, [8, 1, 1], Backend::Nvshmem);
-    assert!(contended < base * 0.9, "contention must hurt: {base} -> {contended}");
+    assert!(
+        contended < base * 0.9,
+        "contention must hurt: {base} -> {contended}"
+    );
 }

@@ -1,0 +1,259 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! Real serde abstracts over serializers; this stand-in collapses the data
+//! model to a single JSON-shaped [`value::Value`] tree, which is all the
+//! workspace needs (struct/enum derive + `serde_json` interop). The derive
+//! macros from the vendored `serde_derive` target these traits.
+
+pub mod value;
+
+#[cfg(feature = "serde_derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use value::{DeError, Map, Value};
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    fn to_json_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model. The lifetime mirrors real
+/// serde's `Deserialize<'de>` so derive output and bounds stay source
+/// compatible; this stand-in always copies out of the tree.
+pub trait Deserialize<'de>: Sized {
+    fn from_json_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Owned-deserialization alias (real serde's `DeserializeOwned`).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                if (*self as i128) < 0 {
+                    Value::from_i64(*self as i64)
+                } else {
+                    Value::from_u64(*self as u64)
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                v.as_i64()
+                    .map(|n| n as $t)
+                    .or_else(|| v.as_u64().map(|n| n as $t))
+                    .ok_or_else(|| DeError::expected("integer", v))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::from_f64(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                v.as_f64().map(|n| n as $t).ok_or_else(|| DeError::expected("number", v))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+/// Deserializing into `&'static str` (used by report-row structs) leaks the
+/// string — acceptable for this stand-in's test/tool workloads.
+impl<'de> Deserialize<'de> for &'static str {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(a) => a.iter().map(T::from_json_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + std::fmt::Debug, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_json_value(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::new(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let a = v.as_array().ok_or_else(|| DeError::expected("tuple array", v))?;
+                let want = [$($n,)+].len();
+                if a.len() != want {
+                    return Err(DeError::new(format!(
+                        "expected tuple of length {want}, got {}",
+                        a.len()
+                    )));
+                }
+                Ok(($($t::from_json_value(&a[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.to_json_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        let mut m = Map::new();
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        for k in keys {
+            m.insert(k.clone(), self[k].to_json_value());
+        }
+        Value::Object(m)
+    }
+}
+
+/// Support machinery used by derive expansion (kept out of the main docs).
+pub mod __private {
+    pub use crate::value::{DeError, Map, Value};
+}

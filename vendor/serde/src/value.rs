@@ -1,0 +1,373 @@
+//! The single data model shared by the vendored serde/serde_json pair:
+//! a JSON value tree with an insertion-ordered object map (matching
+//! serde_json's `preserve_order` flavour, so derived struct fields keep
+//! their declaration order — CSV headers depend on this).
+
+use std::fmt;
+
+/// Insertion-ordered string-keyed map.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl Map<String, Value> {
+    pub fn new() -> Self {
+        Map { entries: Vec::new() }
+    }
+
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in self.entries.iter_mut() {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl<'a> IntoIterator for &'a Map<String, Value> {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (String, Value)>,
+        fn(&'a (String, Value)) -> (&'a String, &'a Value),
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// JSON number: integer-preserving like serde_json's `Number`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::I64(n) => Some(n as f64),
+            Number::U64(n) => Some(n as f64),
+            Number::F64(n) => Some(n),
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::I64(n) => Some(n),
+            Number::U64(n) => i64::try_from(n).ok(),
+            Number::F64(_) => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::I64(n) => u64::try_from(n).ok(),
+            Number::U64(n) => Some(n),
+            Number::F64(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::I64(n) => write!(f, "{n}"),
+            Number::U64(n) => write!(f, "{n}"),
+            Number::F64(n) => {
+                if n.is_finite() {
+                    // Match serde_json: floats always render with enough
+                    // precision to round-trip; integral floats keep ".0".
+                    if n == n.trunc() && n.abs() < 1e15 {
+                        write!(f, "{n:.1}")
+                    } else {
+                        write!(f, "{n}")
+                    }
+                } else {
+                    // JSON has no Inf/NaN; serde_json errors — we emit null.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn from_i64(n: i64) -> Value {
+        Value::Number(Number::I64(n))
+    }
+
+    pub fn from_u64(n: u64) -> Value {
+        Value::Number(Number::U64(n))
+    }
+
+    pub fn from_f64(n: f64) -> Value {
+        Value::Number(Number::F64(n))
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    fn write_json(&self, f: &mut fmt::Formatter<'_>, indent: Option<usize>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_json_string(f, s),
+            Value::Array(a) => {
+                if a.is_empty() {
+                    return f.write_str("[]");
+                }
+                f.write_str("[")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    if let Some(level) = indent {
+                        write!(f, "\n{}", "  ".repeat(level + 1))?;
+                    }
+                    v.write_json(f, indent.map(|l| l + 1))?;
+                }
+                if let Some(level) = indent {
+                    write!(f, "\n{}", "  ".repeat(level))?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(m) => {
+                if m.is_empty() {
+                    return f.write_str("{}");
+                }
+                f.write_str("{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    if let Some(level) = indent {
+                        write!(f, "\n{}", "  ".repeat(level + 1))?;
+                    }
+                    write_json_string(f, k)?;
+                    f.write_str(if indent.is_some() { ": " } else { ":" })?;
+                    v.write_json(f, indent.map(|l| l + 1))?;
+                }
+                if let Some(level) = indent {
+                    write!(f, "\n{}", "  ".repeat(level))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_json_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// Compact JSON rendering (`Value::to_string()` matches serde_json).
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write_json(f, None)
+    }
+}
+
+/// Pretty-printer wrapper used by `serde_json::to_string_pretty`.
+pub struct Pretty<'a>(pub &'a Value);
+
+impl fmt::Display for Pretty<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.write_json(f, Some(0))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        self.as_i64() == Some(*other)
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        DeError { msg: format!("expected {what}, found {kind}") }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}

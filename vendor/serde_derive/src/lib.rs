@@ -1,0 +1,339 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Targets the value-model traits of the vendored `serde` crate: derived
+//! `Serialize` produces a `serde::__private::Value` tree and `Deserialize`
+//! consumes one. The parser walks the raw `TokenStream` by hand (no
+//! syn/quote) and supports exactly the shapes this workspace uses:
+//! named-field structs, unit enum variants, and tuple enum variants.
+//! Encoding follows serde's externally-tagged defaults so JSON output is
+//! byte-compatible with the real crates for these shapes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum of unit and tuple variants: (variant name, tuple arity).
+    Enum { name: String, variants: Vec<(String, usize)> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::Struct { name, fields } => {
+            let mut inserts = String::new();
+            for f in fields {
+                inserts.push_str(&format!(
+                    "m.insert(\"{f}\".to_string(), \
+                     ::serde::Serialize::to_json_value(&self.{f}));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::__private::Value {{\n\
+                 let mut m = ::serde::__private::Map::new();\n\
+                 {inserts}\
+                 ::serde::__private::Value::Object(m)\n\
+                 }}\n}}\n"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, arity) in variants {
+                match arity {
+                    0 => arms.push_str(&format!(
+                        "{name}::{v} => \
+                         ::serde::__private::Value::String(\"{v}\".to_string()),\n"
+                    )),
+                    1 => arms.push_str(&format!(
+                        "{name}::{v}(a0) => {{\n\
+                         let mut m = ::serde::__private::Map::new();\n\
+                         m.insert(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_json_value(a0));\n\
+                         ::serde::__private::Value::Object(m)\n}}\n"
+                    )),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("a{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => {{\n\
+                             let mut m = ::serde::__private::Map::new();\n\
+                             m.insert(\"{v}\".to_string(), \
+                             ::serde::__private::Value::Array(vec![{}]));\n\
+                             ::serde::__private::Value::Object(m)\n}}\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::__private::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    body.parse().expect("derive(Serialize): generated code failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_json_value(\
+                     obj.get(\"{f}\").unwrap_or(&::serde::__private::Value::Null))?,\n"
+                ));
+            }
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn from_json_value(v: &::serde::__private::Value) \
+                 -> Result<Self, ::serde::__private::DeError> {{\n\
+                 let obj = v.as_object().ok_or_else(|| \
+                 ::serde::__private::DeError::expected(\"object ({name})\", v))?;\n\
+                 Ok({name} {{\n{inits}}})\n\
+                 }}\n}}\n"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut obj_arms = String::new();
+            for (v, arity) in variants {
+                match arity {
+                    0 => unit_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n")),
+                    1 => obj_arms.push_str(&format!(
+                        "if let Some(inner) = m.get(\"{v}\") {{\n\
+                         return Ok({name}::{v}(\
+                         ::serde::Deserialize::from_json_value(inner)?));\n}}\n"
+                    )),
+                    n => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_json_value(&a[{i}])?")
+                            })
+                            .collect();
+                        obj_arms.push_str(&format!(
+                            "if let Some(inner) = m.get(\"{v}\") {{\n\
+                             let a = inner.as_array().ok_or_else(|| \
+                             ::serde::__private::DeError::expected(\
+                             \"array for variant {v}\", inner))?;\n\
+                             if a.len() != {n} {{\n\
+                             return Err(::serde::__private::DeError::new(\
+                             format!(\"variant {v}: expected {n} elements, got {{}}\", \
+                             a.len())));\n}}\n\
+                             return Ok({name}::{v}({}));\n}}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn from_json_value(v: &::serde::__private::Value) \
+                 -> Result<Self, ::serde::__private::DeError> {{\n\
+                 match v {{\n\
+                 ::serde::__private::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::__private::DeError::new(\
+                 format!(\"unknown variant {{other}} for {name}\"))),\n\
+                 }},\n\
+                 ::serde::__private::Value::Object(m) => {{\n\
+                 {obj_arms}\
+                 Err(::serde::__private::DeError::new(\
+                 \"no matching variant for {name}\".to_string()))\n\
+                 }}\n\
+                 other => Err(::serde::__private::DeError::expected(\
+                 \"string or object ({name})\", other)),\n\
+                 }}\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    body.parse().expect("derive(Deserialize): generated code failed to parse")
+}
+
+/// Parse the deriving item down to the struct/enum shape we generate for.
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility before the item keyword.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the following [...] group.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub` (possibly followed by a `(crate)` group) or other
+                // modifiers — skip.
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+            }
+            Some(_) => {}
+            None => panic!("derive: no struct/enum keyword found"),
+        }
+    };
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected item name, found {other:?}"),
+    };
+
+    // Generic items are not used with these derives in this workspace.
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic items ({name})");
+        }
+    }
+
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(_)) => {
+                panic!("vendored serde_derive: tuple/unit struct {name} unsupported")
+            }
+            Some(_) => {}
+            None => panic!("derive: item {name} has no brace-delimited body"),
+        }
+    };
+
+    if kind == "struct" {
+        Shape::Struct { name, fields: parse_named_fields(body.stream()) }
+    } else {
+        Shape::Enum { name, variants: parse_variants(body.stream()) }
+    }
+}
+
+/// Field identifiers of a named-field struct body, in declaration order.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes (incl. doc comments) and visibility.
+        let field = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                Some(other) => panic!("derive: unexpected token in fields: {other:?}"),
+                None => break None,
+            }
+        };
+        let Some(field) = field else { break };
+        fields.push(field);
+
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive: expected ':' after field, found {other:?}"),
+        }
+
+        // Skip the type up to the next top-level ','. Track angle-bracket
+        // depth so `Vec<(usize, usize)>` commas don't terminate early
+        // (grouped tokens — parens, brackets — arrive as single trees).
+        let mut angle: i32 = 0;
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+    fields
+}
+
+/// (name, tuple arity) of each enum variant; arity 0 marks a unit variant.
+fn parse_variants(body: TokenStream) -> Vec<(String, usize)> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let name = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                Some(other) => panic!("derive: unexpected token in variants: {other:?}"),
+                None => break None,
+            }
+        };
+        let Some(name) = name else { break };
+
+        let mut arity = 0usize;
+        if let Some(TokenTree::Group(g)) = iter.peek() {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = tuple_arity(g.stream());
+                    iter.next();
+                }
+                Delimiter::Brace => {
+                    panic!("vendored serde_derive: struct variant {name} unsupported")
+                }
+                _ => {}
+            }
+        }
+        variants.push((name, arity));
+
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+    variants
+}
+
+/// Number of top-level comma-separated entries in a tuple-variant body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut angle: i32 = 0;
+    let mut seen_any = false;
+    let mut arity = 0usize;
+    for tt in body {
+        seen_any = true;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => arity += 1,
+            _ => {}
+        }
+    }
+    // N-1 commas for N entries, unless there's a trailing comma (rare; the
+    // over-count is harmless for the shapes in this workspace).
+    if seen_any {
+        arity + 1
+    } else {
+        0
+    }
+}
