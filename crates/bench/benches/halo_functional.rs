@@ -3,7 +3,7 @@
 //! per transport mix.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use halox_core::{build_contexts, exec, CommContext, FusedBuffers};
+use halox_core::{build_contexts, exec, CommContext, FusedBuffers, Watchdog};
 use halox_dd::{build_partition, DdGrid, DdPartition};
 use halox_md::GrappaBuilder;
 use halox_shmem::{ShmemWorld, Topology, TwoSidedComm};
@@ -36,17 +36,19 @@ fn bench_fused_exchange(c: &mut Criterion) {
         }
         group.bench_with_input(BenchmarkId::from_parameter(label), &dims, |b, _| {
             let step = AtomicU64::new(1);
+            let wd = Watchdog::default();
             b.iter(|| {
                 let s0 = step.fetch_add(1, Ordering::Relaxed);
                 let ctxs = &ctxs;
                 let bufs = &bufs;
+                let wd = &wd;
                 world.run(|pe| {
-                    exec::fused_pack_comm_x(pe, &ctxs[pe.id], bufs, s0);
-                    exec::wait_coordinate_arrivals(pe, &ctxs[pe.id], s0);
+                    exec::fused_pack_comm_x(pe, &ctxs[pe.id], bufs, s0, wd).unwrap();
+                    exec::wait_coordinate_arrivals(pe, &ctxs[pe.id], s0, wd).unwrap();
                     // Release the halo regions for the next iteration's
                     // overwrite (cross-step reuse fence, DESIGN.md §3.1).
                     exec::ack_coordinate_consumed(pe, &ctxs[pe.id], s0);
-                    exec::fused_comm_unpack_f(pe, &ctxs[pe.id], bufs, s0);
+                    exec::fused_comm_unpack_f(pe, &ctxs[pe.id], bufs, s0, wd).unwrap();
                 });
                 black_box(())
             })
@@ -72,9 +74,10 @@ fn bench_serialized_exchange(c: &mut Criterion) {
                     for (r, ctx) in ctxs.iter().enumerate() {
                         s.spawn(move || {
                             let mut coords = part.ranks[r].build_positions.clone();
-                            exec::mpi::coordinate_exchange(comm, ctx, s0, &mut coords, None);
+                            exec::mpi::coordinate_exchange(comm, ctx, s0, &mut coords, None)
+                                .unwrap();
                             let mut forces = coords.clone();
-                            exec::mpi::force_exchange(comm, ctx, s0, &mut forces, None);
+                            exec::mpi::force_exchange(comm, ctx, s0, &mut forces, None).unwrap();
                             black_box(forces.len())
                         });
                     }

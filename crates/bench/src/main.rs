@@ -1,6 +1,6 @@
 //! `halox-bench` — regenerate the paper's figures on the timing simulator.
 
-use halox_bench::{ablation, chart, figures, ftrace, functional, report, validate};
+use halox_bench::{ablation, chaos, chart, figures, ftrace, functional, report, validate};
 use std::path::Path;
 
 fn print_and_save(checks: &[halox_bench::validate::Check], results: &Path) -> bool {
@@ -121,6 +121,11 @@ fn main() {
         }
         "ftrace" => {
             ftrace::run(results);
+        }
+        "chaos" => {
+            // halox-bench chaos [seed]
+            let seed: u64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(1);
+            chaos::run(results, seed);
         }
         other => {
             eprintln!("unknown figure: {other}");

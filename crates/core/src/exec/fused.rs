@@ -42,8 +42,11 @@
 //!   step's ack before overwriting a peer's halo region.
 
 use crate::ctx::CommContext;
+use crate::error::{ExchangeError, ExchangePhase, Watchdog};
+use crate::exec::{stall_report, wait_or_stall};
 use halox_shmem::{Pe, SignalSet, SymVec3};
 use halox_trace::{record_opt, span_opt, Payload, Region};
+use std::time::Instant;
 
 /// Symmetric buffers shared by the fused exchange. Allocation is collective
 /// and identically sized on every PE (the NVSHMEM symmetric-heap rule that
@@ -69,14 +72,28 @@ impl FusedBuffers {
     }
 }
 
-/// Fused coordinate halo exchange (one "kernel" per step). On return all of
-/// this PE's *sends* are issued; arrivals are signalled per pulse — call
-/// [`wait_coordinate_arrivals`] before consuming halo coordinates.
-pub fn fused_pack_comm_x(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_val: u64) {
+/// Fused coordinate halo exchange (one "kernel" per step). On success all
+/// of this PE's *sends* are issued; arrivals are signalled per pulse —
+/// call [`wait_coordinate_arrivals`] before consuming halo coordinates.
+///
+/// Every signal wait is bounded by `wd`; an expired wait aborts the pulse
+/// with a [`StallReport`]-carrying error (the other pulse threads then
+/// expire on their own deadlines, so the call returns within ~one deadline
+/// rather than hanging).
+///
+/// [`StallReport`]: crate::error::StallReport
+pub fn fused_pack_comm_x(
+    pe: &Pe,
+    ctx: &CommContext,
+    bufs: &FusedBuffers,
+    sig_val: u64,
+    wd: &Watchdog,
+) -> Result<(), ExchangeError> {
     std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(ctx.total_pulses);
         for p in 0..ctx.total_pulses {
             let pd = &ctx.pulses[p];
-            s.spawn(move || {
+            handles.push(s.spawn(move || -> Result<(), ExchangeError> {
                 let _span = span_opt(pe.trace(), ctx.rank as u32, "pack_x", p as i32);
                 let dst = pd.send_rank;
                 // Cross-step fence: the halo region this pulse writes on
@@ -84,7 +101,16 @@ pub fn fused_pack_comm_x(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_va
                 // for their consumption ack of step sig_val-1 before
                 // overwriting (slot starts at 0, so step 1 passes
                 // immediately).
-                pe.wait_signal(ctx.coord_ack_slot(p), sig_val.saturating_sub(1));
+                wait_or_stall(
+                    pe,
+                    ctx,
+                    wd,
+                    ExchangePhase::CoordAckFence,
+                    p,
+                    ctx.coord_ack_slot(p),
+                    sig_val.saturating_sub(1),
+                    Some(dst),
+                )?;
                 record_opt(
                     pe.trace(),
                     ctx.rank as u32,
@@ -102,7 +128,16 @@ pub fn fused_pack_comm_x(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_va
                         bufs.coords.set(dst, pd.remote_recv_offset + k, v);
                     }
                     for &k in &pd.dep_pulses {
-                        pe.wait_signal(ctx.coord_slot(k), sig_val);
+                        wait_or_stall(
+                            pe,
+                            ctx,
+                            wd,
+                            ExchangePhase::CoordDep,
+                            p,
+                            ctx.coord_slot(k),
+                            sig_val,
+                            Some(ctx.pulses[k].recv_rank),
+                        )?;
                     }
                     for (k, &i) in pd.dependent().iter().enumerate() {
                         let v = bufs.coords.get(ctx.rank, i as usize) + pd.shift;
@@ -120,7 +155,16 @@ pub fn fused_pack_comm_x(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_va
                         staged.push(bufs.coords.get(ctx.rank, i as usize) + pd.shift);
                     }
                     for &k in &pd.dep_pulses {
-                        pe.wait_signal(ctx.coord_slot(k), sig_val);
+                        wait_or_stall(
+                            pe,
+                            ctx,
+                            wd,
+                            ExchangePhase::CoordDep,
+                            p,
+                            ctx.coord_slot(k),
+                            sig_val,
+                            Some(ctx.pulses[k].recv_rank),
+                        )?;
                     }
                     for &i in pd.dependent() {
                         staged.push(bufs.coords.get(ctx.rank, i as usize) + pd.shift);
@@ -134,18 +178,37 @@ pub fn fused_pack_comm_x(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_va
                         sig_val,
                     );
                 }
-            });
+                Ok(())
+            }));
         }
-    });
+        handles
+            .into_iter()
+            .try_for_each(|h| h.join().expect("pulse thread panicked"))
+    })
 }
 
-/// Block until all coordinate pulses of this step have arrived. In the real
-/// kernel schedule this wait is what gates the non-local non-bonded kernel's
-/// reads of halo data.
-pub fn wait_coordinate_arrivals(pe: &Pe, ctx: &CommContext, sig_val: u64) {
+/// Block until all coordinate pulses of this step have arrived (bounded by
+/// the watchdog). In the real kernel schedule this wait is what gates the
+/// non-local non-bonded kernel's reads of halo data.
+pub fn wait_coordinate_arrivals(
+    pe: &Pe,
+    ctx: &CommContext,
+    sig_val: u64,
+    wd: &Watchdog,
+) -> Result<(), ExchangeError> {
     for p in 0..ctx.total_pulses {
-        pe.wait_signal(ctx.coord_slot(p), sig_val);
+        wait_or_stall(
+            pe,
+            ctx,
+            wd,
+            ExchangePhase::CoordArrival,
+            p,
+            ctx.coord_slot(p),
+            sig_val,
+            Some(ctx.pulses[p].recv_rank),
+        )?;
     }
+    Ok(())
 }
 
 /// Tell each coordinate sender that this PE is done reading the halo data
@@ -188,10 +251,16 @@ pub fn ack_coordinate_consumed(pe: &Pe, ctx: &CommContext, sig_val: u64) {
 /// the next evaluation. Without that reverse ack, step `N+1`'s
 /// `load_from` races the downstream neighbour's still-in-flight step-`N`
 /// get.
-pub fn fused_comm_unpack_f(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_val: u64) {
+pub fn fused_comm_unpack_f(
+    pe: &Pe,
+    ctx: &CommContext,
+    bufs: &FusedBuffers,
+    sig_val: u64,
+    wd: &Watchdog,
+) -> Result<(), ExchangeError> {
     let total = ctx.total_pulses;
     if total == 0 {
-        return;
+        return Ok(());
     }
     // Local unpack-completion flags (per pulse). The paper's
     // blockCompletionCounter + DEP_MGMT chain collapses to these because a
@@ -199,14 +268,31 @@ pub fn fused_comm_unpack_f(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_
     let unpack_done = SignalSet::new(total);
     let ud = &unpack_done;
     std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(total);
         for p in (0..total).rev() {
             let pd = &ctx.pulses[p];
-            s.spawn(move || {
+            handles.push(s.spawn(move || -> Result<(), ExchangeError> {
                 let _span = span_opt(pe.trace(), ctx.rank as u32, "unpack_f", p as i32);
                 // --- DEP_MGMT: release my region p upstream only after all
                 // later pulses' contributions have been folded in locally.
+                // Intra-rank waits are bounded too: a later pulse that died
+                // on *its* wait must not wedge this one forever.
                 for q in (p + 1)..total {
-                    ud.acquire_wait(q, 1);
+                    let armed = Instant::now();
+                    ud.acquire_wait_deadline(q, 1, armed + wd.deadline)
+                        .map_err(|observed| {
+                            stall_report(
+                                pe,
+                                ctx,
+                                ExchangePhase::UnpackDep,
+                                q,
+                                ctx.force_slot(q),
+                                1,
+                                observed,
+                                None,
+                                armed,
+                            )
+                        })?;
                 }
                 let upstream = pd.recv_rank;
                 if pe.nvlink_reachable(upstream) {
@@ -241,8 +327,17 @@ pub fn fused_comm_unpack_f(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_
 
                 // --- DATA: consume the forces computed downstream for the
                 // atoms I sent in pulse p, accumulating via atomicAdd.
-                pe.wait_signal(ctx.force_slot(p), sig_val);
                 let downstream = pd.send_rank;
+                wait_or_stall(
+                    pe,
+                    ctx,
+                    wd,
+                    ExchangePhase::ForceData,
+                    p,
+                    ctx.force_slot(p),
+                    sig_val,
+                    Some(downstream),
+                )?;
                 if pe.nvlink_reachable(downstream) {
                     record_opt(
                         pe.trace(),
@@ -279,15 +374,29 @@ pub fn fused_comm_unpack_f(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_
                 // that `downstream` filled over IB) may reuse it next step.
                 pe.signal(downstream, ctx.force_ack_slot(p), sig_val);
                 ud.release_store(p, 1);
-            });
+                Ok(())
+            }));
         }
-    });
+        handles
+            .into_iter()
+            .try_for_each(|h| h.join().expect("pulse thread panicked"))
+    })?;
     // Epoch fence: do not return until every region *I* published this
     // step has been consumed. My consumer for pulse p is the upstream
     // neighbour, whose DATA phase acks my force_ack slot after its reads.
     for p in 0..total {
-        pe.wait_signal(ctx.force_ack_slot(p), sig_val);
+        wait_or_stall(
+            pe,
+            ctx,
+            wd,
+            ExchangePhase::ForceAckFence,
+            p,
+            ctx.force_ack_slot(p),
+            sig_val,
+            Some(ctx.pulses[p].recv_rank),
+        )?;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -335,9 +444,10 @@ mod tests {
             bufs.coords.load_from(r.rank, &init);
         }
         let b = &bufs;
+        let wd = Watchdog::default();
         world.run(|pe| {
-            fused_pack_comm_x(pe, &ctxs[pe.id], b, 1);
-            wait_coordinate_arrivals(pe, &ctxs[pe.id], 1);
+            fused_pack_comm_x(pe, &ctxs[pe.id], b, 1, &wd).unwrap();
+            wait_coordinate_arrivals(pe, &ctxs[pe.id], 1, &wd).unwrap();
         });
         for r in &part.ranks {
             let got = bufs.coords.snapshot(r.rank);
@@ -378,8 +488,9 @@ mod tests {
             bufs.forces.load_from(r.rank, &init[r.rank]);
         }
         let b = &bufs;
+        let wd = Watchdog::default();
         world.run(|pe| {
-            fused_comm_unpack_f(pe, &ctxs[pe.id], b, 1);
+            fused_comm_unpack_f(pe, &ctxs[pe.id], b, 1, &wd).unwrap();
         });
         for r in &part.ranks {
             let got = bufs.forces.snapshot(r.rank);
@@ -487,10 +598,11 @@ mod tests {
         }
         let b = &bufs;
         let c = &ctxs;
+        let wd = Watchdog::default();
         world.run(|pe| {
             for step in 1..=5u64 {
-                fused_pack_comm_x(pe, &c[pe.id], b, step);
-                wait_coordinate_arrivals(pe, &c[pe.id], step);
+                fused_pack_comm_x(pe, &c[pe.id], b, step, &wd).unwrap();
+                wait_coordinate_arrivals(pe, &c[pe.id], step, &wd).unwrap();
                 // Release the senders' halo regions for the next step; the
                 // pack fence would (deliberately) deadlock without this.
                 ack_coordinate_consumed(pe, &c[pe.id], step);
@@ -503,6 +615,42 @@ mod tests {
             for i in 0..r.n_local() {
                 assert!((got[i] - r.build_positions[i]).norm() < 1e-6);
             }
+        }
+    }
+
+    #[test]
+    fn missing_ack_diagnosed_as_stall_not_hang() {
+        // A driver that skips ack_coordinate_consumed deadlocks the next
+        // pack's reuse fence *by design*; the watchdog must turn that into
+        // a CoordAckFence stall report on every rank instead of a hang.
+        let (part, ctxs) = setup(6000, [2, 2, 1], 50);
+        let world = ShmemWorld::new(
+            Topology::all_nvlink(part.n_ranks()),
+            CommContext::slots_needed(part.total_pulses()),
+        );
+        let bufs = FusedBuffers::alloc(part.n_ranks(), &ctxs[0]);
+        for r in &part.ranks {
+            bufs.coords.load_from(r.rank, &r.build_positions);
+        }
+        let b = &bufs;
+        let c = &ctxs;
+        let wd = Watchdog::new(Duration::from_millis(100));
+        let results = world.run(|pe| -> Result<(), ExchangeError> {
+            fused_pack_comm_x(pe, &c[pe.id], b, 1, &wd)?;
+            wait_coordinate_arrivals(pe, &c[pe.id], 1, &wd)?;
+            // Deliberately no ack_coordinate_consumed.
+            pe.barrier_all();
+            fused_pack_comm_x(pe, &c[pe.id], b, 2, &wd)
+        });
+        for (rank, r) in results.into_iter().enumerate() {
+            let err = r.expect_err("rank should stall on the reuse fence");
+            let stall = err.stall().expect("stall-carrying error");
+            assert_eq!(stall.phase, ExchangePhase::CoordAckFence, "rank {rank}");
+            assert_eq!(stall.rank, rank);
+            assert_eq!(stall.expected, 1);
+            assert_eq!(stall.observed, 0);
+            assert!(stall.suspect_peer.is_some());
+            assert!(!stall.slot_snapshot.is_empty());
         }
     }
 

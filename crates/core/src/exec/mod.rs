@@ -1,5 +1,11 @@
 //! Functional execution plane: the halo exchange actually running across
 //! threads with real synchronization.
+//!
+//! Every blocking wait in this plane is *watchdogged* (see
+//! [`crate::error`]): bounded by a deadline that expires into a
+//! [`StallReport`]-carrying [`ExchangeError`] instead of hanging the PE
+//! thread. The invariant is "every wait is bounded or acked" — DESIGN.md
+//! §3.2.
 
 pub mod fused;
 pub mod mpi;
@@ -9,3 +15,73 @@ pub use fused::{
     ack_coordinate_consumed, fused_comm_unpack_f, fused_pack_comm_x, wait_coordinate_arrivals,
     FusedBuffers,
 };
+
+use crate::ctx::CommContext;
+use crate::error::{ExchangeError, ExchangePhase, StallReport, Watchdog};
+use halox_shmem::Pe;
+use std::time::Instant;
+
+/// How many trailing trace events a stall report captures.
+const STALL_TRACE_TAIL: usize = 16;
+
+/// Watchdogged wait on one of this PE's signal slots: block until `val` or
+/// the watchdog deadline, assembling a full [`StallReport`] on expiry.
+/// `suspect` is the peer whose release would have satisfied the wait, when
+/// the protocol determines one.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn wait_or_stall(
+    pe: &Pe,
+    ctx: &CommContext,
+    wd: &Watchdog,
+    phase: ExchangePhase,
+    pulse: usize,
+    slot: usize,
+    val: u64,
+    suspect: Option<usize>,
+) -> Result<u64, ExchangeError> {
+    let start = Instant::now();
+    pe.wait_signal_deadline(slot, val, start + wd.deadline)
+        .map_err(|observed| {
+            stall_report(pe, ctx, phase, pulse, slot, val, observed, suspect, start)
+        })
+}
+
+/// Assemble the stall diagnosis for an expired wait: expected vs observed,
+/// the full signal-slot snapshot (per-pulse exchange progress) and the
+/// tail of the functional trace.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stall_report(
+    pe: &Pe,
+    ctx: &CommContext,
+    phase: ExchangePhase,
+    pulse: usize,
+    slot: usize,
+    expected: u64,
+    observed: u64,
+    suspect: Option<usize>,
+    armed_at: Instant,
+) -> ExchangeError {
+    let sigs = pe.my_signals();
+    let slot_snapshot = (0..sigs.n_slots()).map(|s| sigs.peek(s)).collect();
+    let trace_tail = pe
+        .trace()
+        .map(|t| {
+            t.tail(STALL_TRACE_TAIL)
+                .iter()
+                .map(|e| format!("{e:?}"))
+                .collect()
+        })
+        .unwrap_or_default();
+    ExchangeError::Stall(Box::new(StallReport {
+        rank: ctx.rank,
+        phase,
+        pulse,
+        slot,
+        expected,
+        observed,
+        suspect_peer: suspect,
+        waited_ms: armed_at.elapsed().as_millis() as u64,
+        slot_snapshot,
+        trace_tail,
+    }))
+}

@@ -7,6 +7,7 @@
 //! the exchange on the critical path (Fig 1).
 
 use crate::ctx::CommContext;
+use crate::error::ExchangeError;
 use halox_md::Vec3;
 use halox_shmem::TwoSidedComm;
 use halox_trace::{span_opt, Recorder};
@@ -33,7 +34,7 @@ pub fn coordinate_exchange(
     step: u64,
     coords: &mut [Vec3],
     trace: Option<&Recorder>,
-) {
+) -> Result<(), ExchangeError> {
     for (p, pd) in ctx.pulses.iter().enumerate() {
         let _span = span_opt(trace, ctx.rank as u32, "mpi_sendrecv_x", p as i32);
         // Pack: independent and dependent entries alike — earlier pulses
@@ -51,9 +52,17 @@ pub fn coordinate_exchange(
             pd.recv_rank,
             coord_tag(step, p),
         );
-        assert_eq!(recv.len(), pd.recv_count, "pulse {p} recv size mismatch");
+        if recv.len() != pd.recv_count {
+            return Err(ExchangeError::SizeMismatch {
+                rank: ctx.rank,
+                pulse: p,
+                expected: pd.recv_count,
+                got: recv.len(),
+            });
+        }
         coords[pd.recv_offset..pd.recv_offset + pd.recv_count].copy_from_slice(&recv);
     }
+    Ok(())
 }
 
 /// Force halo exchange, serialized pulses in reverse order. `forces` holds
@@ -66,7 +75,7 @@ pub fn force_exchange(
     step: u64,
     forces: &mut [Vec3],
     trace: Option<&Recorder>,
-) {
+) -> Result<(), ExchangeError> {
     for p in (0..ctx.pulses.len()).rev() {
         let pd = &ctx.pulses[p];
         let _span = span_opt(trace, ctx.rank as u32, "mpi_sendrecv_f", p as i32);
@@ -82,15 +91,19 @@ pub fn force_exchange(
             pd.send_rank,
             force_tag(step, p),
         );
-        assert_eq!(
-            recv.len(),
-            pd.send_count(),
-            "pulse {p} force recv size mismatch"
-        );
+        if recv.len() != pd.send_count() {
+            return Err(ExchangeError::SizeMismatch {
+                rank: ctx.rank,
+                pulse: p,
+                expected: pd.send_count(),
+                got: recv.len(),
+            });
+        }
         for (k, &i) in pd.send_index.iter().enumerate() {
             forces[i as usize] += recv[k];
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -130,7 +143,7 @@ mod tests {
                         for v in coords[part_ref.ranks[r].n_home..].iter_mut() {
                             *v = halox_md::Vec3::splat(-1e9);
                         }
-                        coordinate_exchange(comm_ref, &ctxs_ref[r], 0, &mut coords, None);
+                        coordinate_exchange(comm_ref, &ctxs_ref[r], 0, &mut coords, None).unwrap();
                         coords
                     })
                 })
@@ -172,7 +185,7 @@ mod tests {
                 .map(|r| {
                     s.spawn(move || {
                         let mut f = init_ref[r].clone();
-                        force_exchange(comm_ref, &ctxs_ref[r], 0, &mut f, None);
+                        force_exchange(comm_ref, &ctxs_ref[r], 0, &mut f, None).unwrap();
                         f
                     })
                 })
@@ -206,9 +219,10 @@ mod tests {
                 s.spawn(move || {
                     let mut coords = part_ref.ranks[r].build_positions.clone();
                     for step in 0..3 {
-                        coordinate_exchange(comm_ref, &ctxs_ref[r], step, &mut coords, None);
+                        coordinate_exchange(comm_ref, &ctxs_ref[r], step, &mut coords, None)
+                            .unwrap();
                         let mut forces = vec![halox_md::Vec3::splat(1.0); coords.len()];
-                        force_exchange(comm_ref, &ctxs_ref[r], step, &mut forces, None);
+                        force_exchange(comm_ref, &ctxs_ref[r], step, &mut forces, None).unwrap();
                     }
                 });
             }

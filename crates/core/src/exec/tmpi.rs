@@ -10,7 +10,9 @@
 //! (single process ⇒ all-NVLink).
 
 use crate::ctx::CommContext;
+use crate::error::{ExchangeError, ExchangePhase, Watchdog};
 use crate::exec::fused::FusedBuffers;
+use crate::exec::wait_or_stall;
 use halox_shmem::Pe;
 use halox_trace::{record_opt, span_opt, Payload, Region};
 
@@ -22,24 +24,51 @@ use halox_trace::{record_opt, span_opt, Payload, Region};
 /// Carries the same cross-step reuse fence as the fused path: each pulse
 /// waits for the receiver's previous-step consumption ack (see
 /// [`crate::exec::fused::ack_coordinate_consumed`]) before overwriting
-/// their halo region.
-pub fn coordinate_exchange(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_val: u64) {
+/// their halo region. All waits are bounded by `wd`; an unreachable peer
+/// is a typed [`ExchangeError::Unreachable`], not a panic.
+pub fn coordinate_exchange(
+    pe: &Pe,
+    ctx: &CommContext,
+    bufs: &FusedBuffers,
+    sig_val: u64,
+    wd: &Watchdog,
+) -> Result<(), ExchangeError> {
     for p in 0..ctx.total_pulses {
         let pd = &ctx.pulses[p];
         let _span = span_opt(pe.trace(), ctx.rank as u32, "tmpi_pack_x", p as i32);
         let dst = pd.send_rank;
-        assert!(
-            pe.nvlink_reachable(dst),
-            "thread-MPI is single-process: rank {} cannot reach {dst}",
-            ctx.rank
-        );
+        if !pe.nvlink_reachable(dst) {
+            return Err(ExchangeError::Unreachable {
+                rank: ctx.rank,
+                peer: dst,
+                backend: "thread-MPI",
+            });
+        }
         // Cross-step fence: dst may still be reading the halo we wrote
         // last step.
-        pe.wait_signal(ctx.coord_ack_slot(p), sig_val.saturating_sub(1));
+        wait_or_stall(
+            pe,
+            ctx,
+            wd,
+            ExchangePhase::CoordAckFence,
+            p,
+            ctx.coord_ack_slot(p),
+            sig_val.saturating_sub(1),
+            Some(dst),
+        )?;
         // Event dependency: forwarded entries need the earlier pulses'
         // arrivals (serialized pulses make this the only wait).
         for &k in &pd.dep_pulses {
-            pe.wait_signal(ctx.coord_slot(k), sig_val);
+            wait_or_stall(
+                pe,
+                ctx,
+                wd,
+                ExchangePhase::CoordDep,
+                p,
+                ctx.coord_slot(k),
+                sig_val,
+                Some(ctx.pulses[k].recv_rank),
+            )?;
         }
         record_opt(
             pe.trace(),
@@ -58,6 +87,7 @@ pub fn coordinate_exchange(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_
         }
         pe.signal(dst, ctx.coord_slot(p), sig_val);
     }
+    Ok(())
 }
 
 /// Serialized-pulse force exchange with direct reads. Reverse pulse order;
@@ -68,19 +98,39 @@ pub fn coordinate_exchange(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_
 /// Self-fencing across steps like [`crate::exec::fused::fused_comm_unpack_f`]:
 /// returns only after every published force region has been acked by its
 /// reader, so the caller may immediately reload the force buffer.
-pub fn force_exchange(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_val: u64) {
+pub fn force_exchange(
+    pe: &Pe,
+    ctx: &CommContext,
+    bufs: &FusedBuffers,
+    sig_val: u64,
+    wd: &Watchdog,
+) -> Result<(), ExchangeError> {
     for p in (0..ctx.total_pulses).rev() {
         let pd = &ctx.pulses[p];
         let _span = span_opt(pe.trace(), ctx.rank as u32, "tmpi_unpack_f", p as i32);
-        assert!(
-            pe.nvlink_reachable(pd.recv_rank) && pe.nvlink_reachable(pd.send_rank),
-            "thread-MPI is single-process"
-        );
+        for peer in [pd.recv_rank, pd.send_rank] {
+            if !pe.nvlink_reachable(peer) {
+                return Err(ExchangeError::Unreachable {
+                    rank: ctx.rank,
+                    peer,
+                    backend: "thread-MPI",
+                });
+            }
+        }
         // Region p is final: later pulses were unpacked in earlier loop
         // iterations.
         pe.signal(pd.recv_rank, ctx.force_slot(p), sig_val);
         // Consume the forces computed downstream for the atoms we sent.
-        pe.wait_signal(ctx.force_slot(p), sig_val);
+        wait_or_stall(
+            pe,
+            ctx,
+            wd,
+            ExchangePhase::ForceData,
+            p,
+            ctx.force_slot(p),
+            sig_val,
+            Some(pd.send_rank),
+        )?;
         record_opt(
             pe.trace(),
             ctx.rank as u32,
@@ -100,8 +150,18 @@ pub fn force_exchange(pe: &Pe, ctx: &CommContext, bufs: &FusedBuffers, sig_val: 
     }
     // Epoch fence: wait until this rank's own published regions are acked.
     for p in 0..ctx.total_pulses {
-        pe.wait_signal(ctx.force_ack_slot(p), sig_val);
+        wait_or_stall(
+            pe,
+            ctx,
+            wd,
+            ExchangePhase::ForceAckFence,
+            p,
+            ctx.force_ack_slot(p),
+            sig_val,
+            Some(ctx.pulses[p].recv_rank),
+        )?;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -136,9 +196,10 @@ mod tests {
         }
         let b = &bufs;
         let c = &ctxs;
+        let wd = Watchdog::default();
         world.run(|pe| {
-            coordinate_exchange(pe, &c[pe.id], b, 1);
-            wait_coordinate_arrivals(pe, &c[pe.id], 1);
+            coordinate_exchange(pe, &c[pe.id], b, 1, &wd).unwrap();
+            wait_coordinate_arrivals(pe, &c[pe.id], 1, &wd).unwrap();
         });
         for r in &part.ranks {
             let got = bufs.coords.snapshot(r.rank);
@@ -174,7 +235,8 @@ mod tests {
         }
         let b = &bufs;
         let c = &ctxs;
-        world.run(|pe| force_exchange(pe, &c[pe.id], b, 1));
+        let wd = Watchdog::default();
+        world.run(|pe| force_exchange(pe, &c[pe.id], b, 1, &wd).unwrap());
         for r in &part.ranks {
             let got = bufs.forces.snapshot(r.rank);
             for i in 0..r.n_home {
@@ -185,9 +247,9 @@ mod tests {
     }
 
     #[test]
-    // The PE thread panics on the reachability assert; the world surfaces it.
-    #[should_panic(expected = "PE thread panicked")]
-    fn cross_node_rejected() {
+    fn cross_node_rejected_as_typed_error() {
+        // Reachability violations surface as ExchangeError::Unreachable
+        // values (previously a PE-thread panic).
         let sys = GrappaBuilder::new(6000).seed(63).build();
         let part = build_partition(&sys, &DdGrid::new([4, 1, 1]), 0.8);
         let ctxs = build_contexts(&part);
@@ -198,6 +260,17 @@ mod tests {
         let bufs = FusedBuffers::alloc(part.n_ranks(), &ctxs[0]);
         let b = &bufs;
         let c = &ctxs;
-        world.run(|pe| coordinate_exchange(pe, &c[pe.id], b, 1));
+        // Short deadline: ranks with only-reachable sends may complete or
+        // stall on missing cross-node arrivals, but every rank returns and
+        // the cross-node senders report Unreachable.
+        let wd = crate::error::Watchdog::new(std::time::Duration::from_millis(100));
+        let results = world.run(|pe| coordinate_exchange(pe, &c[pe.id], b, 1, &wd));
+        assert!(results.iter().any(|r| matches!(
+            r,
+            Err(crate::error::ExchangeError::Unreachable {
+                backend: "thread-MPI",
+                ..
+            })
+        )));
     }
 }

@@ -28,9 +28,11 @@
 //! ```
 
 pub mod ctx;
+pub mod error;
 pub mod exec;
 pub mod sched;
 
 pub use ctx::{build_contexts, CommContext};
+pub use error::{ExchangeError, ExchangePhase, StallReport, Watchdog};
 pub use exec::{fused_comm_unpack_f, fused_pack_comm_x, wait_coordinate_arrivals, FusedBuffers};
 pub use sched::{simulate, Backend, PulseSpec, ScheduleInput, ScheduleRun, StepMetrics};

@@ -1,9 +1,10 @@
 //! Engine configuration.
 
-use halox_shmem::Topology;
+use halox_shmem::{FaultPlan, Topology};
 use halox_trace::Recorder;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Which functional halo-exchange backend drives the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,6 +49,43 @@ pub struct Thermostat {
     pub tau_ps: f64,
 }
 
+/// Watchdog and graceful-degradation policy (DESIGN.md §3.2).
+///
+/// Every signal wait in the exchange paths is bounded by `deadline`; an
+/// expiry surfaces as a [`halox_core::StallReport`]-carrying error instead
+/// of a hang. The runner then climbs this ladder: retry the segment up to
+/// `max_retries` times (sleeping `backoff` between attempts), then downgrade
+/// the run to the `fallback` transport; `repromote_after` consecutive clean
+/// fallback segments put the suspect peers on probation for re-promotion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Per-wait deadline before a stall is diagnosed.
+    pub deadline: Duration,
+    /// Segment retries on the same transport before downgrading.
+    pub max_retries: usize,
+    /// Sleep between segment retries (lets transient faults clear).
+    pub backoff: Duration,
+    /// Consecutive clean fallback segments before quarantined peers are
+    /// put on probation.
+    pub repromote_after: u32,
+    /// Transport to degrade to. [`ExchangeBackend::Mpi`] is the natural
+    /// choice: two-sided rendezvous, no symmetric signal slots, so the
+    /// fault classes that stall the fused path cannot touch it.
+    pub fallback: ExchangeBackend,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            deadline: Duration::from_secs(5),
+            max_retries: 1,
+            backoff: Duration::from_millis(5),
+            repromote_after: 2,
+            fallback: ExchangeBackend::Mpi,
+        }
+    }
+}
+
 /// Parameters of a domain-decomposed MD run.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -73,6 +111,12 @@ pub struct EngineConfig {
     /// signal/region/span events into it (see `halox-trace`); the caller
     /// drains it after the run for Chrome-trace export or protocol checking.
     pub trace: Option<Arc<Recorder>>,
+    /// Bounded-wait and degradation policy.
+    pub watchdog: WatchdogConfig,
+    /// Deterministic fault injection: when set, every segment's PGAS world
+    /// carries this plan's chaos engine (one engine for the whole run, so
+    /// operation counters — and thus fault schedules — span segments).
+    pub chaos: Option<FaultPlan>,
 }
 
 impl EngineConfig {
@@ -87,6 +131,8 @@ impl EngineConfig {
             thermostat: None,
             integrator: Integrator::Leapfrog,
             trace: None,
+            watchdog: WatchdogConfig::default(),
+            chaos: None,
         }
     }
 

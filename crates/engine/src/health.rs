@@ -1,0 +1,212 @@
+//! Per-peer health ladder driving graceful transport degradation.
+//!
+//! The engine runner (see [`crate::runner`]) feeds this board from stall
+//! diagnoses: every expired watchdog wait names a *suspect peer* (the rank
+//! whose release would have satisfied the wait), and the board walks that
+//! peer down a strike ladder. Once any peer is quarantined the runner flips
+//! the run from the fused signal-driven path to the two-sided fallback
+//! transport; sustained clean fallback segments walk the peer back up
+//! (probation, then re-promotion to the fused path).
+//!
+//! ```text
+//! Healthy --stall--> Suspect{1} --stall--> Quarantined{0}
+//!    ^                   |                     |  clean fallback segments
+//!    |  primary success  v                     v  (repromote_after)
+//!    +---------------- Probation <-------------+
+//!                        |
+//!                        +--stall--> Failed (terminal)
+//! ```
+
+/// Strikes before a suspect peer is quarantined.
+pub const QUARANTINE_STRIKES: u32 = 2;
+
+/// Where a peer sits on the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerState {
+    /// No evidence against this peer.
+    Healthy,
+    /// Named as the suspect in `strikes` stall reports; retried on the
+    /// primary transport.
+    Suspect { strikes: u32 },
+    /// Struck out: the run avoids signal-driven exchanges with this peer
+    /// (in practice: the whole run degrades to the fallback transport).
+    /// `clean_segments` counts consecutive successful fallback segments
+    /// since quarantine.
+    Quarantined { clean_segments: u32 },
+    /// Served its quarantine; the next primary-transport segment decides
+    /// between re-promotion (success) and permanent failure (stall).
+    Probation,
+    /// Stalled again while on probation. Terminal: never re-promoted.
+    Failed,
+}
+
+/// Health state for every peer rank, plus transition counters for
+/// [`crate::runner::RunStats`].
+#[derive(Debug, Clone)]
+pub struct HealthBoard {
+    peers: Vec<PeerState>,
+}
+
+impl HealthBoard {
+    pub fn new(n_ranks: usize) -> Self {
+        HealthBoard {
+            peers: vec![PeerState::Healthy; n_ranks],
+        }
+    }
+
+    pub fn state(&self, peer: usize) -> PeerState {
+        self.peers[peer]
+    }
+
+    /// A stall report named `peer` as the suspect: walk it down the ladder.
+    pub fn record_stall(&mut self, peer: usize) {
+        self.peers[peer] = match self.peers[peer] {
+            PeerState::Healthy => PeerState::Suspect { strikes: 1 },
+            PeerState::Suspect { strikes } if strikes + 1 >= QUARANTINE_STRIKES => {
+                PeerState::Quarantined { clean_segments: 0 }
+            }
+            PeerState::Suspect { strikes } => PeerState::Suspect {
+                strikes: strikes + 1,
+            },
+            // A stall while already quarantined (fallback transport also
+            // implicates it) resets the rehabilitation clock.
+            PeerState::Quarantined { .. } => PeerState::Quarantined { clean_segments: 0 },
+            PeerState::Probation => PeerState::Failed,
+            PeerState::Failed => PeerState::Failed,
+        };
+    }
+
+    /// The runner decided to downgrade with these suspects: quarantine them
+    /// immediately (skipping remaining strikes) so the rehabilitation clock
+    /// starts now.
+    pub fn quarantine(&mut self, peer: usize) {
+        if !matches!(self.peers[peer], PeerState::Failed) {
+            self.peers[peer] = PeerState::Quarantined { clean_segments: 0 };
+        }
+    }
+
+    /// A fallback-transport segment completed cleanly: credit every
+    /// quarantined peer; after `repromote_after` consecutive clean segments
+    /// a peer graduates to probation.
+    pub fn record_fallback_success(&mut self, repromote_after: u32) {
+        for p in &mut self.peers {
+            if let PeerState::Quarantined { clean_segments } = *p {
+                *p = if clean_segments + 1 >= repromote_after {
+                    PeerState::Probation
+                } else {
+                    PeerState::Quarantined {
+                        clean_segments: clean_segments + 1,
+                    }
+                };
+            }
+        }
+    }
+
+    /// A primary-transport segment completed cleanly: peers on probation are
+    /// re-promoted to healthy and lingering suspicions are forgiven.
+    /// Returns how many peers were re-promoted.
+    pub fn record_primary_success(&mut self) -> usize {
+        let mut repromoted = 0;
+        for p in &mut self.peers {
+            match *p {
+                PeerState::Probation => {
+                    *p = PeerState::Healthy;
+                    repromoted += 1;
+                }
+                PeerState::Suspect { .. } => *p = PeerState::Healthy,
+                _ => {}
+            }
+        }
+        repromoted
+    }
+
+    /// Should the next segment run on the fallback transport? True while any
+    /// peer is quarantined or permanently failed. (Probation peers get a
+    /// primary-transport segment — that *is* the probation trial.)
+    pub fn needs_fallback(&self) -> bool {
+        self.peers
+            .iter()
+            .any(|p| matches!(p, PeerState::Quarantined { .. } | PeerState::Failed))
+    }
+
+    /// Peers currently quarantined or failed (for downgrade records).
+    pub fn degraded_peers(&self) -> Vec<usize> {
+        self.peers
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, PeerState::Quarantined { .. } | PeerState::Failed))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strike_ladder_reaches_quarantine() {
+        let mut h = HealthBoard::new(4);
+        h.record_stall(2);
+        assert_eq!(h.state(2), PeerState::Suspect { strikes: 1 });
+        assert!(!h.needs_fallback());
+        h.record_stall(2);
+        assert_eq!(h.state(2), PeerState::Quarantined { clean_segments: 0 });
+        assert!(h.needs_fallback());
+        assert_eq!(h.degraded_peers(), vec![2]);
+    }
+
+    #[test]
+    fn rehabilitation_walks_back_to_healthy() {
+        let mut h = HealthBoard::new(2);
+        h.quarantine(1);
+        h.record_fallback_success(2);
+        assert_eq!(h.state(1), PeerState::Quarantined { clean_segments: 1 });
+        assert!(h.needs_fallback());
+        h.record_fallback_success(2);
+        assert_eq!(h.state(1), PeerState::Probation);
+        // Probation peers get a primary trial, so no fallback needed.
+        assert!(!h.needs_fallback());
+        assert_eq!(h.record_primary_success(), 1);
+        assert_eq!(h.state(1), PeerState::Healthy);
+    }
+
+    #[test]
+    fn stall_on_probation_is_terminal() {
+        let mut h = HealthBoard::new(2);
+        h.quarantine(0);
+        h.record_fallback_success(1);
+        assert_eq!(h.state(0), PeerState::Probation);
+        h.record_stall(0);
+        assert_eq!(h.state(0), PeerState::Failed);
+        assert!(h.needs_fallback());
+        // Failed is terminal: no amount of clean segments re-promotes.
+        h.record_fallback_success(1);
+        h.record_fallback_success(1);
+        assert_eq!(h.state(0), PeerState::Failed);
+        assert_eq!(h.record_primary_success(), 0);
+        assert_eq!(h.state(0), PeerState::Failed);
+    }
+
+    #[test]
+    fn primary_success_forgives_single_strikes() {
+        let mut h = HealthBoard::new(2);
+        h.record_stall(0);
+        assert_eq!(h.state(0), PeerState::Suspect { strikes: 1 });
+        assert_eq!(h.record_primary_success(), 0);
+        assert_eq!(h.state(0), PeerState::Healthy);
+        // Forgiveness resets the ladder: two fresh strikes needed again.
+        h.record_stall(0);
+        assert_eq!(h.state(0), PeerState::Suspect { strikes: 1 });
+    }
+
+    #[test]
+    fn stall_during_quarantine_resets_clock() {
+        let mut h = HealthBoard::new(1);
+        h.quarantine(0);
+        h.record_fallback_success(3);
+        assert_eq!(h.state(0), PeerState::Quarantined { clean_segments: 1 });
+        h.record_stall(0);
+        assert_eq!(h.state(0), PeerState::Quarantined { clean_segments: 0 });
+    }
+}

@@ -9,8 +9,10 @@
 
 pub mod config;
 pub mod devtimer;
+pub mod health;
 pub mod runner;
 
-pub use config::{EngineConfig, ExchangeBackend, Integrator, Thermostat};
+pub use config::{EngineConfig, ExchangeBackend, Integrator, Thermostat, WatchdogConfig};
 pub use devtimer::PhaseTimer;
-pub use runner::{Engine, RunStats};
+pub use health::{HealthBoard, PeerState};
+pub use runner::{Downgrade, Engine, EngineError, RunStats};

@@ -14,7 +14,9 @@
 //! and re-scattered, and PEs get fresh index maps.
 
 use crate::config::{EngineConfig, ExchangeBackend};
+use crate::health::HealthBoard;
 use halox_core::{build_contexts, exec, CommContext, FusedBuffers};
+use halox_core::{ExchangeError, StallReport, Watchdog};
 use halox_dd::{build_partition, DdGrid, DdPartition};
 use halox_md::forces::{
     angle_virial, bond_virial, compute_angles, compute_bonds, compute_nonbonded_virial,
@@ -22,7 +24,7 @@ use halox_md::forces::{
 };
 use halox_md::pairlist::eighth_shell_rule;
 use halox_md::{integrate, EnergyReport, Frame, PairList, System, Vec3};
-use halox_shmem::{ShmemWorld, TwoSidedComm};
+use halox_shmem::{ChaosEngine, ShmemWorld, TwoSidedComm};
 use halox_trace::{record_opt, Payload, Region};
 use std::sync::Arc;
 use std::time::Instant;
@@ -38,6 +40,81 @@ pub struct RunStats {
     /// host performance of the reproduction, not the paper's GPU numbers;
     /// those come from the timing plane).
     pub ns_per_day: f64,
+    /// Segment retries on the same transport after a diagnosed stall.
+    pub retries: usize,
+    /// Transport downgrades (fused → fallback), in run order.
+    pub downgrades: Vec<Downgrade>,
+    /// Every stall diagnosis collected across the run (retried segments
+    /// included — a recovered run still documents what it survived).
+    pub stall_reports: Vec<StallReport>,
+    /// Steps executed on the fallback transport.
+    pub degraded_steps: usize,
+    /// Peers re-promoted to the primary transport after rehabilitation.
+    pub repromotions: usize,
+    /// Faults the chaos engine actually injected (0 for fault-free runs).
+    pub faults_injected: u64,
+}
+
+/// One transport downgrade event: at which step the run flipped from the
+/// primary exchange path to the fallback, and which peers were implicated.
+#[derive(Debug, Clone)]
+pub struct Downgrade {
+    /// Global step count completed when the downgrade happened.
+    pub at_step: usize,
+    pub from: ExchangeBackend,
+    pub to: ExchangeBackend,
+    /// Suspect peers named by the stall reports that triggered it.
+    pub suspects: Vec<usize>,
+}
+
+/// A run that could not be completed even on the fallback transport.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A segment failed on `backend` after exhausting retries and (when
+    /// available) the downgrade ladder.
+    SegmentFailed {
+        /// Global step count completed when the segment gave up.
+        at_step: usize,
+        backend: ExchangeBackend,
+        /// Per-rank exchange errors from the final attempt.
+        errors: Vec<ExchangeError>,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::SegmentFailed {
+                at_step,
+                backend,
+                errors,
+            } => {
+                write!(
+                    f,
+                    "segment at step {} failed on {} with {} rank error(s)",
+                    at_step,
+                    backend.label(),
+                    errors.len()
+                )?;
+                for e in errors {
+                    write!(f, "\n  {e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Degradation-ladder counters accumulated while segments run.
+#[derive(Default)]
+struct RecoveryLog {
+    retries: usize,
+    downgrades: Vec<Downgrade>,
+    stall_reports: Vec<StallReport>,
+    degraded_steps: usize,
+    repromotions: usize,
 }
 
 /// Per-rank state carried across a segment and returned to the gatherer.
@@ -59,6 +136,13 @@ pub struct Engine {
     cached_buffers: Option<(FusedBuffers, usize, usize)>,
     /// How many times a segment had to reallocate the symmetric buffers.
     pub realloc_count: usize,
+    /// Chaos engine shared by every segment's world, built lazily at the
+    /// first segment (when the PE count is known). One engine for the whole
+    /// run keeps operation counters — and thus fault schedules —
+    /// deterministic across segment boundaries.
+    chaos: Option<Arc<ChaosEngine>>,
+    /// Per-peer degradation ladder, built lazily with the chaos engine.
+    health: Option<HealthBoard>,
 }
 
 impl Engine {
@@ -69,12 +153,21 @@ impl Engine {
             config,
             cached_buffers: None,
             realloc_count: 0,
+            chaos: None,
+            health: None,
         }
     }
 
+    /// Peer health after a run (None before the first segment).
+    pub fn health(&self) -> Option<&HealthBoard> {
+        self.health.as_ref()
+    }
+
     /// Advance `n_steps`; returns per-step energies and throughput.
+    /// Panics if the run fails even on the fallback transport — use
+    /// [`Engine::try_run`] to handle that as a value.
     pub fn run(&mut self, n_steps: usize) -> RunStats {
-        self.run_with_observer(n_steps, |_, _| {})
+        self.try_run(n_steps).expect("engine run failed")
     }
 
     /// Like [`Engine::run`], calling `observer(steps_done, &system)` after
@@ -83,20 +176,38 @@ impl Engine {
     pub fn run_with_observer(
         &mut self,
         n_steps: usize,
-        mut observer: impl FnMut(usize, &System),
+        observer: impl FnMut(usize, &System),
     ) -> RunStats {
+        self.try_run_with_observer(n_steps, observer)
+            .expect("engine run failed")
+    }
+
+    /// Fallible run: a segment that stalls past the watchdog deadline is
+    /// retried, then downgraded to the fallback transport; only when even
+    /// the fallback fails does the run abort with [`EngineError`].
+    pub fn try_run(&mut self, n_steps: usize) -> Result<RunStats, EngineError> {
+        self.try_run_with_observer(n_steps, |_, _| {})
+    }
+
+    /// Fallible [`Engine::run_with_observer`].
+    pub fn try_run_with_observer(
+        &mut self,
+        n_steps: usize,
+        mut observer: impl FnMut(usize, &System),
+    ) -> Result<RunStats, EngineError> {
         let t0 = Instant::now();
         let mut energies = Vec::with_capacity(n_steps);
+        let mut recovery = RecoveryLog::default();
         let mut done = 0;
         while done < n_steps {
             let segment = self.config.nstlist.min(n_steps - done);
-            let seg_energies = self.run_segment(segment);
+            let seg_energies = self.run_segment_with_recovery(segment, done, &mut recovery)?;
             energies.extend(seg_energies);
             done += segment;
             observer(done, &self.system);
         }
         let wall = t0.elapsed().as_secs_f64();
-        RunStats {
+        Ok(RunStats {
             steps: n_steps,
             wall_seconds: wall,
             ns_per_day: if wall > 0.0 {
@@ -105,12 +216,120 @@ impl Engine {
                 0.0
             },
             energies,
+            retries: recovery.retries,
+            downgrades: recovery.downgrades,
+            stall_reports: recovery.stall_reports,
+            degraded_steps: recovery.degraded_steps,
+            repromotions: recovery.repromotions,
+            faults_injected: self.chaos.as_ref().map_or(0, |c| c.report().total()),
+        })
+    }
+
+    /// Make sure the lazily-built chaos engine and health board exist.
+    fn ensure_run_state(&mut self, n_ranks: usize) {
+        if self.health.is_none() {
+            self.health = Some(HealthBoard::new(n_ranks));
+        }
+        if self.chaos.is_none() {
+            if let Some(plan) = &self.config.chaos {
+                self.chaos = Some(Arc::new(ChaosEngine::new(plan.clone(), n_ranks)));
+            }
         }
     }
 
-    /// One neighbour-search segment: partition, exchange/step loop, gather.
-    fn run_segment(&mut self, steps: usize) -> Vec<EnergyReport> {
-        let cfg = self.config.clone();
+    /// One segment through the degradation ladder: attempt on the
+    /// health-selected transport, retry with backoff on diagnosed stalls,
+    /// downgrade to the fallback, and only then give up.
+    fn run_segment_with_recovery(
+        &mut self,
+        steps: usize,
+        at_step: usize,
+        recovery: &mut RecoveryLog,
+    ) -> Result<Vec<EnergyReport>, EngineError> {
+        let n_ranks = self.grid.dims.iter().product::<usize>();
+        self.ensure_run_state(n_ranks);
+        let primary = self.config.backend;
+        let wd_cfg = self.config.watchdog;
+        let fallback = wd_cfg.fallback;
+
+        let mut backend =
+            if primary != fallback && self.health.as_ref().is_some_and(|h| h.needs_fallback()) {
+                fallback
+            } else {
+                primary
+            };
+        let mut attempt = 0;
+        loop {
+            match self.run_segment(steps, backend) {
+                Ok(seg_energies) => {
+                    let health = self.health.as_mut().expect("health board initialized");
+                    if backend == primary {
+                        recovery.repromotions += health.record_primary_success();
+                    } else {
+                        recovery.degraded_steps += steps;
+                        health.record_fallback_success(wd_cfg.repromote_after);
+                    }
+                    return Ok(seg_energies);
+                }
+                Err(errors) => {
+                    let mut suspects: Vec<usize> = Vec::new();
+                    for e in &errors {
+                        if let Some(p) = e.suspect_peer() {
+                            suspects.push(p);
+                        }
+                        if let Some(r) = e.stall() {
+                            recovery.stall_reports.push(r.clone());
+                        }
+                    }
+                    suspects.sort_unstable();
+                    suspects.dedup();
+                    let health = self.health.as_mut().expect("health board initialized");
+                    for &p in &suspects {
+                        health.record_stall(p);
+                    }
+                    if attempt < wd_cfg.max_retries {
+                        attempt += 1;
+                        recovery.retries += 1;
+                        std::thread::sleep(wd_cfg.backoff);
+                        continue;
+                    }
+                    if backend != fallback {
+                        // Out of retries on the primary: quarantine the
+                        // suspects and flip the run to the fallback.
+                        for &p in &suspects {
+                            health.quarantine(p);
+                        }
+                        recovery.downgrades.push(Downgrade {
+                            at_step,
+                            from: backend,
+                            to: fallback,
+                            suspects,
+                        });
+                        backend = fallback;
+                        attempt = 0;
+                        continue;
+                    }
+                    return Err(EngineError::SegmentFailed {
+                        at_step,
+                        backend,
+                        errors,
+                    });
+                }
+            }
+        }
+    }
+
+    /// One neighbour-search segment on one transport: partition,
+    /// exchange/step loop, gather. A failed attempt leaves `self.system`
+    /// untouched (home atoms are gathered only when every rank succeeds),
+    /// so the caller can retry on a fresh world.
+    fn run_segment(
+        &mut self,
+        steps: usize,
+        backend: ExchangeBackend,
+    ) -> Result<Vec<EnergyReport>, Vec<ExchangeError>> {
+        let mut cfg = self.config.clone();
+        cfg.backend = backend;
         let part = build_partition(&self.system, &self.grid, cfg.r_comm());
         let ctxs = build_contexts(&part);
         let n_ranks = part.n_ranks();
@@ -123,6 +342,13 @@ impl Engine {
         );
         if let Some(rec) = &cfg.trace {
             world = world.with_trace(Arc::clone(rec));
+        }
+        // The chaos engine targets signal/put deliveries, so it only bites
+        // on the signal-driven transports — attaching it under the MPI
+        // fallback is harmless (two-sided rendezvous performs no symmetric
+        // deliveries), and keeps one engine for the whole run.
+        if let Some(chaos) = &self.chaos {
+            world = world.with_chaos(Arc::clone(chaos));
         }
         // Symmetric allocation with over-allocation: reuse the buffers from
         // the previous segment when capacities still fit, else grow by 10%.
@@ -146,7 +372,7 @@ impl Engine {
         let comm_ref = &comm;
         let sys_ref = &system;
 
-        let mut results = world.run(|pe| {
+        let results = world.run(|pe| {
             rank_segment(
                 pe,
                 &part_ref.ranks[pe.id],
@@ -160,11 +386,23 @@ impl Engine {
             )
         });
 
+        // Capacity survives a failed attempt, so cache either way.
         self.cached_buffers = Some((bufs.clone(), bufs.coords.len(), bufs.force_stage.len()));
+
+        let errors: Vec<ExchangeError> = results
+            .iter()
+            .filter_map(|r| r.as_ref().err().cloned())
+            .collect();
+        if !errors.is_empty() {
+            return Err(errors);
+        }
 
         // Gather home atoms back into the global system.
         let mut energies = vec![EnergyReport::default(); steps];
-        for r in results.drain(..) {
+        for r in results
+            .into_iter()
+            .map(|r| r.expect("errors handled above"))
+        {
             for (k, &g) in r.home_ids.iter().enumerate() {
                 self.system.positions[g as usize] = self.system.pbc.wrap(r.positions[k]);
                 self.system.velocities[g as usize] = r.velocities[k];
@@ -177,7 +415,7 @@ impl Engine {
                 energies[s].virial += e.virial;
             }
         }
-        energies
+        Ok(energies)
     }
 }
 
@@ -192,11 +430,13 @@ fn rank_segment(
     cfg: &EngineConfig,
     steps: usize,
     part: &DdPartition,
-) -> RankResult {
+) -> Result<RankResult, ExchangeError> {
     let n_home = plan.n_home;
     let n_local = plan.n_local();
     let params = NonbondedParams::new(cfg.cutoff);
     let frame = Frame::for_decomposition(&system.pbc, part.grid.dims);
+    let wd = Watchdog::new(cfg.watchdog.deadline);
+    let wd = &wd;
 
     // Local state: DD-frame positions (home + halo), home velocities.
     let mut positions = plan.build_positions.clone();
@@ -230,8 +470,8 @@ fn rank_segment(
             match cfg.backend {
                 ExchangeBackend::NvshmemFused => {
                     bufs.coords.write_slice(ctx.rank, 0, &positions[..n_home]);
-                    exec::fused_pack_comm_x(pe, ctx, bufs, sig);
-                    exec::wait_coordinate_arrivals(pe, ctx, sig);
+                    exec::fused_pack_comm_x(pe, ctx, bufs, sig, wd)?;
+                    exec::wait_coordinate_arrivals(pe, ctx, sig, wd)?;
                     bufs.coords
                         .read_slice(ctx.rank, n_home, &mut positions[n_home..]);
                     // Completion ack: senders may overwrite our halo regions
@@ -240,8 +480,8 @@ fn rank_segment(
                 }
                 ExchangeBackend::ThreadMpi => {
                     bufs.coords.write_slice(ctx.rank, 0, &positions[..n_home]);
-                    exec::tmpi::coordinate_exchange(pe, ctx, bufs, sig);
-                    exec::wait_coordinate_arrivals(pe, ctx, sig);
+                    exec::tmpi::coordinate_exchange(pe, ctx, bufs, sig, wd)?;
+                    exec::wait_coordinate_arrivals(pe, ctx, sig, wd)?;
                     bufs.coords
                         .read_slice(ctx.rank, n_home, &mut positions[n_home..]);
                     exec::ack_coordinate_consumed(pe, ctx, sig);
@@ -253,7 +493,7 @@ fn rank_segment(
                         sig,
                         &mut positions,
                         cfg.trace.as_deref(),
-                    );
+                    )?;
                 }
             }
 
@@ -319,7 +559,7 @@ fn rank_segment(
                         },
                     );
                     bufs.forces.load_from(ctx.rank, &forces);
-                    exec::fused_comm_unpack_f(pe, ctx, bufs, sig);
+                    exec::fused_comm_unpack_f(pe, ctx, bufs, sig, wd)?;
                     bufs.forces.read_slice(ctx.rank, 0, &mut forces[..n_home]);
                 }
                 ExchangeBackend::ThreadMpi => {
@@ -334,11 +574,11 @@ fn rank_segment(
                         },
                     );
                     bufs.forces.load_from(ctx.rank, &forces);
-                    exec::tmpi::force_exchange(pe, ctx, bufs, sig);
+                    exec::tmpi::force_exchange(pe, ctx, bufs, sig, wd)?;
                     bufs.forces.read_slice(ctx.rank, 0, &mut forces[..n_home]);
                 }
                 ExchangeBackend::Mpi => {
-                    exec::mpi::force_exchange(comm, ctx, sig, &mut forces, cfg.trace.as_deref());
+                    exec::mpi::force_exchange(comm, ctx, sig, &mut forces, cfg.trace.as_deref())?;
                 }
             }
             (nonbonded, bonds, angles, virial)
@@ -421,12 +661,12 @@ fn rank_segment(
         }
     }
 
-    RankResult {
+    Ok(RankResult {
         home_ids: plan.global_ids[..n_home].to_vec(),
         positions: positions[..n_home].to_vec(),
         velocities,
         energies,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -632,6 +872,123 @@ mod tests {
             t_coupled < t_free,
             "thermostat must remove equilibration heat"
         );
+    }
+
+    #[test]
+    fn fault_free_run_reports_no_recovery_activity() {
+        let sys = relaxed_system(3000, 87);
+        let (_, stats) = run_engine(&sys, [2, 2, 1], ExchangeBackend::NvshmemFused, 10);
+        assert_eq!(stats.retries, 0);
+        assert!(stats.downgrades.is_empty());
+        assert!(stats.stall_reports.is_empty());
+        assert_eq!(stats.degraded_steps, 0);
+        assert_eq!(stats.faults_injected, 0);
+    }
+
+    #[test]
+    fn transient_fault_recovers_by_retry() {
+        use halox_shmem::{FaultKind, FaultOp, FaultPlan, FaultRule};
+        // Drop one signal once: the first fused segment stalls and is
+        // diagnosed; the retry runs on a fresh world with the one-shot rule
+        // already consumed, so the run completes on the primary transport.
+        let sys = relaxed_system(3000, 88);
+        let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
+        cfg.nstlist = 5;
+        cfg.watchdog.deadline = std::time::Duration::from_millis(200);
+        cfg.chaos = Some(FaultPlan {
+            name: "drop-once".into(),
+            seed: 7,
+            rules: vec![FaultRule {
+                pe: Some(1),
+                op: FaultOp::Signal,
+                after_ops: 3,
+                every: None,
+                kind: FaultKind::DropSignalOnce,
+            }],
+        });
+        let mut engine = Engine::new(sys, DdGrid::new([2, 2, 1]), cfg);
+        let stats = engine
+            .try_run(10)
+            .expect("retry must absorb a one-shot fault");
+        assert_eq!(stats.retries, 1, "exactly one retry expected");
+        assert!(stats.downgrades.is_empty(), "no downgrade for a transient");
+        assert!(!stats.stall_reports.is_empty());
+        assert!(stats.faults_injected >= 1);
+        assert_eq!(stats.degraded_steps, 0);
+    }
+
+    #[test]
+    fn crashed_peer_degrades_to_fallback_and_completes() {
+        use halox_shmem::{FaultKind, FaultOp, FaultPlan, FaultRule};
+        // A permanently crashed PE defeats every fused attempt; the ladder
+        // must flip the run to the two-sided fallback (immune: no symmetric
+        // deliveries) and finish all steps there.
+        let sys = relaxed_system(3000, 89);
+        let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
+        cfg.nstlist = 5;
+        cfg.watchdog.deadline = std::time::Duration::from_millis(150);
+        cfg.chaos = Some(FaultPlan {
+            name: "crash".into(),
+            seed: 7,
+            rules: vec![FaultRule {
+                pe: Some(1),
+                op: FaultOp::Any,
+                after_ops: 0,
+                every: None,
+                kind: FaultKind::CrashPe,
+            }],
+        });
+        let mut engine = Engine::new(sys, DdGrid::new([2, 2, 1]), cfg);
+        let stats = engine.try_run(10).expect("fallback must complete the run");
+        assert_eq!(stats.energies.len(), 10);
+        assert_eq!(stats.downgrades.len(), 1, "one downgrade to the fallback");
+        let d = &stats.downgrades[0];
+        assert_eq!(d.from, ExchangeBackend::NvshmemFused);
+        assert_eq!(d.to, ExchangeBackend::Mpi);
+        assert!(!d.suspects.is_empty());
+        assert!(stats.degraded_steps > 0);
+        let health = engine.health().expect("health board built");
+        assert!(d
+            .suspects
+            .iter()
+            .any(|&p| { !matches!(health.state(p), crate::health::PeerState::Healthy) }));
+    }
+
+    #[test]
+    fn recovered_peer_is_repromoted_to_fused_path() {
+        use halox_shmem::{FaultKind, FaultOp, FaultPlan, FaultRule};
+        // A one-shot stall big enough to blow both attempts' deadlines
+        // forces a downgrade; the fault never fires again, so after
+        // `repromote_after` clean fallback segments the peer walks
+        // quarantine → probation → healthy and the run finishes fused.
+        let sys = relaxed_system(3000, 90);
+        let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
+        cfg.nstlist = 2;
+        cfg.watchdog.deadline = std::time::Duration::from_millis(100);
+        cfg.watchdog.max_retries = 0; // stall → immediate downgrade
+        cfg.watchdog.repromote_after = 1;
+        cfg.chaos = Some(FaultPlan {
+            name: "drop-once".into(),
+            seed: 7,
+            rules: vec![FaultRule {
+                pe: Some(0),
+                op: FaultOp::Signal,
+                after_ops: 2,
+                every: None,
+                kind: FaultKind::DropSignalOnce,
+            }],
+        });
+        let mut engine = Engine::new(sys, DdGrid::new([2, 1, 1]), cfg);
+        let stats = engine.try_run(10).expect("run must complete");
+        assert_eq!(stats.downgrades.len(), 1);
+        assert!(stats.repromotions >= 1, "suspect peer must be re-promoted");
+        let health = engine.health().expect("health board built");
+        for p in 0..2 {
+            assert_eq!(health.state(p), crate::health::PeerState::Healthy);
+        }
+        // Degraded span is bounded: quarantine (1 segment) + probation
+        // entry; the tail of the run is fused again.
+        assert!(stats.degraded_steps < stats.steps);
     }
 
     #[test]

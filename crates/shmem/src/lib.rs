@@ -36,6 +36,7 @@
 #![allow(clippy::needless_range_loop)]
 pub mod atomicf32;
 pub mod barrier;
+pub mod chaos;
 pub mod collectives;
 pub mod signal;
 pub mod sym;
@@ -45,6 +46,7 @@ pub mod world;
 
 pub use atomicf32::AtomicF32;
 pub use barrier::SenseBarrier;
+pub use chaos::{ChaosEngine, ChaosReport, FaultKind, FaultOp, FaultPlan, FaultRule};
 pub use collectives::{AtomicF64, Collectives};
 pub use signal::SignalSet;
 pub use sym::{SymF32, SymVec3};

@@ -11,6 +11,17 @@
 
 use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Spin iterations before a waiter starts yielding the core.
+const SPIN_BOUND: u32 = 64;
+/// Yield iterations before a waiter escalates to parked sleeps. Until this
+/// bound a wait is pure spin/yield — the fault-free fast path never touches
+/// the clock or the scheduler's sleep queue.
+const YIELD_BOUND: u32 = 4096;
+/// Sleep quantum once escalated. Long enough that a stalled-PE wait stops
+/// burning a core, short enough to add negligible latency to recovery.
+const PARK_SLEEP: Duration = Duration::from_micros(50);
 
 /// A fixed-size array of signal slots owned by one PE.
 #[derive(Debug)]
@@ -70,22 +81,33 @@ impl SignalSet {
     /// `>=` is the robust comparison. Returns the value actually observed
     /// (>= `val`), which protocol tracing records to pair the acquire with
     /// the releases it synchronised with.
+    ///
+    /// Escalates spin → yield → parked sleep, so a waiter stuck behind a
+    /// stalled producer stops burning a core instead of spinning forever.
     #[inline]
     pub fn acquire_wait(&self, slot: usize, val: u64) -> u64 {
-        let mut spins = 0u32;
+        let mut rounds = 0u32;
         loop {
             let observed = self.slots[slot].load(Ordering::Acquire);
             if observed >= val {
                 return observed;
             }
-            spins += 1;
-            if spins < 64 {
-                std::hint::spin_loop();
-            } else {
-                // PEs may be oversubscribed on the test machine: yield so the
-                // producing thread can run.
-                std::thread::yield_now();
-            }
+            rounds += 1;
+            Self::backoff(rounds);
+        }
+    }
+
+    /// One step of the spin → yield → sleep escalation ladder.
+    #[inline]
+    fn backoff(rounds: u32) {
+        if rounds < SPIN_BOUND {
+            std::hint::spin_loop();
+        } else if rounds < YIELD_BOUND {
+            // PEs may be oversubscribed on the test machine: yield so the
+            // producing thread can run.
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(PARK_SLEEP);
         }
     }
 
@@ -98,26 +120,39 @@ impl SignalSet {
     /// Acquire-wait with a deadline; returns false on timeout. Used by
     /// debugging harnesses to turn protocol deadlocks into diagnosable
     /// failures instead of hangs.
-    pub fn acquire_wait_timeout(
+    pub fn acquire_wait_timeout(&self, slot: usize, val: u64, timeout: Duration) -> bool {
+        self.acquire_wait_deadline(slot, val, Instant::now() + timeout)
+            .is_ok()
+    }
+
+    /// The watchdog wait: acquire-wait until `deadline`.
+    ///
+    /// Returns `Ok(observed)` on success (same contract as
+    /// [`SignalSet::acquire_wait`]) or `Err(last_observed)` when the
+    /// deadline expires with the slot still below `val` — the stale value
+    /// feeds a `StallReport`'s expected-vs-observed diagnosis. The deadline
+    /// is only consulted once the spin bound is exhausted, so a satisfied
+    /// wait (the fault-free hot path) never touches the clock; a wait that
+    /// does escalate follows the same spin → yield → sleep ladder as
+    /// [`SignalSet::acquire_wait`].
+    pub fn acquire_wait_deadline(
         &self,
         slot: usize,
         val: u64,
-        timeout: std::time::Duration,
-    ) -> bool {
-        let deadline = std::time::Instant::now() + timeout;
-        let mut spins = 0u32;
-        while self.slots[slot].load(Ordering::Acquire) < val {
-            spins += 1;
-            if spins < 64 {
-                std::hint::spin_loop();
-            } else {
-                if std::time::Instant::now() >= deadline {
-                    return false;
-                }
-                std::thread::yield_now();
+        deadline: Instant,
+    ) -> Result<u64, u64> {
+        let mut rounds = 0u32;
+        loop {
+            let observed = self.slots[slot].load(Ordering::Acquire);
+            if observed >= val {
+                return Ok(observed);
             }
+            rounds += 1;
+            if rounds >= SPIN_BOUND && Instant::now() >= deadline {
+                return Err(observed);
+            }
+            Self::backoff(rounds);
         }
-        true
     }
 
     /// Current value (relaxed; diagnostics only).
@@ -258,5 +293,74 @@ mod tests {
         s.release_store(2, 5);
         s.reset();
         assert_eq!(s.peek(2), 0);
+    }
+
+    #[test]
+    fn timeout_wait_already_satisfied_ignores_deadline() {
+        // A satisfied slot must succeed even with a zero timeout — the
+        // deadline is only consulted when the wait actually blocks.
+        let s = SignalSet::new(1);
+        s.release_store(0, 3);
+        assert!(s.acquire_wait_timeout(0, 3, Duration::from_secs(0)));
+        assert!(s.acquire_wait_timeout(0, 1, Duration::from_secs(0)));
+    }
+
+    #[test]
+    fn timeout_wait_zero_timeout_unsatisfied_returns_fast() {
+        let s = SignalSet::new(1);
+        let t0 = Instant::now();
+        assert!(!s.acquire_wait_timeout(0, 1, Duration::from_secs(0)));
+        // Must return promptly (spin bound only), not sleep-escalate.
+        assert!(t0.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn deadline_wait_reports_last_observed_value() {
+        let s = SignalSet::new(1);
+        s.release_store(0, 4);
+        // Expecting 9, slot stuck at 4: the Err carries the stale value for
+        // the stall report's expected-vs-observed diagnosis.
+        let r = s.acquire_wait_deadline(0, 9, Instant::now() + Duration::from_millis(5));
+        assert_eq!(r, Err(4));
+        // Success returns the observed value like acquire_wait.
+        let r = s.acquire_wait_deadline(0, 2, Instant::now() + Duration::from_millis(5));
+        assert_eq!(r, Ok(4));
+    }
+
+    #[test]
+    fn deadline_wait_satisfied_at_deadline_race() {
+        // A producer racing the deadline: whichever way the race resolves,
+        // the outcome must be coherent — Ok(v >= val) or Err(v < val) —
+        // and a retry after the signal landed must succeed.
+        for _ in 0..50 {
+            let s = SignalSet::new(1);
+            std::thread::scope(|sc| {
+                sc.spawn(|| {
+                    std::thread::sleep(Duration::from_micros(500));
+                    s.release_store(0, 1);
+                });
+                let deadline = Instant::now() + Duration::from_micros(500);
+                match s.acquire_wait_deadline(0, 1, deadline) {
+                    Ok(v) => assert!(v >= 1),
+                    Err(v) => assert!(v < 1),
+                }
+                // The signal is (eventually) there; a bounded retry sees it.
+                assert!(s.acquire_wait_timeout(0, 1, Duration::from_secs(5)));
+            });
+        }
+    }
+
+    #[test]
+    fn escalated_wait_still_observes_late_signal() {
+        // Force the waiter past the yield bound into parked sleeps, then
+        // satisfy the slot; the waiter must wake and return.
+        let s = SignalSet::new(1);
+        std::thread::scope(|sc| {
+            sc.spawn(|| {
+                std::thread::sleep(Duration::from_millis(30));
+                s.release_store(0, 1);
+            });
+            assert_eq!(s.acquire_wait(0, 1), 1);
+        });
     }
 }

@@ -16,6 +16,7 @@
 //! contended proxy thread (the paper's §5.5 pathology) in stress tests.
 
 use crate::barrier::SenseBarrier;
+use crate::chaos::{ChaosEngine, Decision, Delivery};
 use crate::collectives::Collectives;
 use crate::signal::SignalSet;
 use crate::sym::SymVec3;
@@ -121,6 +122,7 @@ pub struct ShmemWorld {
     collectives: Collectives,
     proxy_config: ProxyConfig,
     trace: Option<Arc<Recorder>>,
+    chaos: Option<Arc<ChaosEngine>>,
 }
 
 impl ShmemWorld {
@@ -136,12 +138,32 @@ impl ShmemWorld {
             topology,
             proxy_config: ProxyConfig::default(),
             trace: None,
+            chaos: None,
         }
     }
 
     pub fn with_proxy_config(mut self, cfg: ProxyConfig) -> Self {
         self.proxy_config = cfg;
         self
+    }
+
+    /// Attach a chaos engine: every delivery — direct NVLink store *and*
+    /// proxied network put — is routed through the engine's fault decision
+    /// before it lands. With no engine attached (the default) the direct
+    /// path stays store-and-signal with zero extra work.
+    pub fn with_chaos(mut self, chaos: Arc<ChaosEngine>) -> Self {
+        assert_eq!(
+            chaos.npes(),
+            self.topology.npes,
+            "chaos engine sized for a different world"
+        );
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// The attached chaos engine, if any.
+    pub fn chaos(&self) -> Option<&Arc<ChaosEngine>> {
+        self.chaos.as_ref()
     }
 
     /// Attach a functional-plane event recorder: signal sets/waits,
@@ -188,6 +210,12 @@ impl ShmemWorld {
         if let Some(t) = &self.trace {
             t.record(DRIVER_PE, Payload::WorldStart { pes: npes as u32 });
         }
+        // World boundary: a delivery held for reordering must never leak
+        // into this run — its monotone signal value from a previous attempt
+        // would pre-satisfy fresh slots.
+        if let Some(c) = &self.chaos {
+            c.begin_world();
+        }
         // Proxy channels.
         let mut proxy_tx = Vec::with_capacity(npes);
         let mut proxy_rx: Vec<Receiver<ProxyCmd>> = Vec::with_capacity(npes);
@@ -203,7 +231,8 @@ impl ShmemWorld {
                 let signals = self.signals.clone();
                 let cfg = self.proxy_config;
                 let trace = self.trace.clone();
-                scope.spawn(move || proxy_main(id, rx, signals, cfg, trace));
+                let chaos = self.chaos.clone();
+                scope.spawn(move || proxy_main(id, rx, signals, cfg, trace, chaos));
             }
             // PE threads.
             let mut handles = Vec::with_capacity(npes);
@@ -229,12 +258,44 @@ impl ShmemWorld {
     }
 }
 
+/// The chaos choke point: decide one delivery's fate and apply it. Both
+/// transports funnel here when a [`ChaosEngine`] is attached, so a fault
+/// plan cannot be dodged by staying inside an NVLink island.
+///
+/// Reordering contract: a held delivery is released *after* the source
+/// PE's next decided operation (whatever its own fate), so "reorder" swaps
+/// two adjacent operations rather than parking one forever. A second hold
+/// before the first is flushed displaces it — the displaced op is
+/// delivered immediately, keeping at most one op in flight per PE.
+fn chaos_deliver(chaos: &ChaosEngine, signals: &[Arc<SignalSet>], src_pe: usize, d: Delivery) {
+    let decision = chaos.decide(src_pe, d.op_kind());
+    match decision {
+        Decision::Deliver => d.apply(signals, false),
+        Decision::DropSignal => d.apply(signals, true),
+        Decision::Drop => drop(d),
+        Decision::Delay(dur) => {
+            std::thread::sleep(dur);
+            d.apply(signals, false);
+        }
+        Decision::Hold => {
+            if let Some(displaced) = chaos.hold(src_pe, d) {
+                displaced.apply(signals, false);
+            }
+            return; // the held op flushes on the *next* operation
+        }
+    }
+    if let Some(held) = chaos.take_held(src_pe) {
+        held.apply(signals, false);
+    }
+}
+
 fn proxy_main(
     pe: usize,
     rx: Receiver<ProxyCmd>,
     signals: Vec<Arc<SignalSet>>,
     cfg: ProxyConfig,
     trace: Option<Arc<Recorder>>,
+    chaos: Option<Arc<ChaosEngine>>,
 ) {
     // Tiny xorshift so the stress knob needs no external RNG dependency.
     let mut rng_state: u64 = cfg.random_delay.map(|(seed, _)| seed | 1).unwrap_or(1);
@@ -286,9 +347,16 @@ fn proxy_main(
                 signal,
                 enqueued_us,
             } => {
-                buf.write_slice(dst_pe, offset, &payload);
-                if let Some((slot, val)) = signal {
-                    signals[dst_pe].release_max(slot, val);
+                let d = Delivery::Put {
+                    buf,
+                    dst_pe,
+                    offset,
+                    payload,
+                    signal,
+                };
+                match &chaos {
+                    Some(c) => chaos_deliver(c, &signals, pe, d),
+                    None => d.apply(&signals, false),
                 }
                 service(&trace, "put", enqueued_us);
             }
@@ -298,7 +366,11 @@ fn proxy_main(
                 val,
                 enqueued_us,
             } => {
-                signals[dst_pe].release_max(slot, val);
+                let d = Delivery::Signal { dst_pe, slot, val };
+                match &chaos {
+                    Some(c) => chaos_deliver(c, &signals, pe, d),
+                    None => d.apply(&signals, false),
+                }
                 service(&trace, "signal", enqueued_us);
             }
             ProxyCmd::Flush(ack) => {
@@ -377,8 +449,26 @@ impl<'w> Pe<'w> {
             );
         }
         if !via_proxy {
-            buf.write_slice(dst_pe, offset, src);
-            self.world.signals[dst_pe].release_max(slot, val);
+            if let Some(chaos) = &self.world.chaos {
+                // Chaos-enabled direct path: materialize the store as a
+                // Delivery (one payload copy) so NVLink stores face the
+                // same fault plan as proxied puts.
+                chaos_deliver(
+                    chaos,
+                    &self.world.signals,
+                    self.id,
+                    Delivery::Put {
+                        buf: buf.clone(),
+                        dst_pe,
+                        offset,
+                        payload: src.to_vec(),
+                        signal: Some((slot, val)),
+                    },
+                );
+            } else {
+                buf.write_slice(dst_pe, offset, src);
+                self.world.signals[dst_pe].release_max(slot, val);
+            }
         } else {
             self.proxy
                 .send(ProxyCmd::Put {
@@ -415,7 +505,16 @@ impl<'w> Pe<'w> {
             );
         }
         if !via_proxy {
-            self.world.signals[dst_pe].release_max(slot, val);
+            if let Some(chaos) = &self.world.chaos {
+                chaos_deliver(
+                    chaos,
+                    &self.world.signals,
+                    self.id,
+                    Delivery::Signal { dst_pe, slot, val },
+                );
+            } else {
+                self.world.signals[dst_pe].release_max(slot, val);
+            }
         } else {
             self.proxy
                 .send(ProxyCmd::Signal {
@@ -445,6 +544,42 @@ impl<'w> Pe<'w> {
             );
         } else {
             self.world.signals[self.id].acquire_wait(slot, val);
+        }
+    }
+
+    /// Watchdog acquire-wait on one of *my* slots: blocks until `val` or
+    /// the deadline. `Ok(observed)` on success; `Err(last_observed)` if the
+    /// deadline expired first — the caller turns the stale value into a
+    /// stall diagnosis. Records `SignalWaitDone` / `SignalWaitTimeout`
+    /// accordingly when tracing is attached.
+    pub fn wait_signal_deadline(
+        &self,
+        slot: usize,
+        val: u64,
+        deadline: std::time::Instant,
+    ) -> Result<u64, u64> {
+        let sigs = &self.world.signals[self.id];
+        match self.trace() {
+            Some(t) => {
+                let start = t.now_us();
+                let result = sigs.acquire_wait_deadline(slot, val, deadline);
+                let dur = t.now_us().saturating_sub(start);
+                let payload = match result {
+                    Ok(observed) => Payload::SignalWaitDone {
+                        slot: slot as u32,
+                        required: val,
+                        observed,
+                    },
+                    Err(observed) => Payload::SignalWaitTimeout {
+                        slot: slot as u32,
+                        required: val,
+                        observed,
+                    },
+                };
+                t.record_timed(self.id as u32, start, dur, payload);
+                result
+            }
+            None => sigs.acquire_wait_deadline(slot, val, deadline),
         }
     }
 
@@ -505,6 +640,7 @@ impl<'w> Pe<'w> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::{FaultKind, FaultOp, FaultPlan, FaultRule};
 
     #[test]
     fn topology_reachability() {
@@ -720,6 +856,145 @@ mod tests {
             .any(|e| matches!(e.payload, Payload::WorldStart { pes: 2 })));
         let report = halox_trace::check(&trace);
         assert!(report.is_clean(), "{report}");
+    }
+
+    fn one_shot_plan(pe: usize, op: FaultOp, kind: FaultKind) -> FaultPlan {
+        FaultPlan {
+            name: "test".into(),
+            seed: 0,
+            rules: vec![FaultRule {
+                pe: Some(pe),
+                op,
+                after_ops: 0,
+                every: None,
+                kind,
+            }],
+        }
+    }
+
+    #[test]
+    fn chaos_drop_signal_on_direct_path_is_detected_not_hung() {
+        // NVLink (direct-store) deliveries must face the fault plan too:
+        // drop the fused signal of pe0's first put; the data still lands,
+        // and the watchdog wait reports the missing doorbell instead of
+        // hanging.
+        let chaos = Arc::new(ChaosEngine::new(
+            one_shot_plan(0, FaultOp::Put, FaultKind::DropSignalOnce),
+            2,
+        ));
+        let w = ShmemWorld::new(Topology::all_nvlink(2), 1).with_chaos(Arc::clone(&chaos));
+        let buf = SymVec3::alloc(2, 1);
+        let b = &buf;
+        w.run(|pe| {
+            if pe.id == 0 {
+                pe.put_vec3_signal_nbi(b, 1, 0, &[Vec3::splat(4.0)], 0, 1);
+            }
+            pe.barrier_all();
+            if pe.id == 1 {
+                let r = pe.wait_signal_deadline(
+                    0,
+                    1,
+                    std::time::Instant::now() + Duration::from_millis(20),
+                );
+                assert_eq!(r, Err(0), "signal should have been swallowed");
+                assert_eq!(b.get(1, 0), Vec3::splat(4.0), "data must still land");
+            }
+        });
+        assert_eq!(chaos.report().dropped_signals, 1);
+    }
+
+    #[test]
+    fn chaos_crash_drops_everything_from_victim() {
+        let chaos = Arc::new(ChaosEngine::new(
+            one_shot_plan(0, FaultOp::Any, FaultKind::CrashPe),
+            2,
+        ));
+        let w = ShmemWorld::new(Topology::islands(2, 1), 1).with_chaos(Arc::clone(&chaos));
+        let buf = SymVec3::alloc(2, 1);
+        let b = &buf;
+        w.run(|pe| {
+            if pe.id == 0 {
+                // Proxied put from a crashed PE: nothing may arrive.
+                pe.put_vec3_signal_nbi(b, 1, 0, &[Vec3::splat(9.0)], 0, 1);
+                pe.quiet();
+            }
+            pe.barrier_all();
+            if pe.id == 1 {
+                let r = pe.wait_signal_deadline(
+                    0,
+                    1,
+                    std::time::Instant::now() + Duration::from_millis(20),
+                );
+                assert_eq!(r, Err(0));
+                assert_eq!(b.get(1, 0), Vec3::ZERO, "payload from crashed PE leaked");
+            }
+        });
+        assert!(chaos.is_crashed(0));
+        assert!(chaos.report().crash_drops >= 1);
+    }
+
+    #[test]
+    fn chaos_reorder_swaps_adjacent_signals() {
+        // pe0's first signal (val 1, slot 0) is held and must be released
+        // by its second (val 1, slot 1): after waiting for slot 1, slot 0
+        // is guaranteed present without ever waiting on it.
+        let chaos = Arc::new(ChaosEngine::new(
+            one_shot_plan(0, FaultOp::Signal, FaultKind::ReorderNext),
+            2,
+        ));
+        let w = ShmemWorld::new(Topology::all_nvlink(2), 2).with_chaos(Arc::clone(&chaos));
+        w.run(|pe| {
+            if pe.id == 0 {
+                pe.signal(1, 0, 1); // held
+                pe.signal(1, 1, 1); // delivered, then flushes the held one
+            } else {
+                pe.wait_signal(1, 1);
+                pe.wait_signal(0, 1);
+            }
+        });
+        assert_eq!(chaos.report().reorders, 1);
+    }
+
+    #[test]
+    fn reset_signals_while_watchdog_wait_armed_stays_coherent() {
+        // A deadline wait armed across a reset_signals() call must still
+        // resolve cleanly: timeout with a coherent (below-target) value,
+        // and the slot usable again afterwards.
+        let w = ShmemWorld::new(Topology::all_nvlink(2), 2);
+        let wref = &w;
+        w.run(|pe| {
+            if pe.id == 0 {
+                pe.signal(1, 0, 3);
+                pe.wait_signal(1, 1); // pe1 has consumed the 3
+                std::thread::sleep(Duration::from_millis(5)); // let the wait arm
+                wref.reset_signals();
+            } else {
+                pe.wait_signal(0, 3);
+                pe.signal(0, 1, 1);
+                let r = pe.wait_signal_deadline(
+                    0,
+                    5,
+                    std::time::Instant::now() + Duration::from_millis(30),
+                );
+                let v = r.expect_err("val 5 was never sent");
+                assert!(v < 5, "observed {v} is not below the awaited value");
+            }
+            pe.barrier_all();
+            if pe.id == 0 {
+                pe.signal(1, 0, 5);
+            } else {
+                pe.wait_signal(0, 5); // slot works again after the reset
+            }
+        });
+    }
+
+    #[test]
+    fn chaos_world_mismatched_sizes_rejected() {
+        let chaos = Arc::new(ChaosEngine::new(FaultPlan::quiescent(), 4));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ShmemWorld::new(Topology::all_nvlink(2), 1).with_chaos(chaos)
+        }));
+        assert!(result.is_err());
     }
 
     #[test]

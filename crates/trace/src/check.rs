@@ -355,7 +355,11 @@ pub fn check(trace: &Trace) -> CheckReport {
                     clock: vc[p].clone(),
                 });
             }
-            Payload::Span { .. }
+            // A timed-out watchdog wait observed no release, so it carries
+            // no synchronisation edge for the replay — the stall is
+            // reported through `StallReport`, not as a protocol violation.
+            Payload::SignalWaitTimeout { .. }
+            | Payload::Span { .. }
             | Payload::ProxyDepth { .. }
             | Payload::ProxyService { .. }
             | Payload::WorldStart { .. } => {}

@@ -127,6 +127,19 @@ fn emit_event(ev: &Event, out: &mut Vec<Value>) {
                 "pid": p, "tid": 1, "ts": ts + ev.dur_us,
             }));
         }
+        Payload::SignalWaitTimeout {
+            slot,
+            required,
+            observed,
+        } => {
+            // An expired watchdog wait: the stall itself, as a span. No
+            // flow terminus — no release was ever observed.
+            out.push(json!({
+                "ph": "X", "name": format!("TIMEOUT [{slot}]>={required}"), "cat": "signal",
+                "pid": p, "tid": 1, "ts": ts, "dur": ev.dur_us.max(1),
+                "args": json!({"slot": slot, "required": required, "observed": observed}),
+            }));
+        }
         Payload::ProxyDepth { depth } => {
             out.push(json!({
                 "ph": "C", "name": "proxy_depth", "cat": "proxy",

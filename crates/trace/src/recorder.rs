@@ -84,6 +84,16 @@ pub enum Payload {
         required: u64,
         observed: u64,
     },
+    /// A watchdog (deadline-bounded) acquire wait on the recording PE's
+    /// own `slot` *expired*: the slot never reached `required`; `observed`
+    /// is the stale value seen at the deadline (< required). Feeds stall
+    /// diagnosis — the checker does not treat it as a synchronisation
+    /// edge, because no release was observed.
+    SignalWaitTimeout {
+        slot: u32,
+        required: u64,
+        observed: u64,
+    },
     /// Proxy queue depth sampled by the proxy thread when it dequeued a
     /// command (commands still waiting behind it).
     ProxyDepth { depth: u32 },
@@ -278,6 +288,35 @@ impl Recorder {
             events,
             dropped: self.dropped.load(Ordering::Relaxed),
         }
+    }
+
+    /// The last `n` published events in sequence order, without draining.
+    ///
+    /// Safe to call while other threads are still recording — a claimed
+    /// but not-yet-published slot is skipped rather than waited on, so
+    /// this never blocks. Used by stall diagnosis to attach the recent
+    /// event history to a `StallReport` while the world is still live.
+    pub fn tail(&self, n: usize) -> Vec<Event> {
+        let count = self.len();
+        let start = count.saturating_sub(n);
+        let mut events = Vec::with_capacity(count - start);
+        for idx in start..count {
+            let slot = &self.slots[idx];
+            if !slot.ready.load(Ordering::Acquire) {
+                continue; // in-flight write; skip, don't block
+            }
+            // Safety: ready==true (Acquire) synchronises with the
+            // publishing Release store, and slots are written once.
+            let (pe, ts_us, dur_us, payload) = unsafe { (*slot.cell.get()).assume_init() };
+            events.push(Event {
+                seq: idx as u64,
+                pe,
+                ts_us,
+                dur_us,
+                payload,
+            });
+        }
+        events
     }
 }
 

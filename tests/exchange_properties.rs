@@ -49,9 +49,10 @@ proptest! {
         }
         let b = &bufs;
         let c = &ctxs;
+        let wd = halox::core::Watchdog::default();
         world.run(|pe| {
-            exec::fused_pack_comm_x(pe, &c[pe.id], b, 1);
-            exec::wait_coordinate_arrivals(pe, &c[pe.id], 1);
+            exec::fused_pack_comm_x(pe, &c[pe.id], b, 1, &wd).unwrap();
+            exec::wait_coordinate_arrivals(pe, &c[pe.id], 1, &wd).unwrap();
         });
         for r in &part.ranks {
             let got = bufs.coords.snapshot(r.rank);
@@ -98,7 +99,8 @@ proptest! {
         }
         let b = &bufs;
         let c = &ctxs;
-        world.run(|pe| exec::fused_comm_unpack_f(pe, &c[pe.id], b, 1));
+        let wd = halox::core::Watchdog::default();
+        world.run(|pe| exec::fused_comm_unpack_f(pe, &c[pe.id], b, 1, &wd).unwrap());
         for r in &part.ranks {
             let got = bufs.forces.snapshot(r.rank);
             for i in 0..r.n_home {
@@ -141,10 +143,11 @@ proptest! {
         }
         let b = &bufs;
         let c = &ctxs;
+        let wd = halox::core::Watchdog::default();
         world.run(|pe| {
-            exec::fused_pack_comm_x(pe, &c[pe.id], b, 1);
-            exec::wait_coordinate_arrivals(pe, &c[pe.id], 1);
-            exec::fused_comm_unpack_f(pe, &c[pe.id], b, 1);
+            exec::fused_pack_comm_x(pe, &c[pe.id], b, 1, &wd).unwrap();
+            exec::wait_coordinate_arrivals(pe, &c[pe.id], 1, &wd).unwrap();
+            exec::fused_comm_unpack_f(pe, &c[pe.id], b, 1, &wd).unwrap();
         });
         for r in &part.ranks {
             let got = bufs.coords.snapshot(r.rank);

@@ -85,6 +85,8 @@ fn force_only_loop(part: &DdPartition, world: ShmemWorld, steps: u64, jitter_max
     let c = &ctxs;
     let inits_ref = &inits;
     let expects_ref = &expects;
+    let wd = halox::core::Watchdog::default();
+    let wd = &wd;
     world.run(|pe| {
         let ctx = &c[pe.id];
         let n_local = ctx.n_local;
@@ -105,7 +107,7 @@ fn force_only_loop(part: &DdPartition, world: ShmemWorld, steps: u64, jitter_max
             );
             b.forces
                 .load_from(ctx.rank, &inits_ref[step as usize - 1][ctx.rank]);
-            exec::fused_comm_unpack_f(pe, ctx, b, step);
+            exec::fused_comm_unpack_f(pe, ctx, b, step, wd).unwrap();
             let got = b.forces.snapshot(ctx.rank);
             let expect = &expects_ref[step as usize - 1][ctx.rank];
             for i in 0..n_home {
