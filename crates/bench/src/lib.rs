@@ -10,4 +10,5 @@ pub mod figures;
 pub mod ftrace;
 pub mod functional;
 pub mod report;
+pub mod threads;
 pub mod validate;

@@ -1,6 +1,6 @@
 //! `halox-bench` — regenerate the paper's figures on the timing simulator.
 
-use halox_bench::{ablation, chaos, chart, figures, ftrace, functional, report, validate};
+use halox_bench::{ablation, chaos, chart, figures, ftrace, functional, report, threads, validate};
 use std::path::Path;
 
 fn print_and_save(checks: &[halox_bench::validate::Check], results: &Path) -> bool {
@@ -126,6 +126,10 @@ fn main() {
             // halox-bench chaos [seed]
             let seed: u64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(1);
             chaos::run(results, seed);
+        }
+        "threads" => {
+            // halox-bench threads — serial vs threaded executor sweep.
+            threads::run(results);
         }
         other => {
             eprintln!("unknown figure: {other}");

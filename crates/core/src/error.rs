@@ -122,6 +122,17 @@ pub enum ExchangeError {
         expected: usize,
         got: usize,
     },
+    /// A deadline-bounded collective (barrier / all-reduce) did not
+    /// complete in time: some peer never reached the rendezvous. No single
+    /// peer can be named — a collective stalls as a whole — so the health
+    /// ladder treats this as an unattributed failure (retry / downgrade
+    /// without quarantining anyone).
+    CollectiveTimeout {
+        rank: usize,
+        /// Which collective expired (e.g. `"allreduce-sum(kinetic)"`).
+        what: &'static str,
+        waited_ms: u64,
+    },
 }
 
 impl ExchangeError {
@@ -139,6 +150,7 @@ impl ExchangeError {
             ExchangeError::Stall(r) => r.suspect_peer,
             ExchangeError::Unreachable { peer, .. } => Some(*peer),
             ExchangeError::SizeMismatch { .. } => None,
+            ExchangeError::CollectiveTimeout { .. } => None,
         }
     }
 }
@@ -164,6 +176,15 @@ impl fmt::Display for ExchangeError {
             } => write!(
                 f,
                 "rank {rank} pulse {pulse}: received {got} elements, expected {expected}"
+            ),
+            ExchangeError::CollectiveTimeout {
+                rank,
+                what,
+                waited_ms,
+            } => write!(
+                f,
+                "rank {rank}: collective {what} did not complete within {waited_ms} ms \
+                 (a peer never reached the rendezvous)"
             ),
         }
     }

@@ -29,6 +29,44 @@ impl ExchangeBackend {
     }
 }
 
+/// How the per-PE step loops are executed.
+///
+/// `Threaded` is the real execution model: one OS thread per PE driving its
+/// own fused-exchange + MD step loop concurrently against the shared
+/// `ShmemWorld`. `Serial` is a host-serialized reference driver: a single
+/// thread advances every rank phase-by-phase using the domain-decomposition
+/// reference exchanges (`halox_dd::reference_*_exchange`) — no world, no
+/// signals, no chaos deliveries. The two modes are required to produce
+/// **bitwise-identical** trajectories (DESIGN.md §3.3); the serial driver is
+/// the ground truth the concurrent protocol is checked against, and also
+/// models the host-driven blocking baseline when a link delay is configured
+/// (see [`EngineConfig::link_delay_us`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunMode {
+    /// Single-thread reference driver (deterministic by construction).
+    Serial,
+    /// One OS thread per PE (the default; deterministic by protocol).
+    Threaded,
+}
+
+impl RunMode {
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunMode::Serial => "serial",
+            RunMode::Threaded => "threaded",
+        }
+    }
+
+    /// Default mode, overridable via `HALOX_RUN_MODE=serial|threaded` — the
+    /// lever CI uses to pin a whole test-suite run to one executor.
+    pub fn from_env() -> Self {
+        match std::env::var("HALOX_RUN_MODE") {
+            Ok(v) if v.eq_ignore_ascii_case("serial") => RunMode::Serial,
+            _ => RunMode::Threaded,
+        }
+    }
+}
+
 /// Time-stepping scheme (GROMACS `integrator = md` vs `md-vv`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Integrator {
@@ -98,6 +136,18 @@ pub struct EngineConfig {
     /// Steps between neighbour-search / repartition events.
     pub nstlist: usize,
     pub backend: ExchangeBackend,
+    /// Executor: threaded per-PE loops (default) or the serial reference
+    /// driver. Chaos injection and transport selection only apply to
+    /// `Threaded` — the serial driver performs no deliveries to fault.
+    pub run_mode: RunMode,
+    /// Modeled interconnect latency per proxied (inter-node) message, in
+    /// microseconds; 0 disables it. In `Threaded` mode the per-PE proxy
+    /// thread pays it asynchronously (GPU-initiated one-sided semantics:
+    /// latency overlaps with other PEs' work). In `Serial` mode the driver
+    /// sleeps it inline per message — the host-driven blocking-send
+    /// baseline of the paper. Values are unaffected either way; only
+    /// wall-clock changes, which is what `halox-bench threads` measures.
+    pub link_delay_us: u64,
     /// PE fabric (NVLink islands vs all-NVLink); PEs == DD ranks.
     pub topology_gpus_per_node: Option<usize>,
     /// Optional Berendsen-style weak coupling (needs a global kinetic-energy
@@ -127,6 +177,8 @@ impl EngineConfig {
             dt_ps: 0.0005,
             nstlist: 10,
             backend,
+            run_mode: RunMode::from_env(),
+            link_delay_us: 0,
             topology_gpus_per_node: None,
             thermostat: None,
             integrator: Integrator::Leapfrog,

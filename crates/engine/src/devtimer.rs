@@ -60,6 +60,33 @@ impl PhaseTimer {
             e.1 += n;
         }
     }
+
+    /// The phase with the largest total, if any phase was timed.
+    ///
+    /// Regression note: report consumers used `iter().next().unwrap()`,
+    /// which panics on a timer that never saw a phase (e.g. a zero-step
+    /// run). Empty timers are legal; use the `Option`.
+    pub fn slowest(&self) -> Option<(&'static str, Duration)> {
+        self.acc
+            .iter()
+            .max_by_key(|(_, &(d, _))| d)
+            .map(|(&k, &(d, _))| (k, d))
+    }
+
+    /// Multi-line human-readable report: one `phase total mean count` line
+    /// per phase in name order. An empty timer formats as an empty report
+    /// (no lines, no panic).
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for (k, d, n) in self.iter() {
+            let mean = d / (n.max(1) as u32);
+            out.push_str(&format!(
+                "{k:<24} total {:>10.3?}  mean {:>10.3?}  n {n}\n",
+                d, mean
+            ));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -74,10 +101,37 @@ mod tests {
         t.time("work", || std::thread::sleep(Duration::from_millis(1)));
         assert!(t.total("work") >= Duration::from_millis(1));
         assert_eq!(t.iter().count(), 1);
-        let (_, _, n) = t.iter().next().unwrap();
+        let (_, _, n) = t.iter().next().expect("one phase was timed");
         assert_eq!(n, 2);
         assert!(t.mean("work").is_some());
         assert!(t.mean("absent").is_none());
+        let (name, d) = t.slowest().expect("one phase was timed");
+        assert_eq!(name, "work");
+        assert!(d >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn empty_timer_formats_as_empty_report() {
+        // Regression: reporting off an untouched timer must not panic —
+        // `slowest()` is None and `report()` is the empty string.
+        let t = PhaseTimer::new();
+        assert!(t.slowest().is_none());
+        assert_eq!(t.report(), "");
+        assert_eq!(t.iter().count(), 0);
+        assert_eq!(t.total("anything"), Duration::ZERO);
+    }
+
+    #[test]
+    fn report_lists_each_phase_once() {
+        let mut t = PhaseTimer::new();
+        t.time("exchange", || ());
+        t.time("forces", || ());
+        t.time("forces", || ());
+        let rep = t.report();
+        assert_eq!(rep.lines().count(), 2);
+        assert!(rep.contains("exchange"));
+        assert!(rep.contains("forces"));
+        assert!(rep.contains("n 2"));
     }
 
     #[test]

@@ -12,7 +12,7 @@ pub mod devtimer;
 pub mod health;
 pub mod runner;
 
-pub use config::{EngineConfig, ExchangeBackend, Integrator, Thermostat, WatchdogConfig};
+pub use config::{EngineConfig, ExchangeBackend, Integrator, RunMode, Thermostat, WatchdogConfig};
 pub use devtimer::PhaseTimer;
 pub use health::{HealthBoard, PeerState};
 pub use runner::{Downgrade, Engine, EngineError, RunStats};

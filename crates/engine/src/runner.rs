@@ -13,21 +13,23 @@
 //! GROMACS' neighbour-search / DD repartition step), coordinates are gathered
 //! and re-scattered, and PEs get fresh index maps.
 
-use crate::config::{EngineConfig, ExchangeBackend};
+use crate::config::{EngineConfig, ExchangeBackend, RunMode};
 use crate::health::HealthBoard;
 use halox_core::{build_contexts, exec, CommContext, FusedBuffers};
 use halox_core::{ExchangeError, StallReport, Watchdog};
-use halox_dd::{build_partition, DdGrid, DdPartition};
+use halox_dd::{
+    build_partition, reference_coordinate_exchange, reference_force_exchange, DdGrid, DdPartition,
+};
 use halox_md::forces::{
     angle_virial, bond_virial, compute_angles, compute_bonds, compute_nonbonded_virial,
     NonbondedParams,
 };
 use halox_md::pairlist::eighth_shell_rule;
 use halox_md::{integrate, EnergyReport, Frame, PairList, System, Vec3};
-use halox_shmem::{ChaosEngine, ShmemWorld, TwoSidedComm};
+use halox_shmem::{ChaosEngine, ProxyConfig, ShmemWorld, TwoSidedComm};
 use halox_trace::{record_opt, Payload, Region};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Aggregated results of a run.
 #[derive(Debug, Clone)]
@@ -53,6 +55,15 @@ pub struct RunStats {
     pub repromotions: usize,
     /// Faults the chaos engine actually injected (0 for fault-free runs).
     pub faults_injected: u64,
+}
+
+impl RunStats {
+    /// Energies of the last completed step — `None` for a zero-step run.
+    /// Prefer this over indexing `energies`: `run(0)` is a legal request
+    /// (e.g. a partition-only warm-up) and must not panic downstream.
+    pub fn final_energy(&self) -> Option<&EnergyReport> {
+        self.energies.last()
+    }
 }
 
 /// One transport downgrade event: at which step the run flipped from the
@@ -246,6 +257,11 @@ impl Engine {
         at_step: usize,
         recovery: &mut RecoveryLog,
     ) -> Result<Vec<EnergyReport>, EngineError> {
+        if self.config.run_mode == RunMode::Serial {
+            // The reference driver performs no deliveries, so nothing can
+            // stall or be faulted: the recovery ladder is vacuous.
+            return Ok(self.run_segment_serial(steps));
+        }
         let n_ranks = self.grid.dims.iter().product::<usize>();
         self.ensure_run_state(n_ranks);
         let primary = self.config.backend;
@@ -343,6 +359,16 @@ impl Engine {
         if let Some(rec) = &cfg.trace {
             world = world.with_trace(Arc::clone(rec));
         }
+        // Modeled interconnect latency: the proxy thread pays it per
+        // inter-node message, asynchronously to PE compute (the serial
+        // driver pays the same per-message delay inline — see
+        // `EngineConfig::link_delay_us`).
+        if cfg.link_delay_us > 0 {
+            world = world.with_proxy_config(ProxyConfig {
+                injected_delay: Some(Duration::from_micros(cfg.link_delay_us)),
+                random_delay: None,
+            });
+        }
         // The chaos engine targets signal/put deliveries, so it only bites
         // on the signal-driven transports — attaching it under the MPI
         // fallback is harmless (two-sided rendezvous performs no symmetric
@@ -416,6 +442,252 @@ impl Engine {
             }
         }
         Ok(energies)
+    }
+
+    /// One neighbour-search segment under [`RunMode::Serial`]: a single
+    /// host thread advances every rank phase-by-phase — exchange all
+    /// coordinates, compute all forces, exchange all forces, integrate —
+    /// using the serial reference exchanges from `halox_dd`. No world, no
+    /// signal protocol, no chaos deliveries: deterministic by construction,
+    /// and required to be bitwise-identical to what the threaded executor
+    /// produces (DESIGN.md §3.3 spells out the ordering rules that make
+    /// that hold).
+    ///
+    /// When `link_delay_us` is set the driver sleeps the delay inline once
+    /// per inter-node message — the host-driven blocking baseline against
+    /// which `halox-bench threads` measures latency overlap.
+    fn run_segment_serial(&mut self, steps: usize) -> Vec<EnergyReport> {
+        let cfg = self.config.clone();
+        let part = build_partition(&self.system, &self.grid, cfg.r_comm());
+        let n_ranks = part.n_ranks();
+        let system = self.system.clone();
+        let params = NonbondedParams::new(cfg.cutoff);
+        let frame = Frame::for_decomposition(&system.pbc, part.grid.dims);
+        let topology = cfg.topology(n_ranks);
+
+        // Blocking-baseline latency model: one delay per message that
+        // crosses a node boundary (the mirror-image force pulse sends the
+        // same messages, so one count serves both exchanges).
+        let inter_node_msgs = part
+            .ranks
+            .iter()
+            .flat_map(|r| r.pulses.iter().map(move |pd| (r.rank, pd)))
+            .filter(|(src, pd)| {
+                pd.send_count() > 0 && !topology.nvlink_reachable(*src, pd.send_rank)
+            })
+            .count() as u32;
+        let exchange_delay = (cfg.link_delay_us > 0 && inter_node_msgs > 0)
+            .then(|| Duration::from_micros(cfg.link_delay_us) * inter_node_msgs);
+
+        // Per-rank state, in rank order (the threaded executor's PE order).
+        let mut positions: Vec<Vec<Vec3>> = part
+            .ranks
+            .iter()
+            .map(|p| p.build_positions.clone())
+            .collect();
+        let mut velocities: Vec<Vec<Vec3>> = part
+            .ranks
+            .iter()
+            .map(|p| {
+                p.global_ids[..p.n_home]
+                    .iter()
+                    .map(|&g| system.velocities[g as usize])
+                    .collect()
+            })
+            .collect();
+        let mut forces: Vec<Vec<Vec3>> = part
+            .ranks
+            .iter()
+            .map(|p| vec![Vec3::ZERO; p.n_local()])
+            .collect();
+        let mut pairlists: Vec<Option<PairList>> = (0..n_ranks).map(|_| None).collect();
+        let mut per_rank_energies: Vec<Vec<EnergyReport>> =
+            (0..n_ranks).map(|_| Vec::with_capacity(steps)).collect();
+        let ndf = 3.0 * system.n_atoms() as f64 - 3.0;
+
+        // Exchange + force round over all ranks; returns per-rank
+        // (nonbonded, bonds, angles, virial) in rank order. Mirrors
+        // `rank_segment`'s `force_round!` phase-for-phase.
+        macro_rules! serial_force_round {
+            () => {{
+                reference_coordinate_exchange(&part, &mut positions);
+                if let Some(d) = exchange_delay {
+                    std::thread::sleep(d);
+                }
+                let mut terms = Vec::with_capacity(n_ranks);
+                for (r, plan) in part.ranks.iter().enumerate() {
+                    let n_local = plan.n_local();
+                    let disp = &plan.displacement;
+                    let ids = &plan.global_ids;
+                    let sys = &system;
+                    let rule = move |i: usize, j: usize| {
+                        eighth_shell_rule(disp, i, j)
+                            && !sys.is_excluded(ids[i] as usize, ids[j] as usize)
+                    };
+                    let stale = pairlists[r]
+                        .as_ref()
+                        .is_none_or(|pl| pl.needs_rebuild(&positions[r], cfg.buffer));
+                    if stale {
+                        pairlists[r] = Some(PairList::build_in_frame(
+                            &frame,
+                            &positions[r],
+                            cfg.r_comm(),
+                            &rule,
+                        ));
+                    }
+                    let pl = pairlists[r].as_ref().expect("pair list just ensured");
+                    forces[r].clear();
+                    forces[r].resize(n_local, Vec3::ZERO);
+                    let (nonbonded, w_nb) = compute_nonbonded_virial(
+                        &frame,
+                        &positions[r],
+                        &plan.kinds,
+                        pl,
+                        &params,
+                        &mut forces[r],
+                    );
+                    let local_ident = |g: u32| Some(g);
+                    let bonds = compute_bonds(
+                        &system.pbc,
+                        &positions[r],
+                        &plan.bonds,
+                        &local_ident,
+                        &mut forces[r],
+                    );
+                    let angles = compute_angles(
+                        &system.pbc,
+                        &positions[r],
+                        &plan.angles,
+                        &local_ident,
+                        &mut forces[r],
+                    );
+                    let virial = w_nb
+                        + bond_virial(&system.pbc, &positions[r], &plan.bonds)
+                        + angle_virial(&system.pbc, &positions[r], &plan.angles);
+                    terms.push((nonbonded, bonds, angles, virial));
+                }
+                reference_force_exchange(&part, &mut forces);
+                if let Some(d) = exchange_delay {
+                    std::thread::sleep(d);
+                }
+                terms
+            }};
+        }
+
+        // Global KE exactly as the threaded allreduce computes it: fold
+        // from zero in PE index order.
+        let global_ke = |ks: &[f64]| ks.iter().fold(0.0f64, |acc, &k| acc + k);
+
+        match cfg.integrator {
+            crate::config::Integrator::Leapfrog => {
+                for _step in 0..steps {
+                    let terms = serial_force_round!();
+                    let kinetics: Vec<f64> = part
+                        .ranks
+                        .iter()
+                        .enumerate()
+                        .map(|(r, plan)| {
+                            integrate::kinetic_energy(&velocities[r], &plan.inv_mass[..plan.n_home])
+                        })
+                        .collect();
+                    let ke = global_ke(&kinetics);
+                    for (r, plan) in part.ranks.iter().enumerate() {
+                        let (nonbonded, bonds, angles, virial) = terms[r];
+                        per_rank_energies[r].push(EnergyReport {
+                            nonbonded,
+                            bonds,
+                            angles,
+                            kinetic: kinetics[r],
+                            virial,
+                        });
+                        if let Some(t) = cfg.thermostat {
+                            integrate::berendsen_scale(
+                                &mut velocities[r],
+                                ke,
+                                ndf,
+                                t.t_ref,
+                                t.tau_ps,
+                                cfg.dt_ps as f64,
+                            );
+                        }
+                        integrate::leapfrog_step(
+                            &mut positions[r][..plan.n_home],
+                            &mut velocities[r],
+                            &forces[r][..plan.n_home],
+                            &plan.inv_mass[..plan.n_home],
+                            cfg.dt_ps,
+                        );
+                    }
+                }
+            }
+            crate::config::Integrator::VelocityVerlet => {
+                let _ = serial_force_round!();
+                for _step in 0..steps {
+                    for (r, plan) in part.ranks.iter().enumerate() {
+                        integrate::velocity_verlet_start(
+                            &mut positions[r][..plan.n_home],
+                            &mut velocities[r],
+                            &forces[r][..plan.n_home],
+                            &plan.inv_mass[..plan.n_home],
+                            cfg.dt_ps,
+                        );
+                    }
+                    let terms = serial_force_round!();
+                    let kinetics: Vec<f64> = part
+                        .ranks
+                        .iter()
+                        .enumerate()
+                        .map(|(r, plan)| {
+                            integrate::velocity_verlet_finish(
+                                &mut velocities[r],
+                                &forces[r][..plan.n_home],
+                                &plan.inv_mass[..plan.n_home],
+                                cfg.dt_ps,
+                            );
+                            integrate::kinetic_energy(&velocities[r], &plan.inv_mass[..plan.n_home])
+                        })
+                        .collect();
+                    let ke = global_ke(&kinetics);
+                    for (r, _plan) in part.ranks.iter().enumerate() {
+                        let (nonbonded, bonds, angles, virial) = terms[r];
+                        per_rank_energies[r].push(EnergyReport {
+                            nonbonded,
+                            bonds,
+                            angles,
+                            kinetic: kinetics[r],
+                            virial,
+                        });
+                        if let Some(t) = cfg.thermostat {
+                            integrate::berendsen_scale(
+                                &mut velocities[r],
+                                ke,
+                                ndf,
+                                t.t_ref,
+                                t.tau_ps,
+                                cfg.dt_ps as f64,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // Gather — same loop, same accumulation order as the threaded path.
+        let mut energies = vec![EnergyReport::default(); steps];
+        for (r, plan) in part.ranks.iter().enumerate() {
+            for (k, &g) in plan.global_ids[..plan.n_home].iter().enumerate() {
+                self.system.positions[g as usize] = self.system.pbc.wrap(positions[r][k]);
+                self.system.velocities[g as usize] = velocities[r][k];
+            }
+            for (s, e) in per_rank_energies[r].iter().enumerate() {
+                energies[s].nonbonded += e.nonbonded;
+                energies[s].bonds += e.bonds;
+                energies[s].angles += e.angles;
+                energies[s].kinetic += e.kinetic;
+                energies[s].virial += e.virial;
+            }
+        }
+        energies
     }
 }
 
@@ -589,8 +861,19 @@ fn rank_segment(
         ($kinetic:expr) => {
             if let Some(t) = cfg.thermostat {
                 // Global kinetic energy via the PGAS all-reduce; every rank
-                // derives the same scaling factor.
-                let global_ke = pe.allreduce_sum($kinetic);
+                // derives the same (bitwise-identical, PE-index-order
+                // reduced) scaling factor. Bounded like every other wait:
+                // a crashed peer expires the collective instead of hanging
+                // the world, so thermostatted runs ride the same recovery
+                // ladder as plain ones.
+                let armed = Instant::now();
+                let global_ke = pe
+                    .allreduce_sum_deadline($kinetic, armed + wd.deadline)
+                    .ok_or_else(|| ExchangeError::CollectiveTimeout {
+                        rank: ctx.rank,
+                        what: "allreduce-sum(kinetic)",
+                        waited_ms: armed.elapsed().as_millis() as u64,
+                    })?;
                 let ndf = 3.0 * system.n_atoms() as f64 - 3.0;
                 integrate::berendsen_scale(
                     &mut velocities,
@@ -857,7 +1140,11 @@ mod tests {
             cfg.thermostat = thermostat;
             let mut engine = Engine::new(sys.clone(), DdGrid::new([2, 2, 1]), cfg);
             let stats = engine.run(60);
-            temp(stats.energies.last().unwrap())
+            temp(
+                stats
+                    .final_energy()
+                    .expect("60-step run has a final energy"),
+            )
         };
         let t_free = run(None);
         let t_coupled = run(Some(Thermostat {
@@ -872,6 +1159,62 @@ mod tests {
             t_coupled < t_free,
             "thermostat must remove equilibration heat"
         );
+    }
+
+    #[test]
+    fn zero_step_run_is_graceful() {
+        // Regression: consumers used `stats.energies.last().unwrap()`,
+        // which panicked on `run(0)`. A zero-step run is a legal warm-up
+        // request and must produce an empty — not exploding — report.
+        let sys = relaxed_system(3000, 91);
+        let mut engine = Engine::new(
+            sys,
+            DdGrid::new([2, 1, 1]),
+            EngineConfig::new(ExchangeBackend::NvshmemFused),
+        );
+        let stats = engine.run(0);
+        assert_eq!(stats.steps, 0);
+        assert!(stats.energies.is_empty());
+        assert!(stats.final_energy().is_none());
+        assert_eq!(stats.ns_per_day, 0.0);
+    }
+
+    #[test]
+    fn serial_mode_matches_threaded_bitwise() {
+        use crate::config::RunMode;
+        // The tentpole invariant in miniature (the full matrix lives in
+        // tests/threaded_equivalence.rs): the serial reference driver and
+        // the threaded per-PE executor must agree to the last bit —
+        // positions, velocities and every per-step energy term.
+        let sys = relaxed_system(3000, 92);
+        let run_mode = |mode: RunMode| {
+            let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
+            cfg.nstlist = 5;
+            cfg.run_mode = mode;
+            cfg.thermostat = Some(crate::config::Thermostat {
+                t_ref: 300.0,
+                tau_ps: 0.01,
+            });
+            let mut engine = Engine::new(sys.clone(), DdGrid::new([2, 2, 1]), cfg);
+            let stats = engine.run(8);
+            (engine.system, stats)
+        };
+        let (s_sys, s_stats) = run_mode(RunMode::Serial);
+        let (t_sys, t_stats) = run_mode(RunMode::Threaded);
+        for (a, b) in s_sys.positions.iter().zip(&t_sys.positions) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
+        for (a, b) in s_sys.velocities.iter().zip(&t_sys.velocities) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
+        for (ea, eb) in s_stats.energies.iter().zip(&t_stats.energies) {
+            assert_eq!(ea.nonbonded.to_bits(), eb.nonbonded.to_bits());
+            assert_eq!(ea.kinetic.to_bits(), eb.kinetic.to_bits());
+        }
     }
 
     #[test]

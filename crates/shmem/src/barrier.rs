@@ -2,6 +2,13 @@
 //! `shmem_barrier_all` and step synchronization in the functional runtime.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A barrier round failed to complete before its deadline. The barrier is
+/// poisoned from this point on (the timed-out participant's arrival is
+/// already registered) — abandon the world, don't reuse it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierTimeout;
 
 /// Reusable barrier for a fixed number of participants.
 #[derive(Debug)]
@@ -50,6 +57,41 @@ impl SenseBarrier {
             false
         }
     }
+
+    /// Deadline-bounded [`SenseBarrier::wait`]: `Err(BarrierTimeout)` if
+    /// the round did not complete by `deadline`. The clock is checked only
+    /// past the spin bound, so a barrier that completes promptly never
+    /// reads it.
+    ///
+    /// A timed-out participant has already registered its arrival, so the
+    /// barrier must be considered poisoned afterwards: this is strictly an
+    /// abandon-on-error primitive (the collectives layer uses it so a
+    /// stalled peer expires every *other* PE's collective too, instead of
+    /// hanging the world — DESIGN.md §3.2 "every wait is bounded or
+    /// acked").
+    pub fn wait_deadline(&self, deadline: Instant) -> Result<bool, BarrierTimeout> {
+        let gen = self.generation.load(Ordering::Acquire);
+        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+            Ok(true)
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    if Instant::now() >= deadline {
+                        return Err(BarrierTimeout);
+                    }
+                    std::thread::yield_now();
+                }
+            }
+            Ok(false)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -80,6 +122,31 @@ mod tests {
             }
         });
         assert_eq!(leaders.load(Relaxed), 100);
+    }
+
+    #[test]
+    fn wait_deadline_completes_when_all_arrive() {
+        use std::time::{Duration, Instant};
+        let b = SenseBarrier::new(3);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        b.wait_deadline(Instant::now() + Duration::from_secs(5))
+                            .expect("all participants present: must not expire");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn wait_deadline_expires_on_missing_participant() {
+        use std::time::{Duration, Instant};
+        let b = SenseBarrier::new(2);
+        let t0 = Instant::now();
+        assert!(b.wait_deadline(t0 + Duration::from_millis(30)).is_err());
+        assert!(t0.elapsed() >= Duration::from_millis(30));
     }
 
     #[test]

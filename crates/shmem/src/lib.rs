@@ -45,7 +45,7 @@ pub mod twosided;
 pub mod world;
 
 pub use atomicf32::AtomicF32;
-pub use barrier::SenseBarrier;
+pub use barrier::{BarrierTimeout, SenseBarrier};
 pub use chaos::{ChaosEngine, ChaosReport, FaultKind, FaultOp, FaultPlan, FaultRule};
 pub use collectives::{AtomicF64, Collectives};
 pub use signal::SignalSet;

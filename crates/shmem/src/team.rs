@@ -92,13 +92,13 @@ impl Team {
         self.barrier.wait()
     }
 
-    /// Team-scoped sum all-reduce; caller must be a member.
+    /// Team-scoped sum all-reduce; caller must be a member. Reduced in
+    /// team-rank order on every member (bitwise schedule-independent).
     pub fn allreduce_sum(&self, world_rank: usize, v: f64) -> f64 {
-        assert!(
-            self.contains(world_rank),
-            "PE {world_rank} is not in this team"
-        );
-        self.collectives.allreduce_sum(v)
+        let team_rank = self
+            .team_rank(world_rank)
+            .unwrap_or_else(|| panic!("PE {world_rank} is not in this team"));
+        self.collectives.allreduce_sum(team_rank, v)
     }
 }
 

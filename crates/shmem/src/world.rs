@@ -617,13 +617,15 @@ impl<'w> Pe<'w> {
         halox_trace::record_opt(self.trace(), self.id as u32, Payload::BarrierDepart);
     }
 
-    /// Sum all-reduce across all PEs (every PE must participate).
+    /// Sum all-reduce across all PEs (every PE must participate). The
+    /// reduction is performed in PE index order on every PE, so the result
+    /// is bitwise identical across PEs, runs and thread schedules.
     ///
     /// Collectives are global rendezvous points, so they are recorded as
     /// barrier arrive/depart pairs for the protocol checker.
     pub fn allreduce_sum(&self, v: f64) -> f64 {
         halox_trace::record_opt(self.trace(), self.id as u32, Payload::BarrierArrive);
-        let r = self.world.collectives.allreduce_sum(v);
+        let r = self.world.collectives.allreduce_sum(self.id, v);
         halox_trace::record_opt(self.trace(), self.id as u32, Payload::BarrierDepart);
         r
     }
@@ -631,8 +633,25 @@ impl<'w> Pe<'w> {
     /// Max all-reduce across all PEs.
     pub fn allreduce_max(&self, v: f64) -> f64 {
         halox_trace::record_opt(self.trace(), self.id as u32, Payload::BarrierArrive);
-        let r = self.world.collectives.allreduce_max(v);
+        let r = self.world.collectives.allreduce_max(self.id, v);
         halox_trace::record_opt(self.trace(), self.id as u32, Payload::BarrierDepart);
+        r
+    }
+
+    /// Deadline-bounded [`Pe::allreduce_sum`]: `None` if the world did not
+    /// complete the collective in time (a peer crashed or stalled — every
+    /// surviving PE's wait expires instead of hanging). The world's
+    /// collective state is poisoned afterwards; callers must abandon the
+    /// run, as with an expired exchange wait.
+    pub fn allreduce_sum_deadline(&self, v: f64, deadline: std::time::Instant) -> Option<f64> {
+        halox_trace::record_opt(self.trace(), self.id as u32, Payload::BarrierArrive);
+        let r = self
+            .world
+            .collectives
+            .allreduce_sum_deadline(self.id, v, deadline);
+        if r.is_some() {
+            halox_trace::record_opt(self.trace(), self.id as u32, Payload::BarrierDepart);
+        }
         r
     }
 }

@@ -248,6 +248,52 @@ pub fn step_summaries(trace: &Trace) -> Vec<StepSummary> {
     by_step.into_values().collect()
 }
 
+/// Outcome of [`validate_flow_pairs`]: how many flow starts/finishes the
+/// export contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlowCheck {
+    pub starts: usize,
+    pub finishes: usize,
+}
+
+/// Validate the flow events of an exported Chrome trace: every `ph:"s"` /
+/// `ph:"f"` element must carry an `id`, and every finish must terminate a
+/// started flow. Returns the pair counts, or an error **naming the
+/// malformed event** — instead of the `get("id").unwrap()` panic consumers
+/// used to hit on hand-edited or truncated traces.
+pub fn validate_flow_pairs(exported: &Value) -> Result<FlowCheck, String> {
+    let Some(Value::Array(events)) = exported.get("traceEvents") else {
+        return Err("not a Chrome trace: missing traceEvents array".into());
+    };
+    let mut started: Vec<&Value> = Vec::new();
+    let mut check = FlowCheck::default();
+    for ev in events {
+        let ph = match ev.get("ph") {
+            Some(Value::String(s)) if s == "s" || s == "f" => s.clone(),
+            _ => continue,
+        };
+        let Some(id) = ev.get("id") else {
+            return Err(format!(
+                "flow event (ph:\"{ph}\") missing 'id': {}",
+                serde_json::to_string(ev).unwrap_or_else(|_| "<unprintable>".into())
+            ));
+        };
+        if ph == "s" {
+            check.starts += 1;
+            started.push(id);
+        } else {
+            check.finishes += 1;
+            if !started.iter().any(|s| **s == *id) {
+                return Err(format!(
+                    "flow finish with id {id} has no matching start: {}",
+                    serde_json::to_string(ev).unwrap_or_else(|_| "<unprintable>".into())
+                ));
+            }
+        }
+    }
+    Ok(check)
+}
+
 /// Peak proxy queue depth observed anywhere in the trace.
 pub fn max_proxy_depth(trace: &Trace) -> u32 {
     trace
@@ -339,14 +385,11 @@ mod tests {
             "got {} elements",
             events.len()
         );
-        // Flow pair present: one "s" and one "f" with matching ids.
-        let phase = |e: &Value, ph: &str| matches!(e.get("ph"), Some(Value::String(s)) if s == ph);
-        let s_ev = events.iter().find(|e| phase(e, "s")).expect("flow start");
-        let f_ev = events.iter().find(|e| phase(e, "f")).expect("flow finish");
-        assert_eq!(
-            s_ev.get("id").unwrap().to_string(),
-            f_ev.get("id").unwrap().to_string()
-        );
+        // Flow pair present and well-formed: one "s" and one "f", each
+        // carrying an id, every finish terminating a started flow.
+        let check = validate_flow_pairs(&v).expect("exported flows are well-formed");
+        assert_eq!(check.starts, 1);
+        assert_eq!(check.finishes, 1);
         // Round-trips through the JSON printer/parser.
         let text = serde_json::to_string(&v).unwrap();
         let back: Value = serde_json::from_str(&text).unwrap();
@@ -354,6 +397,40 @@ mod tests {
             back.get("traceEvents")
                 .map(|t| matches!(t, Value::Array(_))),
             Some(true)
+        );
+    }
+
+    #[test]
+    fn flow_event_missing_id_is_diagnosed_not_panicked() {
+        // Regression: a flow event without an `id` (hand-edited or
+        // truncated trace) used to blow up consumers with
+        // `get("id").unwrap()`. The validator must return an error that
+        // names the malformed event instead.
+        let v = json!({ "traceEvents": [
+            json!({"ph": "s", "name": "signal", "pid": 0, "tid": 1, "ts": 1}),
+        ]});
+        let err = validate_flow_pairs(&v).expect_err("missing id must be an error");
+        assert!(err.contains("missing 'id'"), "{err}");
+        assert!(err.contains("\"ph\":\"s\""), "must name the event: {err}");
+    }
+
+    #[test]
+    fn flow_finish_without_start_is_diagnosed() {
+        let v = json!({ "traceEvents": [
+            json!({"ph": "f", "name": "signal", "id": 42, "pid": 0, "tid": 1, "ts": 1}),
+        ]});
+        let err = validate_flow_pairs(&v).expect_err("orphan finish must be an error");
+        assert!(err.contains("no matching start"), "{err}");
+        // Non-flow events without ids stay irrelevant.
+        let ok = json!({ "traceEvents": [
+            json!({"ph": "i", "name": "instant", "pid": 0, "tid": 1, "ts": 1}),
+        ]});
+        assert_eq!(
+            validate_flow_pairs(&ok),
+            Ok(FlowCheck {
+                starts: 0,
+                finishes: 0
+            })
         );
     }
 

@@ -32,7 +32,9 @@ pub mod chrome;
 pub mod recorder;
 
 pub use check::{check, CheckReport, Violation};
-pub use chrome::{chrome_trace, max_proxy_depth, step_summaries, StepSummary};
+pub use chrome::{
+    chrome_trace, max_proxy_depth, step_summaries, validate_flow_pairs, FlowCheck, StepSummary,
+};
 pub use recorder::{
     record_opt, span_opt, Event, Payload, Recorder, Region, SpanGuard, Trace, DRIVER_PE,
 };

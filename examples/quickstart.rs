@@ -29,8 +29,8 @@ fn main() {
         grid.n_ranks()
     );
     let stats = engine.run(50);
-    let first = stats.energies.first().unwrap();
-    let last = stats.energies.last().unwrap();
+    let first = stats.energies.first().expect("50-step run");
+    let last = stats.final_energy().expect("50-step run");
     println!(
         "  E_total step 1: {:.0} kJ/mol   step 50: {:.0} kJ/mol   ({} steps, {:.2} s wall)",
         first.total(),
