@@ -3,7 +3,7 @@
 //! atomicAdd force accumulation primitive.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use halox_md::cluster::{compute_nonbonded_clusters, ClusterPairList};
+use halox_md::cluster::{compute_nonbonded_clusters_aos, ClusterPairList};
 use halox_md::forces::{compute_angles, compute_bonds, compute_nonbonded, NonbondedParams};
 use halox_md::{Frame, GrappaBuilder, PairList, Vec3};
 use halox_shmem::SymVec3;
@@ -96,26 +96,34 @@ fn bench_cluster_kernel(c: &mut Criterion) {
     let rule = |a: usize, b: usize| !sys.is_excluded(a, b);
     let frame = Frame::fully_periodic(&sys.pbc);
     let params = NonbondedParams::new(0.7);
-    let list = ClusterPairList::build(&sys.pbc, &sys.positions, 0.75);
+    let list = ClusterPairList::build(&frame, &sys.positions, &sys.kinds, n, 0.75, &rule);
     let mut forces = vec![Vec3::ZERO; n];
     let mut group = c.benchmark_group("nonbonded_cluster_kernel");
+    group.throughput(Throughput::Elements(list.n_pairs() as u64));
     group.bench_function("12k", |b| {
         b.iter(|| {
             forces.clear();
             forces.resize(n, Vec3::ZERO);
-            black_box(compute_nonbonded_clusters(
+            black_box(compute_nonbonded_clusters_aos(
                 &frame,
                 &sys.positions,
-                &sys.kinds,
                 &list,
                 &params,
-                &rule,
                 &mut forces,
             ))
         })
     });
     group.bench_function("12k_list_build", |b| {
-        b.iter(|| black_box(ClusterPairList::build(&sys.pbc, &sys.positions, 0.75)))
+        b.iter(|| {
+            black_box(ClusterPairList::build(
+                &frame,
+                &sys.positions,
+                &sys.kinds,
+                n,
+                0.75,
+                &rule,
+            ))
+        })
     });
     group.finish();
 }

@@ -1,0 +1,293 @@
+//! `halox-bench kernels` — non-bonded kernel and overlap sweep.
+//!
+//! Two measurements, written together to `results/kernels.json`:
+//!
+//! * **Microbench** — the scalar per-pair kernel vs the cluster-pair SoA
+//!   kernel on the same grappa system and the *same pair set* (the scalar
+//!   Verlet-list pair count is the common workload numerator), reported as
+//!   pairs/sec. The cluster kernel's reason to exist is this ratio.
+//! * **Engine sweep** — scalar-vs-cluster × overlap-on/off × 1/2/4 PEs
+//!   through the threaded executor with a modeled inter-node link latency,
+//!   reported as steps/sec plus the step-phase breakdown (`nb_local`,
+//!   `nb_halo`, `pack_overlap`). Overlap-on evaluates the local tile
+//!   partition inside the post-send / pre-wait window, so on the 4-PE
+//!   latency scenario it must beat overlap-off: that delta is the
+//!   compute–communication overlap the redesign is after, in miniature.
+
+use halox_dd::DdGrid;
+use halox_engine::{Engine, EngineConfig, ExchangeBackend, NbKernel, RunMode, RunStats};
+use halox_md::cluster::{compute_nonbonded_clusters_aos, ClusterPairList};
+use halox_md::forces::{compute_nonbonded, NonbondedParams};
+use halox_md::{minimize, Frame, GrappaBuilder, MinimizeOptions, PairList, System, Vec3};
+use serde::Serialize;
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+/// One kernel of the microbench: pairs/sec over a fixed pair set.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelMicroRow {
+    pub kernel: String,
+    pub atoms: usize,
+    /// Scalar Verlet-list pair count — the common workload numerator for
+    /// both kernels (the cluster list covers exactly the same pair set).
+    pub pairs: u64,
+    pub iters: usize,
+    pub pairs_per_sec: f64,
+    /// Potential energy of one pass (sanity: kernels agree physically).
+    pub energy: f64,
+}
+
+/// One engine cell: kernel × overlap × PE count under link latency.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelSweepRow {
+    pub kernel: String,
+    pub overlap: bool,
+    pub npes: usize,
+    pub atoms: usize,
+    pub steps: usize,
+    pub link_delay_us: u64,
+    pub steps_per_sec: f64,
+    /// Global scalar pair count × steps / wall — engine-level pairs/sec.
+    pub pairs_per_sec: f64,
+    /// Step-phase totals summed over ranks (ms; cluster kernel only).
+    pub nb_local_ms: f64,
+    pub nb_halo_ms: f64,
+    pub pack_overlap_ms: f64,
+}
+
+/// Top-level report written to `results/kernels.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelsReport {
+    pub host_threads: usize,
+    /// Headline 1: cluster-vs-scalar pairs/sec ratio from the microbench.
+    pub cluster_vs_scalar_pairs_per_sec: f64,
+    /// Headline 2: overlap-on vs overlap-off steps/sec on the 4-PE
+    /// link-latency scenario (cluster kernel).
+    pub overlap_speedup_4pe: f64,
+    pub micro: Vec<KernelMicroRow>,
+    pub sweep: Vec<KernelSweepRow>,
+}
+
+const ATOMS: usize = 12_000;
+const LINK_DELAY_US: u64 = 6_000;
+const MICRO_ITERS: usize = 25;
+/// Repetitions per engine cell; each row reports the peak run. On a shared
+/// host a single run can eat a steal-time burst and flip a headline ratio;
+/// the least-interfered of three is a far more stable throughput estimate.
+const ENGINE_REPS: usize = 3;
+
+fn base_system() -> System {
+    let mut sys = GrappaBuilder::new(ATOMS)
+        .seed(53)
+        .temperature(250.0)
+        .build();
+    minimize::steepest_descent(&mut sys, MinimizeOptions::default());
+    sys
+}
+
+/// Scalar-vs-cluster kernel throughput on one system, same pair set.
+fn microbench(sys: &System) -> Vec<KernelMicroRow> {
+    let n = sys.n_atoms();
+    let frame = Frame::fully_periodic(&sys.pbc);
+    let params = NonbondedParams::new(0.7);
+    let rule = |a: usize, b: usize| !sys.is_excluded(a, b);
+    let pl = PairList::build(&sys.pbc, &sys.positions, 0.8, &rule);
+    let cl = ClusterPairList::build(&frame, &sys.positions, &sys.kinds, n, 0.8, &rule);
+    let pairs = pl.n_pairs() as u64;
+    let mut forces = vec![Vec3::ZERO; n];
+
+    let scalar_pass = |forces: &mut Vec<Vec3>| {
+        forces.clear();
+        forces.resize(n, Vec3::ZERO);
+        compute_nonbonded(&frame, &sys.positions, &sys.kinds, &pl, &params, forces)
+    };
+    let cluster_pass = |forces: &mut Vec<Vec3>| {
+        forces.clear();
+        forces.resize(n, Vec3::ZERO);
+        compute_nonbonded_clusters_aos(&frame, &sys.positions, &cl, &params, forces).0
+    };
+
+    // One warm-up pass each, then interleave the timed passes: scalar and
+    // cluster alternate within each round so external slowdowns (this is
+    // usually a shared host) hit both kernels equally and cancel out of
+    // the headline ratio.
+    let e_scalar = scalar_pass(&mut forces);
+    let e_cluster = cluster_pass(&mut forces);
+    let mut secs = [0.0f64; 2];
+    for _ in 0..MICRO_ITERS {
+        let t0 = Instant::now();
+        black_box(scalar_pass(&mut forces));
+        secs[0] += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        black_box(cluster_pass(&mut forces));
+        secs[1] += t1.elapsed().as_secs_f64();
+    }
+    let row = |kernel: &str, secs: f64, energy: f64| KernelMicroRow {
+        kernel: kernel.to_string(),
+        atoms: n,
+        pairs,
+        iters: MICRO_ITERS,
+        pairs_per_sec: (pairs as f64 * MICRO_ITERS as f64) / secs.max(1e-9),
+        energy,
+    };
+    vec![
+        row("scalar", secs[0], e_scalar),
+        row("cluster", secs[1], e_cluster),
+    ]
+}
+
+fn run_engine(
+    sys: &System,
+    kernel: NbKernel,
+    overlap: bool,
+    npes: usize,
+    steps: usize,
+) -> RunStats {
+    let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
+    cfg.nstlist = 10;
+    cfg.run_mode = RunMode::Threaded;
+    cfg.nb_kernel = kernel;
+    cfg.nb_overlap = overlap;
+    if npes > 1 {
+        // Every link crosses a node boundary: the coordinate wait actually
+        // takes time, which is what the overlap window hides.
+        cfg.topology_gpus_per_node = Some(1);
+        cfg.link_delay_us = LINK_DELAY_US;
+    }
+    let mut engine = Engine::new(sys.clone(), DdGrid::new([npes, 1, 1]), cfg);
+    engine.run(steps)
+}
+
+/// The sweep itself, reusable from tests.
+pub fn sweep(steps: usize) -> KernelsReport {
+    let sys = base_system();
+    let micro = microbench(&sys);
+    let cluster_vs_scalar = micro[1].pairs_per_sec / micro[0].pairs_per_sec.max(1e-9);
+
+    // Engine-level workload numerator: the global pair count (decomposed
+    // ranks compute each pair exactly once, so the single-rank count is
+    // the per-step work at every PE count).
+    let rule = |a: usize, b: usize| !sys.is_excluded(a, b);
+    let global_pairs = PairList::build(&sys.pbc, &sys.positions, 0.8, &rule).n_pairs() as f64;
+
+    let mut rows = Vec::new();
+    for kernel in [NbKernel::Scalar, NbKernel::Cluster] {
+        for npes in [1usize, 2, 4] {
+            // Peak of ENGINE_REPS runs per cell, with the overlap-off and
+            // overlap-on runs interleaved within each round so a host
+            // slowdown cannot land on only one side of the headline ratio
+            // (same pairing trick as the microbench).
+            let mut best: [Option<RunStats>; 2] = [None, None];
+            for _ in 0..ENGINE_REPS {
+                for (oi, overlap) in [false, true].into_iter().enumerate() {
+                    let stats = run_engine(&sys, kernel, overlap, npes, steps);
+                    if best[oi]
+                        .as_ref()
+                        .is_none_or(|b| stats.wall_seconds < b.wall_seconds)
+                    {
+                        best[oi] = Some(stats);
+                    }
+                }
+            }
+            for (oi, overlap) in [false, true].into_iter().enumerate() {
+                let stats = best[oi].take().expect("ENGINE_REPS >= 1");
+                let sps = if stats.wall_seconds > 0.0 {
+                    stats.steps as f64 / stats.wall_seconds
+                } else {
+                    0.0
+                };
+                let ms = |p: &str| stats.phases.total(p).as_secs_f64() * 1e3;
+                rows.push(KernelSweepRow {
+                    kernel: kernel.label().to_string(),
+                    overlap,
+                    npes,
+                    atoms: sys.n_atoms(),
+                    steps,
+                    link_delay_us: if npes > 1 { LINK_DELAY_US } else { 0 },
+                    steps_per_sec: sps,
+                    pairs_per_sec: sps * global_pairs,
+                    nb_local_ms: ms("nb_local"),
+                    nb_halo_ms: ms("nb_halo"),
+                    pack_overlap_ms: ms("pack_overlap"),
+                });
+            }
+        }
+    }
+
+    let sps_of = |kernel: &str, overlap: bool, npes: usize| {
+        rows.iter()
+            .find(|r| r.kernel == kernel && r.overlap == overlap && r.npes == npes)
+            .map_or(0.0, |r| r.steps_per_sec)
+    };
+    let overlap_speedup_4pe = sps_of("cluster", true, 4) / sps_of("cluster", false, 4).max(1e-9);
+
+    KernelsReport {
+        host_threads: std::thread::available_parallelism().map_or(1, |t| t.get()),
+        cluster_vs_scalar_pairs_per_sec: cluster_vs_scalar,
+        overlap_speedup_4pe,
+        micro,
+        sweep: rows,
+    }
+}
+
+pub fn print_table(report: &KernelsReport) {
+    println!("\n== kernel microbench: {ATOMS} atoms, same pair set ==");
+    println!(
+        "{:<10} {:>12} {:>16} {:>14}",
+        "kernel", "pairs", "pairs/sec", "energy"
+    );
+    for r in &report.micro {
+        println!(
+            "{:<10} {:>12} {:>16.3e} {:>14.3}",
+            r.kernel, r.pairs, r.pairs_per_sec, r.energy
+        );
+    }
+    println!(
+        "cluster vs scalar: {:.2}x pairs/sec",
+        report.cluster_vs_scalar_pairs_per_sec
+    );
+
+    println!("\n== engine sweep: kernel x overlap x PEs (link delay {LINK_DELAY_US} us) ==");
+    println!(
+        "{:<9} {:>8} {:>5} {:>9} {:>11} {:>13} {:>11} {:>10} {:>14}",
+        "kernel",
+        "overlap",
+        "npes",
+        "delay_us",
+        "steps/sec",
+        "pairs/sec",
+        "nb_local_ms",
+        "nb_halo_ms",
+        "pack_overlap_ms"
+    );
+    for r in &report.sweep {
+        println!(
+            "{:<9} {:>8} {:>5} {:>9} {:>11.2} {:>13.3e} {:>11.1} {:>10.1} {:>14.2}",
+            r.kernel,
+            r.overlap,
+            r.npes,
+            r.link_delay_us,
+            r.steps_per_sec,
+            r.pairs_per_sec,
+            r.nb_local_ms,
+            r.nb_halo_ms,
+            r.pack_overlap_ms
+        );
+    }
+    println!(
+        "overlap-on vs overlap-off at 4 PEs (cluster): {:.2}x steps/sec",
+        report.overlap_speedup_4pe
+    );
+}
+
+/// The `kernels` subcommand: sweep, print, persist.
+pub fn run(results: &Path, steps: usize) {
+    let report = sweep(steps);
+    print_table(&report);
+    std::fs::create_dir_all(results).expect("create results dir");
+    let path = results.join("kernels.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize kernels report");
+    std::fs::write(&path, json).expect("write kernels.json");
+    println!("wrote {}", path.display());
+}

@@ -9,6 +9,7 @@ pub mod chart;
 pub mod figures;
 pub mod ftrace;
 pub mod functional;
+pub mod kernels;
 pub mod report;
 pub mod threads;
 pub mod validate;

@@ -1,6 +1,8 @@
 //! `halox-bench` — regenerate the paper's figures on the timing simulator.
 
-use halox_bench::{ablation, chaos, chart, figures, ftrace, functional, report, threads, validate};
+use halox_bench::{
+    ablation, chaos, chart, figures, ftrace, functional, kernels, report, threads, validate,
+};
 use std::path::Path;
 
 fn print_and_save(checks: &[halox_bench::validate::Check], results: &Path) -> bool {
@@ -130,6 +132,21 @@ fn main() {
         "threads" => {
             // halox-bench threads — serial vs threaded executor sweep.
             threads::run(results);
+        }
+        "kernels" => {
+            // halox-bench kernels [--steps N] — scalar-vs-cluster kernel
+            // and overlap sweep.
+            let steps = args
+                .iter()
+                .position(|a| a == "--steps")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(150);
+            kernels::run(results, steps);
+        }
+        "report" => {
+            // halox-bench report — summarize the JSON artifacts in results/.
+            report::print_results_summary(results);
         }
         other => {
             eprintln!("unknown figure: {other}");

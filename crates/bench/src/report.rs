@@ -65,6 +65,42 @@ pub fn print_perf_table(title: &str, rows: &[PerfRow]) {
     }
 }
 
+/// `halox-bench report` — one-screen summary of the JSON artifacts under
+/// `results/` (currently `kernels.json` and `threads.json`). Reads loosely
+/// via `serde_json::Value` so older artifacts with missing fields still
+/// print what they have.
+pub fn print_results_summary(results: &Path) {
+    let load = |name: &str| -> Option<serde_json::Value> {
+        let text = fs::read_to_string(results.join(name)).ok()?;
+        serde_json::from_str(&text).ok()
+    };
+    let num = |v: &serde_json::Value, key: &str| v.get(key).and_then(|x| x.as_f64());
+
+    println!("== results summary ({}) ==", results.display());
+    match load("kernels.json") {
+        Some(v) => {
+            if let Some(x) = num(&v, "cluster_vs_scalar_pairs_per_sec") {
+                println!("kernels: cluster vs scalar        {x:.2}x pairs/sec");
+            }
+            if let Some(x) = num(&v, "overlap_speedup_4pe") {
+                println!("kernels: overlap on/off at 4 PEs  {x:.2}x steps/sec");
+            }
+        }
+        None => println!("kernels.json: not found (run `halox-bench kernels`)"),
+    }
+    match load("threads.json") {
+        Some(v) => {
+            if let Some(x) = num(&v, "speedup_threaded_vs_serial") {
+                println!("threads: threaded vs serial       {x:.2}x steps/sec");
+            }
+            if let Some(b) = v.get("all_bitwise_identical").and_then(|x| x.as_bool()) {
+                println!("threads: executors bitwise equal  {b}");
+            }
+        }
+        None => println!("threads.json: not found (run `halox-bench threads`)"),
+    }
+}
+
 pub fn print_timing_table(title: &str, rows: &[TimingRow]) {
     println!("\n== {title} ==");
     println!(

@@ -67,6 +67,50 @@ impl RunMode {
     }
 }
 
+/// Which non-bonded force kernel evaluates the pair interactions.
+///
+/// `Scalar` is the original per-pair CSR loop, kept as the cross-check
+/// oracle; `Cluster` is the NBNXM-style 4×4 cluster-pair SoA kernel with
+/// the local/halo tile split that lets the engine compute home–home forces
+/// while the coordinate halo is still in flight (DESIGN.md §3.4). Both
+/// produce the same physics; per-pair terms are bitwise identical and only
+/// the accumulation order differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NbKernel {
+    /// Per-pair scalar loop over the flat Verlet list (oracle).
+    Scalar,
+    /// Cluster-pair SoA kernel with local/halo partitions (default).
+    Cluster,
+}
+
+impl NbKernel {
+    pub fn label(&self) -> &'static str {
+        match self {
+            NbKernel::Scalar => "scalar",
+            NbKernel::Cluster => "cluster",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<NbKernel> {
+        if s.eq_ignore_ascii_case("scalar") {
+            Some(NbKernel::Scalar)
+        } else if s.eq_ignore_ascii_case("cluster") {
+            Some(NbKernel::Cluster)
+        } else {
+            None
+        }
+    }
+
+    /// Default kernel, overridable via `HALOX_NB_KERNEL=scalar|cluster` —
+    /// the lever CI uses to pin a whole test-suite run to one kernel.
+    pub fn from_env() -> Self {
+        match std::env::var("HALOX_NB_KERNEL") {
+            Ok(v) => NbKernel::parse(&v).unwrap_or(NbKernel::Cluster),
+            _ => NbKernel::Cluster,
+        }
+    }
+}
+
 /// Time-stepping scheme (GROMACS `integrator = md` vs `md-vv`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Integrator {
@@ -140,6 +184,15 @@ pub struct EngineConfig {
     /// driver. Chaos injection and transport selection only apply to
     /// `Threaded` — the serial driver performs no deliveries to fault.
     pub run_mode: RunMode,
+    /// Non-bonded kernel (scalar oracle vs cluster-pair SoA).
+    pub nb_kernel: NbKernel,
+    /// With the cluster kernel: evaluate the local (home–home) tile
+    /// partition between posting the coordinate halo sends and waiting for
+    /// arrivals, hiding halo latency under home-atom compute. Off, the
+    /// local partition runs after the wait like everything else. Forces,
+    /// energies, and trajectories are identical either way — the same
+    /// tiles are folded in the same order; only wall-clock changes.
+    pub nb_overlap: bool,
     /// Modeled interconnect latency per proxied (inter-node) message, in
     /// microseconds; 0 disables it. In `Threaded` mode the per-PE proxy
     /// thread pays it asynchronously (GPU-initiated one-sided semantics:
@@ -178,6 +231,8 @@ impl EngineConfig {
             nstlist: 10,
             backend,
             run_mode: RunMode::from_env(),
+            nb_kernel: NbKernel::from_env(),
+            nb_overlap: true,
             link_delay_us: 0,
             topology_gpus_per_node: None,
             thermostat: None,

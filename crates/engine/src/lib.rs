@@ -10,9 +10,12 @@
 pub mod config;
 pub mod devtimer;
 pub mod health;
+mod nb;
 pub mod runner;
 
-pub use config::{EngineConfig, ExchangeBackend, Integrator, RunMode, Thermostat, WatchdogConfig};
+pub use config::{
+    EngineConfig, ExchangeBackend, Integrator, NbKernel, RunMode, Thermostat, WatchdogConfig,
+};
 pub use devtimer::PhaseTimer;
 pub use health::{HealthBoard, PeerState};
 pub use runner::{Downgrade, Engine, EngineError, RunStats};

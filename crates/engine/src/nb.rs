@@ -1,0 +1,314 @@
+//! Per-rank non-bonded evaluation: kernel selection (scalar oracle vs
+//! cluster-pair SoA), pair-list lifecycle, and the local/halo tile split
+//! that backs compute–communication overlap (DESIGN.md §3.4).
+//!
+//! The evaluator is the single place both executors (the serial reference
+//! driver and the threaded per-PE loops) get their non-bonded forces from,
+//! which is what keeps them bitwise identical under either kernel:
+//!
+//! * exactly one `needs_rebuild` decision per force round, made *after*
+//!   the coordinate halo is in place (so serial and threaded see identical
+//!   inputs and consume identical fresh-skip states);
+//! * with the cluster kernel, the local (home–home) partition may be
+//!   evaluated optimistically during the overlap window — before halo
+//!   arrivals — via [`NbEvaluator::compute_local_overlapped`]. That pass
+//!   reads only home coordinates (arrivals write only the halo tail) and
+//!   uses the retained list, so when the post-arrival staleness check
+//!   passes, the partial is exactly what the non-overlapped order would
+//!   have produced and is folded as-is; when the list turns out stale the
+//!   partial is discarded and the round recomputes from the fresh list.
+
+use crate::config::NbKernel;
+use crate::devtimer::PhaseTimer;
+use halox_md::cluster::{compute_nonbonded_clusters, ClusterPairList, NbPartition};
+use halox_md::forces::compute_nonbonded_virial;
+use halox_md::{Frame, NonbondedParams, PairList, SoaCoords, SoaForces, Vec3};
+
+/// Owns the per-rank pair-list state for one kernel choice.
+pub(crate) struct NbEvaluator {
+    kernel: NbKernel,
+    pairlist: Option<PairList>,
+    clusters: Option<ClusterPairList>,
+    /// Lane-space scratch reused across rounds (no per-step allocation).
+    coords: SoaCoords,
+    lane_forces: SoaForces,
+    /// Local-partition `(energy, virial)` computed during the overlap
+    /// window, pending the staleness verdict of this round's list.
+    pending_local: Option<(f64, f64)>,
+}
+
+impl NbEvaluator {
+    pub fn new(kernel: NbKernel) -> Self {
+        NbEvaluator {
+            kernel,
+            pairlist: None,
+            clusters: None,
+            coords: SoaCoords::default(),
+            lane_forces: SoaForces::default(),
+            pending_local: None,
+        }
+    }
+
+    /// True when an overlap window can do useful work: cluster kernel with
+    /// a retained list (the segment's first round has nothing to reuse).
+    pub fn can_overlap(&self) -> bool {
+        self.kernel == NbKernel::Cluster && self.clusters.is_some()
+    }
+
+    /// Evaluate the local (home–home) tile partition using only home
+    /// coordinates — legal while the coordinate halo exchange is still in
+    /// flight. The partial energies and lane forces are held internally
+    /// until [`NbEvaluator::compute`] validates the list for this round.
+    pub fn compute_local_overlapped(
+        &mut self,
+        frame: &Frame,
+        positions: &[Vec3],
+        params: &NonbondedParams,
+        timer: &mut PhaseTimer,
+    ) {
+        debug_assert!(self.can_overlap());
+        let Some(cl) = self.clusters.as_ref() else {
+            return;
+        };
+        let coords = &mut self.coords;
+        let lanes = &mut self.lane_forces;
+        lanes.reset(cl.n_lanes());
+        timer.time("pack_overlap", || {
+            cl.pack_coords(positions, coords, cl.home_clusters())
+        });
+        let res = timer.time("nb_local", || {
+            compute_nonbonded_clusters(frame, coords, cl, NbPartition::Local, params, lanes)
+        });
+        self.pending_local = Some(res);
+    }
+
+    /// One full non-bonded force round over the complete (home + halo)
+    /// coordinate array: staleness check, rebuild if needed, kernel
+    /// dispatch, force accumulation into `forces` (additive). Returns
+    /// `(energy, virial)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute(
+        &mut self,
+        frame: &Frame,
+        positions: &[Vec3],
+        kinds: &[halox_md::AtomKind],
+        n_home: usize,
+        r_list: f32,
+        buffer: f32,
+        rule: &dyn Fn(usize, usize) -> bool,
+        params: &NonbondedParams,
+        forces: &mut [Vec3],
+        timer: &mut PhaseTimer,
+    ) -> (f64, f64) {
+        match self.kernel {
+            NbKernel::Scalar => {
+                let stale = self
+                    .pairlist
+                    .as_ref()
+                    .is_none_or(|pl| pl.needs_rebuild(positions, buffer));
+                if stale {
+                    self.pairlist = Some(timer.time("pairlist", || {
+                        PairList::build_in_frame(frame, positions, r_list, rule)
+                    }));
+                }
+                let pl = self.pairlist.as_ref().expect("pair list just ensured");
+                timer.time("nb_scalar", || {
+                    compute_nonbonded_virial(frame, positions, kinds, pl, params, forces)
+                })
+            }
+            NbKernel::Cluster => {
+                let stale = self
+                    .clusters
+                    .as_ref()
+                    .is_none_or(|cl| cl.needs_rebuild(positions, buffer));
+                if stale {
+                    self.clusters = Some(timer.time("pairlist", || {
+                        ClusterPairList::build(frame, positions, kinds, n_home, r_list, rule)
+                    }));
+                    // Any overlapped partial was computed against the old
+                    // list: discard and recompute from scratch.
+                    self.pending_local = None;
+                }
+                let cl = self.clusters.as_ref().expect("cluster list just ensured");
+                let coords = &mut self.coords;
+                let lanes = &mut self.lane_forces;
+                let (e_l, w_l) = match self.pending_local.take() {
+                    // Overlap window already did the local partition; the
+                    // lane accumulators hold its forces.
+                    Some(res) => res,
+                    None => {
+                        lanes.reset(cl.n_lanes());
+                        timer.time("pack", || {
+                            cl.pack_coords(positions, coords, cl.home_clusters())
+                        });
+                        timer.time("nb_local", || {
+                            compute_nonbonded_clusters(
+                                frame,
+                                coords,
+                                cl,
+                                NbPartition::Local,
+                                params,
+                                lanes,
+                            )
+                        })
+                    }
+                };
+                timer.time("pack", || {
+                    cl.pack_coords(positions, coords, cl.halo_clusters())
+                });
+                let (e_h, w_h) = timer.time("nb_halo", || {
+                    compute_nonbonded_clusters(frame, coords, cl, NbPartition::Halo, params, lanes)
+                });
+                cl.fold_forces(lanes, forces);
+                (e_l + e_h, w_l + w_h)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halox_md::pairlist::eighth_shell_rule;
+    use halox_md::{GrappaBuilder, Vec3};
+
+    /// The threaded-equivalence argument in miniature: a round evaluated
+    /// with the overlap window (local partition before "arrival") is
+    /// bitwise identical to the same round evaluated in one pass.
+    #[test]
+    fn overlapped_round_is_bitwise_identical() {
+        let sys = GrappaBuilder::new(1200).seed(51).build();
+        let frame = Frame::for_decomposition(&sys.pbc, [2, 1, 1]);
+        let n = sys.n_atoms();
+        let n_home = 900;
+        let mut disp = vec![[0u8; 3]; n];
+        for d in disp.iter_mut().skip(n_home) {
+            *d = [1, 0, 0];
+        }
+        let sys_ref = &sys;
+        let disp_ref = &disp;
+        let rule = move |a: usize, b: usize| {
+            eighth_shell_rule(disp_ref, a, b) && !sys_ref.is_excluded(a, b)
+        };
+        let params = NonbondedParams::new(0.6);
+        let mut timer = PhaseTimer::new();
+
+        // Round 1 on both evaluators builds the list.
+        let mut plain = NbEvaluator::new(NbKernel::Cluster);
+        let mut overlapped = NbEvaluator::new(NbKernel::Cluster);
+        for ev in [&mut plain, &mut overlapped] {
+            let mut f = vec![Vec3::ZERO; n];
+            ev.compute(
+                &frame,
+                &sys.positions,
+                &sys.kinds,
+                n_home,
+                0.7,
+                0.1,
+                &rule,
+                &params,
+                &mut f,
+                &mut timer,
+            );
+        }
+        assert!(overlapped.can_overlap());
+
+        // Round 2: drift everything slightly (inside the buffer), then
+        // evaluate plain vs overlap-window order.
+        let moved: Vec<Vec3> = sys
+            .positions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| *p + Vec3::new(0.001, -0.0005, 0.0007) * ((i % 3) as f32))
+            .collect();
+        let mut f_plain = vec![Vec3::ZERO; n];
+        let r_plain = plain.compute(
+            &frame,
+            &moved,
+            &sys.kinds,
+            n_home,
+            0.7,
+            0.1,
+            &rule,
+            &params,
+            &mut f_plain,
+            &mut timer,
+        );
+        overlapped.compute_local_overlapped(&frame, &moved, &params, &mut timer);
+        let mut f_over = vec![Vec3::ZERO; n];
+        let r_over = overlapped.compute(
+            &frame,
+            &moved,
+            &sys.kinds,
+            n_home,
+            0.7,
+            0.1,
+            &rule,
+            &params,
+            &mut f_over,
+            &mut timer,
+        );
+        assert_eq!(r_plain.0.to_bits(), r_over.0.to_bits());
+        assert_eq!(r_plain.1.to_bits(), r_over.1.to_bits());
+        for (a, b) in f_plain.iter().zip(&f_over) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
+        // Timer saw the overlap-specific phase.
+        assert!(timer.total("pack_overlap") > std::time::Duration::ZERO);
+        assert!(timer.total("nb_local") > std::time::Duration::ZERO);
+        assert!(timer.total("nb_halo") > std::time::Duration::ZERO);
+    }
+
+    /// A stale list discards the overlapped partial instead of folding
+    /// forces computed against dead tile indices.
+    #[test]
+    fn stale_list_discards_overlapped_partial() {
+        let sys = GrappaBuilder::new(900).seed(52).build();
+        let frame = Frame::for_decomposition(&sys.pbc, [2, 1, 1]);
+        let n = sys.n_atoms();
+        let n_home = 700;
+        let all = |_: usize, _: usize| true;
+        let params = NonbondedParams::new(0.6);
+        let mut timer = PhaseTimer::new();
+        let mut ev = NbEvaluator::new(NbKernel::Cluster);
+        // Two rounds on unmoved positions: the first builds the list, the
+        // second consumes the fresh-skip of `needs_rebuild` (a just-built
+        // list is trusted for one step — DESIGN.md §3.4).
+        for _ in 0..2 {
+            let mut f = vec![Vec3::ZERO; n];
+            ev.compute(
+                &frame,
+                &sys.positions,
+                &sys.kinds,
+                n_home,
+                0.7,
+                0.1,
+                &all,
+                &params,
+                &mut f,
+                &mut timer,
+            );
+        }
+        // Move one atom past buffer/2 so the next round must rebuild.
+        let mut moved = sys.positions.clone();
+        moved[3].x += 0.2;
+        ev.compute_local_overlapped(&frame, &moved, &params, &mut timer);
+        let mut f1 = vec![Vec3::ZERO; n];
+        let r1 = ev.compute(
+            &frame, &moved, &sys.kinds, n_home, 0.7, 0.1, &all, &params, &mut f1, &mut timer,
+        );
+        // Oracle: a fresh evaluator with no overlap shenanigans. Its first
+        // compute builds a new list from `moved` — same as the rebuild.
+        let mut oracle = NbEvaluator::new(NbKernel::Cluster);
+        let mut f2 = vec![Vec3::ZERO; n];
+        let r2 = oracle.compute(
+            &frame, &moved, &sys.kinds, n_home, 0.7, 0.1, &all, &params, &mut f2, &mut timer,
+        );
+        assert_eq!(r1.0.to_bits(), r2.0.to_bits());
+        for (a, b) in f1.iter().zip(&f2) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+        }
+    }
+}

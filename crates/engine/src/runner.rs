@@ -14,20 +14,19 @@
 //! and re-scattered, and PEs get fresh index maps.
 
 use crate::config::{EngineConfig, ExchangeBackend, RunMode};
+use crate::devtimer::PhaseTimer;
 use crate::health::HealthBoard;
+use crate::nb::NbEvaluator;
 use halox_core::{build_contexts, exec, CommContext, FusedBuffers};
 use halox_core::{ExchangeError, StallReport, Watchdog};
 use halox_dd::{
     build_partition, reference_coordinate_exchange, reference_force_exchange, DdGrid, DdPartition,
 };
-use halox_md::forces::{
-    angle_virial, bond_virial, compute_angles, compute_bonds, compute_nonbonded_virial,
-    NonbondedParams,
-};
+use halox_md::forces::{angle_virial, bond_virial, compute_angles, compute_bonds, NonbondedParams};
 use halox_md::pairlist::eighth_shell_rule;
-use halox_md::{integrate, EnergyReport, Frame, PairList, System, Vec3};
+use halox_md::{integrate, EnergyReport, Frame, System, Vec3};
 use halox_shmem::{ChaosEngine, ProxyConfig, ShmemWorld, TwoSidedComm};
-use halox_trace::{record_opt, Payload, Region};
+use halox_trace::{record_opt, span_opt, Payload, Region};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -55,6 +54,11 @@ pub struct RunStats {
     pub repromotions: usize,
     /// Faults the chaos engine actually injected (0 for fault-free runs).
     pub faults_injected: u64,
+    /// Wall-clock step-phase breakdown, aggregated over ranks and segments
+    /// (`nb_local`, `nb_halo`, `pack_overlap`, `pairlist`, ...). Sums of
+    /// per-rank wall time, so with N threaded ranks a phase can total more
+    /// than `wall_seconds`.
+    pub phases: PhaseTimer,
 }
 
 impl RunStats {
@@ -134,6 +138,7 @@ struct RankResult {
     positions: Vec<Vec3>,
     velocities: Vec<Vec3>,
     energies: Vec<EnergyReport>,
+    phases: PhaseTimer,
 }
 
 /// The engine owns the global system and runs it decomposed over `grid`.
@@ -154,6 +159,9 @@ pub struct Engine {
     chaos: Option<Arc<ChaosEngine>>,
     /// Per-peer degradation ladder, built lazily with the chaos engine.
     health: Option<HealthBoard>,
+    /// Step-phase wall-clock accumulator for the current run (reset at the
+    /// start of every `try_run*`, merged from each segment's ranks).
+    phases: PhaseTimer,
 }
 
 impl Engine {
@@ -166,12 +174,19 @@ impl Engine {
             realloc_count: 0,
             chaos: None,
             health: None,
+            phases: PhaseTimer::new(),
         }
     }
 
     /// Peer health after a run (None before the first segment).
     pub fn health(&self) -> Option<&HealthBoard> {
         self.health.as_ref()
+    }
+
+    /// Step-phase timings of the most recent run (also in
+    /// [`RunStats::phases`]).
+    pub fn phases(&self) -> &PhaseTimer {
+        &self.phases
     }
 
     /// Advance `n_steps`; returns per-step energies and throughput.
@@ -207,6 +222,7 @@ impl Engine {
         mut observer: impl FnMut(usize, &System),
     ) -> Result<RunStats, EngineError> {
         let t0 = Instant::now();
+        self.phases = PhaseTimer::new();
         let mut energies = Vec::with_capacity(n_steps);
         let mut recovery = RecoveryLog::default();
         let mut done = 0;
@@ -233,6 +249,7 @@ impl Engine {
             degraded_steps: recovery.degraded_steps,
             repromotions: recovery.repromotions,
             faults_injected: self.chaos.as_ref().map_or(0, |c| c.report().total()),
+            phases: self.phases.clone(),
         })
     }
 
@@ -429,6 +446,7 @@ impl Engine {
             .into_iter()
             .map(|r| r.expect("errors handled above"))
         {
+            self.phases.merge(&r.phases);
             for (k, &g) in r.home_ids.iter().enumerate() {
                 self.system.positions[g as usize] = self.system.pbc.wrap(r.positions[k]);
                 self.system.velocities[g as usize] = r.velocities[k];
@@ -500,7 +518,10 @@ impl Engine {
             .iter()
             .map(|p| vec![Vec3::ZERO; p.n_local()])
             .collect();
-        let mut pairlists: Vec<Option<PairList>> = (0..n_ranks).map(|_| None).collect();
+        let mut nbs: Vec<NbEvaluator> = (0..n_ranks)
+            .map(|_| NbEvaluator::new(cfg.nb_kernel))
+            .collect();
+        let mut timer = PhaseTimer::new();
         let mut per_rank_energies: Vec<Vec<EnergyReport>> =
             (0..n_ranks).map(|_| Vec::with_capacity(steps)).collect();
         let ndf = 3.0 * system.n_atoms() as f64 - 3.0;
@@ -524,27 +545,23 @@ impl Engine {
                         eighth_shell_rule(disp, i, j)
                             && !sys.is_excluded(ids[i] as usize, ids[j] as usize)
                     };
-                    let stale = pairlists[r]
-                        .as_ref()
-                        .is_none_or(|pl| pl.needs_rebuild(&positions[r], cfg.buffer));
-                    if stale {
-                        pairlists[r] = Some(PairList::build_in_frame(
-                            &frame,
-                            &positions[r],
-                            cfg.r_comm(),
-                            &rule,
-                        ));
-                    }
-                    let pl = pairlists[r].as_ref().expect("pair list just ensured");
                     forces[r].clear();
                     forces[r].resize(n_local, Vec3::ZERO);
-                    let (nonbonded, w_nb) = compute_nonbonded_virial(
+                    // Same evaluator, same single staleness decision per
+                    // round as the threaded executor — local tiles, then
+                    // halo tiles, folded in the same order (no overlap
+                    // window here, but the arithmetic is identical).
+                    let (nonbonded, w_nb) = nbs[r].compute(
                         &frame,
                         &positions[r],
                         &plan.kinds,
-                        pl,
+                        plan.n_home,
+                        cfg.r_comm(),
+                        cfg.buffer,
+                        &rule,
                         &params,
                         &mut forces[r],
+                        &mut timer,
                     );
                     let local_ident = |g: u32| Some(g);
                     let bonds = compute_bonds(
@@ -672,6 +689,8 @@ impl Engine {
             }
         }
 
+        self.phases.merge(&timer);
+
         // Gather — same loop, same accumulation order as the threaded path.
         let mut energies = vec![EnergyReport::default(); steps];
         for (r, plan) in part.ranks.iter().enumerate() {
@@ -727,7 +746,8 @@ fn rank_segment(
         eighth_shell_rule(disp, i, j) && !sys.is_excluded(ids[i] as usize, ids[j] as usize)
     };
 
-    let mut pairlist: Option<PairList> = None;
+    let mut nb = NbEvaluator::new(cfg.nb_kernel);
+    let mut timer = PhaseTimer::new();
 
     // One signal value per exchange round (coordinate and force slots are
     // disjoint, so a round shares one value); also used as the two-sided
@@ -738,11 +758,25 @@ fn rank_segment(
     macro_rules! force_round {
         () => {{
             sig += 1;
+            // Overlap window eligibility: the one-sided transports expose a
+            // post-send / pre-wait gap; with the cluster kernel and a
+            // retained list the local (home–home) tile partition runs inside
+            // it, off home coordinates only — arrivals touch the halo tail.
+            let overlap = cfg.nb_overlap
+                && nb.can_overlap()
+                && matches!(
+                    cfg.backend,
+                    ExchangeBackend::NvshmemFused | ExchangeBackend::ThreadMpi
+                );
             // --- Coordinate halo exchange ---
             match cfg.backend {
                 ExchangeBackend::NvshmemFused => {
                     bufs.coords.write_slice(ctx.rank, 0, &positions[..n_home]);
                     exec::fused_pack_comm_x(pe, ctx, bufs, sig, wd)?;
+                    if overlap {
+                        let _s = span_opt(pe.trace(), ctx.rank as u32, "nb_local_overlap", -1);
+                        nb.compute_local_overlapped(&frame, &positions, &params, &mut timer);
+                    }
                     exec::wait_coordinate_arrivals(pe, ctx, sig, wd)?;
                     bufs.coords
                         .read_slice(ctx.rank, n_home, &mut positions[n_home..]);
@@ -753,12 +787,17 @@ fn rank_segment(
                 ExchangeBackend::ThreadMpi => {
                     bufs.coords.write_slice(ctx.rank, 0, &positions[..n_home]);
                     exec::tmpi::coordinate_exchange(pe, ctx, bufs, sig, wd)?;
+                    if overlap {
+                        let _s = span_opt(pe.trace(), ctx.rank as u32, "nb_local_overlap", -1);
+                        nb.compute_local_overlapped(&frame, &positions, &params, &mut timer);
+                    }
                     exec::wait_coordinate_arrivals(pe, ctx, sig, wd)?;
                     bufs.coords
                         .read_slice(ctx.rank, n_home, &mut positions[n_home..]);
                     exec::ack_coordinate_consumed(pe, ctx, sig);
                 }
                 ExchangeBackend::Mpi => {
+                    // Two-sided blocking exchange: no window to overlap.
                     exec::mpi::coordinate_exchange(
                         comm,
                         ctx,
@@ -769,29 +808,29 @@ fn rank_segment(
                 }
             }
 
-            // --- Pair list: built on the segment's first round; rebuilt
-            // locally if a fast atom exhausts the Verlet buffer early
-            // (halo *membership* stays fixed until the next repartition,
-            // exactly GROMACS' behaviour between neighbour-search steps —
-            // the buffer is what guarantees coverage in the interim). ---
-            let stale = pairlist
-                .as_ref()
-                .is_none_or(|pl| pl.needs_rebuild(&positions, cfg.buffer));
-            if stale {
-                pairlist = Some(PairList::build_in_frame(
-                    &frame,
-                    &positions,
-                    cfg.r_comm(),
-                    &rule,
-                ));
-            }
-            let pl = pairlist.as_ref().expect("pair list just ensured");
-
-            // --- Forces ---
+            // --- Forces: the evaluator makes this round's single staleness
+            // decision (the list is rebuilt locally if a fast atom exhausts
+            // the Verlet buffer early; halo *membership* stays fixed until
+            // the next repartition, exactly GROMACS' behaviour between
+            // neighbour-search steps), folds any overlapped local partial,
+            // and runs the remaining tile partitions. ---
             forces.clear();
             forces.resize(n_local, Vec3::ZERO);
-            let (nonbonded, w_nb) =
-                compute_nonbonded_virial(&frame, &positions, &plan.kinds, pl, &params, &mut forces);
+            let (nonbonded, w_nb) = {
+                let _s = span_opt(pe.trace(), ctx.rank as u32, "nb_forces", -1);
+                nb.compute(
+                    &frame,
+                    &positions,
+                    &plan.kinds,
+                    n_home,
+                    cfg.r_comm(),
+                    cfg.buffer,
+                    &rule,
+                    &params,
+                    &mut forces,
+                    &mut timer,
+                )
+            };
             let local_ident = |g: u32| Some(g);
             let bonds = compute_bonds(
                 &system.pbc,
@@ -949,6 +988,7 @@ fn rank_segment(
         positions: positions[..n_home].to_vec(),
         velocities,
         energies,
+        phases: timer,
     })
 }
 

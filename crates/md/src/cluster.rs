@@ -5,189 +5,1144 @@
 //! into spatial *clusters* of M=4, the pair list pairs clusters, and the
 //! kernel evaluates all M×M distances — trading a few wasted interactions
 //! for regular, vectorizable data access. We reproduce the scheme on the
-//! CPU: cell-sorted cluster construction, cluster-pair search via cluster
-//! bounding boxes, and an M×M kernel that matches the plain pair-list kernel
-//! to floating-point reordering tolerance.
+//! CPU:
+//!
+//! * clusters are built from cell-sorted order, **home atoms and halo
+//!   copies clustered separately** so a cluster is never mixed-ownership;
+//! * cluster pairs are found by binning cluster centres and pruned with
+//!   per-dimension axis-aligned bounding-box gaps under the [`Frame`]
+//!   metric;
+//! * each surviving 4×4 tile carries a `u16` interaction bitmask baked at
+//!   build time (ownership rule + exclusions + `i < j` dedup + `r_list`
+//!   distance pruning), so the masked pair set is **exactly** the set a
+//!   [`PairList`](crate::pairlist::PairList) built with the same inputs
+//!   would enumerate;
+//! * the tile list is split into a *local* partition (both clusters home)
+//!   and a *halo* partition (either cluster holds halo copies), letting
+//!   the engine evaluate local tiles while the coordinate halo exchange is
+//!   still in flight.
+//!
+//! Determinism contract: the kernel folds energy/virial as per-i-cluster
+//! `f64` partials accumulated in cluster-index (CSR row) order, and force
+//! lanes are combined in a fixed order, so any executor that walks the
+//! rows in order — serial or one thread per PE — produces bitwise
+//! identical results.
 
-use crate::celllist::CellList;
-use crate::forces::nonbonded::NonbondedParams;
+use crate::forces::nonbonded::{NonbondedParams, F_ELEC};
 use crate::frame::Frame;
-use crate::pbc::PbcBox;
+use crate::pairlist::{any_displacement_exceeds, Binning};
+#[cfg(target_arch = "x86_64")]
+use crate::simd4::F8;
+use crate::simd4::{D2, F4};
+use crate::soa::{SoaCoords, SoaForces};
 use crate::topology::AtomKind;
 use crate::vec3::Vec3;
+use std::cell::Cell;
 
 /// Cluster size (atoms per cluster), GROMACS' GPU i-cluster width.
 pub const CLUSTER: usize = 4;
 
 /// Sentinel for padding incomplete clusters.
-const PAD: u32 = u32::MAX;
+pub const PAD: u32 = u32::MAX;
 
-/// Atoms grouped into spatial clusters plus a cluster pair list.
+/// Which tile partition to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NbPartition {
+    /// Tiles where both clusters hold home atoms only: computable before
+    /// the coordinate halo exchange completes.
+    Local,
+    /// Tiles where at least one cluster holds halo copies: requires the
+    /// halo coordinates to have arrived.
+    Halo,
+}
+
+/// One partition of the cluster-pair adjacency, CSR over i-clusters.
+///
+/// Row `r` pairs i-cluster `i_clusters[r]` with j-clusters
+/// `j_clusters[starts[r]..starts[r+1]]` (ascending, each `>= i_clusters[r]`),
+/// and `masks` carries one `u16` per tile: bit `u * CLUSTER + v` enables the
+/// interaction between i-lane `u` and j-lane `v`. Rows appear in strictly
+/// increasing i-cluster order; empty rows are omitted.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterPairs {
+    pub i_clusters: Vec<u32>,
+    /// Row offsets into `j_clusters` / `masks`; `len = i_clusters.len() + 1`.
+    pub starts: Vec<u32>,
+    pub j_clusters: Vec<u32>,
+    pub masks: Vec<u16>,
+}
+
+impl ClusterPairs {
+    pub fn n_rows(&self) -> usize {
+        self.i_clusters.len()
+    }
+
+    pub fn n_tiles(&self) -> usize {
+        self.j_clusters.len()
+    }
+
+    /// Exact number of enabled atom pairs (mask popcount).
+    pub fn n_pairs(&self) -> usize {
+        self.masks.iter().map(|m| m.count_ones() as usize).sum()
+    }
+}
+
+/// Atoms grouped into spatial clusters plus a masked, partitioned cluster
+/// pair list. See the module docs for the scheme.
 #[derive(Debug, Clone)]
 pub struct ClusterPairList {
-    /// Atom indices per cluster, padded with `u32::MAX`.
-    pub clusters: Vec<[u32; CLUSTER]>,
-    /// Geometric centre of each cluster (for diagnostics).
-    pub centers: Vec<Vec3>,
-    /// Half-diagonal radius of each cluster's bounding sphere.
-    pub radii: Vec<f32>,
-    /// Cluster pairs `(ci, cj)` with `ci <= cj`, all of whose atom pairs are
-    /// within `r_list + r_i + r_j` (a superset of the exact pair list).
-    pub pairs: Vec<(u32, u32)>,
+    /// Atom index per lane, `PAD`-padded: cluster `c` owns lanes
+    /// `CLUSTER*c .. CLUSTER*(c+1)`.
+    pub lane_atoms: Vec<u32>,
+    /// Clusters `[0, n_home_clusters)` hold home atoms; the rest halo.
+    pub n_home_clusters: usize,
+    /// Home atoms occupy indices `[0, n_home)` of the build positions.
+    pub n_home: usize,
+    /// Per-lane kind table index (padded lanes: 0).
+    pub lane_kinds: Vec<u8>,
+    /// Per-lane charge (padded lanes: 0, so they contribute no RF term
+    /// even if a mask bug ever enabled one).
+    pub lane_charges: Vec<f32>,
+    /// Axis-aligned bounding-box centre / half-extent per cluster (raw
+    /// coordinates; conservative across a periodic wrap).
+    pub bb_center: Vec<Vec3>,
+    pub bb_half: Vec<Vec3>,
+    /// Home–home tiles.
+    pub local: ClusterPairs,
+    /// Tiles touching at least one halo cluster.
+    pub halo: ClusterPairs,
+    /// Search radius the masks were pruned with (cutoff + buffer).
     pub r_list: f32,
+    /// Metric the list was built under.
+    pub frame: Frame,
+    /// Coordinates at build time, for displacement-based rebuild checks.
+    ref_positions: Vec<Vec3>,
+    /// Consumed by the first `needs_rebuild` call after a build.
+    fresh: Cell<bool>,
 }
 
 impl ClusterPairList {
-    /// Build clusters from cell-sorted order and pair them by bounding
-    /// spheres.
-    pub fn build(pbc: &PbcBox, positions: &[Vec3], r_list: f32) -> ClusterPairList {
-        let cl = CellList::build(pbc, positions, r_list.max(0.3));
-        // Cell-sorted order groups near atoms; chunk into clusters.
-        let mut clusters = Vec::with_capacity(positions.len() / CLUSTER + 1);
-        for chunk in cl.order.chunks(CLUSTER) {
-            let mut c = [PAD; CLUSTER];
-            c[..chunk.len()].copy_from_slice(chunk);
-            clusters.push(c);
-        }
-        // Bounding spheres (minimum-image around the first member).
-        let mut centers = Vec::with_capacity(clusters.len());
-        let mut radii = Vec::with_capacity(clusters.len());
-        for c in &clusters {
-            let anchor = positions[c[0] as usize];
-            let mut mean = Vec3::ZERO;
-            let mut n = 0.0f32;
-            for &a in c.iter().filter(|&&a| a != PAD) {
-                mean += pbc.min_image(positions[a as usize], anchor);
-                n += 1.0;
+    /// Build clusters and the masked tile list over a local coordinate
+    /// array: home atoms `[0, n_home)` followed by pre-shifted halo copies.
+    ///
+    /// `rule(i, j)` (with `i < j`) is the same ownership/exclusion
+    /// predicate [`PairList::build_in_frame`](crate::pairlist::PairList)
+    /// takes; the masked pair set equals that list's pair set exactly.
+    pub fn build(
+        frame: &Frame,
+        positions: &[Vec3],
+        kinds: &[AtomKind],
+        n_home: usize,
+        r_list: f32,
+        rule: &dyn Fn(usize, usize) -> bool,
+    ) -> ClusterPairList {
+        assert!(n_home <= positions.len());
+        assert_eq!(positions.len(), kinds.len());
+        for k in 0..3 {
+            if frame.periodic[k] {
+                assert!(
+                    r_list < 0.5 * frame.box_lengths[k],
+                    "search radius {r_list} must be < half the box {:?} in periodic dim {k}",
+                    frame.box_lengths
+                );
             }
-            let center = anchor + mean / n;
-            let mut r = 0.0f32;
-            for &a in c.iter().filter(|&&a| a != PAD) {
-                r = r.max(pbc.dist2(positions[a as usize], center).sqrt());
-            }
-            centers.push(pbc.wrap(center));
-            radii.push(r);
         }
-        // Pair clusters whose spheres approach within r_list.
-        let nc = clusters.len();
-        let mut pairs = Vec::new();
-        for ci in 0..nc {
-            for cj in ci..nc {
-                let reach = r_list + radii[ci] + radii[cj];
-                if pbc.dist2(centers[ci], centers[cj]) < reach * reach {
-                    pairs.push((ci as u32, cj as u32));
+
+        // --- Cluster construction: spatially sort home and halo ranges
+        // separately, then chunk the sorted order into clusters of 4.
+        let mut lane_atoms: Vec<u32> = Vec::new();
+        let cluster_range = |lo: usize, hi: usize, lane_atoms: &mut Vec<u32>| {
+            if lo == hi {
+                return;
+            }
+            let slice = &positions[lo..hi];
+            let cell = clustering_cell(slice, r_list);
+            let bins = Binning::new(frame, slice, cell);
+            for chunk in bins.order.chunks(CLUSTER) {
+                let mut lanes = [PAD; CLUSTER];
+                for (l, &a) in chunk.iter().enumerate() {
+                    lanes[l] = a + lo as u32;
+                }
+                lane_atoms.extend_from_slice(&lanes);
+            }
+        };
+        cluster_range(0, n_home, &mut lane_atoms);
+        let n_home_clusters = lane_atoms.len() / CLUSTER;
+        cluster_range(n_home, positions.len(), &mut lane_atoms);
+        let n_clusters = lane_atoms.len() / CLUSTER;
+
+        // --- Per-lane parameters (kinds are fixed between repartitions,
+        // so charges can be baked once here instead of gathered per step).
+        let mut lane_kinds = vec![0u8; lane_atoms.len()];
+        let mut lane_charges = vec![0.0f32; lane_atoms.len()];
+        for (l, &a) in lane_atoms.iter().enumerate() {
+            if a != PAD {
+                let k = kinds[a as usize];
+                lane_kinds[l] = k.index() as u8;
+                lane_charges[l] = k.charge();
+            }
+        }
+
+        // --- Bounding boxes (raw coordinates; a cluster straddling a
+        // periodic wrap just gets a conservative box).
+        let mut bb_center = Vec::with_capacity(n_clusters);
+        let mut bb_half = Vec::with_capacity(n_clusters);
+        for c in 0..n_clusters {
+            let mut lo = Vec3::new(f32::INFINITY, f32::INFINITY, f32::INFINITY);
+            let mut hi = Vec3::new(f32::NEG_INFINITY, f32::NEG_INFINITY, f32::NEG_INFINITY);
+            for l in 0..CLUSTER {
+                let a = lane_atoms[CLUSTER * c + l];
+                if a == PAD {
+                    continue;
+                }
+                let p = positions[a as usize];
+                for k in 0..3 {
+                    lo[k] = lo[k].min(p[k]);
+                    hi[k] = hi[k].max(p[k]);
+                }
+            }
+            bb_center.push((lo + hi) * 0.5);
+            bb_half.push((hi - lo) * 0.5);
+        }
+
+        // --- Candidate tiles: bin cluster centres with a cell wide enough
+        // that any interacting pair of "normal" clusters lands in adjacent
+        // cells. Oversized clusters (wrap-straddlers; rare) are checked
+        // against every cluster instead, so completeness never depends on
+        // the cell width.
+        let r2 = r_list * r_list;
+        let mut oversize = Vec::new();
+        let mut max_half = 0.0f32;
+        for (c, h) in bb_half.iter().enumerate() {
+            let m = h.x.max(h.y).max(h.z);
+            if m > r_list {
+                oversize.push(c as u32);
+            } else {
+                max_half = max_half.max(m);
+            }
+        }
+        let center_bins = Binning::new(frame, &bb_center, r_list + 2.0 * max_half);
+
+        let mut local = ClusterPairsBuilder::default();
+        let mut halo = ClusterPairsBuilder::default();
+        let mut neighbor_cells = Vec::with_capacity(27);
+        let mut candidates: Vec<u32> = Vec::new();
+        for ci in 0..n_clusters {
+            candidates.clear();
+            if oversize.contains(&(ci as u32)) {
+                candidates.extend(ci as u32..n_clusters as u32);
+            } else {
+                neighbor_cells.clear();
+                center_bins.neighbors(center_bins.cell_of(bb_center[ci]), &mut neighbor_cells);
+                for &cell in &neighbor_cells {
+                    let lo = center_bins.starts[cell] as usize;
+                    let hi = center_bins.starts[cell + 1] as usize;
+                    for &cj in &center_bins.order[lo..hi] {
+                        if cj as usize >= ci {
+                            candidates.push(cj);
+                        }
+                    }
+                }
+                candidates.extend(oversize.iter().copied().filter(|&cj| cj as usize >= ci));
+                candidates.sort_unstable();
+                candidates.dedup();
+            }
+
+            for &cj in &candidates {
+                let cj = cj as usize;
+                // Per-dim bounding-box gap under the frame metric: a lower
+                // bound on any member distance (triangle inequality; valid
+                // on the circle for periodic dims).
+                let d = frame.displacement(bb_center[ci], bb_center[cj]);
+                let mut gap2 = 0.0f32;
+                for k in 0..3 {
+                    let g = d[k].abs() - (bb_half[ci][k] + bb_half[cj][k]);
+                    if g > 0.0 {
+                        gap2 += g * g;
+                    }
+                }
+                if gap2 >= r2 {
+                    continue;
+                }
+                // Bake the interaction mask: exactly the PairList predicate.
+                let mut mask = 0u16;
+                for u in 0..CLUSTER {
+                    let a = lane_atoms[CLUSTER * ci + u];
+                    if a == PAD {
+                        continue;
+                    }
+                    let vstart = if ci == cj { u + 1 } else { 0 };
+                    for v in vstart..CLUSTER {
+                        let b = lane_atoms[CLUSTER * cj + v];
+                        if b == PAD {
+                            continue;
+                        }
+                        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                        if frame.dist2(positions[a as usize], positions[b as usize]) >= r2 {
+                            continue;
+                        }
+                        if !rule(lo as usize, hi as usize) {
+                            continue;
+                        }
+                        mask |= 1 << (u * CLUSTER + v);
+                    }
+                }
+                if mask != 0 {
+                    if cj < n_home_clusters {
+                        local.push(ci as u32, cj as u32, mask);
+                    } else {
+                        halo.push(ci as u32, cj as u32, mask);
+                    }
                 }
             }
         }
+
         ClusterPairList {
-            clusters,
-            centers,
-            radii,
-            pairs,
+            lane_atoms,
+            n_home_clusters,
+            n_home,
+            lane_kinds,
+            lane_charges,
+            bb_center,
+            bb_half,
+            local: local.finish(),
+            halo: halo.finish(),
             r_list,
+            frame: *frame,
+            ref_positions: positions.to_vec(),
+            fresh: Cell::new(true),
         }
     }
 
     pub fn n_clusters(&self) -> usize {
-        self.clusters.len()
+        self.lane_atoms.len() / CLUSTER
     }
 
-    pub fn n_cluster_pairs(&self) -> usize {
-        self.pairs.len()
+    pub fn n_lanes(&self) -> usize {
+        self.lane_atoms.len()
     }
-}
 
-/// Cluster-pair non-bonded kernel: same physics as
-/// [`crate::forces::compute_nonbonded`], evaluated M×M per cluster pair.
-/// `rule(i, j)` is the pair-ownership/exclusion predicate (called with
-/// `i < j`). Returns the potential energy.
-pub fn compute_nonbonded_clusters(
-    frame: &Frame,
-    positions: &[Vec3],
-    kinds: &[AtomKind],
-    list: &ClusterPairList,
-    params: &NonbondedParams,
-    rule: &dyn Fn(usize, usize) -> bool,
-    forces: &mut [Vec3],
-) -> f64 {
-    let rc2 = params.cutoff * params.cutoff;
-    let mut energy = 0.0f64;
-    for &(ci, cj) in &list.pairs {
-        let ca = &list.clusters[ci as usize];
-        let cb = &list.clusters[cj as usize];
-        for (ia, &a) in ca.iter().enumerate() {
+    /// Total enabled atom pairs across both partitions.
+    pub fn n_pairs(&self) -> usize {
+        self.local.n_pairs() + self.halo.n_pairs()
+    }
+
+    pub fn partition(&self, which: NbPartition) -> &ClusterPairs {
+        match which {
+            NbPartition::Local => &self.local,
+            NbPartition::Halo => &self.halo,
+        }
+    }
+
+    /// Lane-space cluster range holding home atoms.
+    pub fn home_clusters(&self) -> std::ops::Range<usize> {
+        0..self.n_home_clusters
+    }
+
+    /// Lane-space cluster range holding halo copies.
+    pub fn halo_clusters(&self) -> std::ops::Range<usize> {
+        self.n_home_clusters..self.n_clusters()
+    }
+
+    /// Gather atom coordinates into lane order for `clusters`. Padded lanes
+    /// replicate the cluster's first atom — a finite in-range coordinate —
+    /// so dead lanes can never overflow; their mask bits are always 0.
+    pub fn pack_coords(
+        &self,
+        positions: &[Vec3],
+        out: &mut SoaCoords,
+        clusters: std::ops::Range<usize>,
+    ) {
+        out.resize(self.n_lanes());
+        for c in clusters {
+            let base = CLUSTER * c;
+            let anchor = self.lane_atoms[base];
+            for l in 0..CLUSTER {
+                let a = self.lane_atoms[base + l];
+                let a = if a == PAD { anchor } else { a } as usize;
+                let p = positions[a];
+                out.x[base + l] = p.x;
+                out.y[base + l] = p.y;
+                out.z[base + l] = p.z;
+            }
+        }
+    }
+
+    /// Scatter lane-space force accumulators back to per-atom AoS forces
+    /// (additive). Each atom lives in exactly one lane, so the scatter is
+    /// deterministic regardless of tile order.
+    pub fn fold_forces(&self, lane_forces: &SoaForces, forces: &mut [Vec3]) {
+        for (l, &a) in self.lane_atoms.iter().enumerate() {
             if a == PAD {
                 continue;
             }
-            let a = a as usize;
-            let pa = positions[a];
-            let ka = kinds[a];
-            let qa = ka.charge();
-            let mut fa = Vec3::ZERO;
-            let jb_start = if ci == cj { ia + 1 } else { 0 };
-            for &b in cb.iter().skip(jb_start) {
-                if b == PAD {
-                    continue;
-                }
-                let b = b as usize;
-                if a == b {
-                    continue;
-                }
-                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-                let d = frame.displacement(pa, positions[b]);
-                let r2 = d.norm2();
-                if r2 >= rc2 || r2 == 0.0 {
-                    continue;
-                }
-                if !rule(lo, hi) {
-                    continue;
-                }
-                let kb = kinds[b];
-                let (v, f_over_r) = params.pair(ka, kb, qa, kb.charge(), r2);
-                energy += v as f64;
-                let f = d * f_over_r;
-                fa += f;
-                forces[b] -= f;
-            }
-            forces[a] += fa;
+            let f = &mut forces[a as usize];
+            f.x += lane_forces.x[l];
+            f.y += lane_forces.y[l];
+            f.z += lane_forces.z[l];
         }
     }
-    energy
+
+    /// Same two fast paths and the same decision sequence as
+    /// [`PairList::needs_rebuild`](crate::pairlist::PairList::needs_rebuild).
+    pub fn needs_rebuild(&self, positions: &[Vec3], buffer: f32) -> bool {
+        if self.fresh.replace(false) {
+            return false;
+        }
+        self.needs_rebuild_full(positions, buffer)
+    }
+
+    /// Unconditional displacement scan (reference oracle for rebuilds).
+    pub fn needs_rebuild_full(&self, positions: &[Vec3], buffer: f32) -> bool {
+        let lim2 = (0.5 * buffer) * (0.5 * buffer);
+        any_displacement_exceeds(&self.frame, positions, &self.ref_positions, lim2)
+    }
+
+    /// Enumerate the enabled `(i, j)` atom pairs (`i < j`, sorted) of one
+    /// partition — the coverage oracle for tests.
+    pub fn partition_pairs(&self, which: NbPartition) -> Vec<(u32, u32)> {
+        let part = self.partition(which);
+        let mut out = Vec::with_capacity(part.n_pairs());
+        for (row, &ci) in part.i_clusters.iter().enumerate() {
+            let ci = ci as usize;
+            let lo = part.starts[row] as usize;
+            let hi = part.starts[row + 1] as usize;
+            for t in lo..hi {
+                let cj = part.j_clusters[t] as usize;
+                let mask = part.masks[t];
+                for u in 0..CLUSTER {
+                    for v in 0..CLUSTER {
+                        if mask & (1 << (u * CLUSTER + v)) == 0 {
+                            continue;
+                        }
+                        let a = self.lane_atoms[CLUSTER * ci + u];
+                        let b = self.lane_atoms[CLUSTER * cj + v];
+                        out.push((a.min(b), a.max(b)));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// All enabled pairs across both partitions, sorted.
+    pub fn all_pairs(&self) -> Vec<(u32, u32)> {
+        let mut out = self.partition_pairs(NbPartition::Local);
+        out.extend(self.partition_pairs(NbPartition::Halo));
+        out.sort_unstable();
+        out
+    }
 }
+
+/// Incremental CSR row builder for one partition.
+#[derive(Default)]
+struct ClusterPairsBuilder {
+    out: ClusterPairs,
+}
+
+impl ClusterPairsBuilder {
+    fn push(&mut self, ci: u32, cj: u32, mask: u16) {
+        if self.out.i_clusters.last() != Some(&ci) {
+            if self.out.starts.is_empty() {
+                self.out.starts.push(0);
+            }
+            self.out.i_clusters.push(ci);
+            self.out.starts.push(*self.out.starts.last().unwrap());
+        }
+        self.out.j_clusters.push(cj);
+        self.out.masks.push(mask);
+        *self.out.starts.last_mut().unwrap() = self.out.j_clusters.len() as u32;
+    }
+
+    fn finish(mut self) -> ClusterPairs {
+        if self.out.starts.is_empty() {
+            self.out.starts.push(0);
+        }
+        self.out
+    }
+}
+
+/// Pick a clustering cell so ~CLUSTER atoms land per cell (tight clusters),
+/// clamped to a sane range.
+fn clustering_cell(positions: &[Vec3], r_list: f32) -> f32 {
+    let mut lo = Vec3::new(f32::INFINITY, f32::INFINITY, f32::INFINITY);
+    let mut hi = Vec3::new(f32::NEG_INFINITY, f32::NEG_INFINITY, f32::NEG_INFINITY);
+    for p in positions {
+        for k in 0..3 {
+            lo[k] = lo[k].min(p[k]);
+            hi[k] = hi[k].max(p[k]);
+        }
+    }
+    let mut vol = 1.0f32;
+    for k in 0..3 {
+        vol *= (hi[k] - lo[k]).max(0.05);
+    }
+    let per_atom = vol / positions.len() as f32;
+    (CLUSTER as f32 * per_atom)
+        .cbrt()
+        .clamp(0.15, r_list.max(0.3))
+}
+
+/// Cluster-pair non-bonded kernel: same physics as
+/// [`crate::forces::compute_nonbonded`], evaluated as masked 4×4 tiles over
+/// lane-space SoA coordinates (see [`ClusterPairList::pack_coords`]) with
+/// explicit 4-wide SIMD arithmetic ([`F4`]).
+///
+/// The inner micro-tile is branchless: lane selection (mask bit, cutoff,
+/// `r2 > 0`) becomes a 0/1 multiplier, and dead lanes are computed on a
+/// blended `r2' = sel*r2 + (1-sel)` so no lane ever divides by zero. For
+/// live lanes `r2'` is bitwise `r2`, so per-pair energies match the scalar
+/// kernel bit for bit; only the fold orders differ.
+///
+/// Accumulates forces into `lane_forces` (lane space, additive) and returns
+/// `(energy, virial)`. All folds run in a fixed order — i-lane force
+/// partials per j-lane across the row, then one `(v0+v1)+(v2+v3)`
+/// horizontal sum; energy/virial as packed f64 lane partials in CSR tile
+/// order — so repeated evaluation of the same list is bitwise reproducible
+/// no matter how rows are distributed across calls.
+///
+/// On x86_64 hosts with AVX2 an 8-wide variant ([`nb_clusters_avx2`]) is
+/// selected at runtime. It evaluates two tile rows per 256-bit operation
+/// but performs the *same* IEEE operations per half, folds in the same
+/// order, and dead rows riding along in a live pair add exact `±0.0`
+/// (bitwise inert against the `+0.0`-rooted accumulators) — so its results
+/// are bitwise identical to the baseline path, and hence portable across
+/// hosts.
+pub fn compute_nonbonded_clusters(
+    frame: &Frame,
+    coords: &SoaCoords,
+    list: &ClusterPairList,
+    which: NbPartition,
+    params: &NonbondedParams,
+    lane_forces: &mut SoaForces,
+) -> (f64, f64) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: feature presence checked on this exact host above.
+        return unsafe { nb_clusters_avx2(frame, coords, list, which, params, lane_forces) };
+    }
+    nb_clusters_body(frame, coords, list, which, params, lane_forces)
+}
+
+/// 8-wide AVX2 variant of [`nb_clusters_body`]: two tile rows per
+/// iteration, with row `u` in lanes 0–3 and row `u+1` in lanes 4–7 of each
+/// 256-bit vector, sharing one load of the j-cluster data.
+///
+/// Bitwise equality with the baseline path holds by construction:
+/// * every [`F8`] op performs the identical IEEE operation per 128-bit
+///   half, in the same expression order as the 4-wide body;
+/// * j-side force and energy/virial folds extract the halves and
+///   accumulate row `u` before row `u+1` — the baseline's row order;
+/// * a dead row paired with a live one contributes `sel = 0` terms, i.e.
+///   exact `±0.0` adds, which cannot change any accumulator that started
+///   at `+0.0` (adds of finite values never produce `-0.0` under
+///   round-to-nearest).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn nb_clusters_avx2(
+    frame: &Frame,
+    coords: &SoaCoords,
+    list: &ClusterPairList,
+    which: NbPartition,
+    params: &NonbondedParams,
+    lane_forces: &mut SoaForces,
+) -> (f64, f64) {
+    let part = list.partition(which);
+    assert_eq!(coords.len(), list.n_lanes());
+    assert_eq!(lane_forces.len(), list.n_lanes());
+    let bl = frame.box_lengths;
+    let half = [
+        if frame.periodic[0] {
+            0.5 * bl.x
+        } else {
+            f32::INFINITY
+        },
+        if frame.periodic[1] {
+            0.5 * bl.y
+        } else {
+            f32::INFINITY
+        },
+        if frame.periodic[2] {
+            0.5 * bl.z
+        } else {
+            f32::INFINITY
+        },
+    ];
+    let rc2v = F8::splat(params.cutoff * params.cutoff);
+    let zero = F8::splat(0.0);
+    let one = F8::splat(1.0);
+    let (blx, bly, blz) = (F8::splat(bl.x), F8::splat(bl.y), F8::splat(bl.z));
+    let (hx, hy, hz) = (F8::splat(half[0]), F8::splat(half[1]), F8::splat(half[2]));
+    let nhx = F8::splat(-half[0]);
+    let nhy = F8::splat(-half[1]);
+    let nhz = F8::splat(-half[2]);
+    let krfv = F8::splat(params.k_rf);
+    let crfv = F8::splat(params.c_rf);
+    let two_krf = F8::splat(2.0 * params.k_rf);
+    let twelve = F8::splat(12.0);
+    let six = F8::splat(6.0);
+    const NK: usize = AtomKind::COUNT;
+    const LJT_LEN: usize = (NK * NK).next_power_of_two();
+    const LJT_MASK: usize = LJT_LEN - 1;
+    const ROW_PAIRS: usize = CLUSTER / 2;
+    let mut ljt = [[0.0f32; 4]; LJT_LEN];
+    for a in 0..NK {
+        for b in 0..NK {
+            ljt[a * NK + b] = [
+                params.c6[a][b],
+                params.c12[a][b],
+                params.vshift_lj[a][b],
+                0.0,
+            ];
+        }
+    }
+
+    let mut e_lo = D2::zero();
+    let mut e_hi = D2::zero();
+    let mut w_lo = D2::zero();
+    let mut w_hi = D2::zero();
+    for (row, &ci) in part.i_clusters.iter().enumerate() {
+        let ibase = CLUSTER * ci as usize;
+        let xi = load4(&coords.x, ibase);
+        let yi = load4(&coords.y, ibase);
+        let zi = load4(&coords.z, ibase);
+        let qi = load4(&list.lane_charges, ibase);
+        let ki = [
+            list.lane_kinds[ibase] as usize,
+            list.lane_kinds[ibase + 1] as usize,
+            list.lane_kinds[ibase + 2] as usize,
+            list.lane_kinds[ibase + 3] as usize,
+        ];
+        // Row-pair broadcasts: entry `p` carries row `2p` in the low half
+        // and row `2p+1` in the high half.
+        let pxi = [F8::splat2(xi[0], xi[1]), F8::splat2(xi[2], xi[3])];
+        let pyi = [F8::splat2(yi[0], yi[1]), F8::splat2(yi[2], yi[3])];
+        let pzi = [F8::splat2(zi[0], zi[1]), F8::splat2(zi[2], zi[3])];
+        let eqi = [
+            F8::splat2(F_ELEC * qi[0], F_ELEC * qi[1]),
+            F8::splat2(F_ELEC * qi[2], F_ELEC * qi[3]),
+        ];
+        let trow = [NK * ki[0], NK * ki[1], NK * ki[2], NK * ki[3]];
+        let mut fxi = [F8::splat(0.0); ROW_PAIRS];
+        let mut fyi = [F8::splat(0.0); ROW_PAIRS];
+        let mut fzi = [F8::splat(0.0); ROW_PAIRS];
+
+        let lo = part.starts[row] as usize;
+        let hi = part.starts[row + 1] as usize;
+        for t in lo..hi {
+            let jbase = CLUSTER * part.j_clusters[t] as usize;
+            let mask = part.masks[t];
+            let xj4 = F4::load(&coords.x, jbase);
+            let yj4 = F4::load(&coords.y, jbase);
+            let zj4 = F4::load(&coords.z, jbase);
+            let qj4 = F4::load(&list.lane_charges, jbase);
+            let kj = [
+                list.lane_kinds[jbase] as usize,
+                list.lane_kinds[jbase + 1] as usize,
+                list.lane_kinds[jbase + 2] as usize,
+                list.lane_kinds[jbase + 3] as usize,
+            ];
+            // One j-cluster load feeds both rows of every pair.
+            let xj = F8::pair(xj4);
+            let yj = F8::pair(yj4);
+            let zj = F8::pair(zj4);
+            let qj = F8::pair(qj4);
+            let mut fxj = F4::splat(0.0);
+            let mut fyj = F4::splat(0.0);
+            let mut fzj = F4::splat(0.0);
+
+            for p in 0..ROW_PAIRS {
+                let m0 = (mask >> (2 * p * CLUSTER)) & 0xF;
+                let m1 = (mask >> ((2 * p + 1) * CLUSTER)) & 0xF;
+                if (m0 | m1) == 0 {
+                    continue;
+                }
+                let (c6a, c12a, vsa, _) = F4::transpose(
+                    F4::from_array(ljt[(trow[2 * p] + kj[0]) & LJT_MASK]),
+                    F4::from_array(ljt[(trow[2 * p] + kj[1]) & LJT_MASK]),
+                    F4::from_array(ljt[(trow[2 * p] + kj[2]) & LJT_MASK]),
+                    F4::from_array(ljt[(trow[2 * p] + kj[3]) & LJT_MASK]),
+                );
+                let (c6b, c12b, vsb, _) = F4::transpose(
+                    F4::from_array(ljt[(trow[2 * p + 1] + kj[0]) & LJT_MASK]),
+                    F4::from_array(ljt[(trow[2 * p + 1] + kj[1]) & LJT_MASK]),
+                    F4::from_array(ljt[(trow[2 * p + 1] + kj[2]) & LJT_MASK]),
+                    F4::from_array(ljt[(trow[2 * p + 1] + kj[3]) & LJT_MASK]),
+                );
+                let c6 = F8::join(c6a, c6b);
+                let c12 = F8::join(c12a, c12b);
+                let vs = F8::join(vsa, vsb);
+                let msk = F8::join(
+                    F4::from_array(MASK_LANES[m0 as usize]),
+                    F4::from_array(MASK_LANES[m1 as usize]),
+                );
+
+                let mut dx = pxi[p].sub(xj);
+                let mut dy = pyi[p].sub(yj);
+                let mut dz = pzi[p].sub(zj);
+                dx = dx.sub(dx.gt(hx).and(blx).sub(dx.lt(nhx).and(blx)));
+                dy = dy.sub(dy.gt(hy).and(bly).sub(dy.lt(nhy).and(bly)));
+                dz = dz.sub(dz.gt(hz).and(blz).sub(dz.lt(nhz).and(blz)));
+                let r2 = dx.mul(dx).add(dy.mul(dy)).add(dz.mul(dz));
+
+                let sel = r2.lt(rc2v).and(zero.lt(r2)).and(msk);
+                if !sel.any_nonzero() {
+                    continue;
+                }
+                let r2e = sel.mul(r2).add(one.sub(sel));
+
+                let inv_r2 = one.div(r2e);
+                let inv_r6 = inv_r2.mul(inv_r2).mul(inv_r2);
+                let v_lj = c12.mul(inv_r6).mul(inv_r6).sub(c6.mul(inv_r6)).sub(vs);
+                let f_lj = twelve
+                    .mul(c12)
+                    .mul(inv_r6)
+                    .mul(inv_r6)
+                    .sub(six.mul(c6).mul(inv_r6))
+                    .mul(inv_r2);
+                let qq = eqi[p].mul(qj);
+                let inv_r = inv_r2.sqrt();
+                let v_rf = qq.mul(inv_r.add(krfv.mul(r2e)).sub(crfv));
+                let f_rf = qq.mul(inv_r.mul(inv_r2).sub(two_krf));
+
+                let fs = sel.mul(f_lj.add(f_rf));
+                let ev = sel.mul(v_lj.add(v_rf));
+                let wv = fs.mul(r2e);
+                let fx = fs.mul(dx);
+                let fy = fs.mul(dy);
+                let fz = fs.mul(dz);
+
+                fxi[p] = fxi[p].add(fx);
+                fyi[p] = fyi[p].add(fy);
+                fzi[p] = fzi[p].add(fz);
+                // Half extraction puts the folds back in the baseline's
+                // row order: row 2p first, then row 2p+1.
+                fxj = (fxj - fx.lo()) - fx.hi();
+                fyj = (fyj - fy.lo()) - fy.hi();
+                fzj = (fzj - fz.lo()) - fz.hi();
+                let (evl, evh) = (ev.lo(), ev.hi());
+                let (wvl, wvh) = (wv.lo(), wv.hi());
+                e_lo = e_lo + evl.to_f64_lo();
+                e_hi = e_hi + evl.to_f64_hi();
+                e_lo = e_lo + evh.to_f64_lo();
+                e_hi = e_hi + evh.to_f64_hi();
+                w_lo = w_lo + wvl.to_f64_lo();
+                w_hi = w_hi + wvl.to_f64_hi();
+                w_lo = w_lo + wvh.to_f64_lo();
+                w_hi = w_hi + wvh.to_f64_hi();
+            }
+
+            let (fxja, fyja, fzja) = (fxj.to_array(), fyj.to_array(), fzj.to_array());
+            for v in 0..CLUSTER {
+                lane_forces.x[jbase + v] += fxja[v];
+                lane_forces.y[jbase + v] += fyja[v];
+                lane_forces.z[jbase + v] += fzja[v];
+            }
+        }
+
+        for p in 0..ROW_PAIRS {
+            let rows = [
+                (2 * p, fxi[p].lo(), fyi[p].lo(), fzi[p].lo()),
+                (2 * p + 1, fxi[p].hi(), fyi[p].hi(), fzi[p].hi()),
+            ];
+            for (u, fx4, fy4, fz4) in rows {
+                let (fxa, fya, fza) = (fx4.to_array(), fy4.to_array(), fz4.to_array());
+                lane_forces.x[ibase + u] += (fxa[0] + fxa[1]) + (fxa[2] + fxa[3]);
+                lane_forces.y[ibase + u] += (fya[0] + fya[1]) + (fya[2] + fya[3]);
+                lane_forces.z[ibase + u] += (fza[0] + fza[1]) + (fza[2] + fza[3]);
+            }
+        }
+    }
+    let (ea, eb) = (e_lo.to_array(), e_hi.to_array());
+    let (wa, wb) = (w_lo.to_array(), w_hi.to_array());
+    (
+        (ea[0] + ea[1]) + (eb[0] + eb[1]),
+        (wa[0] + wa[1]) + (wb[0] + wb[1]),
+    )
+}
+
+#[inline(always)]
+fn nb_clusters_body(
+    frame: &Frame,
+    coords: &SoaCoords,
+    list: &ClusterPairList,
+    which: NbPartition,
+    params: &NonbondedParams,
+    lane_forces: &mut SoaForces,
+) -> (f64, f64) {
+    let part = list.partition(which);
+    assert_eq!(coords.len(), list.n_lanes());
+    assert_eq!(lane_forces.len(), list.n_lanes());
+    let k_rf = params.k_rf;
+    let c_rf = params.c_rf;
+    // Branchless minimum image: in periodic dims compare against L/2 and
+    // shift by ±L; non-periodic dims get an infinite threshold (never
+    // shifts). Bitwise-matches `Frame::displacement`.
+    let bl = frame.box_lengths;
+    let half = [
+        if frame.periodic[0] {
+            0.5 * bl.x
+        } else {
+            f32::INFINITY
+        },
+        if frame.periodic[1] {
+            0.5 * bl.y
+        } else {
+            f32::INFINITY
+        },
+        if frame.periodic[2] {
+            0.5 * bl.z
+        } else {
+            f32::INFINITY
+        },
+    ];
+    // Loop-invariant lane broadcasts for the 4-wide tile arithmetic.
+    let rc2v = F4::splat(params.cutoff * params.cutoff);
+    let zero = F4::splat(0.0);
+    let one = F4::splat(1.0);
+    let (blx, bly, blz) = (F4::splat(bl.x), F4::splat(bl.y), F4::splat(bl.z));
+    let (hx, hy, hz) = (F4::splat(half[0]), F4::splat(half[1]), F4::splat(half[2]));
+    let nhx = F4::splat(-half[0]);
+    let nhy = F4::splat(-half[1]);
+    let nhz = F4::splat(-half[2]);
+    let krfv = F4::splat(k_rf);
+    let crfv = F4::splat(c_rf);
+    let two_krf = F4::splat(2.0 * k_rf);
+    let twelve = F4::splat(12.0);
+    let six = F4::splat(6.0);
+    // Interleaved LJ parameter table: one aligned `[c6, c12, vshift, _]`
+    // quad per kind pair, so each tile row gathers four 16-byte quads and
+    // transposes, instead of twelve scattered scalar loads. Sized to the
+    // next power of two so a flat `& LJT_MASK` index is provably in bounds
+    // — no bounds-check branches inside the tile loop.
+    const NK: usize = AtomKind::COUNT;
+    const LJT_LEN: usize = (NK * NK).next_power_of_two();
+    const LJT_MASK: usize = LJT_LEN - 1;
+    let mut ljt = [[0.0f32; 4]; LJT_LEN];
+    for a in 0..NK {
+        for b in 0..NK {
+            ljt[a * NK + b] = [
+                params.c6[a][b],
+                params.c12[a][b],
+                params.vshift_lj[a][b],
+                0.0,
+            ];
+        }
+    }
+
+    // Energy/virial accumulate as packed f64 lane partials (widened from
+    // the bitwise per-pair f32 terms) and fold once at the end, in a fixed
+    // lane order — deterministic across runs and executors.
+    let mut e_lo = D2::zero();
+    let mut e_hi = D2::zero();
+    let mut w_lo = D2::zero();
+    let mut w_hi = D2::zero();
+    for (row, &ci) in part.i_clusters.iter().enumerate() {
+        let ibase = CLUSTER * ci as usize;
+        let xi = load4(&coords.x, ibase);
+        let yi = load4(&coords.y, ibase);
+        let zi = load4(&coords.z, ibase);
+        let qi = load4(&list.lane_charges, ibase);
+        let ki = [
+            list.lane_kinds[ibase] as usize,
+            list.lane_kinds[ibase + 1] as usize,
+            list.lane_kinds[ibase + 2] as usize,
+            list.lane_kinds[ibase + 3] as usize,
+        ];
+        // i-lane broadcasts and `F_ELEC * q_i` products are tile-invariant:
+        // splat them once per CSR row instead of once per tile row.
+        let pxi = [0, 1, 2, 3].map(|u| F4::splat(xi[u]));
+        let pyi = [0, 1, 2, 3].map(|u| F4::splat(yi[u]));
+        let pzi = [0, 1, 2, 3].map(|u| F4::splat(zi[u]));
+        let eqi = [0, 1, 2, 3].map(|u| F4::splat(F_ELEC * qi[u]));
+        let trow = [0, 1, 2, 3].map(|u| NK * ki[u]);
+        // Per-i-lane force partials stay as 4-wide j-lane vectors across
+        // the whole row; the horizontal (v0+v1)+(v2+v3) fold happens once
+        // per row instead of once per tile.
+        let mut fxi = [F4::splat(0.0); CLUSTER];
+        let mut fyi = [F4::splat(0.0); CLUSTER];
+        let mut fzi = [F4::splat(0.0); CLUSTER];
+
+        let lo = part.starts[row] as usize;
+        let hi = part.starts[row + 1] as usize;
+        for t in lo..hi {
+            let jbase = CLUSTER * part.j_clusters[t] as usize;
+            let mask = part.masks[t];
+            let xj = F4::load(&coords.x, jbase);
+            let yj = F4::load(&coords.y, jbase);
+            let zj = F4::load(&coords.z, jbase);
+            let qj = F4::load(&list.lane_charges, jbase);
+            let kj = [
+                list.lane_kinds[jbase] as usize,
+                list.lane_kinds[jbase + 1] as usize,
+                list.lane_kinds[jbase + 2] as usize,
+                list.lane_kinds[jbase + 3] as usize,
+            ];
+            let mut fxj = F4::splat(0.0);
+            let mut fyj = F4::splat(0.0);
+            let mut fzj = F4::splat(0.0);
+
+            for u in 0..CLUSTER {
+                let mrow = (mask >> (u * CLUSTER)) & 0xF;
+                if mrow == 0 {
+                    continue;
+                }
+                // Per-pair LJ parameter quads and the row's mask lookup —
+                // the only scalar work per row; everything after is 4-wide.
+                let (c6, c12, vs, _) = F4::transpose(
+                    F4::from_array(ljt[(trow[u] + kj[0]) & LJT_MASK]),
+                    F4::from_array(ljt[(trow[u] + kj[1]) & LJT_MASK]),
+                    F4::from_array(ljt[(trow[u] + kj[2]) & LJT_MASK]),
+                    F4::from_array(ljt[(trow[u] + kj[3]) & LJT_MASK]),
+                );
+                let msk = F4::from_array(MASK_LANES[mrow as usize]);
+
+                let mut dx = pxi[u] - xj;
+                let mut dy = pyi[u] - yj;
+                let mut dz = pzi[u] - zj;
+                dx = dx - (dx.gt(hx).and(blx) - dx.lt(nhx).and(blx));
+                dy = dy - (dy.gt(hy).and(bly) - dy.lt(nhy).and(bly));
+                dz = dz - (dz.gt(hz).and(blz) - dz.lt(nhz).and(blz));
+                let r2 = dx * dx + dy * dy + dz * dz;
+
+                // Live lanes: sel == 1.0 and r2e == r2 bitwise. Dead lanes
+                // (masked, beyond cutoff, or self): sel == 0.0 and
+                // r2e == 1.0, so no lane ever divides by zero.
+                let sel = r2.lt(rc2v).and(zero.lt(r2)).and(msk);
+                if !sel.any_nonzero() {
+                    // Listed row, but every pair is masked or outside the
+                    // cutoff this step (Verlet skin) — all lanes would
+                    // contribute exact zeros.
+                    continue;
+                }
+                let r2e = sel * r2 + (one - sel);
+
+                let inv_r2 = one / r2e;
+                let inv_r6 = inv_r2 * inv_r2 * inv_r2;
+                let v_lj = c12 * inv_r6 * inv_r6 - c6 * inv_r6 - vs;
+                let f_lj = (twelve * c12 * inv_r6 * inv_r6 - six * c6 * inv_r6) * inv_r2;
+                let qq = eqi[u] * qj;
+                let inv_r = inv_r2.sqrt();
+                let v_rf = qq * (inv_r + krfv * r2e - crfv);
+                let f_rf = qq * (inv_r * inv_r2 - two_krf);
+
+                let fs = sel * (f_lj + f_rf);
+                let ev = sel * (v_lj + v_rf);
+                let wv = fs * r2e;
+                let fx = fs * dx;
+                let fy = fs * dy;
+                let fz = fs * dz;
+
+                // Fixed fold order: i-lanes and j-lanes accumulate per
+                // j-lane, energy/virial as widened f64 lane partials.
+                fxi[u] = fxi[u] + fx;
+                fyi[u] = fyi[u] + fy;
+                fzi[u] = fzi[u] + fz;
+                fxj = fxj - fx;
+                fyj = fyj - fy;
+                fzj = fzj - fz;
+                e_lo = e_lo + ev.to_f64_lo();
+                e_hi = e_hi + ev.to_f64_hi();
+                w_lo = w_lo + wv.to_f64_lo();
+                w_hi = w_hi + wv.to_f64_hi();
+            }
+
+            let (fxja, fyja, fzja) = (fxj.to_array(), fyj.to_array(), fzj.to_array());
+            for v in 0..CLUSTER {
+                lane_forces.x[jbase + v] += fxja[v];
+                lane_forces.y[jbase + v] += fyja[v];
+                lane_forces.z[jbase + v] += fzja[v];
+            }
+        }
+
+        for u in 0..CLUSTER {
+            let (fxa, fya, fza) = (fxi[u].to_array(), fyi[u].to_array(), fzi[u].to_array());
+            lane_forces.x[ibase + u] += (fxa[0] + fxa[1]) + (fxa[2] + fxa[3]);
+            lane_forces.y[ibase + u] += (fya[0] + fya[1]) + (fya[2] + fya[3]);
+            lane_forces.z[ibase + u] += (fza[0] + fza[1]) + (fza[2] + fza[3]);
+        }
+    }
+    let (ea, eb) = (e_lo.to_array(), e_hi.to_array());
+    let (wa, wb) = (w_lo.to_array(), w_hi.to_array());
+    (
+        (ea[0] + ea[1]) + (eb[0] + eb[1]),
+        (wa[0] + wa[1]) + (wb[0] + wb[1]),
+    )
+}
+
+/// Convenience wrapper over AoS buffers: pack all lanes, evaluate local
+/// then halo, fold forces back. Returns `(energy, virial)`.
+pub fn compute_nonbonded_clusters_aos(
+    frame: &Frame,
+    positions: &[Vec3],
+    list: &ClusterPairList,
+    params: &NonbondedParams,
+    forces: &mut [Vec3],
+) -> (f64, f64) {
+    let mut coords = SoaCoords::default();
+    list.pack_coords(positions, &mut coords, 0..list.n_clusters());
+    let mut lane_forces = SoaForces::default();
+    lane_forces.reset(list.n_lanes());
+    let (e_l, w_l) = compute_nonbonded_clusters(
+        frame,
+        &coords,
+        list,
+        NbPartition::Local,
+        params,
+        &mut lane_forces,
+    );
+    let (e_h, w_h) = compute_nonbonded_clusters(
+        frame,
+        &coords,
+        list,
+        NbPartition::Halo,
+        params,
+        &mut lane_forces,
+    );
+    list.fold_forces(&lane_forces, forces);
+    (e_l + e_h, w_l + w_h)
+}
+
+#[inline(always)]
+fn load4(src: &[f32], base: usize) -> [f32; CLUSTER] {
+    [src[base], src[base + 1], src[base + 2], src[base + 3]]
+}
+
+/// Lane selectors for a 4-bit tile-row mask: bit `v` set ⇒ lane `v` is 1.0.
+/// One 16-byte load replaces four shift/mask/convert chains per row.
+const MASK_LANES: [[f32; 4]; 16] = [
+    [0.0, 0.0, 0.0, 0.0],
+    [1.0, 0.0, 0.0, 0.0],
+    [0.0, 1.0, 0.0, 0.0],
+    [1.0, 1.0, 0.0, 0.0],
+    [0.0, 0.0, 1.0, 0.0],
+    [1.0, 0.0, 1.0, 0.0],
+    [0.0, 1.0, 1.0, 0.0],
+    [1.0, 1.0, 1.0, 0.0],
+    [0.0, 0.0, 0.0, 1.0],
+    [1.0, 0.0, 0.0, 1.0],
+    [0.0, 1.0, 0.0, 1.0],
+    [1.0, 1.0, 0.0, 1.0],
+    [0.0, 0.0, 1.0, 1.0],
+    [1.0, 0.0, 1.0, 1.0],
+    [0.0, 1.0, 1.0, 1.0],
+    [1.0, 1.0, 1.0, 1.0],
+];
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::forces::compute_nonbonded;
-    use crate::pairlist::PairList;
+    use crate::forces::{compute_nonbonded, compute_nonbonded_virial};
+    use crate::pairlist::{eighth_shell_rule, PairList};
+    use crate::pbc::PbcBox;
     use crate::system::GrappaBuilder;
+
+    fn sorted_pairs(pl: &PairList) -> Vec<(u32, u32)> {
+        let mut v: Vec<_> = pl.iter_pairs().collect();
+        v.sort_unstable();
+        v
+    }
 
     #[test]
     fn every_atom_in_exactly_one_cluster() {
         let sys = GrappaBuilder::new(1500).seed(31).build();
-        let list = ClusterPairList::build(&sys.pbc, &sys.positions, 0.75);
+        let frame = Frame::fully_periodic(&sys.pbc);
+        let all = |_: usize, _: usize| true;
+        let list = ClusterPairList::build(
+            &frame,
+            &sys.positions,
+            &sys.kinds,
+            sys.n_atoms(),
+            0.75,
+            &all,
+        );
         let mut seen = vec![false; sys.n_atoms()];
-        for c in &list.clusters {
-            for &a in c.iter().filter(|&&a| a != PAD) {
-                assert!(!seen[a as usize]);
-                seen[a as usize] = true;
-            }
+        for &a in list.lane_atoms.iter().filter(|&&a| a != PAD) {
+            assert!(!seen[a as usize]);
+            seen[a as usize] = true;
         }
         assert!(seen.iter().all(|&s| s));
         assert_eq!(list.n_clusters(), sys.n_atoms().div_ceil(CLUSTER));
+        assert_eq!(list.n_home_clusters, list.n_clusters());
+        assert_eq!(list.halo.n_tiles(), 0, "no halo atoms, no halo tiles");
     }
 
     #[test]
     fn clusters_are_spatially_tight() {
         let sys = GrappaBuilder::new(3000).seed(32).build();
-        let list = ClusterPairList::build(&sys.pbc, &sys.positions, 0.75);
-        // Cell-sorted clusters should be much smaller than the box.
-        let mean_r: f32 = list.radii.iter().sum::<f32>() / list.radii.len() as f32;
-        assert!(mean_r < 0.5, "mean cluster radius {mean_r}");
+        let frame = Frame::fully_periodic(&sys.pbc);
+        let all = |_: usize, _: usize| true;
+        let list = ClusterPairList::build(
+            &frame,
+            &sys.positions,
+            &sys.kinds,
+            sys.n_atoms(),
+            0.75,
+            &all,
+        );
+        let mean_r: f32 =
+            list.bb_half.iter().map(|h| h.norm()).sum::<f32>() / list.bb_half.len() as f32;
+        assert!(mean_r < 0.5, "mean cluster half-diagonal {mean_r}");
     }
 
     #[test]
-    fn cluster_kernel_matches_plain_kernel() {
+    fn masked_pairs_equal_scalar_pair_list() {
+        let sys = GrappaBuilder::new(1200).seed(35).build();
+        let frame = Frame::fully_periodic(&sys.pbc);
+        let rule = |a: usize, b: usize| !sys.is_excluded(a, b);
+        let pl = PairList::build_in_frame(&frame, &sys.positions, 0.75, &rule);
+        let list = ClusterPairList::build(
+            &frame,
+            &sys.positions,
+            &sys.kinds,
+            sys.n_atoms(),
+            0.75,
+            &rule,
+        );
+        assert_eq!(list.all_pairs(), sorted_pairs(&pl));
+        assert_eq!(list.n_pairs(), pl.n_pairs());
+    }
+
+    #[test]
+    fn partitions_split_by_halo_and_cover_exactly() {
+        // Synthetic DD-like frame: x decomposed, last 300 atoms are "halo"
+        // copies shifted +L in x with an eighth-shell displacement table.
+        let sys = GrappaBuilder::new(1200).seed(36).build();
+        let frame = Frame::for_decomposition(&sys.pbc, [2, 1, 1]);
+        let n_home = 900;
+        let pos = sys.positions.clone();
+        let mut disp = vec![[0u8; 3]; pos.len()];
+        for d in disp.iter_mut().skip(n_home) {
+            *d = [1, 0, 0];
+        }
+        let excl = &sys;
+        let rule =
+            move |a: usize, b: usize| eighth_shell_rule(&disp, a, b) && !excl.is_excluded(a, b);
+        let pl = PairList::build_in_frame(&frame, &pos, 0.7, &rule);
+        let list = ClusterPairList::build(&frame, &pos, &sys.kinds, n_home, 0.7, &rule);
+
+        // Exact coverage: local ∪ halo == unsplit pair set, disjoint.
+        let local = list.partition_pairs(NbPartition::Local);
+        let halo = list.partition_pairs(NbPartition::Halo);
+        let mut union = local.clone();
+        union.extend(halo.iter().copied());
+        union.sort_unstable();
+        assert_eq!(union.len(), local.len() + halo.len(), "partitions overlap");
+        assert_eq!(union, sorted_pairs(&pl));
+
+        // Local touches only home atoms; every halo pair touches a halo atom.
+        for &(a, b) in &local {
+            assert!((a as usize) < n_home && (b as usize) < n_home);
+        }
+        for &(a, b) in &halo {
+            assert!((a as usize) >= n_home || (b as usize) >= n_home);
+        }
+        assert!(!halo.is_empty(), "test should exercise halo tiles");
+    }
+
+    #[test]
+    fn cluster_kernel_matches_scalar_kernel() {
         let sys = GrappaBuilder::new(1500).seed(33).build();
         let frame = Frame::fully_periodic(&sys.pbc);
         let params = NonbondedParams::new(0.7);
@@ -195,7 +1150,7 @@ mod tests {
 
         let pl = PairList::build(&sys.pbc, &sys.positions, 0.75, &rule);
         let mut f_plain = vec![Vec3::ZERO; sys.n_atoms()];
-        let e_plain = compute_nonbonded(
+        let (e_plain, w_plain) = compute_nonbonded_virial(
             &frame,
             &sys.positions,
             &sys.kinds,
@@ -204,19 +1159,22 @@ mod tests {
             &mut f_plain,
         );
 
-        let list = ClusterPairList::build(&sys.pbc, &sys.positions, 0.75);
-        let mut f_cluster = vec![Vec3::ZERO; sys.n_atoms()];
-        let e_cluster = compute_nonbonded_clusters(
+        let list = ClusterPairList::build(
             &frame,
             &sys.positions,
             &sys.kinds,
-            &list,
-            &params,
+            sys.n_atoms(),
+            0.75,
             &rule,
-            &mut f_cluster,
         );
+        let mut f_cluster = vec![Vec3::ZERO; sys.n_atoms()];
+        let (e_cluster, w_cluster) =
+            compute_nonbonded_clusters_aos(&frame, &sys.positions, &list, &params, &mut f_cluster);
+
         let rel = (e_plain - e_cluster).abs() / e_plain.abs().max(1.0);
         assert!(rel < 1e-9, "energy {e_plain} vs {e_cluster}");
+        let relw = (w_plain - w_cluster).abs() / w_plain.abs().max(1.0);
+        assert!(relw < 1e-9, "virial {w_plain} vs {w_cluster}");
         for (i, (a, b)) in f_plain.iter().zip(&f_cluster).enumerate() {
             assert!(
                 (*a - *b).norm() <= 1e-3 * a.norm().max(1.0),
@@ -226,32 +1184,126 @@ mod tests {
     }
 
     #[test]
-    fn cluster_pairs_cover_all_exact_pairs() {
-        // Bounding-sphere pairing must be a superset of exact pairs.
-        let sys = GrappaBuilder::new(600).seed(34).build();
-        let r = 0.7;
-        let list = ClusterPairList::build(&sys.pbc, &sys.positions, r);
-        // Map atom -> cluster.
-        let mut cluster_of = vec![0u32; sys.n_atoms()];
-        for (c, members) in list.clusters.iter().enumerate() {
-            for &a in members.iter().filter(|&&a| a != PAD) {
-                cluster_of[a as usize] = c as u32;
+    fn cluster_energy_matches_plain_energy_kernel() {
+        // Same check against the energy-only scalar kernel (the other oracle).
+        let sys = GrappaBuilder::new(900).seed(37).build();
+        let frame = Frame::fully_periodic(&sys.pbc);
+        let params = NonbondedParams::new(0.6);
+        let rule = |a: usize, b: usize| !sys.is_excluded(a, b);
+        let pl = PairList::build(&sys.pbc, &sys.positions, 0.65, &rule);
+        let mut f1 = vec![Vec3::ZERO; sys.n_atoms()];
+        let e1 = compute_nonbonded(&frame, &sys.positions, &sys.kinds, &pl, &params, &mut f1);
+        let list = ClusterPairList::build(
+            &frame,
+            &sys.positions,
+            &sys.kinds,
+            sys.n_atoms(),
+            0.65,
+            &rule,
+        );
+        let mut f2 = vec![Vec3::ZERO; sys.n_atoms()];
+        let (e2, _) =
+            compute_nonbonded_clusters_aos(&frame, &sys.positions, &list, &params, &mut f2);
+        assert!((e1 - e2).abs() < 1e-9 * e1.abs().max(1.0), "{e1} vs {e2}");
+    }
+
+    #[test]
+    fn dispatched_kernel_matches_baseline_body_bitwise() {
+        // The runtime-dispatched entry (the AVX2 8-wide instantiation on
+        // hosts that have it) must be bitwise identical to the baseline
+        // 4-wide body — forces, energy, and virial. On hosts without AVX2
+        // the dispatcher *is* the baseline and this passes trivially.
+        let sys = GrappaBuilder::new(1200).seed(41).build();
+        let frame = Frame::fully_periodic(&sys.pbc);
+        let params = NonbondedParams::new(0.7);
+        let rule = |a: usize, b: usize| !sys.is_excluded(a, b);
+        let list = ClusterPairList::build(
+            &frame,
+            &sys.positions,
+            &sys.kinds,
+            sys.n_atoms(),
+            0.75,
+            &rule,
+        );
+        let mut coords = SoaCoords::default();
+        list.pack_coords(&sys.positions, &mut coords, 0..list.n_clusters());
+
+        for which in [NbPartition::Local, NbPartition::Halo] {
+            let mut lf_base = SoaForces::default();
+            lf_base.reset(list.n_lanes());
+            let (e_base, w_base) =
+                nb_clusters_body(&frame, &coords, &list, which, &params, &mut lf_base);
+            let mut lf_disp = SoaForces::default();
+            lf_disp.reset(list.n_lanes());
+            let (e_disp, w_disp) =
+                compute_nonbonded_clusters(&frame, &coords, &list, which, &params, &mut lf_disp);
+            assert_eq!(e_base.to_bits(), e_disp.to_bits(), "energy ({which:?})");
+            assert_eq!(w_base.to_bits(), w_disp.to_bits(), "virial ({which:?})");
+            for lane in 0..list.n_lanes() {
+                let a = lf_base.get(lane);
+                let b = lf_disp.get(lane);
+                assert_eq!(
+                    [a.x.to_bits(), a.y.to_bits(), a.z.to_bits()],
+                    [b.x.to_bits(), b.y.to_bits(), b.z.to_bits()],
+                    "lane {lane} ({which:?})"
+                );
             }
         }
-        let pair_set: std::collections::HashSet<(u32, u32)> = list.pairs.iter().copied().collect();
-        for i in 0..sys.n_atoms() {
-            for j in (i + 1)..sys.n_atoms() {
-                if sys.pbc.dist2(sys.positions[i], sys.positions[j]) < r * r {
-                    let (a, b) = (
-                        cluster_of[i].min(cluster_of[j]),
-                        cluster_of[i].max(cluster_of[j]),
-                    );
-                    assert!(
-                        pair_set.contains(&(a, b)),
-                        "pair ({i},{j}) missing cluster pair"
-                    );
-                }
-            }
-        }
+    }
+
+    #[test]
+    fn kernel_is_deterministic() {
+        let sys = GrappaBuilder::new(800).seed(38).build();
+        let frame = Frame::fully_periodic(&sys.pbc);
+        let params = NonbondedParams::new(0.7);
+        let all = |_: usize, _: usize| true;
+        let list = ClusterPairList::build(
+            &frame,
+            &sys.positions,
+            &sys.kinds,
+            sys.n_atoms(),
+            0.75,
+            &all,
+        );
+        let mut f1 = vec![Vec3::ZERO; sys.n_atoms()];
+        let r1 = compute_nonbonded_clusters_aos(&frame, &sys.positions, &list, &params, &mut f1);
+        let mut f2 = vec![Vec3::ZERO; sys.n_atoms()];
+        let r2 = compute_nonbonded_clusters_aos(&frame, &sys.positions, &list, &params, &mut f2);
+        assert_eq!(r1, r2);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn rebuild_decisions_mirror_pair_list() {
+        let sys = GrappaBuilder::new(900).seed(39).build();
+        let frame = Frame::fully_periodic(&sys.pbc);
+        let all = |_: usize, _: usize| true;
+        let pl = PairList::build_in_frame(&frame, &sys.positions, 0.8, &all);
+        let cl =
+            ClusterPairList::build(&frame, &sys.positions, &sys.kinds, sys.n_atoms(), 0.8, &all);
+        // Fresh skip, then the same displacement verdicts.
+        assert!(!cl.needs_rebuild(&sys.positions, 0.2));
+        let mut moved = sys.positions.clone();
+        moved[7].y += 0.15;
+        assert_eq!(
+            pl.needs_rebuild_full(&moved, 0.2),
+            cl.needs_rebuild_full(&moved, 0.2)
+        );
+        assert!(cl.needs_rebuild(&moved, 0.2));
+    }
+
+    #[test]
+    fn out_of_box_halo_coordinates_are_handled() {
+        let pbc = PbcBox::cubic(5.0);
+        let frame = Frame::for_decomposition(&pbc, [2, 1, 1]);
+        let positions = vec![
+            Vec3::new(4.8, 2.0, 2.0), // home
+            Vec3::new(5.3, 2.0, 2.0), // halo, shifted image of an atom at 0.3
+        ];
+        let kinds = vec![AtomKind::Ow; 2];
+        let all = |_: usize, _: usize| true;
+        let list = ClusterPairList::build(&frame, &positions, &kinds, 1, 1.0, &all);
+        assert_eq!(list.all_pairs(), vec![(0, 1)]);
+        assert_eq!(list.partition_pairs(NbPartition::Local).len(), 0);
     }
 }

@@ -5,5 +5,5 @@ pub mod nonbonded;
 pub mod virial;
 
 pub use bonded::{compute_angles, compute_bonds};
-pub use nonbonded::{compute_nonbonded, NonbondedParams, F_ELEC};
+pub use nonbonded::{charge_table, compute_nonbonded, NonbondedParams, F_ELEC};
 pub use virial::{angle_virial, bond_virial, compute_nonbonded_virial, pressure_bar};

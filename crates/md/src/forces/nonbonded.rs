@@ -24,11 +24,13 @@ pub struct NonbondedParams {
     pub k_rf: f32,
     /// Reaction-field shift constant c_rf (nm^-1).
     pub c_rf: f32,
-    /// Dense (kind, kind) -> (c6, c12) table.
-    c6: [[f32; AtomKind::COUNT]; AtomKind::COUNT],
-    c12: [[f32; AtomKind::COUNT]; AtomKind::COUNT],
+    /// Dense (kind, kind) -> (c6, c12) table. Crate-visible so the
+    /// cluster-pair kernel (`crate::cluster`) can index rows directly in
+    /// its inner micro-tile instead of calling [`NonbondedParams::pair`].
+    pub(crate) c6: [[f32; AtomKind::COUNT]; AtomKind::COUNT],
+    pub(crate) c12: [[f32; AtomKind::COUNT]; AtomKind::COUNT],
     /// LJ potential shift per kind pair: value of LJ at the cutoff.
-    vshift_lj: [[f32; AtomKind::COUNT]; AtomKind::COUNT],
+    pub(crate) vshift_lj: [[f32; AtomKind::COUNT]; AtomKind::COUNT],
 }
 
 impl NonbondedParams {
@@ -84,6 +86,15 @@ impl NonbondedParams {
     }
 }
 
+/// Precompute the per-atom charge table once per force pass. `charge()` is
+/// a match on the kind, and the inner pair loop used to evaluate it twice
+/// per pair; one gather per atom up front replaces millions of calls per
+/// pass with a slice index, and the looked-up values are the same f32s, so
+/// energies and forces stay bitwise identical (asserted in tests).
+pub fn charge_table(kinds: &[AtomKind]) -> Vec<f32> {
+    kinds.iter().map(|k| k.charge()).collect()
+}
+
 /// Compute non-bonded forces over `pairs`, accumulating into `forces`
 /// (length = positions length: home forces and halo forces both accumulate;
 /// halo forces are returned to owners by the force halo exchange).
@@ -100,11 +111,12 @@ pub fn compute_nonbonded(
     assert_eq!(positions.len(), kinds.len());
     assert_eq!(positions.len(), forces.len());
     let rc2 = params.cutoff * params.cutoff;
+    let charges = charge_table(kinds);
     let mut energy = 0.0f64;
     for i in 0..pairs.n_rows() {
         let pi = positions[i];
         let ki = kinds[i];
-        let qi = ki.charge();
+        let qi = charges[i];
         let lo = pairs.starts[i] as usize;
         let hi = pairs.starts[i + 1] as usize;
         let mut fi = Vec3::ZERO;
@@ -115,8 +127,7 @@ pub fn compute_nonbonded(
             if r2 >= rc2 || r2 == 0.0 {
                 continue;
             }
-            let kj = kinds[j];
-            let (v, f_over_r) = params.pair(ki, kj, qi, kj.charge(), r2);
+            let (v, f_over_r) = params.pair(ki, kinds[j], qi, charges[j], r2);
             energy += v as f64;
             let f = d * f_over_r;
             fi += f;
@@ -212,6 +223,71 @@ mod tests {
         let e2 = compute_nonbonded(&frame, &sys.positions, &sys.kinds, &pl, &p, &mut f2);
         assert_eq!(e1, e2);
         assert_eq!(f1, f2);
+    }
+
+    /// The pre-hoist kernel: `charge()` evaluated inline per pair. Kept as
+    /// the oracle that the charge-table hoist is bitwise inert.
+    fn compute_nonbonded_charges_inline(
+        frame: &Frame,
+        positions: &[Vec3],
+        kinds: &[AtomKind],
+        pairs: &PairList,
+        p: &NonbondedParams,
+        forces: &mut [Vec3],
+    ) -> f64 {
+        let rc2 = p.cutoff * p.cutoff;
+        let mut energy = 0.0f64;
+        for i in 0..pairs.n_rows() {
+            let pi = positions[i];
+            let ki = kinds[i];
+            let qi = ki.charge();
+            let lo = pairs.starts[i] as usize;
+            let hi = pairs.starts[i + 1] as usize;
+            let mut fi = Vec3::ZERO;
+            for &j in &pairs.j_atoms[lo..hi] {
+                let j = j as usize;
+                let d = frame.displacement(pi, positions[j]);
+                let r2 = d.norm2();
+                if r2 >= rc2 || r2 == 0.0 {
+                    continue;
+                }
+                let kj = kinds[j];
+                let (v, f_over_r) = p.pair(ki, kj, qi, kj.charge(), r2);
+                energy += v as f64;
+                let f = d * f_over_r;
+                fi += f;
+                forces[j] -= f;
+            }
+            forces[i] += fi;
+        }
+        energy
+    }
+
+    #[test]
+    fn charge_hoist_is_bitwise_identical() {
+        let sys = GrappaBuilder::new(2000).seed(17).build();
+        let rule = |a: usize, b: usize| !sys.is_excluded(a, b);
+        let pl = PairList::build(&sys.pbc, &sys.positions, 0.8, &rule);
+        let p = params();
+        let frame = Frame::fully_periodic(&sys.pbc);
+        let mut f_hoisted = vec![Vec3::ZERO; sys.n_atoms()];
+        let e_hoisted =
+            compute_nonbonded(&frame, &sys.positions, &sys.kinds, &pl, &p, &mut f_hoisted);
+        let mut f_inline = vec![Vec3::ZERO; sys.n_atoms()];
+        let e_inline = compute_nonbonded_charges_inline(
+            &frame,
+            &sys.positions,
+            &sys.kinds,
+            &pl,
+            &p,
+            &mut f_inline,
+        );
+        assert_eq!(e_hoisted.to_bits(), e_inline.to_bits());
+        for (a, b) in f_hoisted.iter().zip(&f_inline) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
     }
 
     #[test]

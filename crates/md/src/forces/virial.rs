@@ -19,12 +19,15 @@ pub fn compute_nonbonded_virial(
     forces: &mut [Vec3],
 ) -> (f64, f64) {
     let rc2 = params.cutoff * params.cutoff;
+    // One charge gather per atom instead of two `charge()` calls per pair;
+    // same f32 values, so results are bitwise unchanged.
+    let charges = crate::forces::nonbonded::charge_table(kinds);
     let mut energy = 0.0f64;
     let mut virial = 0.0f64;
     for i in 0..pairs.n_rows() {
         let pi = positions[i];
         let ki = kinds[i];
-        let qi = ki.charge();
+        let qi = charges[i];
         let lo = pairs.starts[i] as usize;
         let hi = pairs.starts[i + 1] as usize;
         let mut fi = Vec3::ZERO;
@@ -35,8 +38,7 @@ pub fn compute_nonbonded_virial(
             if r2 >= rc2 || r2 == 0.0 {
                 continue;
             }
-            let kj = kinds[j];
-            let (v, f_over_r) = params.pair(ki, kj, qi, kj.charge(), r2);
+            let (v, f_over_r) = params.pair(ki, kinds[j], qi, charges[j], r2);
             energy += v as f64;
             let f = d * f_over_r;
             // f . r for this pair: f_over_r * r2.

@@ -23,6 +23,8 @@ pub mod minimize;
 pub mod observables;
 pub mod pairlist;
 pub mod pbc;
+pub mod simd4;
+pub mod soa;
 pub mod system;
 pub mod topology;
 pub mod trajectory;
@@ -30,13 +32,17 @@ pub mod vec3;
 
 pub use analysis::{MsdTracker, Rdf};
 pub use celllist::CellList;
-pub use cluster::{compute_nonbonded_clusters, ClusterPairList, CLUSTER};
+pub use cluster::{
+    compute_nonbonded_clusters, compute_nonbonded_clusters_aos, ClusterPairList, ClusterPairs,
+    NbPartition, CLUSTER,
+};
 pub use forces::{compute_angles, compute_bonds, compute_nonbonded, NonbondedParams};
 pub use frame::Frame;
 pub use minimize::{steepest_descent, MinimizeOptions};
 pub use observables::{DriftTracker, EnergyReport};
 pub use pairlist::PairList;
 pub use pbc::PbcBox;
+pub use soa::{SoaCoords, SoaForces};
 pub use system::{GrappaBuilder, System, GRAPPA_ATOM_DENSITY, KB};
 pub use topology::{Angle, AtomKind, Bond, LjParams, MoleculeTemplate};
 pub use trajectory::{read_xyz_frame, write_xyz_frame, TrajectoryWriter};

@@ -20,6 +20,7 @@
 use crate::frame::Frame;
 use crate::pbc::PbcBox;
 use crate::vec3::Vec3;
+use std::cell::Cell;
 
 /// CSR-layout pair list: the neighbours of local atom `i` are
 /// `j_atoms[starts[i]..starts[i+1]]`, all with index `> i`.
@@ -33,6 +34,27 @@ pub struct PairList {
     pub frame: Frame,
     /// Coordinates at build time, for displacement-based rebuild checks.
     ref_positions: Vec<Vec3>,
+    /// Consumed by the first `needs_rebuild` call after a build; lets that
+    /// call skip the displacement scan (see `needs_rebuild`).
+    fresh: Cell<bool>,
+}
+
+/// True if any atom's displacement from its build-time position exceeds
+/// `lim2` (squared), early-exiting on the first offender. Shared by the
+/// plain and cluster pair lists so both make identical rebuild decisions.
+#[inline]
+pub(crate) fn any_displacement_exceeds(
+    frame: &Frame,
+    positions: &[Vec3],
+    reference: &[Vec3],
+    lim2: f32,
+) -> bool {
+    for (p, q) in positions.iter().zip(reference) {
+        if frame.dist2(*p, *q) > lim2 {
+            return true;
+        }
+    }
+    false
 }
 
 impl PairList {
@@ -112,17 +134,39 @@ impl PairList {
             r_list,
             frame: *frame,
             ref_positions: positions.to_vec(),
+            fresh: Cell::new(true),
         }
     }
 
     /// True if any atom has moved more than `buffer / 2` since the list was
     /// built, meaning an unlisted pair could now be inside the cutoff.
+    ///
+    /// Two fast paths over the naive full scan:
+    ///
+    /// * the first call after a build skips the scan entirely — at most one
+    ///   integration step has elapsed, and a single step moving an atom
+    ///   `buffer / 2` is the same catastrophic regime in which the Verlet
+    ///   buffer itself (sized to cover ~`nstlist` steps of drift) is
+    ///   already invalid, so the decision is identical for every
+    ///   trajectory the list is sound for;
+    /// * the scan early-exits on the first offending atom instead of
+    ///   measuring every displacement.
+    ///
+    /// [`PairList::needs_rebuild_full`] is the unconditional scan; the
+    /// regression test in `crates/md/tests` asserts both make identical
+    /// decisions along a live trajectory.
     pub fn needs_rebuild(&self, positions: &[Vec3], buffer: f32) -> bool {
+        if self.fresh.replace(false) {
+            return false;
+        }
+        self.needs_rebuild_full(positions, buffer)
+    }
+
+    /// The unconditional displacement scan backing [`PairList::needs_rebuild`]
+    /// (no first-step skip) — the reference oracle for rebuild decisions.
+    pub fn needs_rebuild_full(&self, positions: &[Vec3], buffer: f32) -> bool {
         let lim2 = (0.5 * buffer) * (0.5 * buffer);
-        positions
-            .iter()
-            .zip(&self.ref_positions)
-            .any(|(&p, &q)| self.frame.dist2(p, q) > lim2)
+        any_displacement_exceeds(&self.frame, positions, &self.ref_positions, lim2)
     }
 
     /// Iterate `(i, j)` local-index pairs (`i < j`).
@@ -137,18 +181,19 @@ impl PairList {
 
 /// Cell binning over the local bounding extent: periodic dims wrap their
 /// neighbourhoods; non-periodic dims cover `[min, max]` of the data and
-/// clamp at the edges.
-struct Binning {
+/// clamp at the edges. Shared with the cluster-pair build (`crate::cluster`),
+/// which bins cluster centres the same way it bins atoms here.
+pub(crate) struct Binning {
     dims: [usize; 3],
     lo: Vec3,
     cell_len: Vec3,
     periodic: [bool; 3],
-    starts: Vec<u32>,
-    order: Vec<u32>,
+    pub(crate) starts: Vec<u32>,
+    pub(crate) order: Vec<u32>,
 }
 
 impl Binning {
-    fn new(frame: &Frame, positions: &[Vec3], min_cell: f32) -> Binning {
+    pub(crate) fn new(frame: &Frame, positions: &[Vec3], min_cell: f32) -> Binning {
         // Extent per dim.
         let mut lo = Vec3::ZERO;
         let mut hi = frame.box_lengths;
@@ -211,7 +256,7 @@ impl Binning {
     }
 
     #[inline]
-    fn cell_of(&self, p: Vec3) -> [usize; 3] {
+    pub(crate) fn cell_of(&self, p: Vec3) -> [usize; 3] {
         let mut c = [0usize; 3];
         for k in 0..3 {
             c[k] = (((p[k] - self.lo[k]) / self.cell_len[k]) as usize).min(self.dims[k] - 1);
@@ -220,7 +265,7 @@ impl Binning {
     }
 
     /// Collect unique flat indices of the (up to 27) neighbouring cells.
-    fn neighbors(&self, c: [usize; 3], out: &mut Vec<usize>) {
+    pub(crate) fn neighbors(&self, c: [usize; 3], out: &mut Vec<usize>) {
         let flat = |c: [usize; 3]| (c[0] * self.dims[1] + c[1]) * self.dims[2] + c[2];
         for dx in -1i64..=1 {
             for dy in -1i64..=1 {

@@ -2,9 +2,9 @@
 //! completeness under the DD-frame metric, cluster-kernel equivalence, and
 //! trajectory round trips.
 
-use halox_md::cluster::{compute_nonbonded_clusters, ClusterPairList};
+use halox_md::cluster::{compute_nonbonded_clusters_aos, ClusterPairList, NbPartition};
 use halox_md::forces::{compute_nonbonded, NonbondedParams};
-use halox_md::pairlist::brute_force_pairs;
+use halox_md::pairlist::{brute_force_pairs, eighth_shell_rule};
 use halox_md::trajectory::{read_xyz_frame, write_xyz_frame};
 use halox_md::{Frame, GrappaBuilder, PairList, PbcBox, Vec3};
 use proptest::prelude::*;
@@ -58,6 +58,8 @@ proptest! {
 
     #[test]
     fn cluster_kernel_equals_plain_kernel(seed in 0u64..10_000, atoms in 600usize..1_500) {
+        // Single-rank frame with exclusions: energy and per-atom forces of
+        // the cluster kernel match the scalar oracle within 1e-5 relative.
         let sys = GrappaBuilder::new(atoms).seed(seed).build();
         let frame = Frame::fully_periodic(&sys.pbc);
         let params = NonbondedParams::new(0.6);
@@ -65,12 +67,99 @@ proptest! {
         let pl = PairList::build(&sys.pbc, &sys.positions, 0.65, &rule);
         let mut f1 = vec![Vec3::ZERO; sys.n_atoms()];
         let e1 = compute_nonbonded(&frame, &sys.positions, &sys.kinds, &pl, &params, &mut f1);
-        let cl = ClusterPairList::build(&sys.pbc, &sys.positions, 0.65);
+        let cl = ClusterPairList::build(&frame, &sys.positions, &sys.kinds, sys.n_atoms(), 0.65, &rule);
         let mut f2 = vec![Vec3::ZERO; sys.n_atoms()];
-        let e2 = compute_nonbonded_clusters(
-            &frame, &sys.positions, &sys.kinds, &cl, &params, &rule, &mut f2,
-        );
-        prop_assert!((e1 - e2).abs() < 1e-6 * e1.abs().max(1.0), "{e1} vs {e2}");
+        let (e2, _) = compute_nonbonded_clusters_aos(&frame, &sys.positions, &cl, &params, &mut f2);
+        prop_assert!((e1 - e2).abs() < 1e-5 * e1.abs().max(1.0), "{e1} vs {e2}");
+        for (i, (a, b)) in f1.iter().zip(&f2).enumerate() {
+            prop_assert!((*a - *b).norm() <= 1e-5 * a.norm().max(1.0) + 1e-3,
+                "force mismatch at {}: {:?} vs {:?}", i, a, b);
+        }
+    }
+
+    #[test]
+    fn cluster_kernel_equals_plain_kernel_in_dd_frame(
+        seed in 0u64..10_000,
+        atoms in 600usize..1_500,
+        halo_frac in 0.1f32..0.4,
+    ) {
+        // Eighth-shell DD frame: x decomposed (direct metric), a tail of
+        // atoms playing x-displaced halo copies, exclusions active. The
+        // cluster kernel must match the scalar oracle and the local/halo
+        // partitions must cover exactly the unsplit pair set.
+        let sys = GrappaBuilder::new(atoms).seed(seed).build();
+        let frame = Frame::for_decomposition(&sys.pbc, [2, 1, 1]);
+        let n = sys.n_atoms();
+        let n_home = n - ((n as f32 * halo_frac) as usize).min(n - 8);
+        let mut disp = vec![[0u8; 3]; n];
+        for d in disp.iter_mut().skip(n_home) {
+            *d = [1, 0, 0];
+        }
+        let sys_ref = &sys;
+        let disp_ref = &disp;
+        let rule = move |a: usize, b: usize| {
+            eighth_shell_rule(disp_ref, a, b) && !sys_ref.is_excluded(a, b)
+        };
+        let params = NonbondedParams::new(0.6);
+        let pl = PairList::build_in_frame(&frame, &sys.positions, 0.65, &rule);
+        let mut f1 = vec![Vec3::ZERO; n];
+        let e1 = compute_nonbonded(&frame, &sys.positions, &sys.kinds, &pl, &params, &mut f1);
+        let cl = ClusterPairList::build(&frame, &sys.positions, &sys.kinds, n_home, 0.65, &rule);
+        let mut f2 = vec![Vec3::ZERO; n];
+        let (e2, _) = compute_nonbonded_clusters_aos(&frame, &sys.positions, &cl, &params, &mut f2);
+        prop_assert!((e1 - e2).abs() < 1e-5 * e1.abs().max(1.0), "{e1} vs {e2}");
+        for (i, (a, b)) in f1.iter().zip(&f2).enumerate() {
+            prop_assert!((*a - *b).norm() <= 1e-5 * a.norm().max(1.0) + 1e-3,
+                "force mismatch at {}: {:?} vs {:?}", i, a, b);
+        }
+
+        // Partition coverage: local ∪ halo == unsplit set, disjoint, and
+        // the local partition never touches a halo atom.
+        let local = cl.partition_pairs(NbPartition::Local);
+        let halo = cl.partition_pairs(NbPartition::Halo);
+        let mut union = local.clone();
+        union.extend(halo.iter().copied());
+        union.sort_unstable();
+        let mut want: Vec<(u32, u32)> = pl.iter_pairs().collect();
+        want.sort_unstable();
+        prop_assert_eq!(union.len(), local.len() + halo.len());
+        prop_assert_eq!(union, want);
+        for &(a, b) in &local {
+            prop_assert!((a as usize) < n_home && (b as usize) < n_home);
+        }
+        for &(a, b) in &halo {
+            prop_assert!((a as usize) >= n_home || (b as usize) >= n_home);
+        }
+    }
+
+    #[test]
+    fn pair_list_rebuild_fast_path_matches_full_scan(
+        seed in 0u64..10_000,
+        atoms in 600usize..1_200,
+        buffer in 0.05f32..0.3,
+    ) {
+        // Along a live trajectory, the optimized needs_rebuild (early exit)
+        // agrees with the unconditional full scan at every step after the
+        // first (the fresh skip covers only the single post-build step).
+        let mut sys = GrappaBuilder::new(atoms).seed(seed).temperature(250.0).build();
+        let all = |_: usize, _: usize| true;
+        let pl = PairList::build(&sys.pbc, &sys.positions, 0.5 + buffer, &all);
+        prop_assert!(!pl.needs_rebuild(&sys.positions, buffer));
+        let mut forces = vec![Vec3::ZERO; sys.n_atoms()];
+        for _ in 0..20 {
+            forces.clear();
+            forces.resize(sys.n_atoms(), Vec3::ZERO);
+            halox_md::integrate::leapfrog_step(
+                &mut sys.positions,
+                &mut sys.velocities,
+                &forces,
+                &sys.inv_mass,
+                0.002,
+            );
+            let fast = pl.needs_rebuild(&sys.positions, buffer);
+            let full = pl.needs_rebuild_full(&sys.positions, buffer);
+            prop_assert_eq!(fast, full);
+        }
     }
 
     #[test]
