@@ -4,6 +4,7 @@
 //! binary prints the tables and writes CSV under `results/`.
 
 pub mod ablation;
+pub mod backends;
 pub mod chaos;
 pub mod chart;
 pub mod figures;

@@ -1,7 +1,8 @@
 //! `halox-bench` — regenerate the paper's figures on the timing simulator.
 
 use halox_bench::{
-    ablation, chaos, chart, figures, ftrace, functional, kernels, report, threads, validate,
+    ablation, backends, chaos, chart, figures, ftrace, functional, kernels, report, threads,
+    validate,
 };
 use std::path::Path;
 
@@ -132,6 +133,10 @@ fn main() {
         "threads" => {
             // halox-bench threads — serial vs threaded executor sweep.
             threads::run(results);
+        }
+        "backends" => {
+            // halox-bench backends — threads vs procs world-backend sweep.
+            backends::run(results);
         }
         "kernels" => {
             // halox-bench kernels [--steps N] — scalar-vs-cluster kernel

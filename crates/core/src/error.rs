@@ -133,6 +133,18 @@ pub enum ExchangeError {
         what: &'static str,
         waited_ms: u64,
     },
+    /// A peer PE's *process* died mid-run (procs backend: the child exited
+    /// or was killed without reporting a result). Unlike a stall, there is
+    /// no ambiguity and no point retrying against the same peer — the
+    /// health ladder fails the peer outright (DESIGN.md §3.5).
+    PeDied {
+        /// Rank reporting the death (the engine driver).
+        rank: usize,
+        /// The PE whose process died.
+        peer: usize,
+        /// Human-readable cause (wait status / panic text).
+        detail: String,
+    },
 }
 
 impl ExchangeError {
@@ -151,6 +163,7 @@ impl ExchangeError {
             ExchangeError::Unreachable { peer, .. } => Some(*peer),
             ExchangeError::SizeMismatch { .. } => None,
             ExchangeError::CollectiveTimeout { .. } => None,
+            ExchangeError::PeDied { peer, .. } => Some(*peer),
         }
     }
 }
@@ -186,11 +199,162 @@ impl fmt::Display for ExchangeError {
                 "rank {rank}: collective {what} did not complete within {waited_ms} ms \
                  (a peer never reached the rendezvous)"
             ),
+            ExchangeError::PeDied { rank, peer, detail } => {
+                write!(f, "rank {rank}: peer PE {peer} process died: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for ExchangeError {}
+
+// --- Wire encodings -------------------------------------------------------
+//
+// Exchange outcomes cross a process boundary under the procs world backend
+// (a PE's `Result<_, ExchangeError>` is its result frame), so every error
+// shape needs a byte-level encoding. `&'static str` fields decode through a
+// small leak-intern: errors are rare, the string set is tiny and fixed.
+
+use halox_shmem::wire::{Wire, WireError, WireReader};
+
+fn leak_str(s: String) -> &'static str {
+    // Decode-side only; the handful of distinct backend/collective labels
+    // makes the leak bounded in practice.
+    Box::leak(s.into_boxed_str())
+}
+
+impl Wire for ExchangePhase {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            ExchangePhase::CoordAckFence => 0,
+            ExchangePhase::CoordDep => 1,
+            ExchangePhase::CoordArrival => 2,
+            ExchangePhase::ForceData => 3,
+            ExchangePhase::ForceAckFence => 4,
+            ExchangePhase::UnpackDep => 5,
+        };
+        tag.encode(out);
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            0 => ExchangePhase::CoordAckFence,
+            1 => ExchangePhase::CoordDep,
+            2 => ExchangePhase::CoordArrival,
+            3 => ExchangePhase::ForceData,
+            4 => ExchangePhase::ForceAckFence,
+            5 => ExchangePhase::UnpackDep,
+            t => return Err(WireError(format!("bad ExchangePhase tag {t}"))),
+        })
+    }
+}
+
+impl Wire for StallReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.rank.encode(out);
+        self.phase.encode(out);
+        self.pulse.encode(out);
+        self.slot.encode(out);
+        self.expected.encode(out);
+        self.observed.encode(out);
+        self.suspect_peer.encode(out);
+        self.waited_ms.encode(out);
+        self.slot_snapshot.encode(out);
+        self.trace_tail.encode(out);
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(StallReport {
+            rank: usize::decode(r)?,
+            phase: ExchangePhase::decode(r)?,
+            pulse: usize::decode(r)?,
+            slot: usize::decode(r)?,
+            expected: u64::decode(r)?,
+            observed: u64::decode(r)?,
+            suspect_peer: Option::<usize>::decode(r)?,
+            waited_ms: u64::decode(r)?,
+            slot_snapshot: Vec::<u64>::decode(r)?,
+            trace_tail: Vec::<String>::decode(r)?,
+        })
+    }
+}
+
+impl Wire for ExchangeError {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ExchangeError::Stall(report) => {
+                0u8.encode(out);
+                report.as_ref().encode(out);
+            }
+            ExchangeError::Unreachable {
+                rank,
+                peer,
+                backend,
+            } => {
+                1u8.encode(out);
+                rank.encode(out);
+                peer.encode(out);
+                backend.to_string().encode(out);
+            }
+            ExchangeError::SizeMismatch {
+                rank,
+                pulse,
+                expected,
+                got,
+            } => {
+                2u8.encode(out);
+                rank.encode(out);
+                pulse.encode(out);
+                expected.encode(out);
+                got.encode(out);
+            }
+            ExchangeError::CollectiveTimeout {
+                rank,
+                what,
+                waited_ms,
+            } => {
+                3u8.encode(out);
+                rank.encode(out);
+                what.to_string().encode(out);
+                waited_ms.encode(out);
+            }
+            ExchangeError::PeDied { rank, peer, detail } => {
+                4u8.encode(out);
+                rank.encode(out);
+                peer.encode(out);
+                detail.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            0 => ExchangeError::Stall(Box::new(StallReport::decode(r)?)),
+            1 => ExchangeError::Unreachable {
+                rank: usize::decode(r)?,
+                peer: usize::decode(r)?,
+                backend: leak_str(String::decode(r)?),
+            },
+            2 => ExchangeError::SizeMismatch {
+                rank: usize::decode(r)?,
+                pulse: usize::decode(r)?,
+                expected: usize::decode(r)?,
+                got: usize::decode(r)?,
+            },
+            3 => ExchangeError::CollectiveTimeout {
+                rank: usize::decode(r)?,
+                what: leak_str(String::decode(r)?),
+                waited_ms: u64::decode(r)?,
+            },
+            4 => ExchangeError::PeDied {
+                rank: usize::decode(r)?,
+                peer: usize::decode(r)?,
+                detail: String::decode(r)?,
+            },
+            t => return Err(WireError(format!("bad ExchangeError tag {t}"))),
+        })
+    }
+}
 
 /// Watchdog policy for exchange waits: one deadline applied per wait.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -264,5 +428,49 @@ mod tests {
     #[test]
     fn default_watchdog_is_five_seconds() {
         assert_eq!(Watchdog::default().deadline, Duration::from_secs(5));
+    }
+
+    #[test]
+    fn exchange_errors_round_trip_the_wire() {
+        let errs = vec![
+            ExchangeError::Stall(Box::new(StallReport {
+                rank: 2,
+                phase: ExchangePhase::UnpackDep,
+                pulse: 1,
+                slot: 5,
+                expected: 7,
+                observed: 6,
+                suspect_peer: Some(3),
+                waited_ms: 120,
+                slot_snapshot: vec![7, 7, 6, 0],
+                trace_tail: vec!["ev1".into(), "ev2".into()],
+            })),
+            ExchangeError::Unreachable {
+                rank: 0,
+                peer: 4,
+                backend: "thread-MPI",
+            },
+            ExchangeError::SizeMismatch {
+                rank: 1,
+                pulse: 0,
+                expected: 10,
+                got: 3,
+            },
+            ExchangeError::CollectiveTimeout {
+                rank: 1,
+                what: "allreduce-sum(kinetic)",
+                waited_ms: 12,
+            },
+            ExchangeError::PeDied {
+                rank: 0,
+                peer: 2,
+                detail: "killed by signal 9".into(),
+            },
+        ];
+        for e in errs {
+            let decoded = ExchangeError::from_bytes(&e.to_bytes()).expect("round trip");
+            assert_eq!(format!("{e}"), format!("{decoded}"));
+            assert_eq!(e.suspect_peer(), decoded.suspect_peer());
+        }
     }
 }

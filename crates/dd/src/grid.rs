@@ -9,6 +9,38 @@
 
 use halox_md::Vec3;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why DD grid selection failed. Carries the rank count and box so the
+/// engine can surface a config-time error instead of panicking mid-setup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// `GridOptions::force_grid` names a factorization whose rank product
+    /// disagrees with the requested rank count.
+    ForcedMismatch { forced: [usize; 3], n_ranks: usize },
+    /// Every factorization of `n_ranks` produces at least one decomposed
+    /// domain thinner than `r_comm`; no feasible decomposition exists.
+    Infeasible { n_ranks: usize, box_lengths: Vec3 },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::ForcedMismatch { forced, n_ranks } => {
+                write!(f, "forced grid {forced:?} != {n_ranks} ranks")
+            }
+            GridError::Infeasible {
+                n_ranks,
+                box_lengths,
+            } => write!(
+                f,
+                "no feasible DD grid for {n_ranks} ranks on box {box_lengths:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
 
 /// A DD grid: number of domains along x, y, z.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -167,14 +199,21 @@ pub fn factorizations(n: usize) -> Vec<[usize; 3]> {
 }
 
 /// Choose a DD grid for `n_ranks` on a box, minimizing estimated halo atoms
-/// plus a per-dimension pulse penalty. Panics if no feasible grid exists
-/// (all factorizations produce domains thinner than `r_comm`).
-pub fn choose_grid(n_ranks: usize, box_lengths: Vec3, opts: &GridOptions) -> DdGrid {
+/// plus a per-dimension pulse penalty. Returns [`GridError::Infeasible`] if
+/// no feasible grid exists (all factorizations produce domains thinner than
+/// `r_comm`) and [`GridError::ForcedMismatch`] for a bad override.
+pub fn try_choose_grid(
+    n_ranks: usize,
+    box_lengths: Vec3,
+    opts: &GridOptions,
+) -> Result<DdGrid, GridError> {
     assert!(n_ranks >= 1);
     if let Some(f) = opts.force_grid {
         let g = DdGrid::new(f);
-        assert_eq!(g.n_ranks(), n_ranks, "forced grid {f:?} != {n_ranks} ranks");
-        return g;
+        if g.n_ranks() != n_ranks {
+            return Err(GridError::ForcedMismatch { forced: f, n_ranks });
+        }
+        return Ok(g);
     }
     let mut best: Option<(f64, DdGrid)> = None;
     for dims in factorizations(n_ranks) {
@@ -195,8 +234,16 @@ pub fn choose_grid(n_ranks: usize, box_lengths: Vec3, opts: &GridOptions) -> DdG
             best = Some((cost, g));
         }
     }
-    best.map(|(_, g)| g)
-        .unwrap_or_else(|| panic!("no feasible DD grid for {n_ranks} ranks on box {box_lengths:?}"))
+    best.map(|(_, g)| g).ok_or(GridError::Infeasible {
+        n_ranks,
+        box_lengths,
+    })
+}
+
+/// Panicking convenience wrapper over [`try_choose_grid`], for harnesses and
+/// tests where an infeasible grid is a programming error.
+pub fn choose_grid(n_ranks: usize, box_lengths: Vec3, opts: &GridOptions) -> DdGrid {
+    try_choose_grid(n_ranks, box_lengths, opts).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -259,6 +306,34 @@ mod tests {
             ..Default::default()
         };
         let _ = choose_grid(8, Vec3::splat(10.0), &opts);
+    }
+
+    #[test]
+    fn try_choose_grid_reports_infeasible_with_context() {
+        // 4096 ranks on a 7.66 nm box: every factorization is too thin.
+        let err = try_choose_grid(4096, Vec3::splat(7.66), &GridOptions::default()).unwrap_err();
+        match &err {
+            GridError::Infeasible { n_ranks, .. } => assert_eq!(*n_ranks, 4096),
+            other => panic!("wrong error: {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("4096") && msg.contains("7.66"), "{msg}");
+    }
+
+    #[test]
+    fn try_choose_grid_reports_forced_mismatch() {
+        let opts = GridOptions {
+            force_grid: Some([4, 1, 1]),
+            ..Default::default()
+        };
+        let err = try_choose_grid(8, Vec3::splat(10.0), &opts).unwrap_err();
+        assert_eq!(
+            err,
+            GridError::ForcedMismatch {
+                forced: [4, 1, 1],
+                n_ranks: 8
+            }
+        );
     }
 
     #[test]

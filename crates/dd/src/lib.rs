@@ -39,9 +39,12 @@ pub mod plan;
 pub mod pulse;
 
 pub use density::{grappa_box, PulseSizeModel, WorkloadModel};
-pub use grid::{choose_grid, factorizations, halo_atoms_estimate, DdGrid, GridOptions};
+pub use grid::{
+    choose_grid, factorizations, halo_atoms_estimate, try_choose_grid, DdGrid, GridError,
+    GridOptions,
+};
 pub use plan::{
-    build_partition, reference_coordinate_exchange, reference_force_exchange, DdPartition,
-    Displacement, HaloEntry, RankPlan,
+    build_partition, reference_coordinate_exchange, reference_force_exchange, try_build_partition,
+    DdPartition, Displacement, HaloEntry, PlanError, RankPlan,
 };
 pub use pulse::{PulseData, PulseLayout};

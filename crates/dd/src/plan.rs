@@ -13,6 +13,30 @@ use crate::pulse::{PulseData, PulseLayout};
 use halox_md::topology::{Angle, Bond};
 use halox_md::{System, Vec3};
 use std::collections::HashMap;
+use std::fmt;
+
+/// Why plan construction failed. The eighth-shell bonded assignment requires
+/// every term's atoms to span at most two adjacent domains per dimension; a
+/// term stretched across three or more means the molecule is longer than a
+/// domain — a configuration error, not a runtime fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A bonded term's atoms live in more than two domains along `dim`.
+    BondedTermSpans { dim: usize, atoms: Vec<u32> },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::BondedTermSpans { dim, atoms } => write!(
+                f,
+                "bonded term spans >2 domains in dim {dim}: atoms {atoms:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// One received halo atom: who it is and which pulse delivered it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,9 +126,20 @@ impl DdPartition {
     }
 }
 
-/// Build the decomposition of `system` over `grid`, communicating halo atoms
-/// within `r_comm` (cutoff + Verlet buffer) of domain boundaries.
+/// Panicking convenience wrapper over [`try_build_partition`], for callers
+/// whose systems are known-valid by construction (tests, harnesses).
 pub fn build_partition(system: &System, grid: &DdGrid, r_comm: f32) -> DdPartition {
+    try_build_partition(system, grid, r_comm).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Build the decomposition of `system` over `grid`, communicating halo atoms
+/// within `r_comm` (cutoff + Verlet buffer) of domain boundaries. Returns
+/// [`PlanError`] if a bonded term cannot be assigned to a single rank.
+pub fn try_build_partition(
+    system: &System,
+    grid: &DdGrid,
+    r_comm: f32,
+) -> Result<DdPartition, PlanError> {
     let n_ranks = grid.n_ranks();
     let box_l = system.pbc.lengths();
     let dom_l = grid.domain_lengths(box_l);
@@ -267,7 +302,7 @@ pub fn build_partition(system: &System, grid: &DdGrid, r_comm: f32) -> DdPartiti
     // A term goes to the rank at the component-wise "down" coordinate of its
     // atoms' owners; eighth-shell forwarding guarantees that rank holds every
     // atom of the term (molecule extent << r_comm).
-    let resolve_rank = |atom_ids: &[u32]| -> usize {
+    let resolve_rank = |atom_ids: &[u32]| -> Result<usize, PlanError> {
         let mut coords = [0usize; 3];
         for d in 0..3 {
             let mut vals: Vec<usize> = atom_ids
@@ -297,21 +332,26 @@ pub fn build_partition(system: &System, grid: &DdGrid, r_comm: f32) -> DdPartiti
                         vals[1]
                     }
                 }
-                _ => panic!("bonded term spans >2 domains in dim {d}: atoms {atom_ids:?}"),
+                _ => {
+                    return Err(PlanError::BondedTermSpans {
+                        dim: d,
+                        atoms: atom_ids.to_vec(),
+                    })
+                }
             };
         }
-        grid.rank_of(coords)
+        Ok(grid.rank_of(coords))
     };
 
     let mut rank_bonds: Vec<Vec<Bond>> = vec![vec![]; n_ranks];
     let mut rank_angles: Vec<Vec<Angle>> = vec![vec![]; n_ranks];
     // Defer local-index mapping until maps exist; store with global ids first.
     for b in &system.bonds {
-        let r = resolve_rank(&[b.i, b.j]);
+        let r = resolve_rank(&[b.i, b.j])?;
         rank_bonds[r].push(*b);
     }
     for a in &system.angles {
-        let r = resolve_rank(&[a.i, a.j, a.k_atom]);
+        let r = resolve_rank(&[a.i, a.j, a.k_atom])?;
         rank_angles[r].push(*a);
     }
 
@@ -374,12 +414,12 @@ pub fn build_partition(system: &System, grid: &DdGrid, r_comm: f32) -> DdPartiti
         });
     }
 
-    DdPartition {
+    Ok(DdPartition {
         grid: *grid,
         r_comm,
         layout,
         ranks,
-    }
+    })
 }
 
 /// Serial reference coordinate halo exchange: executes pulses strictly in
@@ -446,6 +486,49 @@ mod tests {
 
     fn test_system(n: usize) -> System {
         GrappaBuilder::new(n).seed(101).build()
+    }
+
+    #[test]
+    fn triple_spanning_angle_is_a_typed_plan_error() {
+        use halox_md::{AtomKind, PbcBox};
+        // Three atoms strung across all three domains of a [3,1,1] grid:
+        // the eighth-shell assignment cannot place the angle on one rank.
+        let positions = vec![
+            Vec3::new(1.5, 4.5, 4.5),
+            Vec3::new(4.5, 4.5, 4.5),
+            Vec3::new(7.5, 4.5, 4.5),
+        ];
+        let n = positions.len();
+        let system = System {
+            pbc: PbcBox::cubic(9.0),
+            positions,
+            velocities: vec![Vec3::ZERO; n],
+            kinds: vec![AtomKind::Ow; n],
+            inv_mass: vec![1.0; n],
+            bonds: vec![],
+            angles: vec![Angle {
+                i: 0,
+                j: 1,
+                k_atom: 2,
+                theta0: 1.9,
+                k: 400.0,
+            }],
+            molecule_of: vec![0; n],
+            exclusions: vec![vec![]; n],
+        };
+        let err = try_build_partition(&system, &DdGrid::new([3, 1, 1]), 0.8).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::BondedTermSpans {
+                dim: 0,
+                atoms: vec![0, 1, 2]
+            }
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains("spans >2 domains") && msg.contains("[0, 1, 2]"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Engine configuration.
 
-use halox_shmem::{FaultPlan, Topology};
+use halox_shmem::{FaultPlan, Topology, WorldBackend};
 use halox_trace::Recorder;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -214,6 +214,11 @@ pub struct EngineConfig {
     /// signal/region/span events into it (see `halox-trace`); the caller
     /// drains it after the run for Chrome-trace export or protocol checking.
     pub trace: Option<Arc<Recorder>>,
+    /// PGAS world backend: PEs as threads (default) or forked processes
+    /// over the shared symmetric heap. Overridable via
+    /// `HALOX_BACKEND=threads|procs` — the lever the `procs` CI job uses to
+    /// pin a whole test-suite run to the cross-process backend.
+    pub world_backend: WorldBackend,
     /// Bounded-wait and degradation policy.
     pub watchdog: WatchdogConfig,
     /// Deterministic fault injection: when set, every segment's PGAS world
@@ -238,6 +243,7 @@ impl EngineConfig {
             thermostat: None,
             integrator: Integrator::Leapfrog,
             trace: None,
+            world_backend: WorldBackend::from_env(),
             watchdog: WatchdogConfig::default(),
             chaos: None,
         }

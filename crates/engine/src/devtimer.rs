@@ -7,7 +7,9 @@
 //! the simulated device-side metrics for Figs 6-8 live in
 //! `halox_core::sched::metrics`.
 
+use halox_shmem::{Wire, WireError, WireReader};
 use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Named phase accumulator.
@@ -89,9 +91,71 @@ impl PhaseTimer {
     }
 }
 
+/// Intern pool for phase names decoded off the wire. `PhaseTimer` keys are
+/// `&'static str` (phase names are compile-time literals on the encoding
+/// side), so a name arriving from another process is leaked exactly once
+/// and reused by every later decode — the set of phase names is small and
+/// fixed, so the leak is bounded.
+fn intern(name: String) -> &'static str {
+    static POOL: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let mut pool = POOL
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner());
+    if let Some(&s) = pool.get(&name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.clone().into_boxed_str());
+    pool.insert(name, leaked);
+    leaked
+}
+
+/// Wire encoding so per-rank timers can cross the process boundary of the
+/// `procs` world backend (entry count, then `(name, total, count)` in name
+/// order — the `BTreeMap` iteration order, so encoding is deterministic).
+impl Wire for PhaseTimer {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.acc.len() as u64).encode(out);
+        for (&k, &(d, n)) in &self.acc {
+            k.to_string().encode(out);
+            d.encode(out);
+            n.encode(out);
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        let len = u64::decode(r)? as usize;
+        let mut acc = BTreeMap::new();
+        for _ in 0..len {
+            let k = String::decode(r)?;
+            let d = Duration::decode(r)?;
+            let n = u64::decode(r)?;
+            acc.insert(intern(k), (d, n));
+        }
+        Ok(PhaseTimer { acc })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_round_trip_preserves_phases() {
+        let mut t = PhaseTimer::new();
+        t.time("exchange", || ());
+        t.time("forces", || ());
+        t.time("forces", || ());
+        let back = PhaseTimer::from_bytes(&t.to_bytes()).expect("round trip");
+        let a: Vec<_> = t.iter().collect();
+        let b: Vec<_> = back.iter().collect();
+        assert_eq!(a, b);
+        // Decoding twice interns to the same static name.
+        let again = PhaseTimer::from_bytes(&t.to_bytes()).expect("round trip");
+        let (k1, _, _) = back.iter().next().unwrap();
+        let (k2, _, _) = again.iter().next().unwrap();
+        assert!(std::ptr::eq(k1, k2) || k1 == k2);
+    }
 
     #[test]
     fn accumulates_phases() {

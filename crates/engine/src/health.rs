@@ -85,6 +85,14 @@ impl HealthBoard {
         }
     }
 
+    /// A peer's PE process died (cross-process backend): straight to
+    /// [`PeerState::Failed`], skipping the strike ladder — a dead process
+    /// cannot be rehabilitated within the run, and the next segment must
+    /// select the fallback transport immediately.
+    pub fn fail(&mut self, peer: usize) {
+        self.peers[peer] = PeerState::Failed;
+    }
+
     /// A fallback-transport segment completed cleanly: credit every
     /// quarantined peer; after `repromote_after` consecutive clean segments
     /// a peer graduates to probation.
@@ -198,6 +206,20 @@ mod tests {
         // Forgiveness resets the ladder: two fresh strikes needed again.
         h.record_stall(0);
         assert_eq!(h.state(0), PeerState::Suspect { strikes: 1 });
+    }
+
+    #[test]
+    fn dead_pe_fails_immediately_and_terminally() {
+        let mut h = HealthBoard::new(3);
+        h.fail(1);
+        assert_eq!(h.state(1), PeerState::Failed);
+        assert!(h.needs_fallback());
+        assert_eq!(h.degraded_peers(), vec![1]);
+        // No rehabilitation path for a dead process.
+        h.record_fallback_success(1);
+        h.record_fallback_success(1);
+        assert_eq!(h.record_primary_success(), 0);
+        assert_eq!(h.state(1), PeerState::Failed);
     }
 
     #[test]

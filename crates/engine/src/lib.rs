@@ -19,3 +19,8 @@ pub use config::{
 pub use devtimer::PhaseTimer;
 pub use health::{HealthBoard, PeerState};
 pub use runner::{Downgrade, Engine, EngineError, RunStats};
+
+// Re-exported so engine users can select the PGAS world backend and match
+// on the decomposition errors surfaced through [`EngineError`].
+pub use halox_dd::{GridError, GridOptions, PlanError};
+pub use halox_shmem::WorldBackend;

@@ -20,12 +20,15 @@ use crate::nb::NbEvaluator;
 use halox_core::{build_contexts, exec, CommContext, FusedBuffers};
 use halox_core::{ExchangeError, StallReport, Watchdog};
 use halox_dd::{
-    build_partition, reference_coordinate_exchange, reference_force_exchange, DdGrid, DdPartition,
+    reference_coordinate_exchange, reference_force_exchange, try_build_partition, try_choose_grid,
+    DdGrid, DdPartition, GridError, GridOptions, PlanError,
 };
 use halox_md::forces::{angle_virial, bond_virial, compute_angles, compute_bonds, NonbondedParams};
 use halox_md::pairlist::eighth_shell_rule;
 use halox_md::{integrate, EnergyReport, Frame, System, Vec3};
-use halox_shmem::{ChaosEngine, ProxyConfig, ShmemWorld, TwoSidedComm};
+use halox_shmem::{
+    ChaosEngine, ProxyConfig, ShmemWorld, TwoSidedComm, Wire, WireError, WireReader,
+};
 use halox_trace::{record_opt, span_opt, Payload, Region};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -82,7 +85,8 @@ pub struct Downgrade {
     pub suspects: Vec<usize>,
 }
 
-/// A run that could not be completed even on the fallback transport.
+/// A run that could not be completed even on the fallback transport, or a
+/// configuration the decomposition machinery rejects outright.
 #[derive(Debug)]
 pub enum EngineError {
     /// A segment failed on `backend` after exhausting retries and (when
@@ -94,6 +98,13 @@ pub enum EngineError {
         /// Per-rank exchange errors from the final attempt.
         errors: Vec<ExchangeError>,
     },
+    /// Configuration time: no feasible DD grid for the requested rank count
+    /// on this box (the inner error carries both).
+    InfeasibleGrid(GridError),
+    /// Configuration time: the decomposition plan could not be built (a
+    /// bonded term spans more than two domains; the inner error names the
+    /// offending atoms).
+    PlanFailed(PlanError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -116,11 +127,22 @@ impl std::fmt::Display for EngineError {
                 }
                 Ok(())
             }
+            EngineError::InfeasibleGrid(e) => write!(f, "{e}"),
+            EngineError::PlanFailed(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+/// Why one segment attempt failed (internal to the recovery ladder).
+enum SegmentFailure {
+    /// Plan construction failed before any world existed: a configuration
+    /// error no retry or transport downgrade can fix.
+    Plan(PlanError),
+    /// Per-rank exchange errors from this attempt (stalls, dead PEs).
+    Ranks(Vec<ExchangeError>),
+}
 
 /// Degradation-ladder counters accumulated while segments run.
 #[derive(Default)]
@@ -139,6 +161,28 @@ struct RankResult {
     velocities: Vec<Vec3>,
     energies: Vec<EnergyReport>,
     phases: PhaseTimer,
+}
+
+/// Wire encoding so rank results can cross the process boundary of the
+/// `procs` world backend (fields in declaration order).
+impl Wire for RankResult {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.home_ids.encode(out);
+        self.positions.encode(out);
+        self.velocities.encode(out);
+        self.energies.encode(out);
+        self.phases.encode(out);
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(RankResult {
+            home_ids: Wire::decode(r)?,
+            positions: Wire::decode(r)?,
+            velocities: Wire::decode(r)?,
+            energies: Wire::decode(r)?,
+            phases: Wire::decode(r)?,
+        })
+    }
 }
 
 /// The engine owns the global system and runs it decomposed over `grid`.
@@ -176,6 +220,21 @@ impl Engine {
             health: None,
             phases: PhaseTimer::new(),
         }
+    }
+
+    /// Build an engine with an automatically chosen DD grid for `n_ranks`,
+    /// surfacing an infeasible decomposition as a typed configuration-time
+    /// error — the message carries the rank count and box — instead of a
+    /// panic from deep inside grid selection.
+    pub fn try_new_auto(
+        system: System,
+        n_ranks: usize,
+        opts: &GridOptions,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        let grid = try_choose_grid(n_ranks, system.pbc.lengths(), opts)
+            .map_err(EngineError::InfeasibleGrid)?;
+        Ok(Engine::new(system, grid, config))
     }
 
     /// Peer health after a run (None before the first segment).
@@ -277,7 +336,7 @@ impl Engine {
         if self.config.run_mode == RunMode::Serial {
             // The reference driver performs no deliveries, so nothing can
             // stall or be faulted: the recovery ladder is vacuous.
-            return Ok(self.run_segment_serial(steps));
+            return self.run_segment_serial(steps);
         }
         let n_ranks = self.grid.dims.iter().product::<usize>();
         self.ensure_run_state(n_ranks);
@@ -304,11 +363,20 @@ impl Engine {
                     }
                     return Ok(seg_energies);
                 }
-                Err(errors) => {
+                Err(SegmentFailure::Plan(e)) => {
+                    // A mis-decomposed system: no retry or transport change
+                    // can fix it, so surface it as a configuration error.
+                    return Err(EngineError::PlanFailed(e));
+                }
+                Err(SegmentFailure::Ranks(errors)) => {
                     let mut suspects: Vec<usize> = Vec::new();
+                    let mut died: Vec<usize> = Vec::new();
                     for e in &errors {
                         if let Some(p) = e.suspect_peer() {
                             suspects.push(p);
+                        }
+                        if let ExchangeError::PeDied { peer, .. } = e {
+                            died.push(*peer);
                         }
                         if let Some(r) = e.stall() {
                             recovery.stall_reports.push(r.clone());
@@ -316,11 +384,20 @@ impl Engine {
                     }
                     suspects.sort_unstable();
                     suspects.dedup();
+                    died.sort_unstable();
+                    died.dedup();
                     let health = self.health.as_mut().expect("health board initialized");
                     for &p in &suspects {
                         health.record_stall(p);
                     }
-                    if attempt < wd_cfg.max_retries {
+                    // A dead PE process is terminal for this run: mark it
+                    // Failed outright (no strike ladder) and skip retries —
+                    // only the fallback transport on a fresh world (fresh
+                    // forks under the procs backend) can make progress.
+                    for &p in &died {
+                        health.fail(p);
+                    }
+                    if died.is_empty() && attempt < wd_cfg.max_retries {
                         attempt += 1;
                         recovery.retries += 1;
                         std::thread::sleep(wd_cfg.backoff);
@@ -360,16 +437,21 @@ impl Engine {
         &mut self,
         steps: usize,
         backend: ExchangeBackend,
-    ) -> Result<Vec<EnergyReport>, Vec<ExchangeError>> {
+    ) -> Result<Vec<EnergyReport>, SegmentFailure> {
         let mut cfg = self.config.clone();
         cfg.backend = backend;
-        let part = build_partition(&self.system, &self.grid, cfg.r_comm());
+        let part = try_build_partition(&self.system, &self.grid, cfg.r_comm())
+            .map_err(SegmentFailure::Plan)?;
         let ctxs = build_contexts(&part);
         let n_ranks = part.n_ranks();
         let system = Arc::new(self.system.clone());
         let total_pulses = part.total_pulses();
 
-        let mut world = ShmemWorld::new(
+        // Backend first: for `Procs` this flips symmetric allocation to the
+        // shared heap, which must happen before FusedBuffers / TwoSidedComm
+        // below allocate anything the forked PEs will touch.
+        let mut world = ShmemWorld::new_with_backend(
+            cfg.world_backend,
             cfg.topology(n_ranks),
             CommContext::slots_needed(total_pulses),
         );
@@ -415,7 +497,7 @@ impl Engine {
         let comm_ref = &comm;
         let sys_ref = &system;
 
-        let results = world.run(|pe| {
+        let run = world.try_run(|pe| {
             rank_segment(
                 pe,
                 &part_ref.ranks[pe.id],
@@ -432,12 +514,33 @@ impl Engine {
         // Capacity survives a failed attempt, so cache either way.
         self.cached_buffers = Some((bufs.clone(), bufs.coords.len(), bufs.force_stage.len()));
 
+        let results = match run {
+            Ok(r) => r,
+            Err(world_err) => {
+                // A PE died (process exit, or an uncaught panic): report one
+                // PeDied per failure so the recovery ladder can mark the
+                // peer Failed and flip to the fallback — never a hang, never
+                // an engine panic.
+                return Err(SegmentFailure::Ranks(
+                    world_err
+                        .failures
+                        .into_iter()
+                        .map(|(pe, cause)| ExchangeError::PeDied {
+                            rank: pe,
+                            peer: pe,
+                            detail: cause.to_string(),
+                        })
+                        .collect(),
+                ));
+            }
+        };
+
         let errors: Vec<ExchangeError> = results
             .iter()
             .filter_map(|r| r.as_ref().err().cloned())
             .collect();
         if !errors.is_empty() {
-            return Err(errors);
+            return Err(SegmentFailure::Ranks(errors));
         }
 
         // Gather home atoms back into the global system.
@@ -474,9 +577,10 @@ impl Engine {
     /// When `link_delay_us` is set the driver sleeps the delay inline once
     /// per inter-node message — the host-driven blocking baseline against
     /// which `halox-bench threads` measures latency overlap.
-    fn run_segment_serial(&mut self, steps: usize) -> Vec<EnergyReport> {
+    fn run_segment_serial(&mut self, steps: usize) -> Result<Vec<EnergyReport>, EngineError> {
         let cfg = self.config.clone();
-        let part = build_partition(&self.system, &self.grid, cfg.r_comm());
+        let part = try_build_partition(&self.system, &self.grid, cfg.r_comm())
+            .map_err(EngineError::PlanFailed)?;
         let n_ranks = part.n_ranks();
         let system = self.system.clone();
         let params = NonbondedParams::new(cfg.cutoff);
@@ -706,7 +810,7 @@ impl Engine {
                 energies[s].virial += e.virial;
             }
         }
-        energies
+        Ok(energies)
     }
 }
 
@@ -1372,6 +1476,66 @@ mod tests {
         // Degraded span is bounded: quarantine (1 segment) + probation
         // entry; the tail of the run is fused again.
         assert!(stats.degraded_steps < stats.steps);
+    }
+
+    #[test]
+    fn infeasible_grid_is_a_config_time_error() {
+        // 4096 ranks on a ~3 k atom box: every factorization is too thin.
+        let sys = GrappaBuilder::new(3000).seed(93).build();
+        let err = Engine::try_new_auto(
+            sys,
+            4096,
+            &GridOptions::default(),
+            EngineConfig::new(ExchangeBackend::Mpi),
+        )
+        .err()
+        .expect("infeasible decomposition must be rejected");
+        assert!(matches!(err, EngineError::InfeasibleGrid(_)), "{err:?}");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("4096") && msg.contains("box"),
+            "message must carry rank count and box: {msg}"
+        );
+    }
+
+    #[test]
+    fn spanning_bonded_term_surfaces_as_plan_error() {
+        use halox_md::topology::Angle;
+        use halox_md::{AtomKind, PbcBox};
+        // An angle strung across all three domains of a [3,1,1] grid: the
+        // run must fail with a typed plan error naming the atoms, on both
+        // the threaded and the serial driver — not panic mid-plan.
+        let positions = vec![
+            Vec3::new(1.5, 4.5, 4.5),
+            Vec3::new(4.5, 4.5, 4.5),
+            Vec3::new(7.5, 4.5, 4.5),
+        ];
+        let n = positions.len();
+        let sys = System {
+            pbc: PbcBox::cubic(9.0),
+            positions,
+            velocities: vec![Vec3::ZERO; n],
+            kinds: vec![AtomKind::Ow; n],
+            inv_mass: vec![1.0; n],
+            bonds: vec![],
+            angles: vec![Angle {
+                i: 0,
+                j: 1,
+                k_atom: 2,
+                theta0: 1.9,
+                k: 400.0,
+            }],
+            molecule_of: vec![0; n],
+            exclusions: vec![vec![]; n],
+        };
+        for mode in [RunMode::Threaded, RunMode::Serial] {
+            let mut cfg = EngineConfig::new(ExchangeBackend::Mpi);
+            cfg.run_mode = mode;
+            let mut engine = Engine::new(sys.clone(), DdGrid::new([3, 1, 1]), cfg);
+            let err = engine.try_run(1).expect_err("plan must be rejected");
+            assert!(matches!(err, EngineError::PlanFailed(_)), "{err:?}");
+            assert!(err.to_string().contains("[0, 1, 2]"), "{err}");
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! A sense-reversing spin barrier (no OS blocking), used for
 //! `shmem_barrier_all` and step synchronization in the functional runtime.
 
+use crate::shared::Slots;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -10,12 +11,14 @@ use std::time::Instant;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BarrierTimeout;
 
-/// Reusable barrier for a fixed number of participants.
+/// Reusable barrier for a fixed number of participants. The two cells
+/// (arrival count, generation) live in `Slots` storage so the process
+/// backend's forked PEs rendezvous on the same physical words.
 #[derive(Debug)]
 pub struct SenseBarrier {
     n: usize,
-    count: AtomicUsize,
-    generation: AtomicUsize,
+    /// `cells[0]` = arrival count, `cells[1]` = generation.
+    cells: Slots<AtomicUsize>,
 }
 
 impl SenseBarrier {
@@ -23,9 +26,18 @@ impl SenseBarrier {
         assert!(n >= 1);
         SenseBarrier {
             n,
-            count: AtomicUsize::new(0),
-            generation: AtomicUsize::new(0),
+            cells: Slots::alloc(2),
         }
+    }
+
+    #[inline]
+    fn count(&self) -> &AtomicUsize {
+        &self.cells[0]
+    }
+
+    #[inline]
+    fn generation(&self) -> &AtomicUsize {
+        &self.cells[1]
     }
 
     pub fn participants(&self) -> usize {
@@ -36,17 +48,17 @@ impl SenseBarrier {
     /// for exactly one participant per round (the last arriver), like
     /// `std::sync::Barrier`'s leader flag.
     pub fn wait(&self) -> bool {
-        let gen = self.generation.load(Ordering::Acquire);
-        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        let gen = self.generation().load(Ordering::Acquire);
+        let arrived = self.count().fetch_add(1, Ordering::AcqRel) + 1;
         if arrived == self.n {
-            self.count.store(0, Ordering::Relaxed);
+            self.count().store(0, Ordering::Relaxed);
             // Release so that waiters observing the new generation also
             // observe everything written before any participant arrived.
-            self.generation.fetch_add(1, Ordering::Release);
+            self.generation().fetch_add(1, Ordering::Release);
             true
         } else {
             let mut spins = 0u32;
-            while self.generation.load(Ordering::Acquire) == gen {
+            while self.generation().load(Ordering::Acquire) == gen {
                 spins += 1;
                 if spins < 64 {
                     std::hint::spin_loop();
@@ -70,15 +82,15 @@ impl SenseBarrier {
     /// hanging the world — DESIGN.md §3.2 "every wait is bounded or
     /// acked").
     pub fn wait_deadline(&self, deadline: Instant) -> Result<bool, BarrierTimeout> {
-        let gen = self.generation.load(Ordering::Acquire);
-        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        let gen = self.generation().load(Ordering::Acquire);
+        let arrived = self.count().fetch_add(1, Ordering::AcqRel) + 1;
         if arrived == self.n {
-            self.count.store(0, Ordering::Relaxed);
-            self.generation.fetch_add(1, Ordering::Release);
+            self.count().store(0, Ordering::Relaxed);
+            self.generation().fetch_add(1, Ordering::Release);
             Ok(true)
         } else {
             let mut spins = 0u32;
-            while self.generation.load(Ordering::Acquire) == gen {
+            while self.generation().load(Ordering::Acquire) == gen {
                 spins += 1;
                 if spins < 64 {
                     std::hint::spin_loop();

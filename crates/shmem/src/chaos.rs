@@ -205,6 +205,17 @@ pub enum Delivery {
         payload: Vec<Vec3>,
         signal: Option<(usize, u64)>,
     },
+    /// A put whose target arrived over the socket proxy as a raw symmetric
+    /// segment name (base address already validated against the shared
+    /// mapping by `shared::shared_words`). The words are the same physical
+    /// memory `Delivery::Put` would address through its `SymVec3` handle.
+    PutRaw {
+        seg: &'static [std::sync::atomic::AtomicU32],
+        dst_pe: usize,
+        offset: usize,
+        payload: Vec<Vec3>,
+        signal: Option<(usize, u64)>,
+    },
     Signal {
         dst_pe: usize,
         slot: usize,
@@ -215,7 +226,7 @@ pub enum Delivery {
 impl Delivery {
     pub fn op_kind(&self) -> OpKind {
         match self {
-            Delivery::Put { .. } => OpKind::Put,
+            Delivery::Put { .. } | Delivery::PutRaw { .. } => OpKind::Put,
             Delivery::Signal { .. } => OpKind::Signal,
         }
     }
@@ -232,6 +243,25 @@ impl Delivery {
                 signal,
             } => {
                 buf.write_slice(dst_pe, offset, &payload);
+                if let Some((slot, val)) = signal {
+                    if !drop_signal {
+                        signals[dst_pe].release_max(slot, val);
+                    }
+                }
+            }
+            Delivery::PutRaw {
+                seg,
+                dst_pe,
+                offset,
+                payload,
+                signal,
+            } => {
+                for (k, v) in payload.iter().enumerate() {
+                    let b = (offset + k) * 3;
+                    seg[b].store(v.x.to_bits(), Ordering::Relaxed);
+                    seg[b + 1].store(v.y.to_bits(), Ordering::Relaxed);
+                    seg[b + 2].store(v.z.to_bits(), Ordering::Relaxed);
+                }
                 if let Some((slot, val)) = signal {
                     if !drop_signal {
                         signals[dst_pe].release_max(slot, val);
@@ -401,25 +431,37 @@ impl ChaosEngine {
         decision
     }
 
+    /// Lock one PE's held-delivery cell, recovering from poisoning. A PE
+    /// that panics while parking a delivery poisons its mutex; the guarded
+    /// state is a plain `Option<Delivery>` (always coherent — `replace`
+    /// and `take` can't leave it half-written), so surviving PEs take the
+    /// value through the `PoisonError` instead of turning one diagnosed
+    /// fault into a panic cascade across the world.
+    fn held_lock(&self, src_pe: usize) -> std::sync::MutexGuard<'_, Option<Delivery>> {
+        self.held[src_pe]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Park a delivery for reordering. If a delivery is already held the
     /// previous one is returned so the caller delivers it (holds never
     /// accumulate unboundedly).
     pub fn hold(&self, src_pe: usize, d: Delivery) -> Option<Delivery> {
-        self.held[src_pe].lock().unwrap().replace(d)
+        self.held_lock(src_pe).replace(d)
     }
 
     /// Take the delivery held for `src_pe`, if any (flushed after the PE's
     /// next successful delivery).
     pub fn take_held(&self, src_pe: usize) -> Option<Delivery> {
-        self.held[src_pe].lock().unwrap().take()
+        self.held_lock(src_pe).take()
     }
 
     /// World boundary: discard parked deliveries. A held op must never leak
     /// into a *new* world — its (monotone) signal value from the previous
     /// attempt would pre-satisfy fresh slots and break the protocol.
     pub fn begin_world(&self) {
-        for h in &self.held {
-            if h.lock().unwrap().take().is_some() {
+        for pe in 0..self.npes {
+            if self.held_lock(pe).take().is_some() {
                 self.stats.abandoned_holds.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -573,5 +615,38 @@ mod tests {
             .zip(&c)
             .any(|(x, y)| x.rules[0].after_ops != y.rules[0].after_ops
                 || x.rules[0].pe != y.rules[0].pe));
+    }
+
+    #[test]
+    fn poisoned_hold_lock_recovers_instead_of_cascading() {
+        // A PE panicking while it holds the chaos hold lock poisons the
+        // mutex. Every later hold/take/begin_world on that cell used to
+        // `unwrap()` the poison and re-panic — one diagnosed fault became
+        // a panic cascade across all surviving PEs. The held state is a
+        // plain Option, so recovery through the PoisonError is safe.
+        let e = ChaosEngine::new(FaultPlan::quiescent(), 2);
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = e.held[0].lock().unwrap();
+            panic!("PE dies while parking a delivery");
+        }));
+        assert!(poison.is_err());
+        assert!(e.held[0].is_poisoned());
+        // Survivors keep draining cleanly through the poisoned cell.
+        assert!(e
+            .hold(
+                0,
+                Delivery::Signal {
+                    dst_pe: 1,
+                    slot: 0,
+                    val: 3,
+                },
+            )
+            .is_none());
+        assert!(matches!(
+            e.take_held(0),
+            Some(Delivery::Signal { val: 3, .. })
+        ));
+        e.begin_world(); // must not panic either
+        assert!(e.take_held(0).is_none());
     }
 }

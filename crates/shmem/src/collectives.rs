@@ -18,6 +18,7 @@
 //! instead of hanging the world (DESIGN.md §3.2).
 
 use crate::barrier::SenseBarrier;
+use crate::shared::Slots;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -84,14 +85,14 @@ impl AtomicF64 {
 /// PE, reduced in PE index order by every participant.
 #[derive(Debug)]
 pub struct Collectives {
-    slots: Vec<AtomicF64>,
+    slots: Slots<AtomicF64>,
     barrier: SenseBarrier,
 }
 
 impl Collectives {
     pub fn new(npes: usize) -> Self {
         Collectives {
-            slots: (0..npes).map(|_| AtomicF64::new(0.0)).collect(),
+            slots: Slots::alloc(npes),
             barrier: SenseBarrier::new(npes),
         }
     }
@@ -148,7 +149,7 @@ impl Collectives {
 
     fn reduce_sum(&self) -> f64 {
         let mut total = 0.0;
-        for s in &self.slots {
+        for s in self.slots.iter() {
             total += s.load(Ordering::Relaxed);
         }
         total
@@ -156,7 +157,7 @@ impl Collectives {
 
     fn reduce_max(&self) -> f64 {
         let mut m = f64::NEG_INFINITY;
-        for s in &self.slots {
+        for s in self.slots.iter() {
             m = m.max(s.load(Ordering::Relaxed));
         }
         m

@@ -38,18 +38,24 @@ pub mod atomicf32;
 pub mod barrier;
 pub mod chaos;
 pub mod collectives;
+pub mod shared;
 pub mod signal;
 pub mod sym;
 pub mod team;
 pub mod twosided;
+pub mod wire;
 pub mod world;
 
 pub use atomicf32::AtomicF32;
 pub use barrier::{BarrierTimeout, SenseBarrier};
 pub use chaos::{ChaosEngine, ChaosReport, FaultKind, FaultOp, FaultPlan, FaultRule};
 pub use collectives::{AtomicF64, Collectives};
+pub use shared::{enable_shared_heap, shared_heap_enabled, Slots};
 pub use signal::SignalSet;
 pub use sym::{SymF32, SymVec3};
 pub use team::{Team, TeamSymVec3};
 pub use twosided::{Message, TwoSidedComm};
-pub use world::{Fabric, Pe, ProxyConfig, ShmemWorld, Topology};
+pub use wire::{Wire, WireError, WireReader};
+pub use world::{
+    Fabric, Pe, PeFailure, ProxyConfig, ShmemWorld, Topology, WorldBackend, WorldError,
+};

@@ -1,0 +1,321 @@
+//! Cross-process symmetric heap: a `memfd_create` + `mmap(MAP_SHARED)`
+//! arena, plus the tiny process-control FFI surface the `procs` world
+//! backend needs (`fork`, `waitpid`, `_exit`).
+//!
+//! The threaded backend shares one heap for free; forked PEs do not. When
+//! the process backend is selected (env `HALOX_BACKEND=procs` or
+//! [`enable_shared_heap`]), every symmetric allocation — signal slots, ack
+//! slots, collective deposit slots, barrier cells, `SymVec3` segments and
+//! the two-sided ring buffers — is carved out of a single file-backed
+//! shared mapping instead of the process heap. The mapping is created
+//! *before* any fork, so parent and children see the same virtual
+//! addresses: a raw segment pointer is a valid cross-process name for a
+//! symmetric region, which is exactly how the socket proxy frames name
+//! their put targets (DESIGN.md §3.5).
+//!
+//! Allocation is a bump cursor stored *inside* the mapping itself, so
+//! post-fork allocations (e.g. a team split inside a PE) still reserve
+//! globally disjoint ranges. Memory is never freed — the arena outlives
+//! every world, mirroring NVSHMEM's symmetric-heap lifetime. The mapping
+//! reserves a large virtual range; physical pages materialize on first
+//! touch, so the reservation itself costs nothing.
+//!
+//! We declare the handful of libc entry points ourselves instead of
+//! depending on the `libc` crate: std already links glibc, and glibc's
+//! `fork()` runs the `pthread_atfork` handlers (malloc arena locks), which
+//! makes allocating in a child forked from a multithreaded test harness
+//! safe — a raw `SYS_fork` would not be.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+mod ffi {
+    use std::os::raw::{c_char, c_int, c_uint, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const PROT_WRITE: c_int = 2;
+    pub const MAP_SHARED: c_int = 1;
+
+    extern "C" {
+        pub fn memfd_create(name: *const c_char, flags: c_uint) -> c_int;
+        pub fn ftruncate(fd: c_int, length: i64) -> c_int;
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn fork() -> c_int;
+        pub fn waitpid(pid: c_int, status: *mut c_int, options: c_int) -> c_int;
+        pub fn _exit(code: c_int) -> !;
+    }
+}
+
+/// Virtual size of the arena. Pages are demand-allocated; tier-1 runs touch
+/// a few tens of megabytes at most.
+const ARENA_BYTES: usize = 1 << 30;
+/// Every allocation is aligned to (and padded to a multiple of) this, which
+/// also keeps hot slots on distinct cache lines.
+const ALIGN: usize = 128;
+
+struct SharedArena {
+    base: *mut u8,
+    size: usize,
+}
+
+// The arena hands out references to atomics only; the base pointer itself
+// is never aliased mutably.
+unsafe impl Send for SharedArena {}
+unsafe impl Sync for SharedArena {}
+
+static ARENA: OnceLock<SharedArena> = OnceLock::new();
+static FORCED: AtomicBool = AtomicBool::new(false);
+
+fn env_selects_procs() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("HALOX_BACKEND")
+            .map(|v| v.eq_ignore_ascii_case("procs"))
+            .unwrap_or(false)
+    })
+}
+
+/// True when symmetric allocations should land in the shared mapping.
+pub fn shared_heap_enabled() -> bool {
+    FORCED.load(Ordering::Relaxed) || env_selects_procs()
+}
+
+/// Programmatically switch symmetric allocation to the shared mapping (the
+/// env-free way tests opt into the `procs` backend). Sticky for the
+/// process lifetime; existing heap-backed allocations stay valid. Also
+/// eagerly maps the arena so it exists before any fork.
+pub fn enable_shared_heap() {
+    FORCED.store(true, Ordering::Relaxed);
+    arena();
+}
+
+fn arena() -> &'static SharedArena {
+    ARENA.get_or_init(|| unsafe {
+        let fd = ffi::memfd_create(c"halox-symheap".as_ptr(), 0);
+        assert!(fd >= 0, "memfd_create failed (errno path)");
+        assert_eq!(
+            ffi::ftruncate(fd, ARENA_BYTES as i64),
+            0,
+            "ftruncate({ARENA_BYTES}) failed"
+        );
+        let p = ffi::mmap(
+            std::ptr::null_mut(),
+            ARENA_BYTES,
+            ffi::PROT_READ | ffi::PROT_WRITE,
+            ffi::MAP_SHARED,
+            fd,
+            0,
+        );
+        assert!(
+            p as isize != -1 && !p.is_null(),
+            "mmap of shared symmetric heap failed"
+        );
+        ffi::close(fd);
+        // First ALIGN bytes are the arena header: the bump cursor lives in
+        // the mapping so forked children allocate disjoint ranges too.
+        let cursor = &*(p as *const AtomicUsize);
+        cursor.store(ALIGN, Ordering::Relaxed);
+        SharedArena {
+            base: p as *mut u8,
+            size: ARENA_BYTES,
+        }
+    })
+}
+
+/// Types that are valid when their backing bytes are all zero — what the
+/// fresh memfd pages provide. Implemented only for the atomic cells the
+/// symmetric heap stores.
+///
+/// # Safety
+/// Implementors must be valid for the all-zero bit pattern and tolerate
+/// concurrent access through shared references (atomics).
+pub unsafe trait Zeroable {}
+
+unsafe impl Zeroable for AtomicU32 {}
+unsafe impl Zeroable for std::sync::atomic::AtomicU64 {}
+unsafe impl Zeroable for AtomicUsize {}
+unsafe impl Zeroable for crossbeam::utils::CachePadded<std::sync::atomic::AtomicU64> {}
+unsafe impl Zeroable for crate::atomicf32::AtomicF32 {}
+unsafe impl Zeroable for crate::collectives::AtomicF64 {}
+
+/// Allocate `n` zeroed cells of `T` from the shared mapping.
+pub fn alloc_shared<T: Zeroable>(n: usize) -> &'static [T] {
+    assert!(std::mem::align_of::<T>() <= ALIGN);
+    let a = arena();
+    let bytes = n
+        .checked_mul(std::mem::size_of::<T>())
+        .expect("shared allocation size overflow");
+    let padded = bytes.div_ceil(ALIGN) * ALIGN;
+    let cursor = unsafe { &*(a.base as *const AtomicUsize) };
+    let start = cursor.fetch_add(padded, Ordering::AcqRel);
+    assert!(
+        start + padded <= a.size,
+        "shared symmetric heap exhausted ({} bytes requested at offset {start})",
+        padded
+    );
+    unsafe { std::slice::from_raw_parts(a.base.add(start) as *const T, n) }
+}
+
+/// Storage for an array of symmetric cells: process-heap by default,
+/// shared-mapping when the process backend is (or may be) in play. Both
+/// variants deref to `[T]`; the shared variant's cells are visible at the
+/// same address in every forked PE.
+pub enum Slots<T: 'static> {
+    Heap(Box<[T]>),
+    Shared(&'static [T]),
+}
+
+impl<T: Zeroable + Default> Slots<T> {
+    /// Allocate `n` zeroed cells in whichever storage the selected backend
+    /// requires.
+    pub fn alloc(n: usize) -> Self {
+        if shared_heap_enabled() {
+            Slots::Shared(alloc_shared(n))
+        } else {
+            Slots::Heap((0..n).map(|_| T::default()).collect())
+        }
+    }
+}
+
+impl<T> Slots<T> {
+    pub fn is_shared(&self) -> bool {
+        matches!(self, Slots::Shared(_))
+    }
+}
+
+impl<T> std::ops::Deref for Slots<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        match self {
+            Slots::Heap(b) => b,
+            Slots::Shared(s) => s,
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Slots<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let tag = if self.is_shared() { "shared" } else { "heap" };
+        write!(f, "Slots<{tag}>({} cells)", self.len())
+    }
+}
+
+/// Reconstruct a symmetric word segment from its cross-process name (base
+/// address + word count), validating that the range lies inside the shared
+/// mapping. `None` means the address is not a symmetric-heap pointer — the
+/// socket proxy rejects such puts instead of scribbling on arbitrary
+/// memory.
+pub fn shared_words(addr: usize, words: usize) -> Option<&'static [AtomicU32]> {
+    let a = ARENA.get()?;
+    let base = a.base as usize;
+    let bytes = words.checked_mul(4)?;
+    if !addr.is_multiple_of(std::mem::align_of::<AtomicU32>()) {
+        return None;
+    }
+    if addr < base || addr.checked_add(bytes)? > base + a.size {
+        return None;
+    }
+    Some(unsafe { std::slice::from_raw_parts(addr as *const AtomicU32, words) })
+}
+
+/// `fork()` via glibc (atfork handlers run). Returns 0 in the child, the
+/// child pid in the parent.
+///
+/// # Safety
+/// Caller owns all post-fork hygiene: the child must only touch
+/// fork-inherited state it knows is safe (shared-mapping atomics, its own
+/// socket) and must leave via [`exit_now`].
+pub unsafe fn fork_pe() -> i32 {
+    ffi::fork()
+}
+
+/// `_exit`: leave the child without running destructors or atexit handlers
+/// (the child's heap is a copy-on-write snapshot it must not tear down).
+pub fn exit_now(code: i32) -> ! {
+    unsafe { ffi::_exit(code) }
+}
+
+/// Blocking `waitpid`, returning the raw wait status (or `None` if the
+/// call failed, e.g. the pid was already reaped).
+pub fn wait_child(pid: i32) -> Option<i32> {
+    let mut status: i32 = 0;
+    let r = unsafe { ffi::waitpid(pid, &mut status as *mut i32, 0) };
+    (r == pid).then_some(status)
+}
+
+/// Human-readable rendering of a raw wait status.
+pub fn describe_wait_status(status: i32) -> String {
+    if status & 0x7f == 0 {
+        format!("exited with code {}", (status >> 8) & 0xff)
+    } else if (((status & 0x7f) + 1) >> 1) > 0 {
+        format!("killed by signal {}", status & 0x7f)
+    } else {
+        format!("raw wait status {status:#x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_slots_by_default_then_shared_after_enable() {
+        // Default allocation mode depends on the environment; after the
+        // explicit enable it must be shared.
+        enable_shared_heap();
+        let s: Slots<AtomicU32> = Slots::alloc(8);
+        assert!(s.is_shared());
+        assert_eq!(s.len(), 8);
+        assert!(s.iter().all(|c| c.load(Ordering::Relaxed) == 0));
+    }
+
+    #[test]
+    fn shared_allocations_are_disjoint_and_zeroed() {
+        enable_shared_heap();
+        let a = alloc_shared::<AtomicU32>(100);
+        let b = alloc_shared::<AtomicU32>(100);
+        let (pa, pb) = (a.as_ptr() as usize, b.as_ptr() as usize);
+        assert_ne!(pa, pb);
+        assert!(pa.abs_diff(pb) >= 400);
+        a[99].store(7, Ordering::Relaxed);
+        assert_eq!(b[99].load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn shared_words_validates_bounds() {
+        enable_shared_heap();
+        let a = alloc_shared::<AtomicU32>(16);
+        let addr = a.as_ptr() as usize;
+        let back = shared_words(addr, 16).expect("in-arena pointer accepted");
+        back[3].store(42, Ordering::Relaxed);
+        assert_eq!(a[3].load(Ordering::Relaxed), 42);
+        // A stack pointer is not a symmetric-heap name.
+        let local = 0u32;
+        assert!(shared_words(&local as *const u32 as usize, 1).is_none());
+        // Length overflowing the arena is rejected.
+        assert!(shared_words(addr, ARENA_BYTES).is_none());
+    }
+
+    #[test]
+    fn fork_shares_the_mapping() {
+        enable_shared_heap();
+        let cell = &alloc_shared::<AtomicU32>(1)[0];
+        let pid = unsafe { fork_pe() };
+        if pid == 0 {
+            cell.store(1234, Ordering::SeqCst);
+            exit_now(0);
+        }
+        assert!(pid > 0, "fork failed");
+        let status = wait_child(pid).expect("child reaped");
+        assert_eq!(status, 0, "{}", describe_wait_status(status));
+        assert_eq!(cell.load(Ordering::SeqCst), 1234, "child write not shared");
+    }
+}

@@ -9,6 +9,7 @@
 //! Signal values are monotonically increasing per step (`sigVal` in the
 //! paper's `CommContext`), so slots never need resetting between steps.
 
+use crate::shared::Slots;
 use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -23,18 +24,18 @@ const YIELD_BOUND: u32 = 4096;
 /// burning a core, short enough to add negligible latency to recovery.
 const PARK_SLEEP: Duration = Duration::from_micros(50);
 
-/// A fixed-size array of signal slots owned by one PE.
+/// A fixed-size array of signal slots owned by one PE. Under the process
+/// backend the slots live in the shared mapping, so forked PEs spin on and
+/// release the same physical words.
 #[derive(Debug)]
 pub struct SignalSet {
-    slots: Vec<CachePadded<AtomicU64>>,
+    slots: Slots<CachePadded<AtomicU64>>,
 }
 
 impl SignalSet {
     pub fn new(n_slots: usize) -> Self {
         SignalSet {
-            slots: (0..n_slots)
-                .map(|_| CachePadded::new(AtomicU64::new(0)))
-                .collect(),
+            slots: Slots::alloc(n_slots),
         }
     }
 
@@ -163,7 +164,7 @@ impl SignalSet {
     /// Reset all slots to zero. Only safe between phases when no thread is
     /// waiting (used by tests and world teardown).
     pub fn reset(&self) {
-        for s in &self.slots {
+        for s in self.slots.iter() {
             s.store(0, Ordering::Relaxed);
         }
     }

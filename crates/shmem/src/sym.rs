@@ -14,16 +14,20 @@
 //! on *every* PE of the world, sized identically.
 
 use crate::atomicf32::AtomicF32;
+use crate::shared::Slots;
 use halox_md::Vec3;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// A symmetric array of `Vec3` (3 words per element), one segment per PE.
 ///
-/// Cloning is cheap (Arc); all clones address the same storage.
+/// Cloning is cheap (Arc); all clones address the same storage. When the
+/// process backend is selected, segments live in the shared mapping
+/// (`shared::Slots`), so forked PEs address the same physical words at the
+/// same virtual address.
 #[derive(Clone)]
 pub struct SymVec3 {
-    segs: Arc<Vec<Vec<AtomicU32>>>,
+    segs: Arc<Vec<Slots<AtomicU32>>>,
     len: usize,
 }
 
@@ -31,13 +35,24 @@ impl SymVec3 {
     /// Collectively allocate `len` elements on each of `npes` PEs,
     /// zero-initialized.
     pub fn alloc(npes: usize, len: usize) -> Self {
-        let segs = (0..npes)
-            .map(|_| (0..len * 3).map(|_| AtomicU32::new(0)).collect())
-            .collect();
+        let segs = (0..npes).map(|_| Slots::alloc(len * 3)).collect();
         SymVec3 {
             segs: Arc::new(segs),
             len,
         }
+    }
+
+    /// True when the segments live in the cross-process shared mapping.
+    pub fn is_shared(&self) -> bool {
+        self.segs.iter().all(|s| s.is_shared())
+    }
+
+    /// Cross-process name of PE `pe`'s segment: (base address, word count).
+    /// Only meaningful for shared-backed buffers — the proxy validates the
+    /// address against the arena before writing through it.
+    pub fn seg_addr(&self, pe: usize) -> (usize, usize) {
+        let s: &[AtomicU32] = &self.segs[pe];
+        (s.as_ptr() as usize, s.len())
     }
 
     pub fn len(&self) -> usize {
@@ -138,15 +153,13 @@ impl SymVec3 {
 /// standalone).
 #[derive(Clone)]
 pub struct SymF32 {
-    segs: Arc<Vec<Vec<AtomicF32>>>,
+    segs: Arc<Vec<Slots<AtomicF32>>>,
     len: usize,
 }
 
 impl SymF32 {
     pub fn alloc(npes: usize, len: usize) -> Self {
-        let segs = (0..npes)
-            .map(|_| (0..len).map(|_| AtomicF32::new(0.0)).collect())
-            .collect();
+        let segs = (0..npes).map(|_| Slots::alloc(len)).collect();
         SymF32 {
             segs: Arc::new(segs),
             len,

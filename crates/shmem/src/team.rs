@@ -83,22 +83,33 @@ impl Team {
         self.members[team_rank]
     }
 
+    /// Team barrier; `None` if `world_rank` is not a member (in which case
+    /// no wait happens — a non-member must not count toward the barrier).
+    pub fn try_barrier(&self, world_rank: usize) -> Option<bool> {
+        if !self.contains(world_rank) {
+            return None;
+        }
+        Some(self.barrier.wait())
+    }
+
     /// Team barrier; caller must be a member.
     pub fn barrier(&self, world_rank: usize) -> bool {
-        assert!(
-            self.contains(world_rank),
-            "PE {world_rank} is not in this team"
-        );
-        self.barrier.wait()
+        self.try_barrier(world_rank)
+            .unwrap_or_else(|| panic!("PE {world_rank} is not in this team"))
+    }
+
+    /// Team-scoped sum all-reduce; `None` if `world_rank` is not a member
+    /// (a non-member joining would deadlock the members' rendezvous).
+    pub fn try_allreduce_sum(&self, world_rank: usize, v: f64) -> Option<f64> {
+        let team_rank = self.team_rank(world_rank)?;
+        Some(self.collectives.allreduce_sum(team_rank, v))
     }
 
     /// Team-scoped sum all-reduce; caller must be a member. Reduced in
     /// team-rank order on every member (bitwise schedule-independent).
     pub fn allreduce_sum(&self, world_rank: usize, v: f64) -> f64 {
-        let team_rank = self
-            .team_rank(world_rank)
-            .unwrap_or_else(|| panic!("PE {world_rank} is not in this team"));
-        self.collectives.allreduce_sum(team_rank, v)
+        self.try_allreduce_sum(world_rank, v)
+            .unwrap_or_else(|| panic!("PE {world_rank} is not in this team"))
     }
 }
 
@@ -138,26 +149,72 @@ impl TeamSymVec3 {
         self.buf.npes()
     }
 
+    /// Segment index of a world rank, `None` for non-members (who hold no
+    /// segment in a team-scoped allocation).
+    pub fn try_seg(&self, world_rank: usize) -> Option<usize> {
+        self.team.team_rank(world_rank)
+    }
+
     fn seg(&self, world_rank: usize) -> usize {
-        self.team
-            .team_rank(world_rank)
+        self.try_seg(world_rank)
             .unwrap_or_else(|| panic!("PE {world_rank} has no segment in this team allocation"))
+    }
+
+    pub fn try_get(&self, world_rank: usize, idx: usize) -> Option<Vec3> {
+        Some(self.buf.get(self.try_seg(world_rank)?, idx))
     }
 
     pub fn get(&self, world_rank: usize, idx: usize) -> Vec3 {
         self.buf.get(self.seg(world_rank), idx)
     }
 
+    /// `false` if `world_rank` has no segment (nothing written).
+    pub fn try_set(&self, world_rank: usize, idx: usize, v: Vec3) -> bool {
+        match self.try_seg(world_rank) {
+            Some(s) => {
+                self.buf.set(s, idx, v);
+                true
+            }
+            None => false,
+        }
+    }
+
     pub fn set(&self, world_rank: usize, idx: usize, v: Vec3) {
         self.buf.set(self.seg(world_rank), idx, v);
+    }
+
+    /// `false` if `world_rank` has no segment (nothing written).
+    pub fn try_write_slice(&self, world_rank: usize, offset: usize, src: &[Vec3]) -> bool {
+        match self.try_seg(world_rank) {
+            Some(s) => {
+                self.buf.write_slice(s, offset, src);
+                true
+            }
+            None => false,
+        }
     }
 
     pub fn write_slice(&self, world_rank: usize, offset: usize, src: &[Vec3]) {
         self.buf.write_slice(self.seg(world_rank), offset, src);
     }
 
+    /// `false` if `world_rank` has no segment (`dst` untouched).
+    pub fn try_read_slice(&self, world_rank: usize, offset: usize, dst: &mut [Vec3]) -> bool {
+        match self.try_seg(world_rank) {
+            Some(s) => {
+                self.buf.read_slice(s, offset, dst);
+                true
+            }
+            None => false,
+        }
+    }
+
     pub fn read_slice(&self, world_rank: usize, offset: usize, dst: &mut [Vec3]) {
         self.buf.read_slice(self.seg(world_rank), offset, dst);
+    }
+
+    pub fn try_snapshot(&self, world_rank: usize) -> Option<Vec<Vec3>> {
+        Some(self.buf.snapshot(self.try_seg(world_rank)?))
     }
 
     pub fn snapshot(&self, world_rank: usize) -> Vec<Vec3> {
@@ -213,6 +270,27 @@ mod tests {
         let pp = Team::new(vec![0, 1, 2]);
         let buf = TeamSymVec3::alloc(&pp, 4);
         let _ = buf.get(3, 0);
+    }
+
+    #[test]
+    fn try_variants_reject_non_members_without_panicking() {
+        let pp = Team::new(vec![0, 1, 2]);
+        let buf = TeamSymVec3::alloc(&pp, 4);
+        // Out-of-team lookups report absence instead of panicking.
+        assert_eq!(buf.try_seg(3), None);
+        assert_eq!(buf.try_get(3, 0), None);
+        assert!(!buf.try_set(3, 0, Vec3::splat(1.0)));
+        assert!(!buf.try_write_slice(3, 0, &[Vec3::ZERO]));
+        let mut dst = [Vec3::splat(9.0)];
+        assert!(!buf.try_read_slice(3, 0, &mut dst));
+        assert_eq!(dst[0], Vec3::splat(9.0)); // untouched
+        assert_eq!(buf.try_snapshot(3), None);
+        assert_eq!(pp.try_allreduce_sum(3, 1.0), None);
+        assert_eq!(pp.try_barrier(3), None);
+        // Members go through the same paths successfully.
+        assert!(buf.try_set(1, 2, Vec3::splat(5.0)));
+        assert_eq!(buf.try_get(1, 2), Some(Vec3::splat(5.0)));
+        assert_eq!(buf.try_snapshot(1).unwrap()[2], Vec3::splat(5.0));
     }
 
     #[test]

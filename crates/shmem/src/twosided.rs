@@ -5,10 +5,24 @@
 //! (sender, receiver) pair are non-overtaking; `recv` matches the next
 //! message from the given source and asserts the expected tag, which is how
 //! the serialized-pulse baseline consumes them.
+//!
+//! Two interchangeable transports sit behind the same API:
+//!
+//! * **Channels** — crossbeam channels, used when PEs are threads;
+//! * **Rings** — per-(src, dst) SPSC byte rings carved out of the shared
+//!   symmetric heap ([`crate::shared`]), used when PEs are forked processes
+//!   (channels cannot cross an address-space boundary). Selected
+//!   automatically once [`crate::shared::shared_heap_enabled`] is set, i.e.
+//!   after any `procs`-backend world has been created. Ring waits are
+//!   bounded: a peer that dies mid-exchange produces a panic (reported as a
+//!   PE failure by the world), never a hang.
 
+use crate::shared::Slots;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use halox_md::Vec3;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// One message: tag + payload.
 #[derive(Debug, Clone)]
@@ -17,16 +31,162 @@ pub struct Message {
     pub data: Vec<Vec3>,
 }
 
+/// Ring capacity in u32 words (power of two). 64 KiB per ring keeps the
+/// n^2 rings of a comm well inside the shared arena; larger messages are
+/// chunked transparently.
+const RING_CAP_WORDS: usize = 1 << 14;
+/// Max payload `Vec3`s per chunk: header (4 words) + 3 * chunk must fit
+/// with room to spare so sender and receiver can always make progress.
+const MAX_CHUNK_VECS: usize = (RING_CAP_WORDS / 2 - 4) / 3;
+/// Words in a chunk header: tag_lo, tag_hi, total_len, chunk_len.
+const HDR_WORDS: usize = 4;
+/// Bounded wait before declaring the peer dead (ring never drains/fills).
+const RING_WAIT: Duration = Duration::from_secs(15);
+
+/// One SPSC ring in the shared heap: `words` is the circular payload buffer,
+/// `ctrl[0]` the sender-advanced head, `ctrl[1]` the receiver-advanced tail
+/// (both monotone; the index is `pos % RING_CAP_WORDS`).
+struct Ring {
+    words: Slots<AtomicU32>,
+    ctrl: Slots<AtomicUsize>,
+}
+
+impl Ring {
+    fn alloc() -> Self {
+        Ring {
+            words: Slots::alloc(RING_CAP_WORDS),
+            ctrl: Slots::alloc(2),
+        }
+    }
+
+    #[inline]
+    fn head(&self) -> &AtomicUsize {
+        &self.ctrl[0]
+    }
+
+    #[inline]
+    fn tail(&self) -> &AtomicUsize {
+        &self.ctrl[1]
+    }
+
+    #[inline]
+    fn word(&self, pos: usize) -> &AtomicU32 {
+        &self.words[pos % RING_CAP_WORDS]
+    }
+
+    /// Send one message, chunking as needed. Panics (bounded wait) if the
+    /// receiver stops draining the ring.
+    fn send(&self, src: usize, dst: usize, tag: u64, data: &[Vec3]) {
+        let total = data.len();
+        let mut sent = 0usize;
+        loop {
+            let chunk = (total - sent).min(MAX_CHUNK_VECS);
+            let frame = HDR_WORDS + 3 * chunk;
+            let head = self.head().load(Ordering::Relaxed);
+            let deadline = Instant::now() + RING_WAIT;
+            while head + frame - self.tail().load(Ordering::Acquire) > RING_CAP_WORDS {
+                if Instant::now() > deadline {
+                    panic!(
+                        "two-sided send timed out: ring {src}->{dst} full for \
+                         {RING_WAIT:?} (receiver dead?)"
+                    );
+                }
+                std::thread::yield_now();
+            }
+            self.word(head).store(tag as u32, Ordering::Relaxed);
+            self.word(head + 1)
+                .store((tag >> 32) as u32, Ordering::Relaxed);
+            self.word(head + 2).store(total as u32, Ordering::Relaxed);
+            self.word(head + 3).store(chunk as u32, Ordering::Relaxed);
+            for (k, v) in data[sent..sent + chunk].iter().enumerate() {
+                let base = head + HDR_WORDS + 3 * k;
+                self.word(base).store(v.x.to_bits(), Ordering::Relaxed);
+                self.word(base + 1).store(v.y.to_bits(), Ordering::Relaxed);
+                self.word(base + 2).store(v.z.to_bits(), Ordering::Relaxed);
+            }
+            self.head().store(head + frame, Ordering::Release);
+            sent += chunk;
+            if sent >= total {
+                return;
+            }
+        }
+    }
+
+    /// Receive one message (all its chunks); asserts the tag. Panics
+    /// (bounded wait) if the sender stops producing mid-message.
+    fn recv(&self, dst: usize, src: usize, tag: u64) -> Vec<Vec3> {
+        let mut out: Vec<Vec3> = Vec::new();
+        loop {
+            let tail = self.tail().load(Ordering::Relaxed);
+            let deadline = Instant::now() + RING_WAIT;
+            while self.head().load(Ordering::Acquire) < tail + HDR_WORDS {
+                if Instant::now() > deadline {
+                    panic!(
+                        "two-sided recv timed out: PE {dst} waited {RING_WAIT:?} \
+                         for tag {tag} from PE {src} (sender dead?)"
+                    );
+                }
+                std::thread::yield_now();
+            }
+            let got_tag = self.word(tail).load(Ordering::Relaxed) as u64
+                | (self.word(tail + 1).load(Ordering::Relaxed) as u64) << 32;
+            assert_eq!(
+                got_tag, tag,
+                "message order violation: got tag {got_tag}, want {tag}"
+            );
+            let total = self.word(tail + 2).load(Ordering::Relaxed) as usize;
+            let chunk = self.word(tail + 3).load(Ordering::Relaxed) as usize;
+            if out.capacity() < total {
+                out.reserve(total - out.len());
+            }
+            for k in 0..chunk {
+                let base = tail + HDR_WORDS + 3 * k;
+                out.push(Vec3::new(
+                    f32::from_bits(self.word(base).load(Ordering::Relaxed)),
+                    f32::from_bits(self.word(base + 1).load(Ordering::Relaxed)),
+                    f32::from_bits(self.word(base + 2).load(Ordering::Relaxed)),
+                ));
+            }
+            self.tail()
+                .store(tail + HDR_WORDS + 3 * chunk, Ordering::Release);
+            if out.len() >= total {
+                return out;
+            }
+        }
+    }
+}
+
+enum Inner {
+    Channels {
+        /// txs[src][dst]
+        txs: Vec<Vec<Sender<Message>>>,
+        /// rxs[dst][src], behind a mutex so the comm handle can be shared.
+        rxs: Vec<Vec<Mutex<Receiver<Message>>>>,
+    },
+    Rings {
+        n: usize,
+        /// rings[src * n + dst]
+        rings: Vec<Ring>,
+    },
+}
+
 /// A fully connected two-sided communicator over `n` ranks.
 pub struct TwoSidedComm {
-    /// txs[src][dst]
-    txs: Vec<Vec<Sender<Message>>>,
-    /// rxs[dst][src], behind a mutex so the comm handle can be shared.
-    rxs: Vec<Vec<Mutex<Receiver<Message>>>>,
+    inner: Inner,
 }
 
 impl TwoSidedComm {
     pub fn new(n: usize) -> Self {
+        if crate::shared::shared_heap_enabled() {
+            // Procs-capable mode: channels cannot cross processes, so every
+            // ordered (src, dst) pair gets an SPSC ring in the shared heap.
+            // Must be allocated before the world forks (like all symmetric
+            // allocation); also works under the threads backend.
+            let rings = (0..n * n).map(|_| Ring::alloc()).collect();
+            return TwoSidedComm {
+                inner: Inner::Rings { n, rings },
+            };
+        }
         let mut txs: Vec<Vec<Sender<Message>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
         let mut rxs: Vec<Vec<Mutex<Receiver<Message>>>> =
             (0..n).map(|_| Vec::with_capacity(n)).collect();
@@ -40,30 +200,49 @@ impl TwoSidedComm {
                 rxs[dst].push(Mutex::new(rx));
             }
         }
-        TwoSidedComm { txs, rxs }
+        TwoSidedComm {
+            inner: Inner::Channels { txs, rxs },
+        }
     }
 
     pub fn n_ranks(&self) -> usize {
-        self.rxs.len()
+        match &self.inner {
+            Inner::Channels { rxs, .. } => rxs.len(),
+            Inner::Rings { n, .. } => *n,
+        }
+    }
+
+    /// True when messages travel through shared-heap rings (required for the
+    /// cross-process backend) rather than in-process channels.
+    pub fn uses_shared_rings(&self) -> bool {
+        matches!(self.inner, Inner::Rings { .. })
     }
 
     /// Non-blocking send of `data` from `src` to `dst` with `tag`.
     pub fn send(&self, src: usize, dst: usize, tag: u64, data: Vec<Vec3>) {
-        self.txs[src][dst]
-            .send(Message { tag, data })
-            .expect("receiver dropped");
+        match &self.inner {
+            Inner::Channels { txs, .. } => txs[src][dst]
+                .send(Message { tag, data })
+                .expect("receiver dropped"),
+            Inner::Rings { n, rings } => rings[src * n + dst].send(src, dst, tag, &data),
+        }
     }
 
     /// Blocking receive of the next message from `src` to `dst`; asserts the
     /// tag matches (MPI non-overtaking order makes this deterministic).
     pub fn recv(&self, dst: usize, src: usize, tag: u64) -> Vec<Vec3> {
-        let msg = self.rxs[dst][src].lock().recv().expect("sender dropped");
-        assert_eq!(
-            msg.tag, tag,
-            "message order violation: got tag {}, want {tag}",
-            msg.tag
-        );
-        msg.data
+        match &self.inner {
+            Inner::Channels { rxs, .. } => {
+                let msg = rxs[dst][src].lock().recv().expect("sender dropped");
+                assert_eq!(
+                    msg.tag, tag,
+                    "message order violation: got tag {}, want {tag}",
+                    msg.tag
+                );
+                msg.data
+            }
+            Inner::Rings { n, rings } => rings[src * n + dst].recv(dst, src, tag),
+        }
     }
 
     /// Combined send+recv (the classic halo `MPI_Sendrecv`).
@@ -128,5 +307,69 @@ mod tests {
         let c = TwoSidedComm::new(2);
         c.send(0, 1, 1, vec![]);
         let _ = c.recv(1, 0, 2);
+    }
+
+    /// Build a rings-backed comm regardless of the ambient backend.
+    fn rings_comm(n: usize) -> TwoSidedComm {
+        crate::shared::enable_shared_heap();
+        let c = TwoSidedComm::new(n);
+        assert!(c.uses_shared_rings());
+        c
+    }
+
+    #[test]
+    fn shared_rings_point_to_point_and_ordering() {
+        let c = rings_comm(2);
+        c.send(0, 1, 7, vec![Vec3::splat(1.0)]);
+        assert_eq!(c.recv(1, 0, 7), vec![Vec3::splat(1.0)]);
+        for t in 0..10 {
+            c.send(0, 1, t, vec![Vec3::splat(t as f32)]);
+        }
+        for t in 0..10 {
+            assert_eq!(c.recv(1, 0, t)[0], Vec3::splat(t as f32));
+        }
+        // Empty payloads round-trip too.
+        c.send(1, 0, 3, vec![]);
+        assert!(c.recv(0, 1, 3).is_empty());
+    }
+
+    #[test]
+    fn shared_rings_chunk_large_messages_bitwise() {
+        let c = rings_comm(2);
+        // Larger than one chunk and larger than the whole ring: must arrive
+        // intact and bit-exact through the chunking path.
+        let big: Vec<Vec3> = (0..3 * MAX_CHUNK_VECS + 17)
+            .map(|i| Vec3::new(i as f32 * 0.1, -(i as f32), 1.0 / (i + 1) as f32))
+            .collect();
+        let (tx, rx) = (0usize, 1usize);
+        let cref = &c;
+        let bref = &big;
+        std::thread::scope(|s| {
+            s.spawn(move || cref.send(tx, rx, 42, bref.clone()));
+            let got = cref.recv(rx, tx, 42);
+            assert_eq!(&got, bref);
+        });
+    }
+
+    #[test]
+    fn shared_rings_cross_process() {
+        use crate::world::{ShmemWorld, Topology, WorldBackend};
+        let world = ShmemWorld::new_with_backend(WorldBackend::Procs, Topology::islands(2, 1), 1);
+        let c = TwoSidedComm::new(2);
+        assert!(c.uses_shared_rings());
+        let cref = &c;
+        let sums = world.run(move |pe| {
+            let other = 1 - pe.id;
+            let got = cref.sendrecv(
+                pe.id,
+                other,
+                pe.id as u64,
+                vec![Vec3::splat((pe.id + 1) as f32)],
+                other,
+                other as u64,
+            );
+            got[0].x as f64
+        });
+        assert_eq!(sums, vec![2.0, 1.0]);
     }
 }

@@ -1,0 +1,348 @@
+//! Byte-level encoding for values that cross the process boundary.
+//!
+//! The `procs` world backend forks its PEs, so per-PE results (and the
+//! socket proxy frames) can no longer be moved through memory — they are
+//! encoded over a Unix domain socket instead. [`Wire`] is a deliberately
+//! tiny, dependency-free, little-endian framing: enough for the exchange
+//! layer's result types, not a general serializer. `ShmemWorld::run`
+//! requires `R: Wire`, which is what keeps the threaded and process
+//! backends interchangeable at every call site.
+
+use halox_md::{EnergyReport, Vec3};
+
+/// A decode failure: the byte stream did not match the expected shape
+/// (truncated frame, bad discriminant, malformed UTF-8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Cursor over a received byte buffer.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError(format!(
+                "truncated: need {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+/// Encode/decode over the socket proxy framing. Implementations must
+/// round-trip: `decode(encode(x)) == x` structurally.
+pub trait Wire: Sized {
+    fn encode(&self, out: &mut Vec<u8>);
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        self.encode(&mut v);
+        v
+    }
+
+    /// Decode a full buffer, requiring it to be consumed exactly.
+    fn from_bytes(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        let v = Self::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(WireError(format!(
+                "{} trailing bytes after value",
+                r.remaining()
+            )));
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! wire_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                let b = r.take(std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(b.try_into().unwrap()))
+            }
+        }
+    )*};
+}
+
+wire_int!(u8, u16, u32, u64, i32, i64);
+
+impl Wire for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(u64::decode(r)? as usize)
+    }
+}
+
+impl Wire for f32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(f32::from_bits(u32::decode(r)?))
+    }
+}
+
+impl Wire for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(f64::from_bits(u64::decode(r)?))
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError(format!("bad bool byte {b}"))),
+        }
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = usize::decode(r)?;
+        let b = r.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|e| WireError(format!("bad utf8: {e}")))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = usize::decode(r)?;
+        // Cap the pre-allocation: a corrupt length must not OOM the parent.
+        let mut v = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            v.push(T::decode(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            b => Err(WireError(format!("bad Option tag {b}"))),
+        }
+    }
+}
+
+impl<T: Wire, E: Wire> Wire for Result<T, E> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Ok(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            Err(e) => {
+                out.push(1);
+                e.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Ok(T::decode(r)?)),
+            1 => Ok(Err(E::decode(r)?)),
+            b => Err(WireError(format!("bad Result tag {b}"))),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl Wire for std::time::Duration {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.as_nanos() as u64).encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(std::time::Duration::from_nanos(u64::decode(r)?))
+    }
+}
+
+// halox-md types: implemented here (this crate depends on halox-md, the
+// reverse is not true) so every crate above gets them for free.
+
+impl Wire for Vec3 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.x.encode(out);
+        self.y.encode(out);
+        self.z.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Vec3::new(f32::decode(r)?, f32::decode(r)?, f32::decode(r)?))
+    }
+}
+
+impl Wire for EnergyReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.nonbonded.encode(out);
+        self.bonds.encode(out);
+        self.angles.encode(out);
+        self.kinetic.encode(out);
+        self.virial.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(EnergyReport {
+            nonbonded: f64::decode(r)?,
+            bonds: f64::decode(r)?,
+            angles: f64::decode(r)?,
+            kinetic: f64::decode(r)?,
+            virial: f64::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u64::MAX);
+        round_trip(-5i64);
+        round_trip(1.5f32);
+        round_trip(f64::NEG_INFINITY);
+        round_trip(true);
+        round_trip(());
+        round_trip("halo".to_string());
+        round_trip(String::new());
+    }
+
+    #[test]
+    fn float_round_trip_is_bitwise() {
+        // NaN payloads and signed zeros must survive: bitwise determinism
+        // across backends is asserted on bits, not values.
+        let nan = f32::from_bits(0x7fc0_1234);
+        let bytes = nan.to_bytes();
+        assert_eq!(f32::from_bytes(&bytes).unwrap().to_bits(), nan.to_bits());
+        let nz = (-0.0f64).to_bytes();
+        assert_eq!(f64::from_bytes(&nz).unwrap().to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Vec::<u64>::new());
+        round_trip(Some(7u32));
+        round_trip(Option::<String>::None);
+        round_trip(Result::<u32, String>::Ok(3));
+        round_trip(Result::<u32, String>::Err("boom".into()));
+        round_trip((1u32, "x".to_string()));
+        round_trip((1u8, 2u16, 3u32));
+        round_trip(std::time::Duration::from_micros(1234));
+    }
+
+    #[test]
+    fn md_types_round_trip() {
+        round_trip(Vec3::new(1.0, -2.5, 3.25));
+        round_trip(EnergyReport {
+            nonbonded: 1.0,
+            bonds: 2.0,
+            angles: 3.0,
+            kinetic: 4.0,
+            virial: 5.0,
+        });
+    }
+
+    #[test]
+    fn truncated_and_malformed_inputs_are_errors_not_panics() {
+        assert!(u64::from_bytes(&[1, 2, 3]).is_err());
+        assert!(bool::from_bytes(&[9]).is_err());
+        assert!(Option::<u8>::from_bytes(&[7]).is_err());
+        // Corrupt huge length: must error on truncation, not OOM.
+        let mut huge = Vec::new();
+        (u64::MAX).encode(&mut huge);
+        assert!(Vec::<u8>::from_bytes(&huge).is_err());
+        // Trailing garbage rejected.
+        assert!(u8::from_bytes(&[1, 2]).is_err());
+    }
+}

@@ -14,17 +14,115 @@
 //!
 //! The proxy can be configured with an injected delay to emulate a slow /
 //! contended proxy thread (the paper's §5.5 pathology) in stress tests.
+//!
+//! Two world backends share this surface ([`WorldBackend`], selected by
+//! `HALOX_BACKEND={threads,procs}`):
+//!
+//! * **threads** (default) — PEs are OS threads; the proxy is a thread fed
+//!   over a channel.
+//! * **procs** — PEs are *forked child processes*; the symmetric heap
+//!   (signal slots, ack slots, collective deposit slots, barriers,
+//!   `SymVec3` segments) lives in a `memfd_create` + `mmap(MAP_SHARED)`
+//!   arena mapped before the fork, and the IBRC proxy analog is real
+//!   kernel-mediated I/O: proxied puts/signals are framed over a Unix
+//!   domain socket to a per-PE proxy loop in the parent. NVLink-direct
+//!   operations stay direct loads/stores on the shared mapping. With a
+//!   chaos engine attached, children route *every* delivery through the
+//!   socket so the parent-owned engine remains the single fault choke
+//!   point. See DESIGN.md §3.5.
 
 use crate::barrier::SenseBarrier;
 use crate::chaos::{ChaosEngine, Decision, Delivery};
 use crate::collectives::Collectives;
+use crate::shared;
 use crate::signal::SignalSet;
 use crate::sym::SymVec3;
+use crate::wire::{Wire, WireReader};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use halox_md::Vec3;
 use halox_trace::{Payload, Recorder, DRIVER_PE};
-use std::sync::Arc;
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
+
+/// Which execution substrate hosts the PEs of a world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorldBackend {
+    /// One OS thread per PE in this process (the default).
+    #[default]
+    Threads,
+    /// One forked child process per PE over the shared symmetric heap,
+    /// with the proxy path carried over Unix domain sockets.
+    Procs,
+}
+
+impl WorldBackend {
+    /// Read `HALOX_BACKEND` (`threads` | `procs`); defaults to threads.
+    pub fn from_env() -> Self {
+        match std::env::var("HALOX_BACKEND") {
+            Ok(v) if v.eq_ignore_ascii_case("procs") => WorldBackend::Procs,
+            _ => WorldBackend::Threads,
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorldBackend::Threads => "threads",
+            WorldBackend::Procs => "procs",
+        }
+    }
+}
+
+/// Why one PE failed to produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeFailure {
+    /// The PE's closure panicked (threads: caught at join; procs: caught in
+    /// the child and reported over the socket).
+    Panic(String),
+    /// The PE's process died without reporting a result; carries the raw
+    /// `waitpid` status.
+    Died { status: i32 },
+}
+
+impl std::fmt::Display for PeFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PeFailure::Panic(msg) => write!(f, "panicked: {msg}"),
+            PeFailure::Died { status } => {
+                write!(
+                    f,
+                    "died without result ({})",
+                    shared::describe_wait_status(*status)
+                )
+            }
+        }
+    }
+}
+
+/// One or more PEs of a world run failed. The surviving PEs' results are
+/// discarded — a world run is all-or-nothing, like a job-step launcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldError {
+    /// `(pe, cause)` for every failed PE, in PE order.
+    pub failures: Vec<(usize, PeFailure)>,
+}
+
+impl std::fmt::Display for WorldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "world run failed: ")?;
+        for (i, (pe, cause)) in self.failures.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "PE {pe} {cause}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for WorldError {}
 
 /// Interconnect shape of the simulated cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,17 +215,52 @@ enum ProxyCmd {
 /// The shared world state.
 pub struct ShmemWorld {
     pub topology: Topology,
+    backend: WorldBackend,
     signals: Vec<Arc<SignalSet>>,
     barrier: SenseBarrier,
     collectives: Collectives,
     proxy_config: ProxyConfig,
     trace: Option<Arc<Recorder>>,
+    /// Procs backend only: shadow recorder whose cursor and slots live in
+    /// the shared arena, so forked children append through the same
+    /// `fetch_add` cursor as threads would (events recorded into `trace`
+    /// inside a child would be copy-on-write ghosts, lost at `_exit`).
+    /// Paired with the user recorder's timestamp at creation so drained
+    /// events land on the user's clock. Lazily built on the first traced
+    /// procs run; `proc_trace_copied` / `proc_trace_dropped` make the
+    /// post-join drain incremental across runs on a reused world.
+    proc_trace: OnceLock<(Arc<Recorder>, u64)>,
+    proc_trace_copied: AtomicUsize,
+    proc_trace_dropped: AtomicUsize,
     chaos: Option<Arc<ChaosEngine>>,
 }
 
+/// Capacity (events) of the per-world shared-arena shadow recorder: ~4 MiB
+/// of the 1 GiB arena per traced procs world, plenty for the per-segment
+/// worlds the engine forks while still bounded under chaos sweeps.
+const PROC_TRACE_CAP: usize = 1 << 16;
+
 impl ShmemWorld {
-    /// Create a world with `n_signal_slots` signal slots per PE.
+    /// Create a world with `n_signal_slots` signal slots per PE, on the
+    /// backend `HALOX_BACKEND` selects (threads by default).
     pub fn new(topology: Topology, n_signal_slots: usize) -> Self {
+        Self::new_with_backend(WorldBackend::from_env(), topology, n_signal_slots)
+    }
+
+    /// Create a world on an explicit backend. For [`WorldBackend::Procs`]
+    /// this switches symmetric allocation to the shared mapping *before*
+    /// allocating the world's own signal/barrier/collective state, so all
+    /// of it is fork-visible; symmetric buffers the PEs will touch must be
+    /// allocated after this point (or after an explicit
+    /// [`shared::enable_shared_heap`]).
+    pub fn new_with_backend(
+        backend: WorldBackend,
+        topology: Topology,
+        n_signal_slots: usize,
+    ) -> Self {
+        if backend == WorldBackend::Procs {
+            shared::enable_shared_heap();
+        }
         let signals = (0..topology.npes)
             .map(|_| Arc::new(SignalSet::new(n_signal_slots)))
             .collect();
@@ -136,10 +269,19 @@ impl ShmemWorld {
             collectives: Collectives::new(topology.npes),
             signals,
             topology,
+            backend,
             proxy_config: ProxyConfig::default(),
             trace: None,
+            proc_trace: OnceLock::new(),
+            proc_trace_copied: AtomicUsize::new(0),
+            proc_trace_dropped: AtomicUsize::new(0),
             chaos: None,
         }
+    }
+
+    /// Which backend this world launches PEs on.
+    pub fn backend(&self) -> WorldBackend {
+        self.backend
     }
 
     pub fn with_proxy_config(mut self, cfg: ProxyConfig) -> Self {
@@ -196,19 +338,40 @@ impl ShmemWorld {
         }
     }
 
-    /// Launch one thread per PE running `f`, plus one proxy thread per PE;
-    /// returns the per-PE results in PE order.
+    /// Launch one PE per rank running `f` (threads or forked processes,
+    /// per the backend) and return the per-PE results in PE order. Panics
+    /// if any PE fails — the panic-free form is [`ShmemWorld::try_run`].
     pub fn run<R, F>(&self, f: F) -> Vec<R>
     where
-        R: Send,
+        R: Send + Wire,
         F: Fn(&Pe) -> R + Sync,
     {
-        let npes = self.npes();
+        self.try_run(f)
+            .unwrap_or_else(|e| panic!("PE thread panicked: {e}"))
+    }
+
+    /// Launch one PE per rank running `f`; PE failures (panics, dead child
+    /// processes) come back as a [`WorldError`] value naming every failed
+    /// PE instead of unwinding the caller.
+    ///
+    /// `R: Wire` is what keeps the backends interchangeable: under
+    /// [`WorldBackend::Procs`] each PE's result crosses the process
+    /// boundary over its socket.
+    pub fn try_run<R, F>(&self, f: F) -> Result<Vec<R>, WorldError>
+    where
+        R: Send + Wire,
+        F: Fn(&Pe) -> R + Sync,
+    {
         // A fresh world run is a global synchronisation point (this thread
-        // spawns every PE thread below and joins them before returning);
-        // the protocol checker uses this to scope per-world signal state.
+        // spawns every PE below and joins them before returning); the
+        // protocol checker uses this to scope per-world signal state.
         if let Some(t) = &self.trace {
-            t.record(DRIVER_PE, Payload::WorldStart { pes: npes as u32 });
+            t.record(
+                DRIVER_PE,
+                Payload::WorldStart {
+                    pes: self.npes() as u32,
+                },
+            );
         }
         // World boundary: a delivery held for reordering must never leak
         // into this run — its monotone signal value from a previous attempt
@@ -216,6 +379,20 @@ impl ShmemWorld {
         if let Some(c) = &self.chaos {
             c.begin_world();
         }
+        match self.backend {
+            WorldBackend::Threads => self.run_threads(&f),
+            WorldBackend::Procs => self.run_procs(&f),
+        }
+    }
+
+    /// The threaded backend: one OS thread per PE plus one proxy thread
+    /// per PE, all inside this process.
+    fn run_threads<R, F>(&self, f: &F) -> Result<Vec<R>, WorldError>
+    where
+        R: Send,
+        F: Fn(&Pe) -> R + Sync,
+    {
+        let npes = self.npes();
         // Proxy channels.
         let mut proxy_tx = Vec::with_capacity(npes);
         let mut proxy_rx: Vec<Receiver<ProxyCmd>> = Vec::with_capacity(npes);
@@ -225,7 +402,7 @@ impl ShmemWorld {
             proxy_rx.push(rx);
         }
 
-        std::thread::scope(|scope| {
+        let outcomes: Vec<Result<R, PeFailure>> = std::thread::scope(|scope| {
             // Proxy threads (one per PE, like the NVSHMEM IBRC proxy).
             for (id, rx) in proxy_rx.into_iter().enumerate() {
                 let signals = self.signals.clone();
@@ -243,18 +420,163 @@ impl ShmemWorld {
                     let pe = Pe {
                         id,
                         world: self,
-                        proxy: tx,
+                        link: PeLink::Thread(tx),
                     };
                     fref(&pe)
                 }));
             }
             // Drop our proxy senders so proxies exit when PEs finish.
             drop(proxy_tx);
+            // Joining explicitly consumes any panic, so one dead PE
+            // becomes a value here instead of re-panicking the scope.
             handles
                 .into_iter()
-                .map(|h| h.join().expect("PE thread panicked"))
+                .map(|h| h.join().map_err(|p| PeFailure::Panic(panic_message(p))))
                 .collect()
-        })
+        });
+        collect_outcomes(outcomes)
+    }
+
+    /// The process backend: fork one child per PE over the shared
+    /// symmetric heap; the parent runs one socket proxy/collector loop per
+    /// child (the per-node proxy of DESIGN.md §3.5), then reaps every
+    /// child via `waitpid` — a dead child is a reported failure, never a
+    /// hang on the parent side.
+    fn run_procs<R, F>(&self, f: &F) -> Result<Vec<R>, WorldError>
+    where
+        R: Send + Wire,
+        F: Fn(&Pe) -> R + Sync,
+    {
+        let npes = self.npes();
+        // Shadow recorder in the shared arena, built *before* forking so
+        // every child inherits the mapping. A timestamp-sorted merge of
+        // per-child logs would not do: the checker replays in seq order
+        // and µs ties between a release and the acquire that observed it
+        // are routine in spin-waits; the shared cursor keeps seq a linear
+        // extension of happens-before across address spaces.
+        if let Some(user) = &self.trace {
+            self.proc_trace.get_or_init(|| {
+                let bytes = Recorder::shared_layout_bytes(PROC_TRACE_CAP);
+                let words = shared::alloc_shared::<std::sync::atomic::AtomicU64>(bytes.div_ceil(8));
+                // Safety: arena allocations are zero-filled, 128-byte
+                // aligned, MAP_SHARED, and never reclaimed ('static).
+                let shadow = unsafe {
+                    Recorder::from_shared_zeroed(PROC_TRACE_CAP, words.as_ptr() as *mut u8)
+                };
+                (Arc::new(shadow), user.now_us())
+            });
+        }
+        let mut child_socks: Vec<Option<UnixStream>> = Vec::with_capacity(npes);
+        let mut parent_socks: Vec<Option<UnixStream>> = Vec::with_capacity(npes);
+        for _ in 0..npes {
+            let (a, b) = UnixStream::pair().expect("socketpair failed");
+            child_socks.push(Some(a));
+            parent_socks.push(Some(b));
+        }
+        let mut pids = Vec::with_capacity(npes);
+        for id in 0..npes {
+            let pid = unsafe { shared::fork_pe() };
+            if pid == 0 {
+                // Child: keep only our socket — dropping every other pair
+                // end closes the inherited fds, so the parent sees EOF the
+                // moment any child dies (no stray keep-alive references).
+                let sock = child_socks[id].take().expect("child sock present");
+                child_socks.clear();
+                parent_socks.clear();
+                let exit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    child_serve(self, id, sock, f)
+                }));
+                // Never unwind out of a forked child: leave via _exit so
+                // no destructor touches the copied heap.
+                shared::exit_now(if exit.is_ok() { 0 } else { 101 });
+            }
+            assert!(pid > 0, "fork() failed for PE {id}");
+            pids.push(pid);
+            child_socks[id] = None; // parent closes its copy of the child end
+        }
+        drop(child_socks);
+        let outcomes: Vec<Result<R, Option<String>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = parent_socks
+                .iter_mut()
+                .enumerate()
+                .map(|(id, s)| {
+                    let sock = s.take().expect("parent sock present");
+                    let signals = self.signals.clone();
+                    let cfg = self.proxy_config;
+                    let chaos = self.chaos.clone();
+                    scope.spawn(move || parent_proxy::<R>(id, sock, signals, cfg, chaos))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("socket proxy thread panicked"))
+                .collect()
+        });
+        // Reap all children. Sockets are EOF by now, so every child has
+        // exited (or is exiting); waitpid cannot hang on a live worker.
+        let statuses: Vec<Option<i32>> = pids.iter().map(|&p| shared::wait_child(p)).collect();
+        self.drain_proc_trace();
+        let outcomes = outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(pe, o)| {
+                o.map_err(|cause| match cause {
+                    Some(msg) => PeFailure::Panic(msg),
+                    None => PeFailure::Died {
+                        status: statuses[pe].unwrap_or(-1),
+                    },
+                })
+            })
+            .collect();
+        collect_outcomes(outcomes)
+    }
+
+    /// Copy events the forked children appended to the shared shadow
+    /// recorder into the user's recorder, in shared-cursor (seq) order,
+    /// with timestamps offset onto the user recorder's clock. Runs after
+    /// every procs join, once all children have exited (quiesced), so the
+    /// interleaving with driver-recorded `WorldStart` boundaries is exact.
+    fn drain_proc_trace(&self) {
+        let (Some(user), Some((shadow, t0))) = (&self.trace, self.proc_trace.get()) else {
+            return;
+        };
+        let tr = shadow.drain();
+        let start = self
+            .proc_trace_copied
+            .swap(tr.events.len(), Ordering::AcqRel)
+            .min(tr.events.len());
+        for ev in &tr.events[start..] {
+            user.record_timed(ev.pe, ev.ts_us + *t0, ev.dur_us, ev.payload);
+        }
+        let prev = self.proc_trace_dropped.swap(tr.dropped, Ordering::AcqRel);
+        user.note_dropped(tr.dropped.saturating_sub(prev));
+    }
+}
+
+/// Fold per-PE outcomes into all-results or a [`WorldError`].
+fn collect_outcomes<R>(outcomes: Vec<Result<R, PeFailure>>) -> Result<Vec<R>, WorldError> {
+    let mut results = Vec::with_capacity(outcomes.len());
+    let mut failures = Vec::new();
+    for (pe, o) in outcomes.into_iter().enumerate() {
+        match o {
+            Ok(r) => results.push(r),
+            Err(cause) => failures.push((pe, cause)),
+        }
+    }
+    if failures.is_empty() {
+        Ok(results)
+    } else {
+        Err(WorldError { failures })
+    }
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -380,11 +702,237 @@ fn proxy_main(
     }
 }
 
-/// A processing element: the per-thread handle to the world.
+// ---------------------------------------------------------------------------
+// Socket frame protocol (procs backend). One frame = [tag u8][len u64 LE]
+// [body]; bodies are `Wire`-encoded field sequences. See DESIGN.md §3.5.
+// ---------------------------------------------------------------------------
+
+/// Put (+ optional signal): child → parent.
+const TAG_PUT: u8 = 1;
+/// Pure signal: child → parent.
+const TAG_SIGNAL: u8 = 2;
+/// Completion fence; parent answers with one [`FLUSH_ACK`] byte.
+const TAG_FLUSH: u8 = 3;
+/// Final frame: the PE's `Wire`-encoded result.
+const TAG_RESULT_OK: u8 = 4;
+/// Final frame: the PE panicked; body is the panic message.
+const TAG_RESULT_PANIC: u8 = 5;
+/// The single byte answering a [`TAG_FLUSH`] frame.
+const FLUSH_ACK: u8 = 0xA5;
+/// Upper bound on a frame body — a corrupt length must not OOM the parent.
+const MAX_FRAME: u64 = 1 << 28;
+
+fn write_frame(w: &mut impl Write, tag: u8, body: &[u8]) -> std::io::Result<()> {
+    let mut hdr = [0u8; 9];
+    hdr[0] = tag;
+    hdr[1..9].copy_from_slice(&(body.len() as u64).to_le_bytes());
+    w.write_all(&hdr)?;
+    w.write_all(body)
+}
+
+fn read_frame(r: &mut impl Read) -> std::io::Result<(u8, Vec<u8>)> {
+    let mut hdr = [0u8; 9];
+    r.read_exact(&mut hdr)?;
+    let len = u64::from_le_bytes(hdr[1..9].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte bound"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok((hdr[0], body))
+}
+
+/// Per-child proxy/collector loop in the parent: the per-node proxy. Serves
+/// put/signal/flush frames until the child's result frame (or EOF) arrives.
+///
+/// Returns `Err(None)` when the child died without a result (socket EOF or
+/// protocol corruption) and `Err(Some(msg))` when it reported a panic.
+fn parent_proxy<R: Wire>(
+    pe: usize,
+    mut sock: UnixStream,
+    signals: Vec<Arc<SignalSet>>,
+    cfg: ProxyConfig,
+    chaos: Option<Arc<ChaosEngine>>,
+) -> Result<R, Option<String>> {
+    // Same xorshift stress knob as the threaded proxy, seeded per PE.
+    let mut rng_state: u64 = cfg
+        .random_delay
+        .map(|(seed, _)| (seed ^ ((pe as u64) << 32)) | 1)
+        .unwrap_or(1);
+    let mut next_rand = move || {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state
+    };
+    loop {
+        let (tag, body) = match read_frame(&mut sock) {
+            Ok(f) => f,
+            Err(_) => return Err(None), // EOF without a result frame: child died
+        };
+        let mut r = WireReader::new(&body);
+        match tag {
+            TAG_PUT => {
+                let Ok(dst_pe) = usize::decode(&mut r) else {
+                    return Err(None);
+                };
+                let Ok(offset) = usize::decode(&mut r) else {
+                    return Err(None);
+                };
+                let Ok(addr) = usize::decode(&mut r) else {
+                    return Err(None);
+                };
+                let Ok(words) = usize::decode(&mut r) else {
+                    return Err(None);
+                };
+                let Ok(signal) = Option::<(usize, u64)>::decode(&mut r) else {
+                    return Err(None);
+                };
+                let Ok(proxied) = bool::decode(&mut r) else {
+                    return Err(None);
+                };
+                let Ok(payload) = Vec::<Vec3>::decode(&mut r) else {
+                    return Err(None);
+                };
+                // Only genuinely network-proxied ops face the proxy's delay
+                // knobs; chaos-routed NVLink ops stay full speed.
+                if proxied {
+                    if let Some(d) = cfg.injected_delay {
+                        std::thread::sleep(d);
+                    }
+                    if let Some((_, max_us)) = cfg.random_delay {
+                        if max_us > 0 {
+                            std::thread::sleep(Duration::from_micros(next_rand() % max_us));
+                        }
+                    }
+                }
+                // Re-validate the segment name against the shared arena —
+                // the raw address crossed a process boundary.
+                let Some(seg) = shared::shared_words(addr, words) else {
+                    return Err(None);
+                };
+                let d = Delivery::PutRaw {
+                    seg,
+                    dst_pe,
+                    offset,
+                    payload,
+                    signal,
+                };
+                match &chaos {
+                    Some(c) => chaos_deliver(c, &signals, pe, d),
+                    None => d.apply(&signals, false),
+                }
+            }
+            TAG_SIGNAL => {
+                let Ok(dst_pe) = usize::decode(&mut r) else {
+                    return Err(None);
+                };
+                let Ok(slot) = usize::decode(&mut r) else {
+                    return Err(None);
+                };
+                let Ok(val) = u64::decode(&mut r) else {
+                    return Err(None);
+                };
+                let Ok(proxied) = bool::decode(&mut r) else {
+                    return Err(None);
+                };
+                if proxied {
+                    if let Some(d) = cfg.injected_delay {
+                        std::thread::sleep(d);
+                    }
+                    if let Some((_, max_us)) = cfg.random_delay {
+                        if max_us > 0 {
+                            std::thread::sleep(Duration::from_micros(next_rand() % max_us));
+                        }
+                    }
+                }
+                let d = Delivery::Signal { dst_pe, slot, val };
+                match &chaos {
+                    Some(c) => chaos_deliver(c, &signals, pe, d),
+                    None => d.apply(&signals, false),
+                }
+            }
+            TAG_FLUSH => {
+                // Everything framed before the flush has been applied above
+                // (the socket is FIFO and this loop is serial), so the ack
+                // byte *is* the quiet() completion.
+                if sock.write_all(&[FLUSH_ACK]).is_err() {
+                    return Err(None);
+                }
+            }
+            TAG_RESULT_OK => {
+                return R::from_bytes(&body)
+                    .map_err(|e| Some(format!("PE result decode failed: {}", e.0)));
+            }
+            TAG_RESULT_PANIC => {
+                let msg = String::from_bytes(&body)
+                    .unwrap_or_else(|_| "<undecodable panic message>".to_string());
+                return Err(Some(msg));
+            }
+            other => return Err(Some(format!("unknown frame tag {other} from PE {pe}"))),
+        }
+    }
+}
+
+/// Child-process body for one PE: run `f` under `catch_unwind` and report
+/// the outcome as the final frame on the socket. Runs inside the fork —
+/// only shared-mapping atomics, the socket, and plain malloc are touched.
+fn child_serve<R, F>(world: &ShmemWorld, id: usize, sock: UnixStream, f: &F)
+where
+    R: Wire,
+    F: Fn(&Pe) -> R,
+{
+    // A PE panic is *reported* (frame 5 → `PeFailure::Panic`), so silence
+    // the default hook's stderr backtrace spam in the child.
+    std::panic::set_hook(Box::new(|_| {}));
+    let link = PeLink::Proc(ProcLink {
+        sock: Mutex::new(sock),
+        route_all: world.chaos.is_some(),
+    });
+    let pe = Pe { id, world, link };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&pe)));
+    let PeLink::Proc(pl) = &pe.link else {
+        unreachable!()
+    };
+    let mut sock = pl.sock.lock().unwrap_or_else(|p| p.into_inner());
+    let _ = match result {
+        Ok(r) => write_frame(&mut *sock, TAG_RESULT_OK, &r.to_bytes()),
+        Err(p) => write_frame(&mut *sock, TAG_RESULT_PANIC, &panic_message(p).to_bytes()),
+    };
+}
+
+/// How a PE reaches its proxy: a channel to the in-process proxy thread
+/// (threads backend) or a framed Unix socket to the parent (procs backend).
+enum PeLink {
+    Thread(Sender<ProxyCmd>),
+    Proc(ProcLink),
+}
+
+struct ProcLink {
+    sock: Mutex<UnixStream>,
+    /// With a chaos engine attached, *every* delivery — including
+    /// NVLink-direct ones — crosses the socket so the parent-owned engine
+    /// stays the single fault choke point (per-src FIFO framing preserves
+    /// the engine's deterministic op counting).
+    route_all: bool,
+}
+
+impl ProcLink {
+    fn send(&self, tag: u8, body: &[u8]) {
+        let mut sock = self.sock.lock().unwrap_or_else(|p| p.into_inner());
+        write_frame(&mut *sock, tag, body).expect("parent proxy gone");
+    }
+}
+
+/// A processing element: the per-PE handle to the world (held by a thread
+/// or a forked process, depending on the backend).
 pub struct Pe<'w> {
     pub id: usize,
     world: &'w ShmemWorld,
-    proxy: Sender<ProxyCmd>,
+    link: PeLink,
 }
 
 impl<'w> Pe<'w> {
@@ -411,12 +959,61 @@ impl<'w> Pe<'w> {
     /// symmetric-region accesses alongside the signal edges the world
     /// records itself.
     pub fn trace(&self) -> Option<&Recorder> {
+        // In a forked child the user's recorder is a copy-on-write ghost —
+        // anything recorded there dies with the child at `_exit`. Route to
+        // the shared-arena shadow instead; the parent drains it back into
+        // the user recorder after the join.
+        if matches!(self.link, PeLink::Proc(_)) {
+            return self.world.proc_trace.get().map(|(r, _)| r.as_ref());
+        }
         self.world.trace.as_deref()
+    }
+
+    /// Procs backend: a heap-backed symmetric buffer in a forked child is a
+    /// copy-on-write ghost — stores would be silently invisible to every
+    /// other PE. Catch that at the call site instead.
+    #[inline]
+    fn assert_symmetric(&self, buf: &SymVec3) {
+        if matches!(self.link, PeLink::Proc(_)) {
+            assert!(
+                buf.is_shared(),
+                "SymVec3 was allocated before the shared heap was enabled; \
+                 the procs backend requires allocation after world creation"
+            );
+        }
+    }
+
+    /// Encode and send a put frame to the parent proxy (procs backend).
+    #[allow(clippy::too_many_arguments)]
+    fn frame_put(
+        &self,
+        pl: &ProcLink,
+        buf: &SymVec3,
+        dst_pe: usize,
+        offset: usize,
+        src: &[Vec3],
+        signal: Option<(usize, u64)>,
+        proxied: bool,
+    ) {
+        let (addr, words) = buf.seg_addr(dst_pe);
+        let mut body = Vec::with_capacity(64 + src.len() * 12);
+        dst_pe.encode(&mut body);
+        offset.encode(&mut body);
+        addr.encode(&mut body);
+        words.encode(&mut body);
+        signal.encode(&mut body);
+        proxied.encode(&mut body);
+        src.len().encode(&mut body);
+        for v in src {
+            v.encode(&mut body);
+        }
+        pl.send(TAG_PUT, &body);
     }
 
     /// Direct put: relaxed stores into the peer's segment. Use only inside
     /// an NVLink island, or when a separate signal orders visibility.
     pub fn put_vec3(&self, buf: &SymVec3, dst_pe: usize, offset: usize, src: &[Vec3]) {
+        self.assert_symmetric(buf);
         buf.write_slice(dst_pe, offset, src);
     }
 
@@ -448,38 +1045,54 @@ impl<'w> Pe<'w> {
                 },
             );
         }
-        if !via_proxy {
-            if let Some(chaos) = &self.world.chaos {
-                // Chaos-enabled direct path: materialize the store as a
-                // Delivery (one payload copy) so NVLink stores face the
-                // same fault plan as proxied puts.
-                chaos_deliver(
-                    chaos,
-                    &self.world.signals,
-                    self.id,
-                    Delivery::Put {
-                        buf: buf.clone(),
-                        dst_pe,
-                        offset,
-                        payload: src.to_vec(),
-                        signal: Some((slot, val)),
-                    },
-                );
-            } else {
-                buf.write_slice(dst_pe, offset, src);
-                self.world.signals[dst_pe].release_max(slot, val);
+        self.assert_symmetric(buf);
+        match &self.link {
+            PeLink::Thread(proxy) => {
+                if !via_proxy {
+                    if let Some(chaos) = &self.world.chaos {
+                        // Chaos-enabled direct path: materialize the store
+                        // as a Delivery (one payload copy) so NVLink stores
+                        // face the same fault plan as proxied puts.
+                        chaos_deliver(
+                            chaos,
+                            &self.world.signals,
+                            self.id,
+                            Delivery::Put {
+                                buf: buf.clone(),
+                                dst_pe,
+                                offset,
+                                payload: src.to_vec(),
+                                signal: Some((slot, val)),
+                            },
+                        );
+                    } else {
+                        buf.write_slice(dst_pe, offset, src);
+                        self.world.signals[dst_pe].release_max(slot, val);
+                    }
+                } else {
+                    proxy
+                        .send(ProxyCmd::Put {
+                            buf: buf.clone(),
+                            dst_pe,
+                            offset,
+                            payload: src.to_vec(), // the staging-buffer copy
+                            signal: Some((slot, val)),
+                            enqueued_us: self.trace().map_or(0, |t| t.now_us()),
+                        })
+                        .expect("proxy thread gone");
+                }
             }
-        } else {
-            self.proxy
-                .send(ProxyCmd::Put {
-                    buf: buf.clone(),
-                    dst_pe,
-                    offset,
-                    payload: src.to_vec(), // the staging-buffer copy
-                    signal: Some((slot, val)),
-                    enqueued_us: self.trace().map_or(0, |t| t.now_us()),
-                })
-                .expect("proxy thread gone");
+            PeLink::Proc(pl) => {
+                if via_proxy || pl.route_all {
+                    self.frame_put(pl, buf, dst_pe, offset, src, Some((slot, val)), via_proxy);
+                } else {
+                    // NVLink-direct in the procs backend: plain stores on
+                    // the shared mapping plus the monotone release signal,
+                    // no kernel round trip.
+                    buf.write_slice(dst_pe, offset, src);
+                    self.world.signals[dst_pe].release_max(slot, val);
+                }
+            }
         }
     }
 
@@ -504,26 +1117,42 @@ impl<'w> Pe<'w> {
                 },
             );
         }
-        if !via_proxy {
-            if let Some(chaos) = &self.world.chaos {
-                chaos_deliver(
-                    chaos,
-                    &self.world.signals,
-                    self.id,
-                    Delivery::Signal { dst_pe, slot, val },
-                );
-            } else {
-                self.world.signals[dst_pe].release_max(slot, val);
+        match &self.link {
+            PeLink::Thread(proxy) => {
+                if !via_proxy {
+                    if let Some(chaos) = &self.world.chaos {
+                        chaos_deliver(
+                            chaos,
+                            &self.world.signals,
+                            self.id,
+                            Delivery::Signal { dst_pe, slot, val },
+                        );
+                    } else {
+                        self.world.signals[dst_pe].release_max(slot, val);
+                    }
+                } else {
+                    proxy
+                        .send(ProxyCmd::Signal {
+                            dst_pe,
+                            slot,
+                            val,
+                            enqueued_us: self.trace().map_or(0, |t| t.now_us()),
+                        })
+                        .expect("proxy thread gone");
+                }
             }
-        } else {
-            self.proxy
-                .send(ProxyCmd::Signal {
-                    dst_pe,
-                    slot,
-                    val,
-                    enqueued_us: self.trace().map_or(0, |t| t.now_us()),
-                })
-                .expect("proxy thread gone");
+            PeLink::Proc(pl) => {
+                if via_proxy || pl.route_all {
+                    let mut body = Vec::with_capacity(32);
+                    dst_pe.encode(&mut body);
+                    slot.encode(&mut body);
+                    val.encode(&mut body);
+                    via_proxy.encode(&mut body);
+                    pl.send(TAG_SIGNAL, &body);
+                } else {
+                    self.world.signals[dst_pe].release_max(slot, val);
+                }
+            }
         }
     }
 
@@ -597,17 +1226,30 @@ impl<'w> Pe<'w> {
             self.nvlink_reachable(src_pe),
             "get from PE {src_pe} requires NVLink reachability (use put-with-signal over IB)"
         );
+        self.assert_symmetric(buf);
         buf.read_slice(src_pe, offset, dst);
     }
 
     /// `nvshmem_quiet`: wait until all of this PE's proxied operations have
     /// been applied remotely. (NVLink-path operations complete immediately.)
     pub fn quiet(&self) {
-        let (tx, rx) = unbounded();
-        self.proxy
-            .send(ProxyCmd::Flush(tx))
-            .expect("proxy thread gone");
-        rx.recv().expect("proxy dropped flush ack");
+        match &self.link {
+            PeLink::Thread(proxy) => {
+                let (tx, rx) = unbounded();
+                proxy.send(ProxyCmd::Flush(tx)).expect("proxy thread gone");
+                rx.recv().expect("proxy dropped flush ack");
+            }
+            PeLink::Proc(pl) => {
+                // The socket is FIFO and the parent loop serves frames in
+                // order, so the one-byte ack means everything framed before
+                // the flush has been applied.
+                let mut sock = pl.sock.lock().unwrap_or_else(|p| p.into_inner());
+                write_frame(&mut *sock, TAG_FLUSH, &[]).expect("parent proxy gone");
+                let mut ack = [0u8; 1];
+                sock.read_exact(&mut ack).expect("parent proxy gone");
+                assert_eq!(ack[0], FLUSH_ACK, "corrupt flush ack");
+            }
+        }
     }
 
     /// `shmem_barrier_all`.
@@ -1024,5 +1666,146 @@ mod tests {
             pe.signal(peer, 1, (pe.id + 1) as u64);
             pe.wait_signal(1, ((peer) + 1) as u64);
         });
+    }
+
+    // ---------------------------------------------------------------
+    // Procs backend: PEs are forked processes over the shared arena.
+    // ---------------------------------------------------------------
+
+    fn procs_world(topology: Topology, slots: usize) -> ShmemWorld {
+        ShmemWorld::new_with_backend(WorldBackend::Procs, topology, slots)
+    }
+
+    #[test]
+    fn procs_backend_runs_and_returns_results() {
+        let w = procs_world(Topology::all_nvlink(4), 1);
+        let out = w.run(|pe| pe.id as u64 * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn procs_direct_put_with_signal_crosses_processes() {
+        let w = procs_world(Topology::all_nvlink(2), 1);
+        let buf = SymVec3::alloc(2, 4);
+        let b = &buf;
+        w.run(|pe| {
+            if pe.id == 0 {
+                let data = [Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0)];
+                pe.put_vec3_signal_nbi(b, 1, 1, &data, 0, 1);
+            } else {
+                pe.wait_signal(0, 1);
+                let mut got = [Vec3::ZERO; 2];
+                pe.get_vec3(b, 1, 1, &mut got);
+                assert_eq!(got[0], Vec3::new(1.0, 2.0, 3.0));
+                assert_eq!(got[1], Vec3::new(4.0, 5.0, 6.0));
+            }
+        });
+    }
+
+    #[test]
+    fn procs_proxied_put_over_socket_and_quiet() {
+        let w = procs_world(Topology::islands(2, 1), 1);
+        let buf = SymVec3::alloc(2, 4);
+        let b = &buf;
+        w.run(|pe| {
+            if pe.id == 0 {
+                assert!(!pe.nvlink_reachable(1));
+                pe.put_vec3_signal_nbi(b, 1, 2, &[Vec3::splat(7.0)], 0, 5);
+                pe.quiet();
+            } else {
+                pe.wait_signal(0, 5);
+                assert_eq!(b.get(1, 2), Vec3::splat(7.0));
+            }
+        });
+    }
+
+    #[test]
+    fn procs_collectives_and_barrier() {
+        let w = procs_world(Topology::all_nvlink(4), 1);
+        let sums = w.run(|pe| {
+            pe.barrier_all();
+            let total = pe.allreduce_sum(pe.id as f64 + 1.0);
+            let m = pe.allreduce_max(pe.id as f64);
+            pe.barrier_all();
+            (total, m)
+        });
+        for (total, m) in sums {
+            assert_eq!(total, 10.0);
+            assert_eq!(m, 3.0);
+        }
+    }
+
+    #[test]
+    fn procs_panic_surfaces_as_world_error() {
+        let w = procs_world(Topology::all_nvlink(2), 1);
+        let r = w.try_run(|pe| {
+            if pe.id == 1 {
+                panic!("deliberate child panic");
+            }
+            pe.id as u64
+        });
+        let err = r.expect_err("PE 1 panicked");
+        assert_eq!(err.failures.len(), 1);
+        let (pe, cause) = &err.failures[0];
+        assert_eq!(*pe, 1);
+        match cause {
+            PeFailure::Panic(msg) => assert!(msg.contains("deliberate child panic"), "{msg}"),
+            other => panic!("expected Panic, got {other}"),
+        }
+    }
+
+    #[test]
+    fn procs_dead_child_is_reported_not_hung() {
+        let w = procs_world(Topology::all_nvlink(2), 1);
+        let r = w.try_run(|pe| {
+            if pe.id == 1 {
+                // Die without a result frame — like a segfaulted rank.
+                shared::exit_now(7);
+            }
+            pe.id as u64
+        });
+        let err = r.expect_err("PE 1 died");
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].0, 1);
+        match &err.failures[0].1 {
+            PeFailure::Died { status } => {
+                assert!(
+                    shared::describe_wait_status(*status).contains('7'),
+                    "status {status}"
+                );
+            }
+            other => panic!("expected Died, got {other}"),
+        }
+    }
+
+    #[test]
+    fn procs_chaos_drop_signal_detected_not_hung() {
+        // Under procs, chaos routes every delivery through the socket to
+        // the parent-owned engine; the dropped doorbell must be observed
+        // as a bounded-wait timeout in the child, with the data landed.
+        let chaos = Arc::new(ChaosEngine::new(
+            one_shot_plan(0, FaultOp::Put, FaultKind::DropSignalOnce),
+            2,
+        ));
+        let w = procs_world(Topology::all_nvlink(2), 1).with_chaos(Arc::clone(&chaos));
+        let buf = SymVec3::alloc(2, 1);
+        let b = &buf;
+        w.run(|pe| {
+            if pe.id == 0 {
+                pe.put_vec3_signal_nbi(b, 1, 0, &[Vec3::splat(4.0)], 0, 1);
+                pe.quiet();
+            }
+            pe.barrier_all();
+            if pe.id == 1 {
+                let r = pe.wait_signal_deadline(
+                    0,
+                    1,
+                    std::time::Instant::now() + Duration::from_millis(50),
+                );
+                assert_eq!(r, Err(0), "signal should have been swallowed");
+                assert_eq!(b.get(1, 0), Vec3::splat(4.0), "data must still land");
+            }
+        });
+        assert_eq!(chaos.report().dropped_signals, 1);
     }
 }

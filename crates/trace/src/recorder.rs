@@ -156,20 +156,42 @@ struct Slot {
 // made after the write).
 unsafe impl Sync for Slot {}
 
+/// Counters preceding the slot array in caller-provided shared storage.
+/// `repr(C)` so the layout is identical in every process mapping it.
+#[repr(C)]
+struct SharedHdr {
+    cursor: AtomicUsize,
+    dropped: AtomicUsize,
+}
+
+/// Where the cursor, drop counter and slot array live: owned process
+/// memory (the default) or a caller-provided mapping — e.g. a
+/// `MAP_SHARED` region, so processes forked after construction append to
+/// one log through the same `fetch_add` cursor as threads would.
+enum Storage {
+    Owned {
+        cursor: AtomicUsize,
+        dropped: AtomicUsize,
+        slots: Box<[Slot]>,
+    },
+    Shared {
+        hdr: &'static SharedHdr,
+        slots: &'static [Slot],
+    },
+}
+
 /// Lock-free fixed-capacity event recorder. See module docs.
 pub struct Recorder {
     origin: Instant,
-    cursor: AtomicUsize,
-    dropped: AtomicUsize,
-    slots: Box<[Slot]>,
+    storage: Storage,
 }
 
 impl std::fmt::Debug for Recorder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Recorder")
-            .field("capacity", &self.slots.len())
-            .field("recorded", &self.cursor.load(Ordering::Relaxed))
-            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .field("capacity", &self.slots().len())
+            .field("recorded", &self.cursor().load(Ordering::Relaxed))
+            .field("dropped", &self.dropped_ctr().load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -198,9 +220,91 @@ impl Recorder {
             .into_boxed_slice();
         Recorder {
             origin: Instant::now(),
-            cursor: AtomicUsize::new(0),
-            dropped: AtomicUsize::new(0),
-            slots,
+            storage: Storage::Owned {
+                cursor: AtomicUsize::new(0),
+                dropped: AtomicUsize::new(0),
+                slots,
+            },
+        }
+    }
+
+    /// Bytes of caller-provided storage [`Recorder::from_shared_zeroed`]
+    /// needs for `capacity` events: a [`SharedHdr`] rounded up to the slot
+    /// alignment, then the slot array. The base pointer must be aligned to
+    /// at least `align_of::<usize>()` / `align_of::<Slot>()` (16 is always
+    /// enough).
+    pub fn shared_layout_bytes(capacity: usize) -> usize {
+        Self::shared_slots_offset() + capacity * std::mem::size_of::<Slot>()
+    }
+
+    fn shared_slots_offset() -> usize {
+        let a = std::mem::align_of::<Slot>();
+        std::mem::size_of::<SharedHdr>().div_ceil(a) * a
+    }
+
+    /// Build a recorder whose cursor, drop counter and slot array live in
+    /// caller-provided zeroed memory — e.g. a `MAP_SHARED` mapping, so
+    /// that processes forked *after* this call all append to one log via
+    /// the shared `fetch_add` cursor, preserving the happens-before ⇒
+    /// seq-order guarantee (module docs) across address spaces. All-zero
+    /// bytes are a valid empty state (`cursor == 0`, every `ready` false),
+    /// so no initialisation store is needed.
+    ///
+    /// `Payload` carries `&'static str` pointers; they remain valid in
+    /// every process only because `fork()` preserves the address-space
+    /// layout. Do not read a shared recorder from an unrelated process.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be valid for reads and writes of
+    /// [`Recorder::shared_layout_bytes`]`(capacity)` bytes, zero-filled,
+    /// aligned to `align_of::<SharedHdr>()` and `align_of::<Slot>()`, and
+    /// live (and never reused) for the `'static` lifetime of the returned
+    /// recorder and its clones in forked children.
+    pub unsafe fn from_shared_zeroed(capacity: usize, ptr: *mut u8) -> Self {
+        debug_assert!(!ptr.is_null());
+        debug_assert_eq!(ptr as usize % std::mem::align_of::<SharedHdr>(), 0);
+        debug_assert_eq!(ptr as usize % std::mem::align_of::<Slot>(), 0);
+        let hdr = unsafe { &*(ptr as *const SharedHdr) };
+        let slots = unsafe {
+            std::slice::from_raw_parts(
+                ptr.add(Self::shared_slots_offset()) as *const Slot,
+                capacity,
+            )
+        };
+        Recorder {
+            origin: Instant::now(),
+            storage: Storage::Shared { hdr, slots },
+        }
+    }
+
+    fn cursor(&self) -> &AtomicUsize {
+        match &self.storage {
+            Storage::Owned { cursor, .. } => cursor,
+            Storage::Shared { hdr, .. } => &hdr.cursor,
+        }
+    }
+
+    fn dropped_ctr(&self) -> &AtomicUsize {
+        match &self.storage {
+            Storage::Owned { dropped, .. } => dropped,
+            Storage::Shared { hdr, .. } => &hdr.dropped,
+        }
+    }
+
+    fn slots(&self) -> &[Slot] {
+        match &self.storage {
+            Storage::Owned { slots, .. } => slots,
+            Storage::Shared { slots, .. } => slots,
+        }
+    }
+
+    /// Add `n` to the drop counter. Used when events are forwarded from
+    /// another recorder that itself overflowed, so the loss stays visible
+    /// to `drain()` callers.
+    pub fn note_dropped(&self, n: usize) {
+        if n > 0 {
+            self.dropped_ctr().fetch_add(n, Ordering::Relaxed);
         }
     }
 
@@ -217,12 +321,12 @@ impl Recorder {
     /// Record an event with an explicit timestamp and duration (used by
     /// span guards, which know when the span started).
     pub fn record_timed(&self, pe: u32, ts_us: u64, dur_us: u64, payload: Payload) {
-        let idx = self.cursor.fetch_add(1, Ordering::AcqRel);
-        if idx >= self.slots.len() {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+        let idx = self.cursor().fetch_add(1, Ordering::AcqRel);
+        if idx >= self.slots().len() {
+            self.dropped_ctr().fetch_add(1, Ordering::Relaxed);
             return;
         }
-        let slot = &self.slots[idx];
+        let slot = &self.slots()[idx];
         // Safety: this thread owns index `idx` exclusively (unique
         // fetch_add result) and readers gate on `ready`.
         unsafe {
@@ -245,7 +349,9 @@ impl Recorder {
 
     /// Number of events recorded (capped at capacity).
     pub fn len(&self) -> usize {
-        self.cursor.load(Ordering::Acquire).min(self.slots.len())
+        self.cursor()
+            .load(Ordering::Acquire)
+            .min(self.slots().len())
     }
 
     pub fn is_empty(&self) -> bool {
@@ -261,7 +367,7 @@ impl Recorder {
     pub fn drain(&self) -> Trace {
         let count = self.len();
         let mut events = Vec::with_capacity(count);
-        for (idx, slot) in self.slots.iter().take(count).enumerate() {
+        for (idx, slot) in self.slots().iter().take(count).enumerate() {
             let mut spins = 0u32;
             while !slot.ready.load(Ordering::Acquire) {
                 spins += 1;
@@ -286,7 +392,7 @@ impl Recorder {
         }
         Trace {
             events,
-            dropped: self.dropped.load(Ordering::Relaxed),
+            dropped: self.dropped_ctr().load(Ordering::Relaxed),
         }
     }
 
@@ -301,7 +407,7 @@ impl Recorder {
         let start = count.saturating_sub(n);
         let mut events = Vec::with_capacity(count - start);
         for idx in start..count {
-            let slot = &self.slots[idx];
+            let slot = &self.slots()[idx];
             if !slot.ready.load(Ordering::Acquire) {
                 continue; // in-flight write; skip, don't block
             }

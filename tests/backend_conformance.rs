@@ -1,0 +1,297 @@
+//! Backend conformance suite (DESIGN.md §3.5): the cross-process `procs`
+//! world — forked PEs over a `memfd` symmetric heap with socket proxies —
+//! must be observationally equivalent to the in-process `threads` world.
+//! Every suite here runs the same scenario on both backends and compares
+//! outcomes bitwise: the signal protocol (direct stores and proxied puts),
+//! the deterministic collectives, world reset/reuse, and full engine
+//! trajectories, which must be identical across serial ≡ threaded ≡ procs
+//! on every transport at 2 and 4 PEs. Fault paths conform too: a chaos
+//! plan (seed via `HALOX_CHAOS_SEED`, as in the chaos suite) must end in
+//! an accounted outcome under `procs`, and a PE process that dies mid-run
+//! must drain to a `PeFailure::Died` report — never a hang — with the
+//! next world (the engine's fresh segment fork) unaffected.
+//!
+//! Backend selection is programmatic (`ShmemWorld::new_with_backend`,
+//! `EngineConfig::world_backend`) rather than via `HALOX_BACKEND`: the
+//! env lever is process-global, and this binary deliberately runs both
+//! backends side by side.
+
+use halox::dd::DdGrid;
+use halox::engine::{
+    Engine, EngineConfig, ExchangeBackend, RunMode, RunStats, Thermostat, WorldBackend,
+};
+use halox::md::minimize::{steepest_descent, MinimizeOptions};
+use halox::md::{GrappaBuilder, System, Vec3};
+use halox::shmem::{shared, FaultPlan, PeFailure, ShmemWorld, SymVec3, Topology};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+const BACKENDS: [WorldBackend; 2] = [WorldBackend::Threads, WorldBackend::Procs];
+const DEADLINE: Duration = Duration::from_millis(200);
+const STALL: Duration = Duration::from_millis(400);
+
+fn chaos_seed() -> u64 {
+    std::env::var("HALOX_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// One relaxed system shared by every engine case in this binary —
+/// minimisation dominates test wall-clock and the cases only need a
+/// common, reproducible starting point.
+fn relaxed_system() -> &'static System {
+    static SYS: OnceLock<System> = OnceLock::new();
+    SYS.get_or_init(|| {
+        let mut sys = GrappaBuilder::new(3000).seed(11).temperature(210.0).build();
+        steepest_descent(&mut sys, MinimizeOptions::default());
+        sys
+    })
+}
+
+// ---------------------------------------------------------------------------
+// World-level conformance: signal protocol, collectives, reset/reuse.
+// ---------------------------------------------------------------------------
+
+/// Neighbour-ring put-with-signal on a mixed fabric: islands(4, 2) makes
+/// half the edges direct NVLink stores and half proxied "IB" puts, so one
+/// scenario covers both delivery paths of each backend.
+fn signal_ring(backend: WorldBackend) -> Vec<(f32, f32, f32)> {
+    let n = 4;
+    let w = ShmemWorld::new_with_backend(backend, Topology::islands(n, 2), 1);
+    let buf = SymVec3::alloc(n, 2);
+    let b = &buf;
+    w.run(|pe| {
+        let dst = (pe.id + 1) % pe.npes();
+        let payload = [Vec3::new(pe.id as f32, 2.5 * pe.id as f32, -1.0)];
+        pe.put_vec3_signal_nbi(b, dst, 0, &payload, 0, pe.id as u64 + 1);
+        pe.quiet();
+        let left = (pe.id + pe.npes() - 1) % pe.npes();
+        pe.wait_signal(0, left as u64 + 1);
+        // The doorbell is level-satisfied after the wait.
+        assert!(pe.try_signal(0, left as u64 + 1));
+        let mut got = [Vec3::ZERO; 1];
+        pe.get_vec3(b, pe.id, 0, &mut got);
+        (got[0].x, got[0].y, got[0].z)
+    })
+}
+
+#[test]
+fn signal_protocol_conforms_across_backends() {
+    let threads = signal_ring(WorldBackend::Threads);
+    let procs = signal_ring(WorldBackend::Procs);
+    assert_eq!(threads, procs);
+    for (pe, &(x, y, z)) in threads.iter().enumerate() {
+        let left = (pe + 3) % 4;
+        assert_eq!((x, y, z), (left as f32, 2.5 * left as f32, -1.0));
+    }
+}
+
+/// Order-sensitive f64 reductions: the contributions are scaled so a
+/// different summation order changes the low bits. Both backends must
+/// produce the one canonical (tree-ordered) result, run after run.
+fn collective_round(backend: WorldBackend) -> Vec<(u64, u64)> {
+    let w = ShmemWorld::new_with_backend(backend, Topology::all_nvlink(4), 1);
+    w.run(|pe| {
+        let v = (pe.id as f64 + 1.0) * 1e-3 + 1e10 * ((pe.id % 2) as f64);
+        let s = pe.allreduce_sum(v);
+        let m = pe.allreduce_max(-v);
+        (s.to_bits(), m.to_bits())
+    })
+}
+
+#[test]
+fn collectives_are_bitwise_deterministic_across_backends() {
+    let reference = collective_round(WorldBackend::Threads);
+    for backend in BACKENDS {
+        for round in 0..3 {
+            assert_eq!(
+                collective_round(backend),
+                reference,
+                "{} round {round} diverged",
+                backend.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn world_reset_and_reuse_conforms() {
+    for backend in BACKENDS {
+        let w = ShmemWorld::new_with_backend(backend, Topology::all_nvlink(2), 1);
+        let buf = SymVec3::alloc(2, 1);
+        let b = &buf;
+        for round in 0u64..2 {
+            let out = w.run(|pe| {
+                if pe.id == 0 {
+                    pe.put_vec3_signal_nbi(b, 1, 0, &[Vec3::splat(round as f32 + 1.0)], 0, 1);
+                    pe.quiet();
+                    0.0
+                } else {
+                    pe.wait_signal(0, 1);
+                    b.get(1, 0).x
+                }
+            });
+            assert_eq!(
+                out,
+                vec![0.0, round as f32 + 1.0],
+                "{} round {round}",
+                backend.label()
+            );
+            // Reset is what makes the monotone slot reusable: without it
+            // the next round's wait on value 1 would be pre-satisfied.
+            w.reset_signals();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level conformance: serial ≡ threaded ≡ procs, bitwise.
+// ---------------------------------------------------------------------------
+
+fn engine_config(backend: ExchangeBackend, gpus_per_node: Option<usize>) -> EngineConfig {
+    let mut cfg = EngineConfig::new(backend);
+    cfg.nstlist = 5;
+    cfg.topology_gpus_per_node = gpus_per_node;
+    cfg.watchdog.deadline = Duration::from_secs(5);
+    // Thermostat on: every step runs the global kinetic-energy allreduce,
+    // the one place a schedule- or backend-dependent reduction order would
+    // break bitwise identity.
+    cfg.thermostat = Some(Thermostat {
+        t_ref: 210.0,
+        tau_ps: 0.5,
+    });
+    cfg
+}
+
+fn run_engine(
+    grid: [usize; 3],
+    mut cfg: EngineConfig,
+    mode: RunMode,
+    world: WorldBackend,
+) -> (System, RunStats) {
+    cfg.run_mode = mode;
+    cfg.world_backend = world;
+    let mut engine = Engine::new(relaxed_system().clone(), DdGrid::new(grid), cfg);
+    let stats = engine.run(10);
+    (engine.system, stats)
+}
+
+fn assert_bitwise(label: &str, a: &(System, RunStats), b: &(System, RunStats)) {
+    let bit3 = |p: &Vec3, q: &Vec3| {
+        p.x.to_bits() == q.x.to_bits()
+            && p.y.to_bits() == q.y.to_bits()
+            && p.z.to_bits() == q.z.to_bits()
+    };
+    for (i, (p, q)) in a.0.positions.iter().zip(&b.0.positions).enumerate() {
+        assert!(bit3(p, q), "{label}: position {i} differs: {p:?} vs {q:?}");
+    }
+    for (i, (p, q)) in a.0.velocities.iter().zip(&b.0.velocities).enumerate() {
+        assert!(bit3(p, q), "{label}: velocity {i} differs: {p:?} vs {q:?}");
+    }
+    assert_eq!(
+        a.1.energies.len(),
+        b.1.energies.len(),
+        "{label}: step count"
+    );
+    for (s, (e, f)) in a.1.energies.iter().zip(&b.1.energies).enumerate() {
+        assert!(
+            e.total().to_bits() == f.total().to_bits(),
+            "{label}: step {s} energy differs: {} vs {}",
+            e.total(),
+            f.total()
+        );
+    }
+}
+
+/// The acceptance matrix: every transport × {2, 4} PEs, three executors,
+/// one trajectory. The serial driver is ground truth; threaded and procs
+/// must match it to the last bit (same physics, same reduction trees —
+/// only the PE substrate differs).
+#[test]
+fn trajectories_bitwise_serial_threaded_procs() {
+    let cases: [(ExchangeBackend, Option<usize>, [usize; 3]); 6] = [
+        (ExchangeBackend::NvshmemFused, Some(1), [2, 1, 1]),
+        (ExchangeBackend::NvshmemFused, Some(2), [2, 2, 1]),
+        (ExchangeBackend::Mpi, Some(1), [2, 1, 1]),
+        (ExchangeBackend::Mpi, Some(2), [2, 2, 1]),
+        // ThreadMpi needs one NVLink island (event-driven direct copies).
+        (ExchangeBackend::ThreadMpi, None, [2, 1, 1]),
+        (ExchangeBackend::ThreadMpi, None, [2, 2, 1]),
+    ];
+    for (backend, gpus, grid) in cases {
+        let label = format!("{} {grid:?}", backend.label());
+        let cfg = engine_config(backend, gpus);
+        let serial = run_engine(grid, cfg.clone(), RunMode::Serial, WorldBackend::Threads);
+        let threaded = run_engine(grid, cfg.clone(), RunMode::Threaded, WorldBackend::Threads);
+        let procs = run_engine(grid, cfg, RunMode::Threaded, WorldBackend::Procs);
+        assert_bitwise(&format!("{label}: serial vs threaded"), &serial, &threaded);
+        assert_bitwise(&format!("{label}: threaded vs procs"), &threaded, &procs);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-path conformance.
+// ---------------------------------------------------------------------------
+
+/// One chaos plan (selected by `HALOX_CHAOS_SEED`, like the chaos suite's
+/// matrix) against the full engine on the procs backend: the run must end
+/// in an accounted state — completed, retried, or downgraded — and never
+/// hang, with the same bookkeeping invariants the threads backend obeys.
+#[test]
+fn chaos_plan_accounted_on_procs_backend() {
+    let seed = chaos_seed();
+    let plans = FaultPlan::builtins(seed, 4, STALL);
+    let plan = plans[seed as usize % plans.len()].clone();
+    let mut cfg = engine_config(ExchangeBackend::NvshmemFused, Some(2));
+    cfg.watchdog.deadline = DEADLINE;
+    cfg.world_backend = WorldBackend::Procs;
+    cfg.chaos = Some(plan.clone());
+    let mut engine = Engine::new(relaxed_system().clone(), DdGrid::new([2, 2, 1]), cfg);
+    let stats = engine
+        .try_run(10)
+        .unwrap_or_else(|e| panic!("plan {:?}: even the fallback failed: {e}", plan.name));
+    assert_eq!(stats.energies.len(), 10, "plan {:?}: incomplete", plan.name);
+    for (s, e) in stats.energies.iter().enumerate() {
+        assert!(
+            e.total().is_finite(),
+            "plan {:?}: energy diverged at step {s}",
+            plan.name
+        );
+    }
+    if !stats.downgrades.is_empty() {
+        assert!(stats.degraded_steps > 0, "plan {:?}", plan.name);
+    }
+}
+
+/// A PE process that dies without a result frame must drain: `try_run`
+/// reports `PeFailure::Died` for exactly that PE (via `waitpid`, not a
+/// timeout race), and the *next* procs world forks fresh children and
+/// completes — the property the engine's segment-retry/fallback ladder
+/// relies on after it marks the peer `Failed`.
+#[test]
+fn killed_pe_drains_and_next_world_recovers() {
+    let w = ShmemWorld::new_with_backend(WorldBackend::Procs, Topology::all_nvlink(4), 1);
+    let err = w
+        .try_run(|pe| {
+            pe.barrier_all();
+            if pe.id == 2 {
+                shared::exit_now(9);
+            }
+            pe.id as u64
+        })
+        .expect_err("PE 2 died mid-run");
+    assert_eq!(err.failures.len(), 1, "{err}");
+    let (pe, cause) = &err.failures[0];
+    assert_eq!(*pe, 2);
+    assert!(matches!(cause, PeFailure::Died { .. }), "got {cause}");
+
+    // Fresh world, fresh forks: the dead child must not poison the heap or
+    // the proxy endpoints for subsequent segments.
+    let w2 = ShmemWorld::new_with_backend(WorldBackend::Procs, Topology::all_nvlink(4), 1);
+    let out = w2.run(|pe| {
+        pe.barrier_all();
+        pe.allreduce_sum(pe.id as f64)
+    });
+    assert_eq!(out, vec![6.0; 4]);
+}
