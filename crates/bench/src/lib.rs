@@ -12,5 +12,6 @@ pub mod ftrace;
 pub mod functional;
 pub mod kernels;
 pub mod report;
+pub mod soak;
 pub mod threads;
 pub mod validate;

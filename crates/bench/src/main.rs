@@ -1,7 +1,7 @@
 //! `halox-bench` — regenerate the paper's figures on the timing simulator.
 
 use halox_bench::{
-    ablation, backends, chaos, chart, figures, ftrace, functional, kernels, report, threads,
+    ablation, backends, chaos, chart, figures, ftrace, functional, kernels, report, soak, threads,
     validate,
 };
 use std::path::Path;
@@ -129,6 +129,12 @@ fn main() {
             // halox-bench chaos [seed]
             let seed: u64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(1);
             chaos::run(results, seed);
+        }
+        "soak" => {
+            // halox-bench soak [seed] — checkpoint/restart kill loop
+            // (PE substrate via HALOX_BACKEND, like the test suite).
+            let seed: u64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(1);
+            soak::run(results, seed);
         }
         "threads" => {
             // halox-bench threads — serial vs threaded executor sweep.

@@ -99,6 +99,44 @@ pub fn print_results_summary(results: &Path) {
         }
         None => println!("threads.json: not found (run `halox-bench threads`)"),
     }
+    match load("backends.json") {
+        Some(v) => {
+            if let Some(b) = v.get("all_bitwise_identical").and_then(|x| x.as_bool()) {
+                println!("backends: threads≡procs bitwise   {b}");
+            }
+            if let Some(e) = v.get("engine") {
+                if let (Some(t), Some(p)) = (
+                    num(e, "threads_steps_per_sec"),
+                    num(e, "procs_steps_per_sec"),
+                ) {
+                    println!("backends: engine steps/sec        threads {t:.1}, procs {p:.1}");
+                }
+            }
+        }
+        None => println!("backends.json: not found (run `halox-bench backends`)"),
+    }
+    match load("soak.json") {
+        Some(v) => {
+            let flag = |key: &str| v.get(key).and_then(|x| x.as_bool()).unwrap_or(false);
+            println!(
+                "soak: {} — {} kill cycles ({} in-run), {} steps, rewound {}+{}, \
+                 {} corrupt skipped, bitwise {}",
+                v.get("backend").and_then(|x| x.as_str()).unwrap_or("?"),
+                num(&v, "kill_cycles").unwrap_or(0.0) as u64,
+                num(&v, "in_run_recoveries").unwrap_or(0.0) as u64,
+                num(&v, "total_steps").unwrap_or(0.0) as u64,
+                num(&v, "rewound_steps_hard").unwrap_or(0.0) as u64,
+                num(&v, "rewound_steps_in_run").unwrap_or(0.0) as u64,
+                num(&v, "corrupt_checkpoints_skipped").unwrap_or(0.0) as u64,
+                if flag("completed") && flag("bitwise_match") {
+                    "OK"
+                } else {
+                    "FAILED"
+                },
+            );
+        }
+        None => println!("soak.json: not found (run `halox-bench soak`)"),
+    }
 }
 
 pub fn print_timing_table(title: &str, rows: &[TimingRow]) {

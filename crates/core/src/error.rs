@@ -244,7 +244,7 @@ impl Wire for ExchangePhase {
             3 => ExchangePhase::ForceData,
             4 => ExchangePhase::ForceAckFence,
             5 => ExchangePhase::UnpackDep,
-            t => return Err(WireError(format!("bad ExchangePhase tag {t}"))),
+            t => return Err(WireError::malformed(format!("bad ExchangePhase tag {t}"))),
         })
     }
 }
@@ -351,7 +351,7 @@ impl Wire for ExchangeError {
                 peer: usize::decode(r)?,
                 detail: String::decode(r)?,
             },
-            t => return Err(WireError(format!("bad ExchangeError tag {t}"))),
+            t => return Err(WireError::malformed(format!("bad ExchangeError tag {t}"))),
         })
     }
 }

@@ -3,6 +3,7 @@
 use halox_shmem::{FaultPlan, Topology, WorldBackend};
 use halox_trace::Recorder;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -168,6 +169,66 @@ impl Default for WatchdogConfig {
     }
 }
 
+/// Durable checkpoint / supervised-recovery policy (DESIGN.md §3.6).
+///
+/// Checkpoints are written at segment boundaries — the retry/replay unit:
+/// a failed segment never gathers into the engine's `System`, so the state
+/// at a boundary is exactly the state an uninterrupted run had there, and
+/// a resume from it is bitwise-equal by construction. Enabling this also
+/// arms the last rung of the failure ladder: a segment that fails
+/// *terminally* (retries and fallback exhausted, or a dead PE) rewinds to
+/// the most recent checkpoint and replays with a fresh world instead of
+/// surfacing the error, up to `max_recoveries` times per run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Directory the `ckpt-<step>.hxck` files are written to (created on
+    /// first write).
+    pub dir: PathBuf,
+    /// Snapshot every N completed segments (min 1).
+    pub every_segments: usize,
+    /// On-disk checkpoints retained (older ones are pruned after each
+    /// write). Keep at least 2 so a corrupt latest file still leaves a
+    /// fallback.
+    pub keep: usize,
+    /// Rewind-and-replay attempts per `run()` call before a terminal
+    /// segment failure is surfaced to the caller after all.
+    pub max_recoveries: usize,
+}
+
+impl CheckpointConfig {
+    pub fn in_dir(dir: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            dir: dir.into(),
+            every_segments: 1,
+            keep: 3,
+            max_recoveries: 3,
+        }
+    }
+
+    /// Env lever: `HALOX_CKPT=<dir>[:<every_segments>]` enables
+    /// checkpointing for every engine in the process (the same pattern as
+    /// `HALOX_BACKEND` / `HALOX_RUN_MODE`).
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var("HALOX_CKPT").ok()?;
+        if raw.is_empty() {
+            return None;
+        }
+        let (dir, every) = match raw.rsplit_once(':') {
+            Some((d, n)) if !d.is_empty() => match n.parse::<usize>() {
+                Ok(n) => (d.to_string(), n.max(1)),
+                // No numeric suffix: the whole value is the directory
+                // (covers paths that legitimately contain ':').
+                Err(_) => (raw.clone(), 1),
+            },
+            _ => (raw.clone(), 1),
+        };
+        Some(CheckpointConfig {
+            every_segments: every,
+            ..CheckpointConfig::in_dir(dir)
+        })
+    }
+}
+
 /// Parameters of a domain-decomposed MD run.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -225,6 +286,10 @@ pub struct EngineConfig {
     /// carries this plan's chaos engine (one engine for the whole run, so
     /// operation counters — and thus fault schedules — span segments).
     pub chaos: Option<FaultPlan>,
+    /// Durable checkpoints + supervised rewind-and-replay recovery
+    /// (DESIGN.md §3.6). `None` disables both; the `HALOX_CKPT` env lever
+    /// provides the default.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl EngineConfig {
@@ -246,6 +311,7 @@ impl EngineConfig {
             world_backend: WorldBackend::from_env(),
             watchdog: WatchdogConfig::default(),
             chaos: None,
+            checkpoint: CheckpointConfig::from_env(),
         }
     }
 

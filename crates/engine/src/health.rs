@@ -13,9 +13,18 @@
 //!    ^                   |                     |  clean fallback segments
 //!    |  primary success  v                     v  (repromote_after)
 //!    +---------------- Probation <-------------+
-//!                        |
-//!                        +--stall--> Failed (terminal)
+//!                        |  ^
+//!                        |  | recover_failed (checkpoint rewind only)
+//!                        v  |
+//!            Failed (terminal within a trajectory attempt)
 //! ```
+//!
+//! `Failed` is terminal as far as *in-run* rehabilitation goes: no count of
+//! clean segments re-promotes a failed peer. The single exception is the
+//! supervised rewind-and-replay ladder (DESIGN.md §3.6): after the engine
+//! rewinds to a checkpoint and rebuilds a fresh world, the failed peer gets
+//! a new process, so [`HealthBoard::recover_failed`] moves it to
+//! [`PeerState::Probation`] — the replayed segment is its probation trial.
 
 /// Strikes before a suspect peer is quarantined.
 pub const QUARANTINE_STRIKES: u32 = 2;
@@ -91,6 +100,24 @@ impl HealthBoard {
     /// select the fallback transport immediately.
     pub fn fail(&mut self, peer: usize) {
         self.peers[peer] = PeerState::Failed;
+    }
+
+    /// The Recovered transition: a checkpoint rewind rebuilt the world, so
+    /// every [`PeerState::Failed`] peer is backed by a fresh PE again. Move
+    /// them to [`PeerState::Probation`] — not `Healthy`: the replayed
+    /// segment is their probation trial, and a repeat failure walks straight
+    /// back to `Failed`. Returns how many peers were recovered. Only the
+    /// rewind-and-replay ladder may call this; nothing inside a trajectory
+    /// attempt resurrects a failed peer.
+    pub fn recover_failed(&mut self) -> usize {
+        let mut recovered = 0;
+        for p in &mut self.peers {
+            if matches!(p, PeerState::Failed) {
+                *p = PeerState::Probation;
+                recovered += 1;
+            }
+        }
+        recovered
     }
 
     /// A fallback-transport segment completed cleanly: credit every
@@ -220,6 +247,32 @@ mod tests {
         h.record_fallback_success(1);
         assert_eq!(h.record_primary_success(), 0);
         assert_eq!(h.state(1), PeerState::Failed);
+    }
+
+    #[test]
+    fn recover_failed_moves_dead_peers_to_probation() {
+        let mut h = HealthBoard::new(3);
+        h.fail(1);
+        h.record_stall(2); // Suspect{1} — must NOT be touched by recovery.
+        assert_eq!(h.recover_failed(), 1);
+        assert_eq!(h.state(1), PeerState::Probation);
+        assert_eq!(h.state(2), PeerState::Suspect { strikes: 1 });
+        assert!(!h.needs_fallback());
+        // Probation trial succeeds → healthy again.
+        assert_eq!(h.record_primary_success(), 1);
+        assert_eq!(h.state(1), PeerState::Healthy);
+        // Nothing failed → recovery is a no-op.
+        assert_eq!(h.recover_failed(), 0);
+    }
+
+    #[test]
+    fn recovered_peer_that_fails_again_goes_terminal() {
+        let mut h = HealthBoard::new(2);
+        h.fail(0);
+        assert_eq!(h.recover_failed(), 1);
+        // The probation trial stalls: straight back to Failed.
+        h.record_stall(0);
+        assert_eq!(h.state(0), PeerState::Failed);
     }
 
     #[test]

@@ -7,14 +7,17 @@
 //! neighbour-search boundaries. Correctness is established against the
 //! single-rank [`halox_md::ReferenceSimulation`].
 
+pub mod checkpoint;
 pub mod config;
 pub mod devtimer;
 pub mod health;
 mod nb;
 pub mod runner;
 
+pub use checkpoint::{Checkpoint, CheckpointError, ConfigFingerprint, StatsSnapshot};
 pub use config::{
-    EngineConfig, ExchangeBackend, Integrator, NbKernel, RunMode, Thermostat, WatchdogConfig,
+    CheckpointConfig, EngineConfig, ExchangeBackend, Integrator, NbKernel, RunMode, Thermostat,
+    WatchdogConfig,
 };
 pub use devtimer::PhaseTimer;
 pub use health::{HealthBoard, PeerState};

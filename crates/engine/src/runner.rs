@@ -13,6 +13,7 @@
 //! GROMACS' neighbour-search / DD repartition step), coordinates are gathered
 //! and re-scattered, and PEs get fresh index maps.
 
+use crate::checkpoint::{Checkpoint, CheckpointError, ConfigFingerprint, StatsSnapshot};
 use crate::config::{EngineConfig, ExchangeBackend, RunMode};
 use crate::devtimer::PhaseTimer;
 use crate::health::HealthBoard;
@@ -30,6 +31,7 @@ use halox_shmem::{
     ChaosEngine, ProxyConfig, ShmemWorld, TwoSidedComm, Wire, WireError, WireReader,
 };
 use halox_trace::{record_opt, span_opt, Payload, Region};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -57,6 +59,18 @@ pub struct RunStats {
     pub repromotions: usize,
     /// Faults the chaos engine actually injected (0 for fault-free runs).
     pub faults_injected: u64,
+    /// Rewind-and-replay recoveries: terminal segment failures survived by
+    /// restoring the last checkpoint and replaying (DESIGN.md §3.6).
+    /// Cumulative across resumes.
+    pub recoveries: usize,
+    /// Completed steps discarded by those rewinds (and re-executed).
+    pub rewound_steps: usize,
+    /// Checkpoints persisted during the trajectory (cumulative).
+    pub checkpoints_written: usize,
+    /// Corrupt checkpoint files skipped while resolving the resume point —
+    /// the warning counter behind the fall-back-to-previous-checkpoint
+    /// tolerance (0 unless this engine came from [`Engine::resume_latest`]).
+    pub corrupt_checkpoints_skipped: usize,
     /// Wall-clock step-phase breakdown, aggregated over ranks and segments
     /// (`nb_local`, `nb_halo`, `pack_overlap`, `pairlist`, ...). Sums of
     /// per-rank wall time, so with N threaded ranks a phase can total more
@@ -105,6 +119,10 @@ pub enum EngineError {
     /// bonded term spans more than two domains; the inner error names the
     /// offending atoms).
     PlanFailed(PlanError),
+    /// Checkpoint subsystem failure: an unwritable checkpoint directory, no
+    /// valid file to resume from, or a fingerprint mismatch between the
+    /// checkpoint and the resuming configuration.
+    Checkpoint(CheckpointError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -129,6 +147,7 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::InfeasibleGrid(e) => write!(f, "{e}"),
             EngineError::PlanFailed(e) => write!(f, "{e}"),
+            EngineError::Checkpoint(e) => write!(f, "{e}"),
         }
     }
 }
@@ -152,6 +171,48 @@ struct RecoveryLog {
     stall_reports: Vec<StallReport>,
     degraded_steps: usize,
     repromotions: usize,
+    recoveries: usize,
+    rewound_steps: usize,
+    checkpoints_written: usize,
+}
+
+impl RecoveryLog {
+    /// Seed the durable counters from a checkpoint's snapshot; the
+    /// diagnostic vectors restart per process (see [`StatsSnapshot`]).
+    fn seeded(s: StatsSnapshot) -> Self {
+        RecoveryLog {
+            retries: s.retries,
+            degraded_steps: s.degraded_steps,
+            repromotions: s.repromotions,
+            recoveries: s.recoveries,
+            rewound_steps: s.rewound_steps,
+            checkpoints_written: s.checkpoints_written,
+            ..RecoveryLog::default()
+        }
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            retries: self.retries,
+            degraded_steps: self.degraded_steps,
+            repromotions: self.repromotions,
+            recoveries: self.recoveries,
+            rewound_steps: self.rewound_steps,
+            checkpoints_written: self.checkpoints_written,
+        }
+    }
+}
+
+/// Mid-trajectory state a resumed engine starts from.
+struct ResumeSeed {
+    /// Steps already completed when the checkpoint was taken.
+    step: u64,
+    /// Per-step energy history `[0, step)`.
+    energies: Vec<EnergyReport>,
+    /// Durable counters at `step`.
+    stats: StatsSnapshot,
+    /// Corrupt files skipped while resolving the resume point.
+    corrupt_skipped: usize,
 }
 
 /// Per-rank state carried across a segment and returned to the gatherer.
@@ -203,6 +264,14 @@ pub struct Engine {
     chaos: Option<Arc<ChaosEngine>>,
     /// Per-peer degradation ladder, built lazily with the chaos engine.
     health: Option<HealthBoard>,
+    /// Set by [`Engine::resume_from`]/[`Engine::resume_latest`]: the next
+    /// `try_run*` continues the trajectory from this state instead of
+    /// step 0, and is refreshed at run end so repeated runs keep extending
+    /// the same trajectory.
+    resume: Option<ResumeSeed>,
+    /// Newest persisted (or resumed-from) checkpoint — the rewind target of
+    /// the supervised recovery ladder.
+    last_ckpt: Option<Checkpoint>,
     /// Step-phase wall-clock accumulator for the current run (reset at the
     /// start of every `try_run*`, merged from each segment's ranks).
     phases: PhaseTimer,
@@ -218,6 +287,8 @@ impl Engine {
             realloc_count: 0,
             chaos: None,
             health: None,
+            resume: None,
+            last_ckpt: None,
             phases: PhaseTimer::new(),
         }
     }
@@ -235,6 +306,88 @@ impl Engine {
         let grid = try_choose_grid(n_ranks, system.pbc.lengths(), opts)
             .map_err(EngineError::InfeasibleGrid)?;
         Ok(Engine::new(system, grid, config))
+    }
+
+    /// Reconstruct a run mid-trajectory from one checkpoint file: the next
+    /// `run(n)` advances `n` *further* steps and its `RunStats` — steps,
+    /// energies, recovery counters — reads as if the trajectory had never
+    /// been interrupted (bitwise, per the conformance suite). The
+    /// checkpoint's fingerprint must match `config`; a resume under a
+    /// different transport/kernel/timestep/grid is refused with
+    /// [`EngineError::Checkpoint`] carrying the offending field.
+    pub fn resume_from(path: &Path, config: EngineConfig) -> Result<Self, EngineError> {
+        let ck = Checkpoint::read(path).map_err(EngineError::Checkpoint)?;
+        Self::from_checkpoint(ck, 0, config)
+    }
+
+    /// [`Engine::resume_from`] the newest *readable* checkpoint in `dir`:
+    /// corrupt files (torn writes, bit flips) are skipped with a warning
+    /// counter — surfaced as `RunStats::corrupt_checkpoints_skipped` —
+    /// falling back to the previous checkpoint rather than failing.
+    pub fn resume_latest(dir: &Path, config: EngineConfig) -> Result<Self, EngineError> {
+        let (ck, skipped) = Checkpoint::latest_valid(dir).map_err(EngineError::Checkpoint)?;
+        Self::from_checkpoint(ck, skipped, config)
+    }
+
+    fn from_checkpoint(
+        ck: Checkpoint,
+        corrupt_skipped: usize,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        let (gx, gy, gz) = ck.fingerprint.grid;
+        // Validate before DdGrid::new, which asserts — corrupt-but-CRC-valid
+        // input must surface as a typed error, never a panic.
+        if gx == 0 || gy == 0 || gz == 0 || ck.energies.len() != ck.step as usize {
+            return Err(EngineError::Checkpoint(CheckpointError::Decode(
+                WireError::malformed(format!(
+                    "inconsistent checkpoint: grid {:?}, {} energies for step {}",
+                    ck.fingerprint.grid,
+                    ck.energies.len(),
+                    ck.step
+                )),
+            )));
+        }
+        let grid = DdGrid::new([gx, gy, gz]);
+        let expected = ConfigFingerprint::of(&config, grid.dims, ck.system.n_atoms());
+        ck.fingerprint
+            .check(&expected)
+            .map_err(EngineError::Checkpoint)?;
+        let mut engine = Engine::new(ck.system.clone(), grid, config);
+        engine.resume = Some(ResumeSeed {
+            step: ck.step,
+            energies: ck.energies.clone(),
+            stats: ck.stats,
+            corrupt_skipped,
+        });
+        engine.last_ckpt = Some(ck);
+        Ok(engine)
+    }
+
+    /// `(step, corrupt files skipped)` of the resume point, when this engine
+    /// was built by [`Engine::resume_from`]/[`Engine::resume_latest`] (or
+    /// has completed a resumed run — then it reflects the current frontier).
+    pub fn resumed(&self) -> Option<(u64, usize)> {
+        self.resume.as_ref().map(|r| (r.step, r.corrupt_skipped))
+    }
+
+    /// The configuration identity a checkpoint of this engine would carry.
+    pub fn fingerprint(&self) -> ConfigFingerprint {
+        ConfigFingerprint::of(&self.config, self.grid.dims, self.system.n_atoms())
+    }
+
+    fn make_checkpoint(
+        &self,
+        step: u64,
+        energies: &[EnergyReport],
+        recovery: &RecoveryLog,
+    ) -> Checkpoint {
+        Checkpoint {
+            fingerprint: self.fingerprint(),
+            step,
+            system: self.system.clone(),
+            energies: energies.to_vec(),
+            stats: recovery.snapshot(),
+        }
     }
 
     /// Peer health after a run (None before the first segment).
@@ -275,6 +428,21 @@ impl Engine {
     }
 
     /// Fallible [`Engine::run_with_observer`].
+    ///
+    /// On a resumed engine, `n_steps` means *additional* steps and the
+    /// returned stats describe the whole trajectory (`steps` = resume
+    /// point + `n_steps`, `energies` = full per-step history) so an
+    /// interrupted run reads bitwise-identically to one that never
+    /// crashed.
+    ///
+    /// With [`EngineConfig::checkpoint`] set, a snapshot is persisted every
+    /// `every_segments` neighbour-search segments, and a segment that fails
+    /// *terminally* (retries and fallback exhausted, or a dead PE with no
+    /// fallback headroom) is survived by rewinding to the last checkpoint
+    /// and replaying — at most `max_recoveries` times per call. Observers
+    /// may therefore see the same segment boundary more than once after a
+    /// rewind; completed-then-rewound work is counted in
+    /// [`RunStats::rewound_steps`].
     pub fn try_run_with_observer(
         &mut self,
         n_steps: usize,
@@ -282,19 +450,98 @@ impl Engine {
     ) -> Result<RunStats, EngineError> {
         let t0 = Instant::now();
         self.phases = PhaseTimer::new();
-        let mut energies = Vec::with_capacity(n_steps);
-        let mut recovery = RecoveryLog::default();
-        let mut done = 0;
-        while done < n_steps {
-            let segment = self.config.nstlist.min(n_steps - done);
-            let seg_energies = self.run_segment_with_recovery(segment, done, &mut recovery)?;
-            energies.extend(seg_energies);
-            done += segment;
-            observer(done, &self.system);
+        let (base, mut energies, corrupt_skipped, mut recovery) = match self.resume.take() {
+            Some(seed) => (
+                seed.step as usize,
+                seed.energies,
+                seed.corrupt_skipped,
+                RecoveryLog::seeded(seed.stats),
+            ),
+            None => (0, Vec::new(), 0, RecoveryLog::default()),
+        };
+        let target = base + n_steps;
+        let ckpt_cfg = self.config.checkpoint.clone();
+        let max_recoveries = ckpt_cfg.as_ref().map_or(0, |c| c.max_recoveries);
+        // Baseline snapshot: before any steps run there must already be a
+        // rewind target, so even a first-segment terminal failure recovers.
+        if let Some(cfg) = &ckpt_cfg {
+            if self.last_ckpt.is_none() {
+                // Counter first: a snapshot counts itself, so the tally
+                // stays exact across resumes.
+                recovery.checkpoints_written += 1;
+                let ck = self.make_checkpoint(base as u64, &energies, &recovery);
+                ck.write_atomic(&cfg.dir).map_err(EngineError::Checkpoint)?;
+                self.last_ckpt = Some(ck);
+            }
+        }
+        let mut done = base;
+        let mut seg_index = 0usize;
+        let mut recoveries_left = max_recoveries;
+        while done < target {
+            let segment = self.config.nstlist.min(target - done);
+            match self.run_segment_with_recovery(segment, done, &mut recovery) {
+                Ok(seg_energies) => {
+                    energies.extend(seg_energies);
+                    done += segment;
+                    seg_index += 1;
+                    observer(done, &self.system);
+                    if let Some(cfg) = &ckpt_cfg {
+                        if seg_index.is_multiple_of(cfg.every_segments.max(1)) {
+                            recovery.checkpoints_written += 1;
+                            let ck = self.make_checkpoint(done as u64, &energies, &recovery);
+                            ck.write_atomic(&cfg.dir).map_err(EngineError::Checkpoint)?;
+                            Checkpoint::prune(&cfg.dir, cfg.keep.max(1));
+                            self.last_ckpt = Some(ck);
+                        }
+                    }
+                }
+                Err(e @ EngineError::SegmentFailed { .. })
+                    if recoveries_left > 0 && self.last_ckpt.is_some() =>
+                {
+                    // Supervised rewind-and-replay: the last rung of the
+                    // failure ladder (DESIGN.md §3.6). The failed segment
+                    // never gathered into `self.system`, so restoring the
+                    // checkpointed system + energy history rewinds the
+                    // trajectory to a coherent boundary; a fresh world
+                    // (fresh forks under the procs backend) replays from
+                    // there. Failed peers get a probation trial, and chaos
+                    // op counters are NOT reset — one-shot fault triggers
+                    // stay consumed, so kill schedules advance rather than
+                    // re-killing every replay.
+                    let _ = e;
+                    let ck = self.last_ckpt.clone().expect("guarded by is_some");
+                    recoveries_left -= 1;
+                    recovery.recoveries += 1;
+                    recovery.rewound_steps += done - ck.step as usize;
+                    done = ck.step as usize;
+                    seg_index = 0;
+                    self.system = ck.system.clone();
+                    energies.clone_from(&ck.energies);
+                    self.cached_buffers = None;
+                    if let Some(h) = self.health.as_mut() {
+                        h.recover_failed();
+                    }
+                    if let Some(c) = &self.chaos {
+                        c.revive_all();
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         }
         let wall = t0.elapsed().as_secs_f64();
+        // A resumed (or checkpointing) engine stays trajectory-continuous:
+        // another `run(n)` on it extends from the frontier just reached,
+        // with durable step numbering.
+        if base > 0 || ckpt_cfg.is_some() {
+            self.resume = Some(ResumeSeed {
+                step: done as u64,
+                energies: energies.clone(),
+                stats: recovery.snapshot(),
+                corrupt_skipped,
+            });
+        }
         Ok(RunStats {
-            steps: n_steps,
+            steps: target,
             wall_seconds: wall,
             ns_per_day: if wall > 0.0 {
                 (n_steps as f64 * self.config.dt_ps as f64 * 1e-3) / (wall / 86_400.0)
@@ -308,6 +555,10 @@ impl Engine {
             degraded_steps: recovery.degraded_steps,
             repromotions: recovery.repromotions,
             faults_injected: self.chaos.as_ref().map_or(0, |c| c.report().total()),
+            recoveries: recovery.recoveries,
+            rewound_steps: recovery.rewound_steps,
+            checkpoints_written: recovery.checkpoints_written,
+            corrupt_checkpoints_skipped: corrupt_skipped,
             phases: self.phases.clone(),
         })
     }
@@ -1536,6 +1787,207 @@ mod tests {
             assert!(matches!(err, EngineError::PlanFailed(_)), "{err:?}");
             assert!(err.to_string().contains("[0, 1, 2]"), "{err}");
         }
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("halox-runner-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn assert_same_trajectory(a: &System, b: &System, ea: &[EnergyReport], eb: &[EnergyReport]) {
+        for (pa, pb) in a.positions.iter().zip(&b.positions) {
+            assert_eq!(pa.x.to_bits(), pb.x.to_bits());
+            assert_eq!(pa.y.to_bits(), pb.y.to_bits());
+            assert_eq!(pa.z.to_bits(), pb.z.to_bits());
+        }
+        for (va, vb) in a.velocities.iter().zip(&b.velocities) {
+            assert_eq!(va.x.to_bits(), vb.x.to_bits());
+            assert_eq!(va.y.to_bits(), vb.y.to_bits());
+            assert_eq!(va.z.to_bits(), vb.z.to_bits());
+        }
+        assert_eq!(ea.len(), eb.len());
+        for (x, y) in ea.iter().zip(eb) {
+            assert_eq!(x.total().to_bits(), y.total().to_bits());
+        }
+    }
+
+    #[test]
+    fn resume_continues_trajectory_bitwise() {
+        use crate::config::CheckpointConfig;
+        // Kill-at-k contract in miniature (the executor × transport matrix
+        // lives in tests/backend_conformance.rs): run 5 steps with
+        // checkpointing, throw the engine away — the "kill" — resume from
+        // the newest file, run 5 more. The result must be bitwise-equal to
+        // an uninterrupted 10-step run without checkpointing at all.
+        let sys = relaxed_system(3000, 94);
+        let mk_cfg = |dir: Option<&std::path::Path>| {
+            let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
+            cfg.nstlist = 5;
+            cfg.run_mode = RunMode::Serial;
+            cfg.thermostat = Some(crate::config::Thermostat {
+                t_ref: 300.0,
+                tau_ps: 0.01,
+            });
+            cfg.checkpoint = dir.map(CheckpointConfig::in_dir);
+            cfg
+        };
+        let mut reference = Engine::new(sys.clone(), DdGrid::new([2, 2, 1]), mk_cfg(None));
+        let ref_stats = reference.run(10);
+
+        let dir = ckpt_dir("resume");
+        let mut first = Engine::new(sys.clone(), DdGrid::new([2, 2, 1]), mk_cfg(Some(&dir)));
+        let first_stats = first.run(5);
+        assert_eq!(first_stats.steps, 5);
+        // Baseline at step 0 plus one per segment.
+        assert_eq!(first_stats.checkpoints_written, 2);
+        drop(first);
+
+        let mut resumed = Engine::resume_latest(&dir, mk_cfg(Some(&dir))).expect("resume");
+        assert_eq!(resumed.resumed(), Some((5, 0)));
+        let stats = resumed.run(5);
+        assert_eq!(stats.steps, 10, "stats describe the whole trajectory");
+        assert_eq!(stats.corrupt_checkpoints_skipped, 0);
+        assert!(stats.checkpoints_written > first_stats.checkpoints_written);
+        assert_same_trajectory(
+            &reference.system,
+            &resumed.system,
+            &ref_stats.energies,
+            &stats.energies,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_under_mismatched_config_is_refused() {
+        use crate::config::CheckpointConfig;
+        let sys = relaxed_system(3000, 95);
+        let dir = ckpt_dir("mismatch");
+        let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
+        cfg.nstlist = 5;
+        cfg.run_mode = RunMode::Serial;
+        cfg.checkpoint = Some(CheckpointConfig::in_dir(&dir));
+        let mut engine = Engine::new(sys, DdGrid::new([2, 2, 1]), cfg.clone());
+        engine.run(5);
+        drop(engine);
+
+        let mut other = cfg.clone();
+        other.backend = ExchangeBackend::Mpi;
+        let err = Engine::resume_latest(&dir, other)
+            .map(|_| ())
+            .expect_err("transport changed");
+        assert!(
+            matches!(
+                &err,
+                EngineError::Checkpoint(CheckpointError::Mismatch {
+                    field: "transport",
+                    ..
+                })
+            ),
+            "{err}"
+        );
+        let mut other = cfg.clone();
+        other.dt_ps = 0.001;
+        let err = Engine::resume_latest(&dir, other)
+            .map(|_| ())
+            .expect_err("timestep changed");
+        assert!(
+            matches!(
+                &err,
+                EngineError::Checkpoint(CheckpointError::Mismatch { field: "dt_ps", .. })
+            ),
+            "{err}"
+        );
+        // The matching config still resumes fine.
+        assert!(Engine::resume_latest(&dir, cfg).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killed_pe_recovers_by_rewind_and_replay_bitwise() {
+        use crate::config::CheckpointConfig;
+        use halox_shmem::{FaultKind, FaultOp, FaultPlan, FaultRule};
+        // Terminal-failure recovery under the threads backend: the fallback
+        // is pinned to the primary and retries are off, so the one-shot
+        // KillPe (crash-drop semantics in-process) makes the first segment
+        // fail terminally. The supervisor must rewind to the baseline
+        // checkpoint, revive the peer, replay, and finish — and because the
+        // one-shot trigger stays consumed across the rewind, the replayed
+        // trajectory must be bitwise-identical to a fault-free run.
+        let sys = relaxed_system(3000, 96);
+        let dir = ckpt_dir("rewind");
+        let mk_cfg = |ckpt: Option<CheckpointConfig>| {
+            let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
+            cfg.nstlist = 5;
+            cfg.watchdog.deadline = std::time::Duration::from_millis(150);
+            cfg.watchdog.max_retries = 0;
+            cfg.watchdog.fallback = ExchangeBackend::NvshmemFused;
+            cfg.checkpoint = ckpt;
+            cfg
+        };
+        let mut reference = Engine::new(sys.clone(), DdGrid::new([2, 2, 1]), mk_cfg(None));
+        let ref_stats = reference.run(10);
+
+        let mut cfg = mk_cfg(Some(CheckpointConfig::in_dir(&dir)));
+        cfg.chaos = Some(FaultPlan {
+            name: "kill-once".into(),
+            seed: 7,
+            rules: vec![FaultRule {
+                pe: Some(1),
+                op: FaultOp::Any,
+                after_ops: 0,
+                every: None,
+                kind: FaultKind::KillPe,
+            }],
+        });
+        let mut engine = Engine::new(sys, DdGrid::new([2, 2, 1]), cfg);
+        let stats = engine
+            .try_run(10)
+            .expect("rewind-and-replay must absorb the kill");
+        assert_eq!(stats.recoveries, 1, "exactly one rewind");
+        assert_eq!(stats.steps, 10);
+        assert!(stats.faults_injected >= 1);
+        assert_same_trajectory(
+            &reference.system,
+            &engine.system,
+            &ref_stats.energies,
+            &stats.energies,
+        );
+        // The revived peer served its probation and is healthy again.
+        let health = engine.health().expect("health board built");
+        assert_eq!(health.state(1), crate::health::PeerState::Healthy);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_without_headroom_still_fails_typed() {
+        use halox_shmem::{FaultKind, FaultOp, FaultPlan, FaultRule};
+        // Same terminal kill, but checkpointing disabled: no rewind target,
+        // so the run must surface the typed SegmentFailed — never hang,
+        // never panic.
+        let sys = relaxed_system(3000, 97);
+        let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
+        cfg.nstlist = 5;
+        cfg.watchdog.deadline = std::time::Duration::from_millis(150);
+        cfg.watchdog.max_retries = 0;
+        cfg.watchdog.fallback = ExchangeBackend::NvshmemFused;
+        cfg.chaos = Some(FaultPlan {
+            name: "kill".into(),
+            seed: 7,
+            rules: vec![FaultRule {
+                pe: Some(1),
+                op: FaultOp::Any,
+                after_ops: 0,
+                every: None,
+                kind: FaultKind::KillPe,
+            }],
+        });
+        let mut engine = Engine::new(sys, DdGrid::new([2, 2, 1]), cfg);
+        let err = engine.try_run(10).expect_err("no checkpoint, no recovery");
+        assert!(
+            matches!(err, EngineError::SegmentFailed { at_step: 0, .. }),
+            "{err}"
+        );
     }
 
     #[test]

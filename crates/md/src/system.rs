@@ -24,7 +24,7 @@ pub const GRAPPA_ATOM_DENSITY: f64 = 100.0;
 pub const ETHANOL_MOLE_FRACTION: f64 = 0.10;
 
 /// A fully instantiated particle system.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct System {
     pub pbc: PbcBox,
     /// Positions in nm, wrapped into the primary cell.

@@ -63,6 +63,13 @@ pub enum FaultKind {
     /// From the trigger onward, every delivery from the source PE is
     /// dropped — the PE is dead to its peers.
     CrashPe,
+    /// Kill the source PE outright. Under the `procs` backend the parent
+    /// proxy severs the child's socket so the OS process actually dies and
+    /// surfaces as `PeFailure::Died` → `PeDied`; under the threads backend
+    /// (no process to kill) it degrades to [`FaultKind::CrashPe`]
+    /// semantics — drop everything from the trigger on. Cleared by
+    /// [`ChaosEngine::revive_all`], the supervised-recovery hook.
+    KillPe,
     /// Hold this operation and deliver it *after* the source PE's next
     /// delivery (adversarial reordering).
     ReorderNext,
@@ -76,6 +83,7 @@ impl FaultKind {
             FaultKind::TransientPutFailure => "drop-put",
             FaultKind::StallPe(_) => "stall",
             FaultKind::CrashPe => "crash",
+            FaultKind::KillPe => "kill",
             FaultKind::ReorderNext => "reorder",
         }
     }
@@ -182,6 +190,7 @@ impl FaultPlan {
             ),
             once("pe-stall", FaultOp::Any, FaultKind::StallPe(stall)),
             once("pe-crash", FaultOp::Any, FaultKind::CrashPe),
+            once("pe-kill", FaultOp::Any, FaultKind::KillPe),
         ]
     }
 }
@@ -290,6 +299,10 @@ pub enum Decision {
     Delay(Duration),
     /// Hold the delivery; release it after the source PE's next delivery.
     Hold,
+    /// Swallow the delivery and kill the source PE: the procs parent proxy
+    /// severs the child's socket (the process dies for real); the threads
+    /// backend treats it as a permanent crash-drop.
+    Kill,
 }
 
 /// Counters of injected faults, for chaos-run reporting.
@@ -303,6 +316,8 @@ pub struct ChaosReport {
     /// Deliveries dropped because the source PE is crashed (includes the
     /// triggering op).
     pub crash_drops: u64,
+    /// PE kills delivered (`FaultKind::KillPe` triggers).
+    pub kills: u64,
     /// Held (reordered) deliveries discarded at a world boundary because no
     /// later op flushed them.
     pub abandoned_holds: u64,
@@ -316,6 +331,7 @@ impl ChaosReport {
             + self.reorders
             + self.stalls
             + self.crash_drops
+            + self.kills
     }
 }
 
@@ -327,6 +343,7 @@ struct Stats {
     reorders: AtomicU64,
     stalls: AtomicU64,
     crash_drops: AtomicU64,
+    kills: AtomicU64,
     abandoned_holds: AtomicU64,
 }
 
@@ -379,9 +396,27 @@ impl ChaosEngine {
         self.npes
     }
 
-    /// True once `pe` has been killed by a [`FaultKind::CrashPe`] rule.
+    /// True once `pe` has been killed by a [`FaultKind::CrashPe`] or
+    /// [`FaultKind::KillPe`] rule.
     pub fn is_crashed(&self, pe: usize) -> bool {
         self.crashed[pe].load(Ordering::Acquire)
+    }
+
+    /// Supervised-recovery hook: clear every crash/kill flag, modeling
+    /// replacement PEs joining after the runner rewound to a checkpoint and
+    /// rebuilt the world (fresh forks under the procs backend). Op counters
+    /// and one-shot triggers are deliberately NOT reset — a fired rule stays
+    /// consumed, so a kill schedule advances monotonically across recoveries
+    /// instead of re-killing the fresh world at the same op. Returns how
+    /// many PEs were revived.
+    pub fn revive_all(&self) -> usize {
+        let mut revived = 0;
+        for flag in &self.crashed {
+            if flag.swap(false, Ordering::AcqRel) {
+                revived += 1;
+            }
+        }
+        revived
     }
 
     /// Decide the fate of one delivery from `src_pe`. Counts every matching
@@ -421,6 +456,11 @@ impl ChaosEngine {
                     self.crashed[src_pe].store(true, Ordering::Release);
                     self.stats.crash_drops.fetch_add(1, Ordering::Relaxed);
                     Decision::Drop
+                }
+                FaultKind::KillPe => {
+                    self.crashed[src_pe].store(true, Ordering::Release);
+                    self.stats.kills.fetch_add(1, Ordering::Relaxed);
+                    Decision::Kill
                 }
                 FaultKind::ReorderNext => {
                     self.stats.reorders.fetch_add(1, Ordering::Relaxed);
@@ -476,6 +516,7 @@ impl ChaosEngine {
             reorders: self.stats.reorders.load(Ordering::Relaxed),
             stalls: self.stats.stalls.load(Ordering::Relaxed),
             crash_drops: self.stats.crash_drops.load(Ordering::Relaxed),
+            kills: self.stats.kills.load(Ordering::Relaxed),
             abandoned_holds: self.stats.abandoned_holds.load(Ordering::Relaxed),
         }
     }
@@ -524,6 +565,28 @@ mod tests {
         assert!(!e.is_crashed(1));
         assert_eq!(e.decide(1, OpKind::Signal), Decision::Deliver);
         assert_eq!(e.report().crash_drops, 4);
+    }
+
+    #[test]
+    fn kill_fires_once_then_drops_until_revived() {
+        let e = ChaosEngine::new(once_rule(2, 1, FaultKind::KillPe), 4);
+        assert_eq!(e.decide(2, OpKind::Put), Decision::Deliver); // n=0
+        assert_eq!(e.decide(2, OpKind::Put), Decision::Kill); // n=1: trigger
+        assert!(e.is_crashed(2));
+        // Dead until revived: everything from the victim is swallowed.
+        assert_eq!(e.decide(2, OpKind::Signal), Decision::Drop);
+        assert_eq!(e.decide(1, OpKind::Signal), Decision::Deliver);
+        // Supervised recovery replaces the PE; the one-shot trigger stays
+        // consumed, so the replacement is NOT re-killed at the same op.
+        assert_eq!(e.revive_all(), 1);
+        assert!(!e.is_crashed(2));
+        assert_eq!(e.decide(2, OpKind::Put), Decision::Deliver);
+        let r = e.report();
+        assert_eq!(r.kills, 1);
+        assert_eq!(r.crash_drops, 1);
+        assert!(r.total() >= 2);
+        // Idempotent when nobody is dead.
+        assert_eq!(e.revive_all(), 0);
     }
 
     #[test]

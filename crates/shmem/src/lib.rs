@@ -55,7 +55,7 @@ pub use signal::SignalSet;
 pub use sym::{SymF32, SymVec3};
 pub use team::{Team, TeamSymVec3};
 pub use twosided::{Message, TwoSidedComm};
-pub use wire::{Wire, WireError, WireReader};
+pub use wire::{crc32, Wire, WireError, WireReader};
 pub use world::{
     Fabric, Pe, PeFailure, ProxyConfig, ShmemWorld, Topology, WorldBackend, WorldError,
 };

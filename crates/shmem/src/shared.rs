@@ -35,6 +35,8 @@ mod ffi {
     pub const PROT_READ: c_int = 1;
     pub const PROT_WRITE: c_int = 2;
     pub const MAP_SHARED: c_int = 1;
+    pub const EINTR: c_int = 4;
+    pub const SIGKILL: c_int = 9;
 
     extern "C" {
         pub fn memfd_create(name: *const c_char, flags: c_uint) -> c_int;
@@ -50,6 +52,8 @@ mod ffi {
         pub fn close(fd: c_int) -> c_int;
         pub fn fork() -> c_int;
         pub fn waitpid(pid: c_int, status: *mut c_int, options: c_int) -> c_int;
+        pub fn kill(pid: c_int, sig: c_int) -> c_int;
+        pub fn __errno_location() -> *mut c_int;
         pub fn _exit(code: c_int) -> !;
     }
 }
@@ -243,12 +247,31 @@ pub fn exit_now(code: i32) -> ! {
     unsafe { ffi::_exit(code) }
 }
 
-/// Blocking `waitpid`, returning the raw wait status (or `None` if the
-/// call failed, e.g. the pid was already reaped).
+/// Blocking `waitpid`, retried on `EINTR` (a signal delivered to the
+/// parent mid-wait must not leave the child a zombie). Returns the raw
+/// wait status, or `None` if the call failed for a real reason (e.g. the
+/// pid was already reaped).
 pub fn wait_child(pid: i32) -> Option<i32> {
     let mut status: i32 = 0;
-    let r = unsafe { ffi::waitpid(pid, &mut status as *mut i32, 0) };
-    (r == pid).then_some(status)
+    loop {
+        let r = unsafe { ffi::waitpid(pid, &mut status as *mut i32, 0) };
+        if r == pid {
+            return Some(status);
+        }
+        if r == -1 && unsafe { *ffi::__errno_location() } == ffi::EINTR {
+            continue;
+        }
+        return None;
+    }
+}
+
+/// `SIGKILL` a child process (cleanup on aborted spawns — the caller still
+/// owes it a [`wait_child`] to reap the corpse). Errors are ignored: the
+/// child may already be gone.
+pub fn kill_child(pid: i32) {
+    unsafe {
+        ffi::kill(pid, ffi::SIGKILL);
+    }
 }
 
 /// Human-readable rendering of a raw wait status.
@@ -317,5 +340,23 @@ mod tests {
         let status = wait_child(pid).expect("child reaped");
         assert_eq!(status, 0, "{}", describe_wait_status(status));
         assert_eq!(cell.load(Ordering::SeqCst), 1234, "child write not shared");
+    }
+
+    #[test]
+    fn kill_child_then_wait_reaps_the_corpse() {
+        // The early-error cleanup path in run_procs: SIGKILL a child that
+        // would never exit on its own, then reap it — no zombie, no hang.
+        let pid = unsafe { fork_pe() };
+        if pid == 0 {
+            loop {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+        assert!(pid > 0, "fork failed");
+        kill_child(pid);
+        let status = wait_child(pid).expect("killed child reaped");
+        assert_eq!(status & 0x7f, 9, "{}", describe_wait_status(status));
+        // Reaping twice is a clean None (ECHILD), not a hang or a panic.
+        assert!(wait_child(pid).is_none());
     }
 }

@@ -8,20 +8,65 @@
 //! requires `R: Wire`, which is what keeps the threaded and process
 //! backends interchangeable at every call site.
 
-use halox_md::{EnergyReport, Vec3};
+use halox_md::{Angle, AtomKind, Bond, EnergyReport, PbcBox, System, Vec3};
 
-/// A decode failure: the byte stream did not match the expected shape
-/// (truncated frame, bad discriminant, malformed UTF-8).
+/// A decode failure: the byte stream did not match the expected shape.
+///
+/// Decoding untrusted bytes — a socket frame from a dying child, a
+/// checkpoint file interrupted mid-write — must never panic; every shape
+/// violation maps to one of these variants so callers can distinguish "the
+/// stream ended early" (retryable / fall back to an older file) from "the
+/// bytes are nonsense" (corrupt, discard).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WireError(pub String);
+pub enum WireError {
+    /// The buffer ended before the value did.
+    Truncated { needed: usize, have: usize },
+    /// A complete value decoded but bytes remained (`from_bytes` only).
+    Trailing { extra: usize },
+    /// The bytes were present but do not form a valid value (bad
+    /// discriminant, malformed UTF-8, out-of-domain field).
+    Malformed(String),
+}
+
+impl WireError {
+    pub fn malformed(msg: impl Into<String>) -> Self {
+        WireError::Malformed(msg.into())
+    }
+}
 
 impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "wire decode error: {}", self.0)
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(
+                    f,
+                    "wire decode error: truncated: need {needed} bytes, have {have}"
+                )
+            }
+            WireError::Trailing { extra } => {
+                write!(f, "wire decode error: {extra} trailing bytes after value")
+            }
+            WireError::Malformed(m) => write!(f, "wire decode error: {m}"),
+        }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`). Bitwise,
+/// table-free: it guards checkpoint files written once per segment, so
+/// simplicity beats throughput.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// Cursor over a received byte buffer.
 pub struct WireReader<'a> {
@@ -40,10 +85,10 @@ impl<'a> WireReader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.remaining() < n {
-            return Err(WireError(format!(
-                "truncated: need {n} bytes, have {}",
-                self.remaining()
-            )));
+            return Err(WireError::Truncated {
+                needed: n,
+                have: self.remaining(),
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -69,10 +114,9 @@ pub trait Wire: Sized {
         let mut r = WireReader::new(buf);
         let v = Self::decode(&mut r)?;
         if r.remaining() != 0 {
-            return Err(WireError(format!(
-                "{} trailing bytes after value",
-                r.remaining()
-            )));
+            return Err(WireError::Trailing {
+                extra: r.remaining(),
+            });
         }
         Ok(v)
     }
@@ -85,8 +129,12 @@ macro_rules! wire_int {
                 out.extend_from_slice(&self.to_le_bytes());
             }
             fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-                let b = r.take(std::mem::size_of::<$t>())?;
-                Ok(<$t>::from_le_bytes(b.try_into().unwrap()))
+                const N: usize = std::mem::size_of::<$t>();
+                let b: [u8; N] = r.take(N)?.try_into().map_err(|_| WireError::Truncated {
+                    needed: N,
+                    have: 0,
+                })?;
+                Ok(<$t>::from_le_bytes(b))
             }
         }
     )*};
@@ -129,7 +177,7 @@ impl Wire for bool {
         match u8::decode(r)? {
             0 => Ok(false),
             1 => Ok(true),
-            b => Err(WireError(format!("bad bool byte {b}"))),
+            b => Err(WireError::malformed(format!("bad bool byte {b}"))),
         }
     }
 }
@@ -149,7 +197,7 @@ impl Wire for String {
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         let n = usize::decode(r)?;
         let b = r.take(n)?;
-        String::from_utf8(b.to_vec()).map_err(|e| WireError(format!("bad utf8: {e}")))
+        String::from_utf8(b.to_vec()).map_err(|e| WireError::malformed(format!("bad utf8: {e}")))
     }
 }
 
@@ -185,7 +233,7 @@ impl<T: Wire> Wire for Option<T> {
         match u8::decode(r)? {
             0 => Ok(None),
             1 => Ok(Some(T::decode(r)?)),
-            b => Err(WireError(format!("bad Option tag {b}"))),
+            b => Err(WireError::malformed(format!("bad Option tag {b}"))),
         }
     }
 }
@@ -207,7 +255,7 @@ impl<T: Wire, E: Wire> Wire for Result<T, E> {
         match u8::decode(r)? {
             0 => Ok(Ok(T::decode(r)?)),
             1 => Ok(Err(E::decode(r)?)),
-            b => Err(WireError(format!("bad Result tag {b}"))),
+            b => Err(WireError::malformed(format!("bad Result tag {b}"))),
         }
     }
 }
@@ -275,6 +323,100 @@ impl Wire for EnergyReport {
     }
 }
 
+impl Wire for AtomKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.index() as u8);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(AtomKind::Ow),
+            1 => Ok(AtomKind::Hw),
+            2 => Ok(AtomKind::Ch3),
+            3 => Ok(AtomKind::Ch2),
+            4 => Ok(AtomKind::Oh),
+            t => Err(WireError::malformed(format!("bad AtomKind tag {t}"))),
+        }
+    }
+}
+
+impl Wire for Bond {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.i.encode(out);
+        self.j.encode(out);
+        self.r0.encode(out);
+        self.k.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Bond {
+            i: u32::decode(r)?,
+            j: u32::decode(r)?,
+            r0: f32::decode(r)?,
+            k: f32::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Angle {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.i.encode(out);
+        self.j.encode(out);
+        self.k_atom.encode(out);
+        self.theta0.encode(out);
+        self.k.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Angle {
+            i: u32::decode(r)?,
+            j: u32::decode(r)?,
+            k_atom: u32::decode(r)?,
+            theta0: f32::decode(r)?,
+            k: f32::decode(r)?,
+        })
+    }
+}
+
+impl Wire for PbcBox {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.lengths().encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        // `PbcBox::new` asserts; corrupt bytes must surface as an error,
+        // so validate its invariants here first.
+        let l = Vec3::decode(r)?;
+        if !l.is_finite() || l.x <= 0.0 || l.y <= 0.0 || l.z <= 0.0 {
+            return Err(WireError::malformed(format!("bad box lengths {l:?}")));
+        }
+        Ok(PbcBox::new(l))
+    }
+}
+
+impl Wire for System {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.pbc.encode(out);
+        self.positions.encode(out);
+        self.velocities.encode(out);
+        self.kinds.encode(out);
+        self.inv_mass.encode(out);
+        self.bonds.encode(out);
+        self.angles.encode(out);
+        self.molecule_of.encode(out);
+        self.exclusions.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(System {
+            pbc: PbcBox::decode(r)?,
+            positions: Vec::decode(r)?,
+            velocities: Vec::decode(r)?,
+            kinds: Vec::decode(r)?,
+            inv_mass: Vec::decode(r)?,
+            bonds: Vec::decode(r)?,
+            angles: Vec::decode(r)?,
+            molecule_of: Vec::decode(r)?,
+            exclusions: Vec::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +424,22 @@ mod tests {
     fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
         let bytes = v.to_bytes();
         assert_eq!(T::from_bytes(&bytes).unwrap(), v);
+    }
+
+    /// Every strict prefix of a valid encoding must decode to a typed
+    /// error — never a panic, and never `Trailing` (the buffer is too
+    /// short, not too long).
+    fn every_prefix_errors<T: Wire + std::fmt::Debug>(v: &T) {
+        let bytes = v.to_bytes();
+        for cut in 0..bytes.len() {
+            match T::from_bytes(&bytes[..cut]) {
+                Ok(_) => panic!("strict prefix {cut}/{} decoded: {v:?}", bytes.len()),
+                Err(WireError::Trailing { .. }) => {
+                    panic!("prefix {cut}/{} reported Trailing: {v:?}", bytes.len())
+                }
+                Err(_) => {}
+            }
+        }
     }
 
     #[test]
@@ -335,14 +493,140 @@ mod tests {
 
     #[test]
     fn truncated_and_malformed_inputs_are_errors_not_panics() {
-        assert!(u64::from_bytes(&[1, 2, 3]).is_err());
-        assert!(bool::from_bytes(&[9]).is_err());
-        assert!(Option::<u8>::from_bytes(&[7]).is_err());
+        assert!(matches!(
+            u64::from_bytes(&[1, 2, 3]),
+            Err(WireError::Truncated { needed: 8, have: 3 })
+        ));
+        assert!(matches!(
+            bool::from_bytes(&[9]),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            Option::<u8>::from_bytes(&[7]),
+            Err(WireError::Malformed(_))
+        ));
         // Corrupt huge length: must error on truncation, not OOM.
         let mut huge = Vec::new();
         (u64::MAX).encode(&mut huge);
-        assert!(Vec::<u8>::from_bytes(&huge).is_err());
+        assert!(matches!(
+            Vec::<u8>::from_bytes(&huge),
+            Err(WireError::Truncated { .. })
+        ));
         // Trailing garbage rejected.
-        assert!(u8::from_bytes(&[1, 2]).is_err());
+        assert!(matches!(
+            u8::from_bytes(&[1, 2]),
+            Err(WireError::Trailing { extra: 1 })
+        ));
+    }
+
+    fn tiny_system() -> System {
+        System {
+            pbc: PbcBox::new(Vec3::new(3.0, 4.0, 5.0)),
+            positions: vec![Vec3::new(0.1, 0.2, 0.3), Vec3::new(1.0, 1.5, 2.0)],
+            velocities: vec![Vec3::new(-0.3, 0.0, 0.7), Vec3::new(0.0, -0.0, 4.5)],
+            kinds: vec![AtomKind::Ow, AtomKind::Hw],
+            inv_mass: vec![0.0625, 0.992],
+            bonds: vec![Bond {
+                i: 0,
+                j: 1,
+                r0: 0.1,
+                k: 345_000.0,
+            }],
+            angles: vec![Angle {
+                i: 0,
+                j: 1,
+                k_atom: 0,
+                theta0: 1.91,
+                k: 383.0,
+            }],
+            molecule_of: vec![0, 0],
+            exclusions: vec![vec![1], vec![0]],
+        }
+    }
+
+    #[test]
+    fn md_topology_types_round_trip() {
+        for k in [
+            AtomKind::Ow,
+            AtomKind::Hw,
+            AtomKind::Ch3,
+            AtomKind::Ch2,
+            AtomKind::Oh,
+        ] {
+            round_trip(k);
+        }
+        round_trip(tiny_system().bonds[0]);
+        round_trip(tiny_system().angles[0]);
+        round_trip(PbcBox::new(Vec3::new(3.0, 4.0, 5.0)));
+        round_trip(tiny_system());
+    }
+
+    #[test]
+    fn every_from_bytes_impl_rejects_all_strict_prefixes() {
+        every_prefix_errors(&0xDEAD_BEEF_u32);
+        every_prefix_errors(&u64::MAX);
+        every_prefix_errors(&-7i64);
+        every_prefix_errors(&1.5f32);
+        every_prefix_errors(&f64::NEG_INFINITY);
+        every_prefix_errors(&true);
+        every_prefix_errors(&"halo exchange".to_string());
+        every_prefix_errors(&vec![1u32, 2, 3]);
+        every_prefix_errors(&Some(7u32));
+        every_prefix_errors(&Result::<u32, String>::Err("boom".into()));
+        every_prefix_errors(&(1u32, "x".to_string()));
+        every_prefix_errors(&(1u8, 2u16, 3u32));
+        every_prefix_errors(&std::time::Duration::from_micros(1234));
+        every_prefix_errors(&Vec3::new(1.0, -2.5, 3.25));
+        every_prefix_errors(&EnergyReport {
+            nonbonded: 1.0,
+            bonds: 2.0,
+            angles: 3.0,
+            kinetic: 4.0,
+            virial: 5.0,
+        });
+        every_prefix_errors(&AtomKind::Oh);
+        every_prefix_errors(&tiny_system().bonds[0]);
+        every_prefix_errors(&tiny_system().angles[0]);
+        every_prefix_errors(&PbcBox::cubic(9.0));
+        every_prefix_errors(&tiny_system());
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic_md_decoders() {
+        // Bad discriminant / invariant violations are Malformed, not panics.
+        assert!(matches!(
+            AtomKind::from_bytes(&[200]),
+            Err(WireError::Malformed(_))
+        ));
+        // A box with a negative edge: PbcBox::new would assert; the wire
+        // decoder must reject it as data corruption instead.
+        let mut bad_box = Vec::new();
+        Vec3::new(-1.0, 2.0, 3.0).encode(&mut bad_box);
+        assert!(matches!(
+            PbcBox::from_bytes(&bad_box),
+            Err(WireError::Malformed(_))
+        ));
+        let mut nan_box = Vec::new();
+        Vec3::new(f32::NAN, 2.0, 3.0).encode(&mut nan_box);
+        assert!(matches!(
+            PbcBox::from_bytes(&nan_box),
+            Err(WireError::Malformed(_))
+        ));
+        // A System whose pbc bytes are garbage.
+        let mut sys_bytes = tiny_system().to_bytes();
+        sys_bytes[0] = 0xFF;
+        sys_bytes[3] = 0xFF;
+        assert!(System::from_bytes(&sys_bytes).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // The IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // A single flipped bit changes the sum.
+        let a = crc32(b"checkpoint");
+        let b = crc32(b"checkpoin\x75");
+        assert_ne!(a, b);
     }
 }

@@ -490,7 +490,18 @@ impl ShmemWorld {
                 // no destructor touches the copied heap.
                 shared::exit_now(if exit.is_ok() { 0 } else { 101 });
             }
-            assert!(pid > 0, "fork() failed for PE {id}");
+            if pid < 0 {
+                // Fork failed mid-spawn: kill and reap the children already
+                // forked before surfacing the error, so an aborted world
+                // leaves no zombies behind the panicking parent.
+                for &p in &pids {
+                    shared::kill_child(p);
+                }
+                for &p in &pids {
+                    shared::wait_child(p);
+                }
+                panic!("fork() failed for PE {id} (after {} children)", pids.len());
+            }
             pids.push(pid);
             child_socks[id] = None; // parent closes its copy of the child end
         }
@@ -589,12 +600,22 @@ fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
 /// two adjacent operations rather than parking one forever. A second hold
 /// before the first is flushed displaces it — the displaced op is
 /// delivered immediately, keeping at most one op in flight per PE.
-fn chaos_deliver(chaos: &ChaosEngine, signals: &[Arc<SignalSet>], src_pe: usize, d: Delivery) {
+/// Returns `true` when the decision was [`Decision::Kill`]: the delivery
+/// was swallowed and the source PE is now dead. The procs parent proxy
+/// reacts by severing the child's socket (the process dies for real); the
+/// in-process paths have no process to kill, so a kill there degrades to
+/// crash semantics (this op and everything after it is dropped).
+fn chaos_deliver(
+    chaos: &ChaosEngine,
+    signals: &[Arc<SignalSet>],
+    src_pe: usize,
+    d: Delivery,
+) -> bool {
     let decision = chaos.decide(src_pe, d.op_kind());
     match decision {
         Decision::Deliver => d.apply(signals, false),
         Decision::DropSignal => d.apply(signals, true),
-        Decision::Drop => drop(d),
+        Decision::Drop | Decision::Kill => drop(d),
         Decision::Delay(dur) => {
             std::thread::sleep(dur);
             d.apply(signals, false);
@@ -603,12 +624,13 @@ fn chaos_deliver(chaos: &ChaosEngine, signals: &[Arc<SignalSet>], src_pe: usize,
             if let Some(displaced) = chaos.hold(src_pe, d) {
                 displaced.apply(signals, false);
             }
-            return; // the held op flushes on the *next* operation
+            return false; // the held op flushes on the *next* operation
         }
     }
     if let Some(held) = chaos.take_held(src_pe) {
         held.apply(signals, false);
     }
+    decision == Decision::Kill
 }
 
 fn proxy_main(
@@ -677,7 +699,12 @@ fn proxy_main(
                     signal,
                 };
                 match &chaos {
-                    Some(c) => chaos_deliver(c, &signals, pe, d),
+                    Some(c) => {
+                        // No process to kill on the threads backend: a Kill
+                        // decision already dropped the op and marked the PE
+                        // crashed, which is all "dead" can mean in-process.
+                        chaos_deliver(c, &signals, pe, d);
+                    }
                     None => d.apply(&signals, false),
                 }
                 service(&trace, "put", enqueued_us);
@@ -690,7 +717,9 @@ fn proxy_main(
             } => {
                 let d = Delivery::Signal { dst_pe, slot, val };
                 match &chaos {
-                    Some(c) => chaos_deliver(c, &signals, pe, d),
+                    Some(c) => {
+                        chaos_deliver(c, &signals, pe, d);
+                    }
                     None => d.apply(&signals, false),
                 }
                 service(&trace, "signal", enqueued_us);
@@ -822,7 +851,17 @@ fn parent_proxy<R: Wire>(
                     signal,
                 };
                 match &chaos {
-                    Some(c) => chaos_deliver(c, &signals, pe, d),
+                    Some(c) => {
+                        if chaos_deliver(c, &signals, pe, d) {
+                            // KillPe fired for this child: sever the socket.
+                            // The child dies on its next socket op (Rust
+                            // ignores SIGPIPE, so the write errors → panic →
+                            // _exit) and waitpid surfaces PeFailure::Died —
+                            // the cross-process analogue of a PE process
+                            // being OOM-killed mid-run.
+                            return Err(None);
+                        }
+                    }
                     None => d.apply(&signals, false),
                 }
             }
@@ -851,7 +890,17 @@ fn parent_proxy<R: Wire>(
                 }
                 let d = Delivery::Signal { dst_pe, slot, val };
                 match &chaos {
-                    Some(c) => chaos_deliver(c, &signals, pe, d),
+                    Some(c) => {
+                        if chaos_deliver(c, &signals, pe, d) {
+                            // KillPe fired for this child: sever the socket.
+                            // The child dies on its next socket op (Rust
+                            // ignores SIGPIPE, so the write errors → panic →
+                            // _exit) and waitpid surfaces PeFailure::Died —
+                            // the cross-process analogue of a PE process
+                            // being OOM-killed mid-run.
+                            return Err(None);
+                        }
+                    }
                     None => d.apply(&signals, false),
                 }
             }
@@ -865,7 +914,7 @@ fn parent_proxy<R: Wire>(
             }
             TAG_RESULT_OK => {
                 return R::from_bytes(&body)
-                    .map_err(|e| Some(format!("PE result decode failed: {}", e.0)));
+                    .map_err(|e| Some(format!("PE result decode failed: {e}")));
             }
             TAG_RESULT_PANIC => {
                 let msg = String::from_bytes(&body)

@@ -18,11 +18,15 @@
 
 use halox::dd::DdGrid;
 use halox::engine::{
-    Engine, EngineConfig, ExchangeBackend, RunMode, RunStats, Thermostat, WorldBackend,
+    Checkpoint, CheckpointConfig, CheckpointError, Engine, EngineConfig, EngineError,
+    ExchangeBackend, PeerState, RunMode, RunStats, Thermostat, WorldBackend,
 };
 use halox::md::minimize::{steepest_descent, MinimizeOptions};
 use halox::md::{GrappaBuilder, System, Vec3};
-use halox::shmem::{shared, FaultPlan, PeFailure, ShmemWorld, SymVec3, Topology};
+use halox::shmem::{
+    shared, FaultKind, FaultOp, FaultPlan, FaultRule, PeFailure, ShmemWorld, SymVec3, Topology,
+};
+use std::path::PathBuf;
 use std::sync::OnceLock;
 use std::time::Duration;
 
@@ -228,6 +232,233 @@ fn trajectories_bitwise_serial_threaded_procs() {
         assert_bitwise(&format!("{label}: serial vs threaded"), &serial, &threaded);
         assert_bitwise(&format!("{label}: threaded vs procs"), &threaded, &procs);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restart conformance: kill-at-k ≡ uninterrupted, bitwise.
+// ---------------------------------------------------------------------------
+
+fn ckpt_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("halox-conf-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Checkpoint at step 5, "kill" the process (drop the engine), resume from
+/// the newest file under a possibly different executor, finish to step 10.
+fn run_interrupted(
+    grid: [usize; 3],
+    mut cfg: EngineConfig,
+    first: (RunMode, WorldBackend),
+    second: (RunMode, WorldBackend),
+    dir: &PathBuf,
+) -> (System, RunStats) {
+    cfg.checkpoint = Some(CheckpointConfig::in_dir(dir));
+    cfg.run_mode = first.0;
+    cfg.world_backend = first.1;
+    let mut engine = Engine::new(relaxed_system().clone(), DdGrid::new(grid), cfg.clone());
+    let stats = engine.run(5);
+    assert_eq!(stats.steps, 5);
+    drop(engine); // the kill: only the checkpoint files survive
+
+    cfg.run_mode = second.0;
+    cfg.world_backend = second.1;
+    let mut resumed = Engine::resume_latest(dir, cfg).expect("resume from newest checkpoint");
+    assert_eq!(resumed.resumed(), Some((5, 0)));
+    let stats = resumed.run(5);
+    assert_eq!(stats.steps, 10, "stats must span the whole trajectory");
+    (resumed.system, stats)
+}
+
+/// The bitwise-resume contract of DESIGN.md §3.6 across the executor
+/// matrix: checkpoint at step k + kill + resume equals the uninterrupted
+/// run to the last bit — positions, velocities, every per-step energy.
+/// Resume deliberately crosses executors (threads-written checkpoints
+/// resumed under procs and serial, and vice versa): the execution substrate
+/// is excluded from the config fingerprint precisely because the
+/// trajectory is substrate-invariant.
+#[test]
+fn checkpoint_kill_resume_bitwise_across_executors() {
+    type Exec = (RunMode, WorldBackend);
+    const SERIAL: Exec = (RunMode::Serial, WorldBackend::Threads);
+    const THREADS: Exec = (RunMode::Threaded, WorldBackend::Threads);
+    const PROCS: Exec = (RunMode::Threaded, WorldBackend::Procs);
+    let cases: [(ExchangeBackend, Exec, Exec, &str); 6] = [
+        (
+            ExchangeBackend::NvshmemFused,
+            SERIAL,
+            SERIAL,
+            "serial-serial",
+        ),
+        (
+            ExchangeBackend::NvshmemFused,
+            THREADS,
+            THREADS,
+            "threads-threads",
+        ),
+        (ExchangeBackend::NvshmemFused, PROCS, PROCS, "procs-procs"),
+        (
+            ExchangeBackend::NvshmemFused,
+            THREADS,
+            PROCS,
+            "threads-procs",
+        ),
+        (ExchangeBackend::Mpi, PROCS, SERIAL, "procs-serial"),
+        (ExchangeBackend::Mpi, THREADS, THREADS, "threads-threads"),
+    ];
+    for (backend, first, second, label) in cases {
+        let label = format!("{} {label}", backend.label());
+        let cfg = engine_config(backend, Some(2));
+        let reference = run_engine(
+            [2, 2, 1],
+            cfg.clone(),
+            RunMode::Threaded,
+            WorldBackend::Threads,
+        );
+        let dir = ckpt_dir(&format!("kill-{}", label.replace(' ', "-")));
+        let interrupted = run_interrupted([2, 2, 1], cfg, first, second, &dir);
+        assert_bitwise(
+            &format!("{label}: kill+resume vs uninterrupted"),
+            &interrupted,
+            &reference,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Corrupt-checkpoint tolerance: a bit-flipped newest file (plus a garbage
+/// impostor) must fall back to the previous checkpoint with a warning
+/// counter — never a panic — and the resumed trajectory still matches the
+/// uninterrupted run bitwise from the older rewind point.
+#[test]
+fn corrupt_checkpoint_falls_back_to_previous() {
+    let cfg = engine_config(ExchangeBackend::NvshmemFused, Some(2));
+    let reference = run_engine(
+        [2, 2, 1],
+        cfg.clone(),
+        RunMode::Threaded,
+        WorldBackend::Threads,
+    );
+
+    let dir = ckpt_dir("corrupt");
+    let mut first_cfg = cfg.clone();
+    first_cfg.checkpoint = Some(CheckpointConfig::in_dir(&dir));
+    let mut engine = Engine::new(
+        relaxed_system().clone(),
+        DdGrid::new([2, 2, 1]),
+        first_cfg.clone(),
+    );
+    engine.run(10); // checkpoints at 0, 5, 10
+    drop(engine);
+
+    // Bit-flip the newest checkpoint and add a garbage file that sorts even
+    // newer.
+    let newest = dir.join(Checkpoint::file_name(10));
+    let mut bytes = std::fs::read(&newest).expect("checkpoint written");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x04;
+    std::fs::write(&newest, &bytes).unwrap();
+    std::fs::write(dir.join(Checkpoint::file_name(11)), b"HXCKgarbage").unwrap();
+
+    let mut resumed = Engine::resume_latest(&dir, first_cfg).expect("fall back to step 5");
+    assert_eq!(
+        resumed.resumed(),
+        Some((5, 2)),
+        "resumed from 5, skipping two corrupt files"
+    );
+    let stats = resumed.run(5);
+    assert_eq!(stats.corrupt_checkpoints_skipped, 2);
+    assert_bitwise(
+        "corrupt fallback vs uninterrupted",
+        &(resumed.system, stats),
+        &reference,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resuming under a different transport is refused with the typed
+/// fingerprint mismatch naming the field — on a checkpoint written by the
+/// cross-process executor, closing the loop on config identity.
+#[test]
+fn resume_with_mismatched_transport_is_refused() {
+    let dir = ckpt_dir("fingerprint");
+    let mut cfg = engine_config(ExchangeBackend::NvshmemFused, Some(2));
+    cfg.checkpoint = Some(CheckpointConfig::in_dir(&dir));
+    cfg.world_backend = WorldBackend::Procs;
+    let mut engine = Engine::new(
+        relaxed_system().clone(),
+        DdGrid::new([2, 2, 1]),
+        cfg.clone(),
+    );
+    engine.run(5);
+    drop(engine);
+
+    let mut other = cfg.clone();
+    other.backend = ExchangeBackend::ThreadMpi;
+    match Engine::resume_latest(&dir, other) {
+        Err(EngineError::Checkpoint(CheckpointError::Mismatch { field, .. })) => {
+            assert_eq!(field, "transport");
+        }
+        Err(e) => panic!("wrong error: {e}"),
+        Ok(_) => panic!("mismatched transport must not resume"),
+    }
+    // Same config resumes fine — including under the threads executor.
+    let mut same = cfg;
+    same.world_backend = WorldBackend::Threads;
+    assert!(Engine::resume_latest(&dir, same).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Supervised in-run recovery on the cross-process backend: a one-shot
+/// `KillPe` severs a real child's proxy socket mid-segment, the child dies,
+/// `waitpid` reports it, the peer goes `Failed` — and with no fallback
+/// headroom (fallback pinned to the primary) the segment fails terminally.
+/// The supervisor must rewind to the last checkpoint, fork a fresh world,
+/// replay, and finish with a trajectory bitwise-equal to a fault-free run;
+/// the revived peer ends healthy after its probation trial.
+#[test]
+fn killed_pe_process_recovers_via_rewind_on_procs() {
+    // islands(4, 1): every edge is proxied, so the kill is guaranteed to
+    // hit a parent-side proxy (the path that severs the socket).
+    let mk_cfg = || {
+        let mut cfg = engine_config(ExchangeBackend::NvshmemFused, Some(1));
+        cfg.watchdog.deadline = DEADLINE;
+        cfg.watchdog.max_retries = 0;
+        cfg.watchdog.fallback = ExchangeBackend::NvshmemFused;
+        cfg.world_backend = WorldBackend::Procs;
+        cfg
+    };
+    let reference = run_engine([2, 2, 1], mk_cfg(), RunMode::Threaded, WorldBackend::Procs);
+
+    let dir = ckpt_dir("killpe");
+    let mut cfg = mk_cfg();
+    cfg.checkpoint = Some(CheckpointConfig::in_dir(&dir));
+    cfg.chaos = Some(FaultPlan {
+        name: "kill-child-once".into(),
+        seed: chaos_seed(),
+        rules: vec![FaultRule {
+            pe: Some(1),
+            op: FaultOp::Any,
+            after_ops: 0,
+            every: None,
+            kind: FaultKind::KillPe,
+        }],
+    });
+    let mut engine = Engine::new(relaxed_system().clone(), DdGrid::new([2, 2, 1]), cfg);
+    let stats = engine
+        .try_run(10)
+        .expect("rewind-and-replay must absorb a killed child process");
+    assert!(stats.recoveries >= 1, "at least one rewind");
+    assert!(stats.faults_injected >= 1);
+    assert_eq!(stats.steps, 10);
+    assert_bitwise(
+        "procs kill recovery vs fault-free",
+        &(engine.system.clone(), stats),
+        &reference,
+    );
+    let health = engine.health().expect("health board built");
+    assert_eq!(health.state(1), PeerState::Healthy, "victim rehabilitated");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 // ---------------------------------------------------------------------------
