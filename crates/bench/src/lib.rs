@@ -12,6 +12,7 @@ pub mod ftrace;
 pub mod functional;
 pub mod kernels;
 pub mod report;
+pub mod serve;
 pub mod soak;
 pub mod threads;
 pub mod validate;

@@ -1,8 +1,8 @@
 //! `halox-bench` — regenerate the paper's figures on the timing simulator.
 
 use halox_bench::{
-    ablation, backends, chaos, chart, figures, ftrace, functional, kernels, report, soak, threads,
-    validate,
+    ablation, backends, chaos, chart, figures, ftrace, functional, kernels, report, serve, soak,
+    threads, validate,
 };
 use std::path::Path;
 
@@ -129,6 +129,13 @@ fn main() {
             // halox-bench chaos [seed]
             let seed: u64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(1);
             chaos::run(results, seed);
+        }
+        "serve" => {
+            // halox-bench serve [jobs] [pool_worlds] — multi-job service
+            // load (PE substrate via HALOX_BACKEND, like the test suite).
+            let jobs: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(200);
+            let pool: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(4);
+            serve::run(results, jobs, pool);
         }
         "soak" => {
             // halox-bench soak [seed] — checkpoint/restart kill loop

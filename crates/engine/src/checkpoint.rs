@@ -452,6 +452,46 @@ impl Checkpoint {
             }
         }
     }
+
+    /// Sweep orphaned atomic-write leftovers from `dir`: a writer that
+    /// crashed between creating its `.ckpt-*.hxck.tmp.<pid>` file and the
+    /// rename leaves the tmp behind forever ([`Checkpoint::list`] ignores
+    /// it, so nothing else ever reclaims the space). Files qualified with
+    /// the *current* pid are left alone — a concurrent writer thread in
+    /// this process may own them mid-rename. Returns the number of files
+    /// removed; missing/unreadable directories sweep nothing.
+    pub fn sweep_orphan_tmp(dir: &Path) -> usize {
+        let Ok(entries) = fs::read_dir(dir) else {
+            return 0;
+        };
+        let me = std::process::id();
+        let mut swept = 0;
+        for e in entries.flatten() {
+            let Ok(name) = e.file_name().into_string() else {
+                continue;
+            };
+            // Shape: `.ckpt-<step>.hxck.tmp.<pid>` (see `write_atomic`).
+            let Some(rest) = name.strip_prefix(".ckpt-") else {
+                continue;
+            };
+            let Some((stem, pid)) = rest.rsplit_once('.') else {
+                continue;
+            };
+            if !stem.ends_with(".hxck.tmp") {
+                continue;
+            }
+            let Ok(pid) = pid.parse::<u32>() else {
+                continue;
+            };
+            if pid == me {
+                continue;
+            }
+            if fs::remove_file(e.path()).is_ok() {
+                swept += 1;
+            }
+        }
+        swept
+    }
 }
 
 #[cfg(test)]

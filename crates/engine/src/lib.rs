@@ -23,7 +23,8 @@ pub use devtimer::PhaseTimer;
 pub use health::{HealthBoard, PeerState};
 pub use runner::{Downgrade, Engine, EngineError, RunStats};
 
-// Re-exported so engine users can select the PGAS world backend and match
-// on the decomposition errors surfaced through [`EngineError`].
+// Re-exported so engine users can select the PGAS world backend, pool and
+// lease worlds for [`Engine::attach_world`], and match on the decomposition
+// errors surfaced through [`EngineError`].
 pub use halox_dd::{GridError, GridOptions, PlanError};
-pub use halox_shmem::WorldBackend;
+pub use halox_shmem::{PoolStats, WorldBackend, WorldKey, WorldLease, WorldPool};

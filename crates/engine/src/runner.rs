@@ -28,7 +28,8 @@ use halox_md::forces::{angle_virial, bond_virial, compute_angles, compute_bonds,
 use halox_md::pairlist::eighth_shell_rule;
 use halox_md::{integrate, EnergyReport, Frame, System, Vec3};
 use halox_shmem::{
-    ChaosEngine, ProxyConfig, ShmemWorld, TwoSidedComm, Wire, WireError, WireReader,
+    ChaosEngine, ProxyConfig, ShmemWorld, TwoSidedComm, Wire, WireError, WireReader, WorldKey,
+    WorldLease,
 };
 use halox_trace::{record_opt, span_opt, Payload, Region};
 use std::path::Path;
@@ -71,6 +72,10 @@ pub struct RunStats {
     /// the warning counter behind the fall-back-to-previous-checkpoint
     /// tolerance (0 unless this engine came from [`Engine::resume_latest`]).
     pub corrupt_checkpoints_skipped: usize,
+    /// Orphaned pid-qualified `*.tmp` files (atomic-rename leftovers from
+    /// crashed writers) swept from the checkpoint directory when this
+    /// engine first opened it (0 with checkpointing off).
+    pub orphan_tmp_swept: usize,
     /// Wall-clock step-phase breakdown, aggregated over ranks and segments
     /// (`nb_local`, `nb_halo`, `pack_overlap`, `pairlist`, ...). Sums of
     /// per-rank wall time, so with N threaded ranks a phase can total more
@@ -275,6 +280,29 @@ pub struct Engine {
     /// Step-phase wall-clock accumulator for the current run (reset at the
     /// start of every `try_run*`, merged from each segment's ranks).
     phases: PhaseTimer,
+    /// Attached world lease ([`Engine::attach_world`]): segments run on the
+    /// leased (pool-recycled) world instead of constructing one per
+    /// segment. Poisoned on any failed attempt so retries and replays get a
+    /// fresh world, preserving the unleased path's semantics.
+    leased: Option<WorldLease>,
+    /// `Some(n)` once the checkpoint directory has been opened and swept of
+    /// orphaned writer tmp files; the sweep runs once per engine.
+    orphans_swept: Option<usize>,
+}
+
+/// A summary, not a dump: `system` alone is tens of thousands of floats.
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("n_atoms", &self.system.n_atoms())
+            .field("grid", &self.grid.dims)
+            .field("backend", &self.config.backend)
+            .field("run_mode", &self.config.run_mode)
+            .field("world_backend", &self.config.world_backend)
+            .field("frontier_step", &self.resume.as_ref().map(|r| r.step))
+            .field("leased_world", &self.leased.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Engine {
@@ -290,6 +318,8 @@ impl Engine {
             resume: None,
             last_ckpt: None,
             phases: PhaseTimer::new(),
+            leased: None,
+            orphans_swept: None,
         }
     }
 
@@ -361,6 +391,73 @@ impl Engine {
         });
         engine.last_ckpt = Some(ck);
         Ok(engine)
+    }
+
+    /// [`Engine::resume_from`] without the filesystem: resume directly from
+    /// an in-memory checkpoint. This is the suspend/resume path of the job
+    /// service, where trajectory state travels between workers as a value
+    /// rather than a file. Same fingerprint discipline as the file path: a
+    /// resume under a different transport/kernel/timestep/grid is refused.
+    pub fn resume_from_checkpoint(
+        ck: Checkpoint,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        Self::from_checkpoint(ck, 0, config)
+    }
+
+    /// Snapshot the trajectory frontier as an in-memory checkpoint — the
+    /// counterpart of [`Engine::resume_from_checkpoint`]. `None` before the
+    /// engine has resumed or completed a run (no frontier exists yet).
+    /// Suspending at a run boundary and resuming on another engine — or
+    /// another worker — is bitwise-equivalent to running straight through.
+    pub fn suspend(&self) -> Option<Checkpoint> {
+        self.resume.as_ref().map(|seed| Checkpoint {
+            fingerprint: self.fingerprint(),
+            step: seed.step,
+            system: self.system.clone(),
+            energies: seed.energies.clone(),
+            stats: seed.stats,
+        })
+    }
+
+    /// Attach a world lease: segments run on the leased world (reset
+    /// between uses, rebuilt when poisoned) instead of constructing a fresh
+    /// world per segment. [`Engine::take_world`] returns the lease — e.g.
+    /// to give it back to a [`halox_shmem::WorldPool`] when the job
+    /// suspends.
+    pub fn attach_world(&mut self, lease: WorldLease) {
+        self.leased = Some(lease);
+    }
+
+    /// Detach and return the attached world lease, if any. After a failed
+    /// run the returned lease is poisoned — dropping it frees the pool slot
+    /// without recycling the world.
+    pub fn take_world(&mut self) -> Option<WorldLease> {
+        self.leased.take()
+    }
+
+    /// The pool key segments of this engine run under: world backend,
+    /// topology for the DD rank count, and the signal-slot budget of the
+    /// pulse schedule. Fails when the system cannot be decomposed on this
+    /// grid (same typed error a run would hit).
+    pub fn world_key(&self) -> Result<WorldKey, EngineError> {
+        let part = try_build_partition(&self.system, &self.grid, self.config.r_comm())
+            .map_err(EngineError::PlanFailed)?;
+        Ok(WorldKey {
+            backend: self.config.world_backend,
+            topology: self.config.topology(part.n_ranks()),
+            n_signal_slots: CommContext::slots_needed(part.total_pulses()),
+        })
+    }
+
+    /// Install a pre-built chaos engine ahead of the lazy construction in
+    /// `ensure_run_state`. A service job that is rescheduled across engines
+    /// must carry ONE chaos engine for its whole lifetime: operation
+    /// counters live in the engine, so a one-shot fault trigger consumed
+    /// before a reschedule stays consumed instead of re-firing in every
+    /// fresh [`Engine`].
+    pub fn preset_chaos(&mut self, chaos: Arc<ChaosEngine>) {
+        self.chaos = Some(chaos);
     }
 
     /// `(step, corrupt files skipped)` of the resume point, when this engine
@@ -450,6 +547,7 @@ impl Engine {
     ) -> Result<RunStats, EngineError> {
         let t0 = Instant::now();
         self.phases = PhaseTimer::new();
+        let had_seed = self.resume.is_some();
         let (base, mut energies, corrupt_skipped, mut recovery) = match self.resume.take() {
             Some(seed) => (
                 seed.step as usize,
@@ -462,6 +560,15 @@ impl Engine {
         let target = base + n_steps;
         let ckpt_cfg = self.config.checkpoint.clone();
         let max_recoveries = ckpt_cfg.as_ref().map_or(0, |c| c.max_recoveries);
+        // First touch of the checkpoint directory: sweep orphaned
+        // `.ckpt-*.hxck.tmp.<pid>` files another writer left behind when it
+        // crashed between create and rename (once per engine; surfaced as
+        // `RunStats::orphan_tmp_swept`).
+        if let Some(cfg) = &ckpt_cfg {
+            if self.orphans_swept.is_none() {
+                self.orphans_swept = Some(Checkpoint::sweep_orphan_tmp(&cfg.dir));
+            }
+        }
         // Baseline snapshot: before any steps run there must already be a
         // rewind target, so even a first-segment terminal failure recovers.
         if let Some(cfg) = &ckpt_cfg {
@@ -531,8 +638,10 @@ impl Engine {
         let wall = t0.elapsed().as_secs_f64();
         // A resumed (or checkpointing) engine stays trajectory-continuous:
         // another `run(n)` on it extends from the frontier just reached,
-        // with durable step numbering.
-        if base > 0 || ckpt_cfg.is_some() {
+        // with durable step numbering. `had_seed` (not `base > 0`) keeps an
+        // engine resumed at step 0 — a service job's baseline checkpoint —
+        // refreshing its seed, so `suspend` works after the first slice.
+        if had_seed || ckpt_cfg.is_some() {
             self.resume = Some(ResumeSeed {
                 step: done as u64,
                 energies: energies.clone(),
@@ -559,6 +668,7 @@ impl Engine {
             rewound_steps: recovery.rewound_steps,
             checkpoints_written: recovery.checkpoints_written,
             corrupt_checkpoints_skipped: corrupt_skipped,
+            orphan_tmp_swept: self.orphans_swept.unwrap_or(0),
             phases: self.phases.clone(),
         })
     }
@@ -620,6 +730,15 @@ impl Engine {
                     return Err(EngineError::PlanFailed(e));
                 }
                 Err(SegmentFailure::Ranks(errors)) => {
+                    // A failed attempt can abandon the leased world
+                    // mid-protocol (barrier sense, collective slots):
+                    // poison it so this retry/downgrade — and any
+                    // checkpoint replay above — runs on a fresh world,
+                    // matching the unleased path's world-per-attempt
+                    // semantics.
+                    if let Some(lease) = self.leased.as_mut() {
+                        lease.poison();
+                    }
                     let mut suspects: Vec<usize> = Vec::new();
                     let mut died: Vec<usize> = Vec::new();
                     for e in &errors {
@@ -698,34 +817,58 @@ impl Engine {
         let system = Arc::new(self.system.clone());
         let total_pulses = part.total_pulses();
 
-        // Backend first: for `Procs` this flips symmetric allocation to the
-        // shared heap, which must happen before FusedBuffers / TwoSidedComm
-        // below allocate anything the forked PEs will touch.
-        let mut world = ShmemWorld::new_with_backend(
-            cfg.world_backend,
-            cfg.topology(n_ranks),
-            CommContext::slots_needed(total_pulses),
-        );
-        if let Some(rec) = &cfg.trace {
-            world = world.with_trace(Arc::clone(rec));
-        }
+        // Backend first: for `Procs` building the world flips symmetric
+        // allocation to the shared heap, which must happen before
+        // FusedBuffers / TwoSidedComm below allocate anything the forked
+        // PEs will touch. (Reusing a leased procs world means the heap flip
+        // already happened at its construction — the flip is sticky.)
+        let key = WorldKey {
+            backend: cfg.world_backend,
+            topology: cfg.topology(n_ranks),
+            n_signal_slots: CommContext::slots_needed(total_pulses),
+        };
         // Modeled interconnect latency: the proxy thread pays it per
         // inter-node message, asynchronously to PE compute (the serial
         // driver pays the same per-message delay inline — see
         // `EngineConfig::link_delay_us`).
-        if cfg.link_delay_us > 0 {
-            world = world.with_proxy_config(ProxyConfig {
+        let proxy_cfg = if cfg.link_delay_us > 0 {
+            ProxyConfig {
                 injected_delay: Some(Duration::from_micros(cfg.link_delay_us)),
                 random_delay: None,
-            });
-        }
+            }
+        } else {
+            ProxyConfig::default()
+        };
         // The chaos engine targets signal/put deliveries, so it only bites
         // on the signal-driven transports — attaching it under the MPI
         // fallback is harmless (two-sided rendezvous performs no symmetric
         // deliveries), and keeps one engine for the whole run.
-        if let Some(chaos) = &self.chaos {
-            world = world.with_chaos(Arc::clone(chaos));
-        }
+        let owned_world;
+        let world: &ShmemWorld = match self.leased.as_mut() {
+            // Leased path: reuse the held world when clean and the key
+            // matches, rebuild in place otherwise. Attachments are
+            // per-tenant state, so they are (re)applied every segment.
+            Some(lease) => {
+                let w = lease.world_for(key);
+                w.set_trace(cfg.trace.clone());
+                w.set_proxy_config(proxy_cfg);
+                w.set_chaos(self.chaos.clone());
+                w
+            }
+            // Unleased path: one fresh world per segment attempt, as ever.
+            None => {
+                let mut world = key.build();
+                if let Some(rec) = &cfg.trace {
+                    world = world.with_trace(Arc::clone(rec));
+                }
+                world = world.with_proxy_config(proxy_cfg);
+                if let Some(chaos) = &self.chaos {
+                    world = world.with_chaos(Arc::clone(chaos));
+                }
+                owned_world = world;
+                &owned_world
+            }
+        };
         // Symmetric allocation with over-allocation: reuse the buffers from
         // the previous segment when capacities still fit, else grow by 10%.
         let need_buf = ctxs[0].buf_capacity;
@@ -1739,8 +1882,7 @@ mod tests {
             &GridOptions::default(),
             EngineConfig::new(ExchangeBackend::Mpi),
         )
-        .err()
-        .expect("infeasible decomposition must be rejected");
+        .expect_err("infeasible decomposition must be rejected");
         assert!(matches!(err, EngineError::InfeasibleGrid(_)), "{err:?}");
         let msg = err.to_string();
         assert!(
@@ -1873,9 +2015,7 @@ mod tests {
 
         let mut other = cfg.clone();
         other.backend = ExchangeBackend::Mpi;
-        let err = Engine::resume_latest(&dir, other)
-            .map(|_| ())
-            .expect_err("transport changed");
+        let err = Engine::resume_latest(&dir, other).expect_err("transport changed");
         assert!(
             matches!(
                 &err,
@@ -1888,9 +2028,7 @@ mod tests {
         );
         let mut other = cfg.clone();
         other.dt_ps = 0.001;
-        let err = Engine::resume_latest(&dir, other)
-            .map(|_| ())
-            .expect_err("timestep changed");
+        let err = Engine::resume_latest(&dir, other).expect_err("timestep changed");
         assert!(
             matches!(
                 &err,
@@ -1988,6 +2126,83 @@ mod tests {
             matches!(err, EngineError::SegmentFailed { at_step: 0, .. }),
             "{err}"
         );
+    }
+
+    #[test]
+    fn keep_pruning_deletes_old_checkpoints_and_latest_resolves() {
+        use crate::config::CheckpointConfig;
+        let dir = ckpt_dir("keep-prune");
+        let sys = relaxed_system(3000, 55);
+        let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
+        cfg.nstlist = 5;
+        cfg.run_mode = RunMode::Serial;
+        let mut ck = CheckpointConfig::in_dir(&dir);
+        ck.every_segments = 1;
+        ck.keep = 2;
+        cfg.checkpoint = Some(ck);
+        let mut engine = Engine::new(sys, DdGrid::new([2, 2, 1]), cfg.clone());
+        // 6 segments: snapshots at 0 (baseline), 5, 10, ..., 30.
+        let stats = engine.run(30);
+        assert_eq!(stats.checkpoints_written, 7);
+        let steps: Vec<u64> = Checkpoint::list(&dir).into_iter().map(|(s, _)| s).collect();
+        assert_eq!(
+            steps,
+            vec![25, 30],
+            "only the newest `keep` files may survive pruning"
+        );
+        let (latest, skipped) = Checkpoint::latest_valid(&dir).expect("latest resolves");
+        assert_eq!(latest.step, 30);
+        assert_eq!(skipped, 0);
+        // And the survivors are genuinely resumable.
+        assert!(Engine::resume_latest(&dir, cfg).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphan_tmp_files_are_swept_on_checkpoint_dir_open() {
+        use crate::config::CheckpointConfig;
+        let dir = ckpt_dir("orphan-sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A crashed writer's leftovers (foreign pid) and a live writer's
+        // in-flight tmp (our pid): only the former may be reclaimed.
+        let orphan_a = dir.join(".ckpt-000000000005.hxck.tmp.999991");
+        let orphan_b = dir.join(".ckpt-000000000010.hxck.tmp.999992");
+        let live = dir.join(format!(
+            ".ckpt-000000000099.hxck.tmp.{}",
+            std::process::id()
+        ));
+        for p in [&orphan_a, &orphan_b, &live] {
+            std::fs::write(p, b"torn").unwrap();
+        }
+        let sys = relaxed_system(3000, 56);
+        let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
+        cfg.nstlist = 5;
+        cfg.run_mode = RunMode::Serial;
+        cfg.checkpoint = Some(CheckpointConfig::in_dir(&dir));
+        let mut engine = Engine::new(sys, DdGrid::new([2, 2, 1]), cfg);
+        let stats = engine.run(5);
+        assert_eq!(stats.orphan_tmp_swept, 2);
+        assert!(!orphan_a.exists() && !orphan_b.exists());
+        assert!(live.exists(), "current-pid tmp files must be left alone");
+        // The sweep is once-per-engine: a second run reports the same tally
+        // without re-counting.
+        let stats = engine.run(5);
+        assert_eq!(stats.orphan_tmp_swept, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_debug_is_a_summary() {
+        let sys = relaxed_system(3000, 57);
+        let engine = Engine::new(
+            sys,
+            DdGrid::new([2, 2, 1]),
+            EngineConfig::new(ExchangeBackend::NvshmemFused),
+        );
+        let dbg = format!("{engine:?}");
+        assert!(dbg.contains("Engine") && dbg.contains("n_atoms"), "{dbg}");
+        // The summary must not dump per-atom state.
+        assert!(dbg.len() < 500, "{}", dbg.len());
     }
 
     #[test]

@@ -1,0 +1,320 @@
+//! A trajectory as a schedulable value.
+//!
+//! [`Job`] owns what `Engine` used to own per-process — config, system,
+//! energy history, chaos engine, recovery counters — with the trajectory
+//! frontier held as an in-memory [`Checkpoint`]. Each dispatch builds an
+//! engine from the frontier, runs one slice on a leased world, and suspends
+//! back into the checkpoint, so a job can hop workers (and worlds) between
+//! slices while staying bitwise-identical to a solo run.
+
+use halox_dd::DdGrid;
+use halox_engine::{
+    Checkpoint, Engine, EngineConfig, EngineError, StatsSnapshot, WorldKey, WorldLease,
+};
+use halox_md::{EnergyReport, System};
+use halox_shmem::ChaosEngine;
+use std::sync::Arc;
+
+pub type JobId = u64;
+
+/// Scheduling priority; the weight is the job's fair-share of service time
+/// (a `High` job accrues virtual time at a quarter of a `Low` job's rate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    Low,
+    Normal,
+    High,
+}
+
+impl Priority {
+    pub fn weight(self) -> u64 {
+        match self {
+            Priority::Low => 1,
+            Priority::Normal => 2,
+            Priority::High => 4,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+}
+
+/// Everything needed to admit and run one trajectory.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    pub name: String,
+    pub system: System,
+    pub grid: [usize; 3],
+    pub config: EngineConfig,
+    /// Total MD steps the job must complete.
+    pub steps: usize,
+    pub priority: Priority,
+}
+
+/// One admitted trajectory: frontier checkpoint plus the durable run state
+/// that must outlive any single engine (chaos engine, recovery counters).
+pub struct Job {
+    id: JobId,
+    name: String,
+    priority: Priority,
+    config: EngineConfig,
+    steps_total: usize,
+    key: WorldKey,
+    /// Trajectory frontier, always at a segment boundary (or the job end).
+    state: Checkpoint,
+    /// ONE chaos engine for the job's whole lifetime: operation counters
+    /// (and thus one-shot fault triggers) must survive reschedules, or a
+    /// consumed `KillPe` would re-fire in every fresh engine and the job
+    /// could never make progress.
+    chaos: Option<Arc<ChaosEngine>>,
+    /// Times this job was rewound to its frontier and re-queued after a
+    /// failed slice (the service increments this).
+    pub reschedules: usize,
+    recoveries: usize,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("priority", &self.priority)
+            .field("step", &self.state.step)
+            .field("steps_total", &self.steps_total)
+            .field("reschedules", &self.reschedules)
+            .field("chaotic", &self.chaos.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Job {
+    /// Admit a spec: validate that the system decomposes on its grid (the
+    /// same typed errors a run would surface), fix the world key, build the
+    /// job's chaos engine if the config carries a fault plan, and take the
+    /// step-0 baseline as the initial frontier.
+    pub fn new(id: JobId, spec: JobSpec) -> Result<Self, EngineError> {
+        let JobSpec {
+            name,
+            system,
+            grid,
+            config,
+            steps,
+            priority,
+        } = spec;
+        let engine = Engine::new(system, DdGrid::new(grid), config.clone());
+        let key = engine.world_key()?;
+        let chaos = config
+            .chaos
+            .as_ref()
+            .map(|plan| Arc::new(ChaosEngine::new(plan.clone(), key.topology.npes)));
+        let state = Checkpoint {
+            fingerprint: engine.fingerprint(),
+            step: 0,
+            system: engine.system,
+            energies: Vec::new(),
+            stats: StatsSnapshot::default(),
+        };
+        Ok(Job {
+            id,
+            name,
+            priority,
+            config,
+            steps_total: steps,
+            key,
+            state,
+            chaos,
+            reschedules: 0,
+            recoveries: 0,
+        })
+    }
+
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// The pool key this job's slices lease worlds under.
+    pub fn key(&self) -> WorldKey {
+        self.key
+    }
+
+    /// Steps completed (the frontier).
+    pub fn step(&self) -> usize {
+        self.state.step as usize
+    }
+
+    pub fn steps_total(&self) -> usize {
+        self.steps_total
+    }
+
+    pub fn done(&self) -> bool {
+        self.step() >= self.steps_total
+    }
+
+    /// Rewind-and-replay recoveries absorbed *inside* slices (distinct from
+    /// `reschedules`, which rewinds happen *between* slices).
+    pub fn recoveries(&self) -> usize {
+        self.recoveries
+    }
+
+    /// The next slice length: at most `max_steps`, rounded down to whole
+    /// neighbour-search segments so suspension lands on a segment boundary
+    /// — a mid-segment suspend would change repartition points and break
+    /// the bitwise-vs-solo contract. Only the job's final slice may be a
+    /// partial segment (the solo run ends on the same partial segment).
+    pub fn next_slice(&self, max_steps: usize) -> usize {
+        let remaining = self.steps_total.saturating_sub(self.step());
+        let nst = self.config.nstlist.max(1);
+        let aligned = (max_steps / nst).max(1) * nst;
+        remaining.min(aligned)
+    }
+
+    /// Run one slice on `lease`: build an engine at the frontier, advance,
+    /// suspend back. On success the frontier moves; on failure it stays put
+    /// (the engine never gathered a failed segment) and the lease comes
+    /// back poisoned — the caller re-queues the job, and its next slice
+    /// replays from the same frontier on a fresh world.
+    pub fn advance(
+        &mut self,
+        lease: WorldLease,
+        max_steps: usize,
+    ) -> (WorldLease, Result<usize, EngineError>) {
+        let slice = self.next_slice(max_steps);
+        let mut engine =
+            match Engine::resume_from_checkpoint(self.state.clone(), self.config.clone()) {
+                Ok(e) => e,
+                Err(e) => return (lease, Err(e)),
+            };
+        if let Some(chaos) = &self.chaos {
+            engine.preset_chaos(Arc::clone(chaos));
+        }
+        engine.attach_world(lease);
+        let result = engine.try_run(slice);
+        let lease = engine.take_world().expect("lease attached above");
+        match result {
+            Ok(stats) => {
+                // Counters from the snapshot are cumulative across slices.
+                self.recoveries = stats.recoveries;
+                self.state = engine
+                    .suspend()
+                    .expect("a resumed engine refreshes its seed at run end");
+                (lease, Ok(slice))
+            }
+            Err(e) => {
+                // Revive chaos-killed PEs so the replay on a fresh lease can
+                // make progress; one-shot triggers stay consumed (the op
+                // counters live in the engine we keep).
+                if let Some(chaos) = &self.chaos {
+                    chaos.revive_all();
+                }
+                (lease, Err(e))
+            }
+        }
+    }
+
+    /// Faults this job's chaos engine has injected so far (0 without a
+    /// fault plan).
+    pub fn faults_injected(&self) -> u64 {
+        self.chaos.as_ref().map_or(0, |c| c.report().total())
+    }
+
+    /// Consume the finished job into its final system and full per-step
+    /// energy history.
+    pub fn into_result(self) -> (System, Vec<EnergyReport>) {
+        (self.state.system, self.state.energies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halox_engine::ExchangeBackend;
+    use halox_md::{GrappaBuilder, MinimizeOptions};
+    use halox_shmem::WorldBackend;
+
+    fn relaxed_system(n: usize, seed: u64) -> System {
+        let mut sys = GrappaBuilder::new(n).seed(seed).temperature(200.0).build();
+        halox_md::minimize::steepest_descent(&mut sys, MinimizeOptions::default());
+        sys
+    }
+
+    fn spec(name: &str, sys: &System, steps: usize) -> JobSpec {
+        let mut config = EngineConfig::new(ExchangeBackend::NvshmemFused);
+        config.nstlist = 5;
+        config.world_backend = WorldBackend::Threads;
+        config.checkpoint = None;
+        JobSpec {
+            name: name.into(),
+            system: sys.clone(),
+            grid: [2, 1, 1],
+            config,
+            steps,
+            priority: Priority::Normal,
+        }
+    }
+
+    #[test]
+    fn sliced_job_matches_solo_run_bitwise() {
+        let sys = relaxed_system(3000, 21);
+        let solo_spec = spec("solo", &sys, 12);
+        let mut solo = Engine::new(
+            sys.clone(),
+            DdGrid::new(solo_spec.grid),
+            solo_spec.config.clone(),
+        );
+        let solo_stats = solo.run(12);
+
+        let mut job = Job::new(1, spec("sliced", &sys, 12)).unwrap();
+        let mut slices = 0;
+        while !job.done() {
+            let lease = WorldLease::solo(job.key());
+            let (_lease, res) = job.advance(lease, 5);
+            res.unwrap();
+            slices += 1;
+        }
+        // 5 + 5 + 2: the final slice is the trailing partial segment.
+        assert_eq!(slices, 3);
+        assert_eq!(job.step(), 12);
+        let (system, energies) = job.into_result();
+        assert_eq!(energies.len(), 12);
+        for (a, b) in solo_stats.energies.iter().zip(&energies) {
+            assert_eq!(a.total().to_bits(), b.total().to_bits());
+        }
+        for (a, b) in solo.system.positions.iter().zip(&system.positions) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
+    }
+
+    #[test]
+    fn slices_align_to_segments() {
+        let sys = relaxed_system(3000, 22);
+        let job = Job::new(2, spec("align", &sys, 23)).unwrap();
+        assert_eq!(job.next_slice(7), 5, "rounded down to one segment");
+        assert_eq!(job.next_slice(10), 10);
+        assert_eq!(job.next_slice(3), 5, "never a mid-trajectory partial");
+        assert_eq!(job.next_slice(100), 23, "final stretch runs to the end");
+    }
+
+    #[test]
+    fn job_debug_is_a_summary() {
+        let sys = relaxed_system(3000, 23);
+        let job = Job::new(3, spec("dbg", &sys, 10)).unwrap();
+        let dbg = format!("{job:?}");
+        assert!(dbg.contains("Job") && dbg.contains("steps_total"), "{dbg}");
+        assert!(dbg.len() < 500, "{}", dbg.len());
+    }
+}

@@ -1,0 +1,33 @@
+//! # halox-serve — many MD jobs over a bounded worker pool
+//!
+//! The engine stack below runs *one* trajectory per [`halox_engine::Engine`].
+//! Production MD is a fleet: hundreds of independent jobs of varying size and
+//! priority sharing a fixed set of PE resources. This crate multiplexes them:
+//!
+//! - [`Job`] — a trajectory as a value: config + frontier checkpoint,
+//!   suspendable at segment boundaries via the engine's checkpoint machinery
+//!   and resumable on any worker, bitwise-identical to running straight
+//!   through.
+//! - [`halox_shmem::WorldPool`] (shmem layer) — worlds are leased and reset
+//!   between tenants instead of built per run; a failed run poisons its lease
+//!   so the next tenant gets a fresh world.
+//! - [`JobService`] — admission control (an [`AdmissionEstimator`] over the
+//!   `gpusim` cost models predicts per-step time before a job is accepted)
+//!   and weighted fair-share scheduling across priorities.
+//! - Reschedule-not-fail: a job whose world hits a dead PE or the terminal
+//!   `Failed` health rung is rewound to its frontier checkpoint and
+//!   rescheduled onto a fresh lease; per-job counters are surfaced through
+//!   [`JobHandle::status`]/[`JobHandle::wait`].
+//!
+//! DESIGN.md §3.7 documents the lifecycle and scheduling contracts;
+//! `halox-bench serve` drives the 200-job acceptance load.
+
+pub mod estimator;
+pub mod job;
+pub mod service;
+
+pub use estimator::{AdmissionEstimator, Prediction};
+pub use job::{Job, JobId, JobSpec, Priority};
+pub use service::{
+    AdmissionError, JobHandle, JobResult, JobService, JobState, JobStatus, ServeConfig,
+};

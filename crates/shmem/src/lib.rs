@@ -38,6 +38,7 @@ pub mod atomicf32;
 pub mod barrier;
 pub mod chaos;
 pub mod collectives;
+pub mod pool;
 pub mod shared;
 pub mod signal;
 pub mod sym;
@@ -50,6 +51,7 @@ pub use atomicf32::AtomicF32;
 pub use barrier::{BarrierTimeout, SenseBarrier};
 pub use chaos::{ChaosEngine, ChaosReport, FaultKind, FaultOp, FaultPlan, FaultRule};
 pub use collectives::{AtomicF64, Collectives};
+pub use pool::{PoolStats, WorldKey, WorldLease, WorldPool};
 pub use shared::{enable_shared_heap, shared_heap_enabled, Slots};
 pub use signal::SignalSet;
 pub use sym::{SymF32, SymVec3};

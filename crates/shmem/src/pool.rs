@@ -1,0 +1,355 @@
+//! # World pooling — lease reset worlds instead of building one per run
+//!
+//! A [`WorldPool`] caps how many [`ShmemWorld`]s exist at once and leases
+//! them to jobs. A clean run returns its world to the free list after
+//! [`ShmemWorld::reset_signals`] and detaching the tenant's chaos/trace
+//! attachments — the reset/reuse contract pinned by `backend_conformance`'s
+//! `world_reset_and_reuse_conforms`. A failed or timed-out run leaves
+//! barrier sense and collective slots in an unknown phase, so the lease is
+//! *poisoned*: the world is dropped on return and the capacity slot freed,
+//! never handed to the next tenant.
+//!
+//! Worlds are keyed by [`WorldKey`] (backend + topology + signal-slot
+//! count); a lease for one key can recycle a free world only on an exact
+//! match, otherwise a mismatched idle world is evicted to make room.
+
+use crate::world::{ProxyConfig, ShmemWorld, Topology, WorldBackend};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Everything that determines whether two runs can share a world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorldKey {
+    pub backend: WorldBackend,
+    pub topology: Topology,
+    pub n_signal_slots: usize,
+}
+
+impl WorldKey {
+    /// Build a fresh world for this key.
+    pub fn build(&self) -> ShmemWorld {
+        ShmemWorld::new_with_backend(self.backend, self.topology, self.n_signal_slots)
+    }
+}
+
+/// Pool accounting, readable at any point via [`WorldPool::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Leases handed out.
+    pub leases: usize,
+    /// Worlds constructed (initial builds and post-poison rebuilds).
+    pub built: usize,
+    /// Leases satisfied from the free list with a matching world.
+    pub reused: usize,
+    /// Idle worlds dropped because their key no longer matched demand.
+    pub evicted: usize,
+    /// Worlds dropped on return because the lease was poisoned.
+    pub poisoned: usize,
+}
+
+struct PoolState {
+    free: Vec<(WorldKey, ShmemWorld)>,
+    /// Leases currently out (each owns one capacity slot, whether or not
+    /// its world has been built yet).
+    outstanding: usize,
+    stats: PoolStats,
+}
+
+/// A bounded set of reusable [`ShmemWorld`]s.
+pub struct WorldPool {
+    cap: usize,
+    state: Mutex<PoolState>,
+    available: Condvar,
+}
+
+impl std::fmt::Debug for WorldPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock().unwrap();
+        f.debug_struct("WorldPool")
+            .field("cap", &self.cap)
+            .field("free", &st.free.len())
+            .field("outstanding", &st.outstanding)
+            .field("stats", &st.stats)
+            .finish()
+    }
+}
+
+impl WorldPool {
+    /// A pool holding at most `cap` live worlds (free + leased).
+    pub fn with_capacity(cap: usize) -> Arc<Self> {
+        assert!(cap >= 1, "world pool needs at least one slot");
+        Arc::new(WorldPool {
+            cap,
+            state: Mutex::new(PoolState {
+                free: Vec::new(),
+                outstanding: 0,
+                stats: PoolStats::default(),
+            }),
+            available: Condvar::new(),
+        })
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        self.state.lock().unwrap().stats
+    }
+
+    /// Lease a world slot for `key`, blocking until one is available. The
+    /// returned lease carries a matching recycled world when one is free;
+    /// otherwise the world is built lazily on first
+    /// [`WorldLease::world_for`].
+    pub fn lease(self: &Arc<Self>, key: WorldKey) -> WorldLease {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(i) = st.free.iter().position(|(k, _)| *k == key) {
+                let (_, world) = st.free.swap_remove(i);
+                st.outstanding += 1;
+                st.stats.leases += 1;
+                st.stats.reused += 1;
+                return WorldLease {
+                    key,
+                    world: Some(world),
+                    pool: Some(Arc::clone(self)),
+                    poisoned: false,
+                };
+            }
+            if st.free.len() + st.outstanding < self.cap {
+                st.outstanding += 1;
+                st.stats.leases += 1;
+                return WorldLease {
+                    key,
+                    world: None,
+                    pool: Some(Arc::clone(self)),
+                    poisoned: false,
+                };
+            }
+            // At capacity with only mismatched idle worlds: evict one to
+            // make room rather than blocking behind demand that will never
+            // want it.
+            if let Some((_, world)) = st.free.pop() {
+                drop(world);
+                st.stats.evicted += 1;
+                st.outstanding += 1;
+                st.stats.leases += 1;
+                return WorldLease {
+                    key,
+                    world: None,
+                    pool: Some(Arc::clone(self)),
+                    poisoned: false,
+                };
+            }
+            st = self.available.wait(st).unwrap();
+        }
+    }
+
+    fn note_built(&self) {
+        self.state.lock().unwrap().stats.built += 1;
+    }
+
+    /// Return path from [`WorldLease::drop`].
+    fn give_back(&self, key: WorldKey, world: Option<ShmemWorld>, poisoned: bool) {
+        let mut st = self.state.lock().unwrap();
+        st.outstanding -= 1;
+        match world {
+            Some(mut w) if !poisoned => {
+                // Reset the shared signal state and strip the tenant's
+                // attachments so the next lease starts from the documented
+                // clean-world contract.
+                w.reset_signals();
+                w.set_chaos(None);
+                w.set_trace(None);
+                w.set_proxy_config(ProxyConfig::default());
+                st.free.push((key, w));
+            }
+            Some(w) => {
+                drop(w);
+                st.stats.poisoned += 1;
+            }
+            None => {
+                if poisoned {
+                    st.stats.poisoned += 1;
+                }
+            }
+        }
+        drop(st);
+        self.available.notify_all();
+    }
+}
+
+/// One tenant's hold on a pool slot. Dropping a clean lease returns the
+/// world to the pool; dropping a poisoned one frees the slot and drops the
+/// world.
+pub struct WorldLease {
+    key: WorldKey,
+    world: Option<ShmemWorld>,
+    pool: Option<Arc<WorldPool>>,
+    poisoned: bool,
+}
+
+impl std::fmt::Debug for WorldLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorldLease")
+            .field("key", &self.key)
+            .field("built", &self.world.is_some())
+            .field("pooled", &self.pool.is_some())
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
+}
+
+impl WorldLease {
+    /// An unpooled lease: same lifecycle (build-on-demand, poison-and-
+    /// rebuild), no sharing. Lets one code path serve both pooled service
+    /// runs and standalone engine runs.
+    pub fn solo(key: WorldKey) -> Self {
+        WorldLease {
+            key,
+            world: None,
+            pool: None,
+            poisoned: false,
+        }
+    }
+
+    pub fn key(&self) -> WorldKey {
+        self.key
+    }
+
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Mark the held world unreusable (a run on it failed or timed out:
+    /// barrier/collective state may be mid-phase). The next
+    /// [`WorldLease::world_for`] rebuilds; returning the lease drops the
+    /// world instead of pooling it.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// The world for `key`, reset and ready to run on. Reuses the held
+    /// world when it is clean and the key matches; otherwise (first use,
+    /// poisoned, or re-keyed) builds a fresh one in place.
+    pub fn world_for(&mut self, key: WorldKey) -> &mut ShmemWorld {
+        let stale = self.poisoned || self.key != key || self.world.is_none();
+        if stale {
+            // Drop any stale world before building the replacement.
+            self.world = None;
+            self.key = key;
+            self.world = Some(key.build());
+            self.poisoned = false;
+            if let Some(pool) = &self.pool {
+                pool.note_built();
+            }
+        }
+        let world = self.world.as_mut().expect("world built above");
+        world.reset_signals();
+        world
+    }
+}
+
+impl Drop for WorldLease {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.give_back(self.key, self.world.take(), self.poisoned);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(npes: usize, slots: usize) -> WorldKey {
+        WorldKey {
+            backend: WorldBackend::Threads,
+            topology: Topology::all_nvlink(npes),
+            n_signal_slots: slots,
+        }
+    }
+
+    #[test]
+    fn lease_reuses_matching_world() {
+        let pool = WorldPool::with_capacity(1);
+        {
+            let mut lease = pool.lease(key(2, 8));
+            let w = lease.world_for(key(2, 8));
+            assert_eq!(w.npes(), 2);
+        }
+        {
+            let mut lease = pool.lease(key(2, 8));
+            lease.world_for(key(2, 8));
+        }
+        let s = pool.stats();
+        assert_eq!(s.leases, 2);
+        assert_eq!(s.built, 1, "second lease must recycle, not rebuild");
+        assert_eq!(s.reused, 1);
+        assert_eq!(s.poisoned, 0);
+    }
+
+    #[test]
+    fn poisoned_world_is_dropped_and_rebuilt() {
+        let pool = WorldPool::with_capacity(1);
+        {
+            let mut lease = pool.lease(key(2, 8));
+            lease.world_for(key(2, 8));
+            lease.poison();
+            // A poisoned lease rebuilds in place on next use.
+            lease.world_for(key(2, 8));
+            assert!(!lease.poisoned());
+            lease.poison();
+        }
+        {
+            let mut lease = pool.lease(key(2, 8));
+            lease.world_for(key(2, 8));
+        }
+        let s = pool.stats();
+        assert_eq!(s.poisoned, 1);
+        assert_eq!(s.built, 3, "poison forces rebuilds");
+        assert_eq!(s.reused, 0);
+    }
+
+    #[test]
+    fn mismatched_idle_world_is_evicted_at_capacity() {
+        let pool = WorldPool::with_capacity(1);
+        {
+            let mut lease = pool.lease(key(2, 8));
+            lease.world_for(key(2, 8));
+        }
+        {
+            let mut lease = pool.lease(key(4, 8));
+            let w = lease.world_for(key(4, 8));
+            assert_eq!(w.npes(), 4);
+        }
+        let s = pool.stats();
+        assert_eq!(s.evicted, 1);
+        assert_eq!(s.built, 2);
+        assert_eq!(s.reused, 0);
+    }
+
+    #[test]
+    fn lease_blocks_until_slot_returns() {
+        let pool = WorldPool::with_capacity(1);
+        let first = pool.lease(key(2, 8));
+        let p2 = Arc::clone(&pool);
+        let waiter = std::thread::spawn(move || {
+            let mut lease = p2.lease(key(2, 8));
+            lease.world_for(key(2, 8)).npes()
+        });
+        // Give the waiter time to block, then free the slot.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(first);
+        assert_eq!(waiter.join().unwrap(), 2);
+        assert_eq!(pool.stats().leases, 2);
+    }
+
+    #[test]
+    fn solo_lease_never_touches_a_pool() {
+        let mut lease = WorldLease::solo(key(2, 8));
+        assert_eq!(lease.world_for(key(2, 8)).npes(), 2);
+        lease.poison();
+        assert_eq!(lease.world_for(key(2, 8)).npes(), 2);
+        assert!(!lease.poisoned());
+    }
+}

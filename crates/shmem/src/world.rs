@@ -322,6 +322,31 @@ impl ShmemWorld {
         self.trace.as_deref()
     }
 
+    /// In-place form of [`ShmemWorld::with_proxy_config`], for worlds that
+    /// outlive a single owner (pool leases re-attach per run).
+    pub fn set_proxy_config(&mut self, cfg: ProxyConfig) {
+        self.proxy_config = cfg;
+    }
+
+    /// In-place form of [`ShmemWorld::with_chaos`]; `None` detaches. A
+    /// leased world must not carry a previous tenant's fault plan into the
+    /// next run, so the pool clears this on return.
+    pub fn set_chaos(&mut self, chaos: Option<Arc<ChaosEngine>>) {
+        if let Some(c) = &chaos {
+            assert_eq!(
+                c.npes(),
+                self.topology.npes,
+                "chaos engine sized for a different world"
+            );
+        }
+        self.chaos = chaos;
+    }
+
+    /// In-place form of [`ShmemWorld::with_trace`]; `None` detaches.
+    pub fn set_trace(&mut self, rec: Option<Arc<Recorder>>) {
+        self.trace = rec;
+    }
+
     pub fn npes(&self) -> usize {
         self.topology.npes
     }

@@ -29,6 +29,7 @@ pub use halox_dd as dd;
 pub use halox_engine as engine;
 pub use halox_gpusim as gpusim;
 pub use halox_md as md;
+pub use halox_serve as serve;
 pub use halox_shmem as shmem;
 pub use halox_trace as trace;
 
@@ -41,5 +42,6 @@ pub mod prelude {
     pub use halox_gpusim::MachineModel;
     pub use halox_md::minimize::{steepest_descent, MinimizeOptions};
     pub use halox_md::{GrappaBuilder, ReferenceSimulation, System, Vec3};
-    pub use halox_shmem::{Pe, ShmemWorld, Topology};
+    pub use halox_serve::{JobService, JobSpec, Priority, ServeConfig};
+    pub use halox_shmem::{Pe, ShmemWorld, Topology, WorldPool};
 }
