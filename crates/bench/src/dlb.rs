@@ -1,0 +1,233 @@
+//! `halox-bench dlb` — static vs dynamic load balancing on a skewed system.
+//!
+//! Runs the liquid/vapor interface scenario (half the molecules packed
+//! into the low-x quarter of the box) on a 4-PE `[4,1,1]` decomposition,
+//! once with static uniform cells and once with the deterministic-counter
+//! DLB controller, and writes the comparison to `results/dlb.json`.
+//!
+//! Timing on a shared-core benchmarking host cannot see load balance: all
+//! PE threads timeshare the same cores, so the wall clock pays the *sum*
+//! of per-rank work either way. What a real 4-GPU machine pays per segment
+//! is the *maximum* rank load — the critical path. The headline number is
+//! therefore the modeled critical-path time/step: `RunStats::critical_load`
+//! (Σ over segments of the per-segment max rank load, in deterministic
+//! work units) times a per-unit cost calibrated from the static run's
+//! measured wall clock. The raw wall-clock rows are recorded alongside for
+//! honesty about the host.
+//!
+//! Two gates make this a regression test, not just a report:
+//!
+//! * the modeled time/step reduction must reach 15% (the DLB payoff on a
+//!   2x-skewed interface), and
+//! * the DLB trajectory must stay bitwise identical between the serial
+//!   and threaded executors — rebalancing must not cost determinism.
+
+use halox_dd::DdGrid;
+use halox_engine::{DlbMode, Engine, EngineConfig, ExchangeBackend, RunMode, RunStats};
+use halox_md::{minimize, MinimizeOptions, SkewProfile, SkewedBuilder, System};
+use serde::Serialize;
+use std::path::Path;
+
+const ATOMS: usize = 12_000;
+const GRID: [usize; 3] = [4, 1, 1];
+const WARM_STEPS: usize = 25;
+const MEASURE_STEPS: usize = 30;
+const TARGET_REDUCTION_PCT: f64 = 15.0;
+
+/// One (mode × executor) cell of the comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct DlbRow {
+    pub mode: String,
+    pub steps: usize,
+    /// Measured wall clock of the measurement window (host-bound; see
+    /// module docs for why this is not the headline).
+    pub wall_seconds: f64,
+    pub steps_per_sec: f64,
+    /// Max/mean per-rank load over the measurement window.
+    pub load_ratio_max_over_mean: f64,
+    /// Σ over segments of the per-segment max rank load (work units).
+    pub critical_load: u64,
+    /// Critical-path time/step under the calibrated per-unit cost.
+    pub modeled_time_per_step_us: f64,
+    pub dlb_updates: usize,
+}
+
+/// Top-level report written to `results/dlb.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct DlbReport {
+    pub scenario: String,
+    pub atoms: usize,
+    pub npes: usize,
+    pub grid: [usize; 3],
+    pub host_threads: usize,
+    /// Calibrated cost of one work unit (pair evaluated / atom owned),
+    /// from the static run's serial wall clock.
+    pub unit_cost_ns: f64,
+    /// Headline: modeled critical-path time/step, static vs DLB.
+    pub modeled_time_per_step_reduction_pct: f64,
+    pub meets_target: bool,
+    pub load_ratio_static: f64,
+    pub load_ratio_dlb: f64,
+    /// Serial and threaded DLB trajectories agree to the last bit.
+    pub dlb_bitwise_identical: bool,
+    pub rows: Vec<DlbRow>,
+}
+
+fn skewed_system() -> System {
+    let mut sys = SkewedBuilder::new(ATOMS, SkewProfile::Interface)
+        .seed(61)
+        .temperature(240.0)
+        .build();
+    minimize::steepest_descent(&mut sys, MinimizeOptions::default());
+    sys
+}
+
+fn config(dlb: DlbMode, mode: RunMode) -> EngineConfig {
+    let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
+    cfg.nstlist = 5;
+    cfg.dlb = dlb;
+    cfg.run_mode = mode;
+    cfg
+}
+
+/// Warm up (lets the controller converge toward balanced boundaries),
+/// then measure a steady-state window on the same engine.
+fn run_measured(sys: &System, dlb: DlbMode, mode: RunMode) -> (System, RunStats) {
+    let mut engine = Engine::new(sys.clone(), DdGrid::new(GRID), config(dlb, mode));
+    engine.run(WARM_STEPS);
+    let stats = engine.run(MEASURE_STEPS);
+    (engine.system, stats)
+}
+
+fn bitwise_equal(a: &(System, RunStats), b: &(System, RunStats)) -> bool {
+    let v3 = |p: &halox_md::Vec3, q: &halox_md::Vec3| {
+        p.x.to_bits() == q.x.to_bits()
+            && p.y.to_bits() == q.y.to_bits()
+            && p.z.to_bits() == q.z.to_bits()
+    };
+    a.0.positions
+        .iter()
+        .zip(&b.0.positions)
+        .all(|(p, q)| v3(p, q))
+        && a.1.energies.len() == b.1.energies.len()
+        && a.1
+            .energies
+            .iter()
+            .zip(&b.1.energies)
+            .all(|(x, y)| x.total().to_bits() == y.total().to_bits())
+        && a.1.rank_loads == b.1.rank_loads
+}
+
+fn row(mode: &str, stats: &RunStats, unit_cost_ns: f64) -> DlbRow {
+    DlbRow {
+        mode: mode.to_string(),
+        steps: MEASURE_STEPS,
+        wall_seconds: stats.wall_seconds,
+        steps_per_sec: if stats.wall_seconds > 0.0 {
+            MEASURE_STEPS as f64 / stats.wall_seconds
+        } else {
+            0.0
+        },
+        load_ratio_max_over_mean: stats.load_ratio().unwrap_or(0.0),
+        critical_load: stats.critical_load,
+        modeled_time_per_step_us: stats.critical_load as f64 * unit_cost_ns * 1e-3
+            / MEASURE_STEPS as f64,
+        dlb_updates: stats.dlb_updates,
+    }
+}
+
+/// The comparison itself, reusable from tests.
+pub fn sweep() -> DlbReport {
+    let sys = skewed_system();
+
+    let (_, static_stats) = run_measured(&sys, DlbMode::Off, RunMode::Serial);
+    let dlb_serial = run_measured(&sys, DlbMode::Counter, RunMode::Serial);
+    let dlb_threaded = run_measured(&sys, DlbMode::Counter, RunMode::Threaded);
+
+    // Calibrate one work unit from the static run: the serial driver pays
+    // every rank's work back-to-back, so wall / Σ(rank loads) is the cost
+    // of a unit on this host. The same unit prices both critical paths, so
+    // it cancels out of the reduction percentage — the headline depends
+    // only on the deterministic work counters.
+    let static_total: u64 = static_stats.rank_loads.iter().sum();
+    let unit_cost_ns = if static_total > 0 {
+        static_stats.wall_seconds * 1e9 / static_total as f64
+    } else {
+        0.0
+    };
+
+    let rows = vec![
+        row("static", &static_stats, unit_cost_ns),
+        row("dlb-counter", &dlb_serial.1, unit_cost_ns),
+        row("dlb-counter-threaded", &dlb_threaded.1, unit_cost_ns),
+    ];
+    let reduction_pct = if static_stats.critical_load > 0 {
+        100.0 * (1.0 - dlb_serial.1.critical_load as f64 / static_stats.critical_load as f64)
+    } else {
+        0.0
+    };
+    DlbReport {
+        scenario: "interface-skew".to_string(),
+        atoms: sys.n_atoms(),
+        npes: GRID[0] * GRID[1] * GRID[2],
+        grid: GRID,
+        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        unit_cost_ns,
+        modeled_time_per_step_reduction_pct: reduction_pct,
+        meets_target: reduction_pct >= TARGET_REDUCTION_PCT,
+        load_ratio_static: static_stats.load_ratio().unwrap_or(0.0),
+        load_ratio_dlb: dlb_serial.1.load_ratio().unwrap_or(0.0),
+        dlb_bitwise_identical: bitwise_equal(&dlb_serial, &dlb_threaded),
+        rows,
+    }
+}
+
+pub fn print_table(report: &DlbReport) {
+    println!(
+        "\n== dlb sweep: {} atoms, {} PEs {:?}, {} warm + {} measured steps ==",
+        report.atoms, report.npes, report.grid, WARM_STEPS, MEASURE_STEPS
+    );
+    println!(
+        "{:<22} {:>9} {:>12} {:>14} {:>15} {:>8}",
+        "mode", "load_max/mean", "critical", "modeled_us/step", "wall_sps", "updates"
+    );
+    for r in &report.rows {
+        println!(
+            "{:<22} {:>13.3} {:>12} {:>15.1} {:>15.2} {:>8}",
+            r.mode,
+            r.load_ratio_max_over_mean,
+            r.critical_load,
+            r.modeled_time_per_step_us,
+            r.steps_per_sec,
+            r.dlb_updates
+        );
+    }
+    println!(
+        "modeled time/step reduction: {:.1}% (target ≥ {TARGET_REDUCTION_PCT}%), \
+         dlb bitwise serial≡threaded: {}",
+        report.modeled_time_per_step_reduction_pct, report.dlb_bitwise_identical
+    );
+}
+
+/// The `dlb` subcommand: sweep, print, persist; exit non-zero if DLB
+/// misses the modeled-reduction target or breaks bitwise determinism.
+pub fn run(results: &Path) {
+    let report = sweep();
+    print_table(&report);
+    std::fs::create_dir_all(results).expect("create results dir");
+    let path = results.join("dlb.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize dlb report");
+    std::fs::write(&path, json).expect("write dlb.json");
+    println!("wrote {}", path.display());
+    if !report.dlb_bitwise_identical {
+        eprintln!("DLB serial and threaded trajectories disagree — determinism bug");
+        std::process::exit(1);
+    }
+    if !report.meets_target {
+        eprintln!(
+            "DLB modeled time/step reduction {:.1}% misses the {TARGET_REDUCTION_PCT}% target",
+            report.modeled_time_per_step_reduction_pct
+        );
+        std::process::exit(1);
+    }
+}

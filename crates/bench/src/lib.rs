@@ -7,6 +7,7 @@ pub mod ablation;
 pub mod backends;
 pub mod chaos;
 pub mod chart;
+pub mod dlb;
 pub mod figures;
 pub mod ftrace;
 pub mod functional;

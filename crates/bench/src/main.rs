@@ -1,8 +1,8 @@
 //! `halox-bench` — regenerate the paper's figures on the timing simulator.
 
 use halox_bench::{
-    ablation, backends, chaos, chart, figures, ftrace, functional, kernels, report, serve, soak,
-    threads, validate,
+    ablation, backends, chaos, chart, dlb, figures, ftrace, functional, kernels, report, serve,
+    soak, threads, validate,
 };
 use std::path::Path;
 
@@ -150,6 +150,11 @@ fn main() {
         "backends" => {
             // halox-bench backends — threads vs procs world-backend sweep.
             backends::run(results);
+        }
+        "dlb" => {
+            // halox-bench dlb — static vs dynamic load balancing on a
+            // skewed-density system.
+            dlb::run(results);
         }
         "kernels" => {
             // halox-bench kernels [--steps N] — scalar-vs-cluster kernel

@@ -115,6 +115,31 @@ pub fn print_results_summary(results: &Path) {
         }
         None => println!("backends.json: not found (run `halox-bench backends`)"),
     }
+    match load("dlb.json") {
+        Some(v) => {
+            if let Some(x) = num(&v, "modeled_time_per_step_reduction_pct") {
+                let target = v
+                    .get("meets_target")
+                    .and_then(|x| x.as_bool())
+                    .unwrap_or(false);
+                println!(
+                    "dlb: modeled time/step reduction  {x:.1}% ({})",
+                    if target {
+                        "meets target"
+                    } else {
+                        "MISSES target"
+                    }
+                );
+            }
+            if let (Some(s), Some(d)) = (num(&v, "load_ratio_static"), num(&v, "load_ratio_dlb")) {
+                println!("dlb: load max/mean static→dlb     {s:.2} → {d:.2}");
+            }
+            if let Some(b) = v.get("dlb_bitwise_identical").and_then(|x| x.as_bool()) {
+                println!("dlb: serial≡threaded bitwise      {b}");
+            }
+        }
+        None => println!("dlb.json: not found (run `halox-bench dlb`)"),
+    }
     match load("soak.json") {
         Some(v) => {
             let flag = |key: &str| v.get(key).and_then(|x| x.as_bool()).unwrap_or(false);

@@ -11,10 +11,11 @@
 //! `global_id` instead of the peer's local pulse position is exactly such
 //! a bug on decompositions where pulse lists are not dense in global
 //! order — these properties pin the correct cross-reference over grids
-//! with mixed 1- and 2-pulse dimensions.
+//! with mixed 1- and 2-pulse dimensions, and over DLB-style pinned
+//! layouts where 2–3 pulses per dimension include empty padding pulses.
 
 use halox_core::{build_contexts, CommContext};
-use halox_dd::{build_partition, DdGrid, DdPartition};
+use halox_dd::{build_partition, try_build_partition_with, DdBounds, DdGrid, DdPartition};
 use halox_md::GrappaBuilder;
 use proptest::prelude::*;
 
@@ -34,9 +35,48 @@ fn arbitrary_grid() -> impl Strategy<Value = [usize; 3]> {
     ]
 }
 
+/// `(dims, min_pulses)` pairs pinning 2–3 pulses per communicated
+/// dimension, the layout a DLB run requests so the slot count (and thus
+/// the world key) stays fixed while boundaries move. Geometry alone would
+/// need only one pulse here, so the extra pulses are empty padding — the
+/// cross-reference must hold for them too (offset tables still line up
+/// even when `send_count == 0`).
+fn arbitrary_multipulse_grid() -> impl Strategy<Value = ([usize; 3], [usize; 3])> {
+    prop_oneof![
+        Just(([4, 1, 1], [2, 1, 1])),
+        Just(([5, 1, 1], [3, 1, 1])),
+        Just(([6, 1, 1], [3, 1, 1])),
+        Just(([4, 2, 1], [2, 1, 1])),
+        Just(([4, 3, 1], [2, 2, 1])),
+        Just(([1, 4, 2], [1, 3, 1])),
+        Just(([5, 3, 1], [3, 2, 1])),
+        Just(([3, 3, 3], [2, 2, 2])),
+    ]
+}
+
 fn build(seed: u64, dims: [usize; 3], atoms: usize) -> (DdPartition, Vec<CommContext>) {
     let sys = GrappaBuilder::new(atoms).seed(seed).build();
     let part = build_partition(&sys, &DdGrid::new(dims), 0.8);
+    let ctxs = build_contexts(&part);
+    (part, ctxs)
+}
+
+fn build_multipulse(
+    seed: u64,
+    dims: [usize; 3],
+    min_pulses: [usize; 3],
+    atoms: usize,
+) -> (DdPartition, Vec<CommContext>) {
+    let sys = GrappaBuilder::new(atoms).seed(seed).build();
+    let grid = DdGrid::new(dims);
+    let part = try_build_partition_with(
+        &sys,
+        &grid,
+        &DdBounds::uniform(&grid),
+        0.8,
+        Some(min_pulses),
+    )
+    .expect("pinned pulse counts stay below the cell counts by construction");
     let ctxs = build_contexts(&part);
     (part, ctxs)
 }
@@ -49,6 +89,73 @@ fn pos_of(ctx: &CommContext, global_id: usize) -> usize {
         .unwrap_or_else(|| panic!("rank {} lacks pulse {global_id}", ctx.rank))
 }
 
+/// Producer → consumer: where rank `c` puts forces on its up neighbour
+/// must be where that neighbour expects forces for the atoms it sent in
+/// the matching pulse.
+fn check_stage_layouts(ctxs: &[CommContext]) -> Result<(), TestCaseError> {
+    for c in ctxs {
+        for (p, pd) in c.pulses.iter().enumerate() {
+            let up = &ctxs[pd.recv_rank];
+            let up_pos = pos_of(up, pd.global_id);
+            prop_assert_eq!(
+                c.remote_stage_offset[p],
+                up.stage_offset[up_pos],
+                "rank {} pulse {} stage target vs rank {} local offset",
+                c.rank,
+                p,
+                pd.recv_rank
+            );
+            // The matching pulse really is the reverse edge, and the
+            // payload sizes agree: I return recv_count forces, they
+            // sent send_count atoms.
+            prop_assert_eq!(up.pulses[up_pos].send_rank, c.rank);
+            prop_assert_eq!(up.pulses[up_pos].send_count(), pd.recv_count);
+        }
+    }
+    Ok(())
+}
+
+/// Coordinate direction: where rank `c` writes halo atoms on its down
+/// neighbour must be where that neighbour expects pulse arrivals.
+fn check_remote_recv_offsets(ctxs: &[CommContext]) -> Result<(), TestCaseError> {
+    for c in ctxs {
+        for pd in &c.pulses {
+            let down = &ctxs[pd.send_rank];
+            let down_pos = pos_of(down, pd.global_id);
+            prop_assert_eq!(down.pulses[down_pos].recv_rank, c.rank);
+            prop_assert_eq!(pd.remote_recv_offset, down.pulses[down_pos].recv_offset);
+            prop_assert_eq!(pd.send_count(), down.pulses[down_pos].recv_count);
+        }
+    }
+    Ok(())
+}
+
+/// Regions `[stage_offset[p], +send_count)` must tile without overlap and
+/// fit the symmetric capacity, otherwise two producers' puts collide
+/// inside one staging buffer.
+fn check_stage_regions(ctxs: &[CommContext]) -> Result<(), TestCaseError> {
+    for c in ctxs {
+        let mut regions: Vec<(usize, usize)> = c
+            .pulses
+            .iter()
+            .enumerate()
+            .map(|(p, pd)| (c.stage_offset[p], c.stage_offset[p] + pd.send_count()))
+            .collect();
+        regions.sort_unstable();
+        for w in regions.windows(2) {
+            prop_assert!(
+                w[0].1 <= w[1].0,
+                "rank {} stage regions overlap: {w:?}",
+                c.rank
+            );
+        }
+        if let Some(&(_, end)) = regions.last() {
+            prop_assert!(end <= c.stage_capacity);
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
 
@@ -59,25 +166,7 @@ proptest! {
         atoms in 3_000usize..8_000,
     ) {
         let (_part, ctxs) = build(seed, dims, atoms);
-        for c in &ctxs {
-            for (p, pd) in c.pulses.iter().enumerate() {
-                // Producer → consumer: where I put forces on my up
-                // neighbour must be where they expect forces for the
-                // atoms they sent in the matching pulse.
-                let up = &ctxs[pd.recv_rank];
-                let up_pos = pos_of(up, pd.global_id);
-                prop_assert_eq!(
-                    c.remote_stage_offset[p], up.stage_offset[up_pos],
-                    "rank {} pulse {} stage target vs rank {} local offset",
-                    c.rank, p, pd.recv_rank
-                );
-                // The matching pulse really is the reverse edge, and the
-                // payload sizes agree: I return recv_count forces, they
-                // sent send_count atoms.
-                prop_assert_eq!(up.pulses[up_pos].send_rank, c.rank);
-                prop_assert_eq!(up.pulses[up_pos].send_count(), pd.recv_count);
-            }
-        }
+        check_stage_layouts(&ctxs)?;
     }
 
     #[test]
@@ -87,17 +176,7 @@ proptest! {
         atoms in 3_000usize..8_000,
     ) {
         let (_part, ctxs) = build(seed, dims, atoms);
-        for c in &ctxs {
-            for pd in &c.pulses {
-                // Coordinate direction: where I write halo atoms on my
-                // down neighbour must be where they expect pulse arrivals.
-                let down = &ctxs[pd.send_rank];
-                let down_pos = pos_of(down, pd.global_id);
-                prop_assert_eq!(down.pulses[down_pos].recv_rank, c.rank);
-                prop_assert_eq!(pd.remote_recv_offset, down.pulses[down_pos].recv_offset);
-                prop_assert_eq!(pd.send_count(), down.pulses[down_pos].recv_count);
-            }
-        }
+        check_remote_recv_offsets(&ctxs)?;
     }
 
     #[test]
@@ -107,23 +186,41 @@ proptest! {
         atoms in 3_000usize..8_000,
     ) {
         let (_part, ctxs) = build(seed, dims, atoms);
-        for c in &ctxs {
-            // Regions [stage_offset[p], +send_count) must tile without
-            // overlap and fit the symmetric capacity, otherwise two
-            // producers' puts collide inside one staging buffer.
-            let mut regions: Vec<(usize, usize)> = c
-                .pulses
-                .iter()
-                .enumerate()
-                .map(|(p, pd)| (c.stage_offset[p], c.stage_offset[p] + pd.send_count()))
-                .collect();
-            regions.sort_unstable();
-            for w in regions.windows(2) {
-                prop_assert!(w[0].1 <= w[1].0, "rank {} stage regions overlap: {w:?}", c.rank);
-            }
-            if let Some(&(_, end)) = regions.last() {
-                prop_assert!(end <= c.stage_capacity);
-            }
-        }
+        check_stage_regions(&ctxs)?;
+    }
+
+    #[test]
+    fn multipulse_layouts_cross_reference(
+        seed in 1500u64..2000,
+        layout in arbitrary_multipulse_grid(),
+        atoms in 3_000usize..8_000,
+    ) {
+        let (dims, min_pulses) = layout;
+        let (part, ctxs) = build_multipulse(seed, dims, min_pulses, atoms);
+        // The pin took: every communicated dimension carries at least the
+        // requested pulses, so padding pulses really are present.
+        let expected: usize = (0..3)
+            .filter(|&d| dims[d] > 1)
+            .map(|d| min_pulses[d])
+            .sum();
+        prop_assert!(
+            part.total_pulses() >= expected,
+            "layout has {} pulses, pinned floor is {}",
+            part.total_pulses(),
+            expected
+        );
+        check_stage_layouts(&ctxs)?;
+        check_remote_recv_offsets(&ctxs)?;
+    }
+
+    #[test]
+    fn multipulse_stage_regions_are_disjoint(
+        seed in 2000u64..2500,
+        layout in arbitrary_multipulse_grid(),
+        atoms in 3_000usize..8_000,
+    ) {
+        let (dims, min_pulses) = layout;
+        let (_part, ctxs) = build_multipulse(seed, dims, min_pulses, atoms);
+        check_stage_regions(&ctxs)?;
     }
 }

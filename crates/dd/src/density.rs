@@ -7,9 +7,37 @@
 //! validated against exact [`crate::plan::build_partition`] index maps in
 //! tests.
 
+use crate::bounds::DdBounds;
 use crate::grid::DdGrid;
 use halox_md::Vec3;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why the analytic model cannot price a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadModelError {
+    /// The thinnest cell along `dim` needs a forwarding chain at least as
+    /// long as the cell count — no valid decomposition exists, so there is
+    /// nothing to price (mirrors [`crate::plan::PlanError::PulsesExceedGrid`]).
+    PulsesExceedGrid {
+        dim: usize,
+        pulses: usize,
+        cells: usize,
+    },
+}
+
+impl fmt::Display for WorkloadModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadModelError::PulsesExceedGrid { dim, pulses, cells } => write!(
+                f,
+                "dim {dim}: {pulses} pulses over {cells} cells is not decomposable"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadModelError {}
 
 /// Expected communication sizes for one pulse, from zone geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -75,20 +103,45 @@ impl WorkloadModel {
         self.grid.domain_lengths(self.box_lengths)
     }
 
-    /// Expected per-pulse sizes in global pulse order. Dimensions whose
-    /// domains are thinner than `r_comm` get a second-neighbour pulse, like
-    /// GROMACS (paper runs all use one pulse per dim; the 2-pulse model is
-    /// exercised by tests and thin-domain studies).
+    /// Expected per-pulse sizes in global pulse order, assuming uniform
+    /// cells. Dimensions whose domains are thinner than `r_comm` get as many
+    /// forwarding pulses as the chain needs (GROMACS' multi-neighbour
+    /// communication); a chain longer than the grid panics — use
+    /// [`WorkloadModel::try_pulse_sizes_with`] for a typed error.
     pub fn pulse_sizes(&self) -> Vec<PulseSizeModel> {
+        self.try_pulse_sizes_with(&DdBounds::uniform(&self.grid))
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Expected per-pulse sizes under explicit (possibly non-uniform) cell
+    /// boundaries.
+    ///
+    /// Pulse counts and per-pulse slab thicknesses come from the *thinnest*
+    /// cell per dimension — the forwarding chain must carry every rank's
+    /// halo across the narrowest cells, so this bounds per-rank traffic from
+    /// above (the right direction for admission pricing). Cross-section
+    /// factors use the mean cell length (exactly `box / dims`), which is the
+    /// expectation over ranks for a homogeneous system under any boundary
+    /// placement. Infeasible geometry (chain at least as long as the grid)
+    /// is a typed [`WorkloadModelError`] instead of a silent mis-price.
+    pub fn try_pulse_sizes_with(
+        &self,
+        bounds: &DdBounds,
+    ) -> Result<Vec<PulseSizeModel>, WorkloadModelError> {
         let l = self.domain_lengths();
         let rc = self.r_comm as f64;
         let dims = self.grid.comm_dims();
+        let mut min_l = [0f64; 3];
         for &d in &dims {
-            assert!(
-                2.0 * l[d] as f64 >= rc,
-                "domain length {} in dim {d} below r_comm/2; >2 pulses unsupported",
-                l[d]
-            );
+            min_l[d] = bounds.min_cell_len(d, self.box_lengths[d]) as f64;
+            let np = (rc / min_l[d]).ceil().max(1.0) as usize;
+            if np >= self.grid.dims[d] {
+                return Err(WorkloadModelError::PulsesExceedGrid {
+                    dim: d,
+                    pulses: np,
+                    cells: self.grid.dims[d],
+                });
+            }
         }
         let mut out = Vec::new();
         let mut gid = 0;
@@ -112,42 +165,30 @@ impl WorkloadModel {
                     cs_indep *= l[e] as f64;
                 }
             }
-            let ld = l[d] as f64;
-            if ld >= rc {
-                // Single pulse: slab of thickness rc.
-                let v_total = rc * cs_total;
-                let v_indep = rc * cs_indep;
+            // Pulse k forwards the slab `[k*l, min((k+1)*l, rc))` measured
+            // from the receiving boundary: the first pulse is the only one
+            // carrying independent (home) data, every later pulse is all
+            // forwarded.
+            let ld = min_l[d];
+            let np = (rc / ld).ceil().max(1.0) as usize;
+            for k in 0..np {
+                let t = (rc - k as f64 * ld).min(ld);
+                let v_total = t * cs_total;
+                let dep_fraction = if k == 0 {
+                    1.0 - (t * cs_indep) / v_total
+                } else {
+                    1.0
+                };
                 out.push(PulseSizeModel {
                     global_id: gid,
                     dim: d,
                     send_atoms: v_total * self.density,
-                    dep_fraction: 1.0 - v_indep / v_total,
-                });
-                gid += 1;
-            } else {
-                // Two pulses: the whole domain first, then the forwarded
-                // second-neighbour remainder (rc - l), which is entirely
-                // dependent data.
-                let v1_total = ld * cs_total;
-                let v1_indep = ld * cs_indep;
-                out.push(PulseSizeModel {
-                    global_id: gid,
-                    dim: d,
-                    send_atoms: v1_total * self.density,
-                    dep_fraction: 1.0 - v1_indep / v1_total,
-                });
-                gid += 1;
-                let v2_total = (rc - ld) * cs_total;
-                out.push(PulseSizeModel {
-                    global_id: gid,
-                    dim: d,
-                    send_atoms: v2_total * self.density,
-                    dep_fraction: 1.0,
+                    dep_fraction,
                 });
                 gid += 1;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Expected halo atoms received per rank (sum over pulses).
@@ -347,6 +388,77 @@ mod tests {
                 sm.send_atoms
             );
         }
+    }
+
+    #[test]
+    fn three_pulse_model_matches_exact_plan() {
+        // ~0.44 nm cells with r_comm 1.1 need third-neighbour forwarding.
+        let sys = GrappaBuilder::new(3000).seed(58).build();
+        let grid = DdGrid::new([7, 1, 1]);
+        let r_comm = 1.1;
+        let part = build_partition(&sys, &grid, r_comm);
+        assert_eq!(part.total_pulses(), 3);
+        let model = WorkloadModel {
+            n_atoms: sys.n_atoms(),
+            density: sys.density(),
+            r_comm,
+            grid,
+            box_lengths: sys.pbc.lengths(),
+        };
+        let sizes = model.pulse_sizes();
+        assert_eq!(sizes.len(), 3);
+        assert_eq!(sizes[1].dep_fraction, 1.0);
+        assert_eq!(sizes[2].dep_fraction, 1.0);
+        for (k, sm) in sizes.iter().enumerate() {
+            let mean: f64 = part
+                .ranks
+                .iter()
+                .map(|r| r.pulses[k].send_count() as f64)
+                .sum::<f64>()
+                / part.n_ranks() as f64;
+            let rel = (sm.send_atoms - mean).abs() / mean.max(1.0);
+            assert!(
+                rel < 0.25,
+                "pulse {k}: analytic {} vs exact {mean}",
+                sm.send_atoms
+            );
+        }
+    }
+
+    #[test]
+    fn non_uniform_bounds_price_from_thinnest_cell() {
+        use crate::bounds::DdBounds;
+        let grid = DdGrid::new([4, 1, 1]);
+        let model = WorkloadModel::cubic(48_000, 100.0, 1.0, grid);
+        let uniform = model.pulse_sizes();
+        assert_eq!(uniform.len(), 1);
+        // Squeeze one cell below r_comm: pricing must now include the
+        // forwarding pulse a skewed job will actually pay for.
+        let mut bounds = DdBounds::uniform(&grid);
+        bounds.fracs[0] = vec![0.0, 0.1, 0.5, 0.75, 1.0];
+        let skewed = model.try_pulse_sizes_with(&bounds).unwrap();
+        assert!(skewed.len() > 1, "thin cell must add forwarding pulses");
+        assert!(
+            skewed.iter().map(|p| p.send_atoms).sum::<f64>()
+                >= uniform.iter().map(|p| p.send_atoms).sum::<f64>() - 1e-6,
+            "skewed estimate must not under-price the uniform case"
+        );
+        // And an undecomposable geometry is a typed error, not a bad price.
+        let mut bad = DdBounds::uniform(&grid);
+        bad.fracs[0] = vec![0.0, 0.02, 0.5, 0.75, 1.0];
+        let err = model.try_pulse_sizes_with(&bad).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WorkloadModelError::PulsesExceedGrid {
+                    dim: 0,
+                    cells: 4,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("not decomposable"));
     }
 
     #[test]

@@ -131,6 +131,12 @@ pub struct GridOptions {
     pub density: f64,
     /// Explicit grid override (like `mdrun -dd x y z`); must match n_ranks.
     pub force_grid: Option<[usize; 3]>,
+    /// Maximum forwarding pulses per dimension a candidate grid may need.
+    /// The default of 1 keeps the chooser in the paper's single-pulse
+    /// regime; raising it admits thin-cell grids whose halos arrive via
+    /// multi-pulse forwarding (each extra pulse also pays
+    /// `pulse_penalty_atoms`).
+    pub max_pulses: usize,
 }
 
 impl Default for GridOptions {
@@ -140,21 +146,23 @@ impl Default for GridOptions {
             pulse_penalty_atoms: 1200.0,
             density: halox_md::GRAPPA_ATOM_DENSITY,
             force_grid: None,
+            max_pulses: 1,
         }
     }
 }
 
 /// Estimated per-rank halo atoms for a grid on a box: the sum of the exact
 /// eighth-shell pulse-zone volumes (including forwarded corner extensions)
-/// times the density. Returns None if any decomposed domain is thinner than
-/// `r_comm` (which would require 2 pulses; disallowed by the chooser, as in
-/// all paper configurations).
+/// times the density. Returns None if any decomposed domain needs more than
+/// `opts.max_pulses` forwarding pulses (default 1, as in all paper
+/// configurations) or a pulse chain as long as the grid itself.
 pub fn halo_atoms_estimate(grid: &DdGrid, box_lengths: Vec3, opts: &GridOptions) -> Option<f64> {
     let l = grid.domain_lengths(box_lengths);
     let rc = opts.r_comm as f64;
     let dims = grid.comm_dims();
     for &d in &dims {
-        if (l[d] as f64) < rc {
+        let np = (rc / l[d] as f64).ceil().max(1.0) as usize;
+        if np > opts.max_pulses || np >= grid.dims[d] {
             return None;
         }
     }
@@ -221,7 +229,18 @@ pub fn try_choose_grid(
         let Some(halo) = halo_atoms_estimate(&g, box_lengths, opts) else {
             continue;
         };
-        let cost = halo + opts.pulse_penalty_atoms * g.n_decomposed() as f64;
+        // Latency penalty per *pulse*: a thin dim needing k forwarding
+        // pulses costs k serialized communication steps (equals
+        // n_decomposed in the default single-pulse regime).
+        let total_pulses: usize = g
+            .comm_dims()
+            .iter()
+            .map(|&d| {
+                let ld = box_lengths[d] as f64 / g.dims[d] as f64;
+                ((opts.r_comm as f64 / ld).ceil().max(1.0)) as usize
+            })
+            .sum();
+        let cost = halo + opts.pulse_penalty_atoms * total_pulses as f64;
         let better = match &best {
             None => true,
             Some((c, bg)) => {
@@ -349,6 +368,34 @@ mod tests {
         // 32 ranks on a small box: 32x1x1 would give 0.24 nm domains.
         let est = halo_atoms_estimate(&DdGrid::new([32, 1, 1]), Vec3::splat(7.66), &opts);
         assert!(est.is_none());
+    }
+
+    #[test]
+    fn max_pulses_relaxation_admits_thin_grids() {
+        // 8x1x1 on an 8 nm box with r_comm 1.05: 1.0 nm cells need 2
+        // pulses — rejected by default, admitted when opted in.
+        let g = DdGrid::new([8, 1, 1]);
+        let box_l = Vec3::splat(8.0);
+        assert!(halo_atoms_estimate(&g, box_l, &GridOptions::default()).is_none());
+        let opts = GridOptions {
+            max_pulses: 2,
+            ..Default::default()
+        };
+        let est = halo_atoms_estimate(&g, box_l, &opts).unwrap();
+        // Total slab depth is still rc regardless of pulse count.
+        assert!((est - 1.05 * 8.0 * 8.0 * 100.0).abs() < 1e-3, "{est}");
+        // But a chain as long as the grid stays infeasible even opted-in.
+        let opts = GridOptions {
+            max_pulses: 8,
+            ..Default::default()
+        };
+        assert!(halo_atoms_estimate(&DdGrid::new([8, 1, 1]), Vec3::splat(1.0), &opts).is_none());
+        // And the chooser pays the per-pulse penalty: with relaxation on,
+        // 8 ranks on the thin box prefer a 2D split over a 2-pulse 1D one
+        // only when the extra halo beats the extra pulse latency.
+        let chosen = choose_grid(8, box_l, &opts);
+        let est_chosen = halo_atoms_estimate(&chosen, box_l, &opts).unwrap();
+        assert!(est_chosen.is_finite());
     }
 
     #[test]

@@ -4,6 +4,9 @@
 //!
 //! * [`grid`] — DD grid selection (rank factorization over the box) and
 //!   rank/coordinate maps with periodic up/down neighbours;
+//! * [`bounds`] — movable per-dimension cell boundaries ([`bounds::DdBounds`]),
+//!   the state dynamic load balancing adjusts while the grid topology stays
+//!   fixed;
 //! * [`pulse`] — per-pulse metadata ([`pulse::PulseData`], the paper's
 //!   Algorithm 1), including the `depOffset` dependency partition and the
 //!   global `[z.., y.., x..]` pulse order;
@@ -33,18 +36,20 @@
 // Index-based loops across parallel arrays are the dominant idiom in these
 // kernels; clippy's iterator rewrites obscure the cross-array indexing.
 #![allow(clippy::needless_range_loop)]
+pub mod bounds;
 pub mod density;
 pub mod grid;
 pub mod plan;
 pub mod pulse;
 
-pub use density::{grappa_box, PulseSizeModel, WorkloadModel};
+pub use bounds::{BoundsError, DdBounds};
+pub use density::{grappa_box, PulseSizeModel, WorkloadModel, WorkloadModelError};
 pub use grid::{
     choose_grid, factorizations, halo_atoms_estimate, try_choose_grid, DdGrid, GridError,
     GridOptions,
 };
 pub use plan::{
     build_partition, reference_coordinate_exchange, reference_force_exchange, try_build_partition,
-    DdPartition, Displacement, HaloEntry, PlanError, RankPlan,
+    try_build_partition_with, DdPartition, Displacement, HaloEntry, PlanError, RankPlan,
 };
 pub use pulse::{PulseData, PulseLayout};

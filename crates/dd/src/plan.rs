@@ -8,6 +8,7 @@
 //! *per-step* coordinate/force halo exchange, which consumes exactly the
 //! metadata produced here (index maps, dependency offsets, shifts, signals).
 
+use crate::bounds::DdBounds;
 use crate::grid::DdGrid;
 use crate::pulse::{PulseData, PulseLayout};
 use halox_md::topology::{Angle, Bond};
@@ -23,6 +24,15 @@ use std::fmt;
 pub enum PlanError {
     /// A bonded term's atoms live in more than two domains along `dim`.
     BondedTermSpans { dim: usize, atoms: Vec<u32> },
+    /// Cells along `dim` are so thin that the forwarding chain would need
+    /// `pulses >= cells` hops — halo data would wrap all the way around the
+    /// torus back onto its sender. Use fewer ranks (or thicker cells) in
+    /// this dimension.
+    PulsesExceedGrid {
+        dim: usize,
+        pulses: usize,
+        cells: usize,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -31,6 +41,11 @@ impl fmt::Display for PlanError {
             PlanError::BondedTermSpans { dim, atoms } => write!(
                 f,
                 "bonded term spans >2 domains in dim {dim}: atoms {atoms:?}"
+            ),
+            PlanError::PulsesExceedGrid { dim, pulses, cells } => write!(
+                f,
+                "dim {dim}: {pulses} pulses over {cells} cells would wrap the torus; \
+                 cells are thinner than r_comm allows"
             ),
         }
     }
@@ -100,6 +115,9 @@ impl RankPlan {
 #[derive(Debug, Clone)]
 pub struct DdPartition {
     pub grid: DdGrid,
+    /// Cell boundaries the plan was built from (uniform unless DLB moved
+    /// them).
+    pub bounds: DdBounds,
     pub r_comm: f32,
     pub layout: PulseLayout,
     pub ranks: Vec<RankPlan>,
@@ -140,10 +158,46 @@ pub fn try_build_partition(
     grid: &DdGrid,
     r_comm: f32,
 ) -> Result<DdPartition, PlanError> {
+    try_build_partition_with(system, grid, &DdBounds::uniform(grid), r_comm, None)
+}
+
+/// Build the decomposition with explicit cell boundaries and (optionally) a
+/// pinned minimum pulse count per dimension.
+///
+/// `bounds` is the movable-boundary geometry DLB adjusts between pair-list
+/// rebuilds; atom ownership, pulse send criteria, and per-rank domain bounds
+/// all derive from it. `min_pulses` pins the per-dimension pulse count floor:
+/// the signal-slot layout baked into a world is sized from the pulse count,
+/// so a DLB run computes counts once at start (from the worst boundaries the
+/// controller may produce) and passes them here on every rebuild — extra
+/// pulses beyond what the current boundaries need simply carry empty index
+/// maps. The pulse count actually used is `max(needed, min_pulses[d])` and
+/// must stay below the cell count (a longer chain would wrap the torus);
+/// violations are a typed [`PlanError::PulsesExceedGrid`].
+pub fn try_build_partition_with(
+    system: &System,
+    grid: &DdGrid,
+    bounds: &DdBounds,
+    r_comm: f32,
+    min_pulses: Option<[usize; 3]>,
+) -> Result<DdPartition, PlanError> {
+    debug_assert!(bounds.validate(grid).is_ok());
     let n_ranks = grid.n_ranks();
     let box_l = system.pbc.lengths();
-    let dom_l = grid.domain_lengths(box_l);
-    let layout = PulseLayout::new(&grid.comm_dims(), dom_l, r_comm);
+    let comm_dims = grid.comm_dims();
+    let mut pulse_counts = [1usize; 3];
+    for &d in &comm_dims {
+        let needed = (r_comm / bounds.min_cell_len(d, box_l[d])).ceil() as usize;
+        pulse_counts[d] = needed.max(1).max(min_pulses.map_or(1, |m| m[d]));
+        if pulse_counts[d] >= grid.dims[d] {
+            return Err(PlanError::PulsesExceedGrid {
+                dim: d,
+                pulses: pulse_counts[d],
+                cells: grid.dims[d],
+            });
+        }
+    }
+    let layout = PulseLayout::with_pulses(&comm_dims, pulse_counts);
 
     // --- 1. Home assignment ------------------------------------------------
     let mut owner_coords = Vec::with_capacity(system.n_atoms());
@@ -153,7 +207,7 @@ pub fn try_build_partition(
         wrapped.push(w);
         let mut c = [0usize; 3];
         for d in 0..3 {
-            c[d] = ((w[d] / dom_l[d]) as usize).min(grid.dims[d] - 1);
+            c[d] = bounds.owner(d, w[d], box_l[d]);
         }
         owner_coords.push(c);
     }
@@ -204,7 +258,7 @@ pub fn try_build_partition(
         let mut sends: Vec<Send> = Vec::with_capacity(n_ranks);
         for r in 0..n_ranks {
             let c = grid.coords_of(r);
-            let lo = c[dim] as f32 * dom_l[dim];
+            let lo = bounds.cell_lo(dim, c[dim], box_l[dim]);
             let limit = lo + r_comm;
             let shift = if c[dim] == 0 {
                 system.pbc.shift_vector(dim, true)
@@ -392,9 +446,14 @@ pub fn try_build_partition(
         let angles = rank_angles[r].iter().map(map_angle).collect();
         let c = grid.coords_of(r);
         let domain_lo = Vec3::new(
-            c[0] as f32 * dom_l.x,
-            c[1] as f32 * dom_l.y,
-            c[2] as f32 * dom_l.z,
+            bounds.cell_lo(0, c[0], box_l.x),
+            bounds.cell_lo(1, c[1], box_l.y),
+            bounds.cell_lo(2, c[2], box_l.z),
+        );
+        let domain_hi = Vec3::new(
+            bounds.cell_hi(0, c[0], box_l.x),
+            bounds.cell_hi(1, c[1], box_l.y),
+            bounds.cell_hi(2, c[2], box_l.z),
         );
         ranks.push(RankPlan {
             rank: r,
@@ -409,13 +468,14 @@ pub fn try_build_partition(
             bonds,
             angles,
             domain_lo,
-            domain_hi: domain_lo + dom_l,
+            domain_hi,
             global_to_local,
         });
     }
 
     Ok(DdPartition {
         grid: *grid,
+        bounds: bounds.clone(),
         r_comm,
         layout,
         ranks,
@@ -852,6 +912,146 @@ mod tests {
                     r.rank
                 );
             }
+        }
+    }
+
+    #[test]
+    fn three_pulse_dimension_supported() {
+        // Domains of ~0.44 nm with r_comm 1.1 need third-neighbour pulses.
+        let sys = test_system(3000); // edge ~3.1 nm
+        let grid = DdGrid::new([7, 1, 1]);
+        let part = build_partition(&sys, &grid, 1.1);
+        assert_eq!(part.total_pulses(), 3);
+        // Later pulses must carry only forwarded entries, chained across
+        // both earlier pulses.
+        for r in &part.ranks {
+            assert_eq!(r.pulses[2].dep_offset, 0);
+            assert!(r.pulses[2].send_count() > 0);
+        }
+        let mut coords: Vec<Vec<Vec3>> = part
+            .ranks
+            .iter()
+            .map(|r| r.build_positions.clone())
+            .collect();
+        reference_coordinate_exchange(&part, &mut coords);
+        for r in &part.ranks {
+            for (got, want) in coords[r.rank].iter().zip(&r.build_positions) {
+                assert!((*got - *want).norm() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn pulse_chain_longer_than_grid_is_typed_error() {
+        use crate::bounds::DdBounds;
+        // A very thin first cell forces 4 pulses over only 3 cells: the
+        // forwarding chain would wrap the torus.
+        let sys = test_system(3000); // edge ~3.1 nm
+        let grid = DdGrid::new([3, 1, 1]);
+        let mut bounds = DdBounds::uniform(&grid);
+        bounds.fracs[0] = vec![0.0, 0.08, 0.55, 1.0];
+        let err = try_build_partition_with(&sys, &grid, &bounds, 0.8, None).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PlanError::PulsesExceedGrid {
+                    dim: 0,
+                    cells: 3,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("wrap the torus"));
+    }
+
+    #[test]
+    fn non_uniform_bounds_build_valid_plans() {
+        use crate::bounds::DdBounds;
+        use halox_md::pairlist::eighth_shell_rule;
+        use halox_md::Frame;
+        let sys = test_system(3000);
+        let grid = DdGrid::new([2, 2, 1]);
+        let r_comm = 0.8;
+        let mut bounds = DdBounds::uniform(&grid);
+        // Skew both decomposed dims.
+        bounds.fracs[0][1] = 0.38;
+        bounds.fracs[1][1] = 0.61;
+        let part = try_build_partition_with(&sys, &grid, &bounds, r_comm, None).unwrap();
+        assert_eq!(part.bounds, bounds);
+        // Home atoms respect the shifted domains.
+        for r in &part.ranks {
+            for i in 0..r.n_home {
+                let p = r.build_positions[i];
+                for d in 0..3 {
+                    assert!(p[d] >= r.domain_lo[d] - 1e-4 && p[d] < r.domain_hi[d] + 1e-4);
+                }
+            }
+        }
+        // And the pair-coverage invariant still holds exactly.
+        let frame = Frame::for_decomposition(&sys.pbc, grid.dims);
+        let n = sys.n_atoms();
+        let mut checked = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if sys.pbc.dist2(sys.positions[i], sys.positions[j]) >= r_comm * r_comm {
+                    continue;
+                }
+                let mut count = 0;
+                for r in &part.ranks {
+                    let (Some(li), Some(lj)) = (r.local_index(i as u32), r.local_index(j as u32))
+                    else {
+                        continue;
+                    };
+                    let (li, lj) = (li as usize, lj as usize);
+                    let in_reach =
+                        frame.dist2(r.build_positions[li], r.build_positions[lj]) < r_comm * r_comm;
+                    if in_reach && eighth_shell_rule(&r.displacement, li, lj) {
+                        count += 1;
+                    }
+                }
+                assert_eq!(count, 1, "pair ({i},{j}) computable on {count} ranks");
+                checked += 1;
+            }
+        }
+        assert!(checked > 1000, "exercised too few pairs: {checked}");
+    }
+
+    #[test]
+    fn min_pulses_override_pads_with_empty_pulses() {
+        use crate::bounds::DdBounds;
+        // One pulse suffices, but the engine pins two for slot stability.
+        let sys = test_system(3000);
+        let grid = DdGrid::new([2, 1, 1]);
+        let uniform_err =
+            try_build_partition_with(&sys, &grid, &DdBounds::uniform(&grid), 0.8, Some([2, 1, 1]))
+                .unwrap_err();
+        // [2,1,1] cannot hold 2 pulses; use a 4-cell grid instead.
+        assert!(matches!(uniform_err, PlanError::PulsesExceedGrid { .. }));
+        let grid = DdGrid::new([4, 1, 1]);
+        let one = build_partition(&sys, &grid, 0.7);
+        assert_eq!(one.total_pulses(), 1);
+        let padded =
+            try_build_partition_with(&sys, &grid, &DdBounds::uniform(&grid), 0.7, Some([2, 1, 1]))
+                .unwrap();
+        assert_eq!(padded.total_pulses(), 2);
+        // The padded pulse forwards only what the send criterion still
+        // admits (nothing new at this r_comm), and the exchange stays
+        // correct end to end.
+        let mut coords: Vec<Vec<Vec3>> = padded
+            .ranks
+            .iter()
+            .map(|r| r.build_positions.clone())
+            .collect();
+        reference_coordinate_exchange(&padded, &mut coords);
+        for r in &padded.ranks {
+            for (got, want) in coords[r.rank].iter().zip(&r.build_positions) {
+                assert!((*got - *want).norm() < 1e-6);
+            }
+        }
+        // Same homes either way.
+        for (a, b) in one.ranks.iter().zip(&padded.ranks) {
+            assert_eq!(a.global_ids[..a.n_home], b.global_ids[..b.n_home]);
         }
     }
 

@@ -17,7 +17,8 @@ pub struct PulseData {
     pub global_id: usize,
     /// Dimension this pulse communicates along (0 = x, 1 = y, 2 = z).
     pub dim: usize,
-    /// 0 for the first pulse of a dimension, 1 for a second-neighbour pulse.
+    /// 0 for the first pulse of a dimension, k for the (k+1)-th-neighbour
+    /// pulse of a multi-pulse dimension.
     pub pulse_in_dim: usize,
     /// Rank coordinates are sent to (the down neighbour).
     pub send_rank: usize,
@@ -74,20 +75,30 @@ pub struct PulseLayout {
 
 impl PulseLayout {
     /// Compute the layout for a grid: dims with >1 domains, z -> y -> x, with
-    /// `ceil(r_comm / domain_len)` pulses per dim (max 2, like GROMACS'
-    /// second-neighbour communication).
+    /// `ceil(r_comm / domain_len)` pulses per dim. `domain_lengths` must be
+    /// the *thinnest* cell per dimension when boundaries are non-uniform —
+    /// every rank's halo must still arrive through forwarding across the
+    /// narrowest cells. Feasibility against the grid (a pulse chain may not
+    /// wrap past the sender) is checked by the partition planner.
     pub fn new(comm_dims: &[usize], domain_lengths: Vec3, r_comm: f32) -> Self {
         let mut per_dim = Vec::new();
         for &d in comm_dims {
             let l = domain_lengths[d];
             let np = (r_comm / l).ceil() as usize;
-            assert!(
-                np <= 2,
-                "dim {d}: domain length {l} needs {np} pulses for r_comm {r_comm}; max 2 supported"
-            );
             per_dim.push((d, np.max(1)));
         }
         PulseLayout { per_dim }
+    }
+
+    /// Layout with explicit per-dimension pulse counts (indexed by dim).
+    /// Used to pin the slot layout for a whole run: DLB moves boundaries
+    /// between rebuilds, but the signal-slot count baked into the world must
+    /// not change, so the engine fixes pulse counts up front and clamps cell
+    /// sizes to keep them sufficient.
+    pub fn with_pulses(comm_dims: &[usize], pulses: [usize; 3]) -> Self {
+        PulseLayout {
+            per_dim: comm_dims.iter().map(|&d| (d, pulses[d].max(1))).collect(),
+        }
     }
 
     pub fn total_pulses(&self) -> usize {
@@ -130,9 +141,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn more_than_two_pulses_rejected() {
-        let _ = PulseLayout::new(&[0], Vec3::new(0.4, 9.0, 9.0), 1.0);
+    fn very_thin_domains_get_three_pulses() {
+        let layout = PulseLayout::new(&[0], Vec3::new(0.4, 9.0, 9.0), 1.0);
+        assert_eq!(layout.per_dim, vec![(0, 3)]);
+        let ids: Vec<_> = layout.iter().collect();
+        assert_eq!(ids, vec![(0, 0, 0), (1, 0, 1), (2, 0, 2)]);
+    }
+
+    #[test]
+    fn explicit_pulse_counts_respected() {
+        let layout = PulseLayout::with_pulses(&[2, 0], [2, 7, 1]);
+        assert_eq!(layout.per_dim, vec![(2, 1), (0, 2)]);
+        assert_eq!(layout.total_pulses(), 3);
+        let ids: Vec<_> = layout.iter().collect();
+        assert_eq!(ids, vec![(0, 2, 0), (1, 0, 0), (2, 0, 1)]);
     }
 
     #[test]

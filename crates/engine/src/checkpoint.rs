@@ -32,6 +32,7 @@
 //! files and falls back to the previous checkpoint, counting the skips.
 
 use crate::config::{EngineConfig, Integrator};
+use halox_dd::DdBounds;
 use halox_md::{EnergyReport, System};
 use halox_shmem::{crc32, Wire, WireError, WireReader};
 use std::fs;
@@ -41,7 +42,10 @@ use std::path::{Path, PathBuf};
 /// File magic: "HXCK" (HaloX ChecKpoint).
 pub const MAGIC: [u8; 4] = *b"HXCK";
 /// Format version; bump on any change to the body layout.
-pub const VERSION: u8 = 1;
+/// v2: movable DD cell boundaries ([`DdBounds`]) joined the body and the
+/// DLB mode joined the fingerprint — boundary state must survive a resume
+/// for DLB-on trajectories to stay bitwise.
+pub const VERSION: u8 = 2;
 
 /// Why a checkpoint could not be read, written, or resumed from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,6 +135,10 @@ pub struct ConfigFingerprint {
     pub kernel: String,
     pub integrator: String,
     pub topology_gpus_per_node: Option<usize>,
+    /// Dynamic-load-balancing mode label: a `counter`-balanced trajectory
+    /// resumed with DLB off (or vice versa) would shift different
+    /// boundaries and diverge, so the mode is part of the physics identity.
+    pub dlb: String,
     pub nstlist: usize,
     pub dt_bits: u32,
     pub cutoff_bits: u32,
@@ -155,6 +163,7 @@ impl ConfigFingerprint {
             kernel: cfg.nb_kernel.label().to_string(),
             integrator: integrator_label(cfg.integrator).to_string(),
             topology_gpus_per_node: cfg.topology_gpus_per_node,
+            dlb: cfg.dlb.label().to_string(),
             nstlist: cfg.nstlist,
             dt_bits: cfg.dt_ps.to_bits(),
             cutoff_bits: cfg.cutoff.to_bits(),
@@ -194,6 +203,7 @@ impl ConfigFingerprint {
             &self.topology_gpus_per_node,
             &expected.topology_gpus_per_node,
         )?;
+        diff("dlb", &self.dlb, &expected.dlb)?;
         diff("nstlist", &self.nstlist, &expected.nstlist)?;
         diff("dt_ps", &self.dt_bits, &expected.dt_bits)?;
         diff("cutoff", &self.cutoff_bits, &expected.cutoff_bits)?;
@@ -215,6 +225,7 @@ impl Wire for ConfigFingerprint {
         self.kernel.encode(out);
         self.integrator.encode(out);
         self.topology_gpus_per_node.encode(out);
+        self.dlb.encode(out);
         self.nstlist.encode(out);
         self.dt_bits.encode(out);
         self.cutoff_bits.encode(out);
@@ -229,6 +240,7 @@ impl Wire for ConfigFingerprint {
             kernel: String::decode(r)?,
             integrator: String::decode(r)?,
             topology_gpus_per_node: Wire::decode(r)?,
+            dlb: String::decode(r)?,
             nstlist: usize::decode(r)?,
             dt_bits: u32::decode(r)?,
             cutoff_bits: u32::decode(r)?,
@@ -288,6 +300,31 @@ pub struct Checkpoint {
     pub energies: Vec<EnergyReport>,
     /// Cumulative recovery accounting up to `step`.
     pub stats: StatsSnapshot,
+    /// Movable DD cell boundaries at `step`. Trajectory state, not
+    /// configuration: with DLB on the boundaries have drifted from
+    /// uniform, and the next segment's partition depends on them — a
+    /// resume that reset them would diverge from the uninterrupted run.
+    pub bounds: DdBounds,
+}
+
+/// `DdBounds` crosses the wire as three `Vec<u32>` of f32 bit patterns —
+/// bit-exact by construction, and spelled out here because the `Wire`
+/// trait (halox-shmem) and `DdBounds` (halox-dd) are both foreign to this
+/// crate.
+fn encode_bounds(b: &DdBounds, out: &mut Vec<u8>) {
+    for fr in &b.fracs {
+        let bits: Vec<u32> = fr.iter().map(|f| f.to_bits()).collect();
+        bits.encode(out);
+    }
+}
+
+fn decode_bounds(r: &mut WireReader<'_>) -> Result<DdBounds, WireError> {
+    let mut fracs: [Vec<f32>; 3] = Default::default();
+    for fr in fracs.iter_mut() {
+        let bits: Vec<u32> = Wire::decode(r)?;
+        *fr = bits.into_iter().map(f32::from_bits).collect();
+    }
+    Ok(DdBounds { fracs })
 }
 
 impl Wire for Checkpoint {
@@ -297,6 +334,7 @@ impl Wire for Checkpoint {
         self.system.encode(out);
         self.energies.encode(out);
         self.stats.encode(out);
+        encode_bounds(&self.bounds, out);
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         Ok(Checkpoint {
@@ -305,6 +343,7 @@ impl Wire for Checkpoint {
             system: System::decode(r)?,
             energies: Vec::decode(r)?,
             stats: StatsSnapshot::decode(r)?,
+            bounds: decode_bounds(r)?,
         })
     }
 }
@@ -520,6 +559,11 @@ mod tests {
     fn sample_checkpoint() -> Checkpoint {
         let sys = GrappaBuilder::new(90).seed(3).temperature(250.0).build();
         let n = sys.n_atoms();
+        // Non-uniform bounds: the round-trip must preserve shifted
+        // boundaries bit-for-bit, not just the uniform default.
+        let mut bounds = DdBounds::uniform(&halox_dd::DdGrid::new([2, 2, 1]));
+        bounds.fracs[0][1] = 0.4375;
+        bounds.fracs[1][1] = 0.53125;
         let energies: Vec<EnergyReport> = (0..7)
             .map(|i| EnergyReport {
                 nonbonded: -1000.0 - i as f64,
@@ -542,6 +586,7 @@ mod tests {
                 rewound_steps: 5,
                 checkpoints_written: 3,
             },
+            bounds,
         }
     }
 
@@ -568,6 +613,27 @@ mod tests {
         for (a, b) in back.energies.iter().zip(&ck.energies) {
             assert_eq!(a.total().to_bits(), b.total().to_bits());
         }
+        for d in 0..3 {
+            for (a, b) in back.bounds.fracs[d].iter().zip(&ck.bounds.fracs[d]) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_rejects_changed_dlb_mode() {
+        use crate::config::DlbMode;
+        let cfg = sample_config();
+        let fp = ConfigFingerprint::of(&cfg, [2, 2, 1], 90);
+        let mut other = cfg.clone();
+        other.dlb = DlbMode::Counter;
+        let e = fp
+            .check(&ConfigFingerprint::of(&other, [2, 2, 1], 90))
+            .unwrap_err();
+        assert!(
+            matches!(e, CheckpointError::Mismatch { field: "dlb", .. }),
+            "{e}"
+        );
     }
 
     #[test]

@@ -112,6 +112,54 @@ impl NbKernel {
     }
 }
 
+/// Dynamic load balancing policy (DESIGN.md §3.8).
+///
+/// `Counter` feeds the boundary controller a deterministic work metric
+/// (pair interactions + owned atoms per segment), so DLB-on runs stay
+/// inside the serial ≡ threaded ≡ procs bitwise contract. `Wallclock`
+/// feeds it per-rank segment wall time — responsive to real machine skew
+/// but nondeterministic, and therefore excluded from that contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DlbMode {
+    /// Static decomposition: boundaries stay uniform (default).
+    Off,
+    /// Deterministic work-counter metric (bitwise-safe).
+    Counter,
+    /// Per-rank wall-clock metric (opt-in, outside the bitwise contract).
+    Wallclock,
+}
+
+impl DlbMode {
+    pub fn label(&self) -> &'static str {
+        match self {
+            DlbMode::Off => "off",
+            DlbMode::Counter => "counter",
+            DlbMode::Wallclock => "wallclock",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<DlbMode> {
+        if s.eq_ignore_ascii_case("off") {
+            Some(DlbMode::Off)
+        } else if s.eq_ignore_ascii_case("counter") {
+            Some(DlbMode::Counter)
+        } else if s.eq_ignore_ascii_case("wallclock") {
+            Some(DlbMode::Wallclock)
+        } else {
+            None
+        }
+    }
+
+    /// Default mode, overridable via `HALOX_DLB=off|counter|wallclock` —
+    /// the same process-wide lever pattern as `HALOX_NB_KERNEL`.
+    pub fn from_env() -> Self {
+        match std::env::var("HALOX_DLB") {
+            Ok(v) => DlbMode::parse(&v).unwrap_or(DlbMode::Off),
+            _ => DlbMode::Off,
+        }
+    }
+}
+
 /// Time-stepping scheme (GROMACS `integrator = md` vs `md-vv`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Integrator {
@@ -247,6 +295,9 @@ pub struct EngineConfig {
     pub run_mode: RunMode,
     /// Non-bonded kernel (scalar oracle vs cluster-pair SoA).
     pub nb_kernel: NbKernel,
+    /// Dynamic load balancing: off, deterministic counter metric, or
+    /// opt-in wall-clock metric (`HALOX_DLB`).
+    pub dlb: DlbMode,
     /// With the cluster kernel: evaluate the local (home–home) tile
     /// partition between posting the coordinate halo sends and waiting for
     /// arrivals, hiding halo latency under home-atom compute. Off, the
@@ -302,6 +353,7 @@ impl EngineConfig {
             backend,
             run_mode: RunMode::from_env(),
             nb_kernel: NbKernel::from_env(),
+            dlb: DlbMode::from_env(),
             nb_overlap: true,
             link_delay_us: 0,
             topology_gpus_per_node: None,

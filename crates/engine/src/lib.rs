@@ -10,21 +10,23 @@
 pub mod checkpoint;
 pub mod config;
 pub mod devtimer;
+pub mod dlb;
 pub mod health;
 mod nb;
 pub mod runner;
 
 pub use checkpoint::{Checkpoint, CheckpointError, ConfigFingerprint, StatsSnapshot};
 pub use config::{
-    CheckpointConfig, EngineConfig, ExchangeBackend, Integrator, NbKernel, RunMode, Thermostat,
-    WatchdogConfig,
+    CheckpointConfig, DlbMode, EngineConfig, ExchangeBackend, Integrator, NbKernel, RunMode,
+    Thermostat, WatchdogConfig,
 };
 pub use devtimer::PhaseTimer;
+pub use dlb::DlbController;
 pub use health::{HealthBoard, PeerState};
 pub use runner::{Downgrade, Engine, EngineError, RunStats};
 
 // Re-exported so engine users can select the PGAS world backend, pool and
 // lease worlds for [`Engine::attach_world`], and match on the decomposition
 // errors surfaced through [`EngineError`].
-pub use halox_dd::{GridError, GridOptions, PlanError};
+pub use halox_dd::{DdBounds, GridError, GridOptions, PlanError};
 pub use halox_shmem::{PoolStats, WorldBackend, WorldKey, WorldLease, WorldPool};

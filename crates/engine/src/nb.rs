@@ -35,6 +35,9 @@ pub(crate) struct NbEvaluator {
     /// Local-partition `(energy, virial)` computed during the overlap
     /// window, pending the staleness verdict of this round's list.
     pending_local: Option<(f64, f64)>,
+    /// Pair interactions in the list used by the most recent
+    /// [`NbEvaluator::compute`] round (local + halo partitions).
+    last_pairs: u64,
 }
 
 impl NbEvaluator {
@@ -46,7 +49,16 @@ impl NbEvaluator {
             coords: SoaCoords::default(),
             lane_forces: SoaForces::default(),
             pending_local: None,
+            last_pairs: 0,
         }
+    }
+
+    /// Pair interactions evaluated by the most recent
+    /// [`NbEvaluator::compute`] round — the deterministic half of the DLB
+    /// counter metric. The count comes from the pair *list*, so it is
+    /// identical with or without the overlap window and across executors.
+    pub fn last_pair_count(&self) -> u64 {
+        self.last_pairs
     }
 
     /// True when an overlap window can do useful work: cluster kernel with
@@ -112,6 +124,7 @@ impl NbEvaluator {
                     }));
                 }
                 let pl = self.pairlist.as_ref().expect("pair list just ensured");
+                self.last_pairs = pl.n_pairs() as u64;
                 timer.time("nb_scalar", || {
                     compute_nonbonded_virial(frame, positions, kinds, pl, params, forces)
                 })
@@ -130,6 +143,7 @@ impl NbEvaluator {
                     self.pending_local = None;
                 }
                 let cl = self.clusters.as_ref().expect("cluster list just ensured");
+                self.last_pairs = cl.n_pairs() as u64;
                 let coords = &mut self.coords;
                 let lanes = &mut self.lane_forces;
                 let (e_l, w_l) = match self.pending_local.take() {

@@ -14,15 +14,16 @@
 //! and re-scattered, and PEs get fresh index maps.
 
 use crate::checkpoint::{Checkpoint, CheckpointError, ConfigFingerprint, StatsSnapshot};
-use crate::config::{EngineConfig, ExchangeBackend, RunMode};
+use crate::config::{DlbMode, EngineConfig, ExchangeBackend, RunMode};
 use crate::devtimer::PhaseTimer;
+use crate::dlb::DlbController;
 use crate::health::HealthBoard;
 use crate::nb::NbEvaluator;
 use halox_core::{build_contexts, exec, CommContext, FusedBuffers};
 use halox_core::{ExchangeError, StallReport, Watchdog};
 use halox_dd::{
-    reference_coordinate_exchange, reference_force_exchange, try_build_partition, try_choose_grid,
-    DdGrid, DdPartition, GridError, GridOptions, PlanError,
+    reference_coordinate_exchange, reference_force_exchange, try_build_partition_with,
+    try_choose_grid, DdGrid, DdPartition, GridError, GridOptions, PlanError,
 };
 use halox_md::forces::{angle_virial, bond_virial, compute_angles, compute_bonds, NonbondedParams};
 use halox_md::pairlist::eighth_shell_rule;
@@ -81,6 +82,17 @@ pub struct RunStats {
     /// per-rank wall time, so with N threaded ranks a phase can total more
     /// than `wall_seconds`.
     pub phases: PhaseTimer,
+    /// Per-rank DLB load totals summed over this call's segments (the
+    /// counter metric, or wall-clock microseconds under
+    /// `DlbMode::Wallclock`). Also populated with DLB off — it is how the
+    /// static baseline's imbalance is measured. Fault-free accounting:
+    /// segments replayed after a rewind are counted again.
+    pub rank_loads: Vec<u64>,
+    /// Σ over segments of the *maximum* per-rank load — the critical-path
+    /// work a perfectly synchronized machine would execute serially.
+    pub critical_load: u64,
+    /// Boundary updates the DLB controller applied during this call.
+    pub dlb_updates: usize,
 }
 
 impl RunStats {
@@ -89,6 +101,18 @@ impl RunStats {
     /// (e.g. a partition-only warm-up) and must not panic downstream.
     pub fn final_energy(&self) -> Option<&EnergyReport> {
         self.energies.last()
+    }
+
+    /// Max/mean ratio of the per-rank load totals — 1.0 is perfect
+    /// balance; `None` for a zero-step (or zero-load) run.
+    pub fn load_ratio(&self) -> Option<f64> {
+        let n = self.rank_loads.len();
+        let total: u64 = self.rank_loads.iter().sum();
+        if n == 0 || total == 0 {
+            return None;
+        }
+        let max = *self.rank_loads.iter().max().expect("n > 0") as f64;
+        Some(max / (total as f64 / n as f64))
     }
 }
 
@@ -227,6 +251,12 @@ struct RankResult {
     velocities: Vec<Vec3>,
     energies: Vec<EnergyReport>,
     phases: PhaseTimer,
+    /// Deterministic work units this rank executed over the segment: pair
+    /// interactions in its list plus owned atoms, per force round.
+    work: u64,
+    /// Wall-clock microseconds this rank's segment loop took (the
+    /// `DlbMode::Wallclock` load metric; nondeterministic by nature).
+    wall_us: u64,
 }
 
 /// Wire encoding so rank results can cross the process boundary of the
@@ -238,6 +268,8 @@ impl Wire for RankResult {
         self.velocities.encode(out);
         self.energies.encode(out);
         self.phases.encode(out);
+        self.work.encode(out);
+        self.wall_us.encode(out);
     }
 
     fn decode(r: &mut WireReader) -> Result<Self, WireError> {
@@ -247,6 +279,8 @@ impl Wire for RankResult {
             velocities: Wire::decode(r)?,
             energies: Wire::decode(r)?,
             phases: Wire::decode(r)?,
+            work: u64::decode(r)?,
+            wall_us: u64::decode(r)?,
         })
     }
 }
@@ -288,6 +322,17 @@ pub struct Engine {
     /// `Some(n)` once the checkpoint directory has been opened and swept of
     /// orphaned writer tmp files; the sweep runs once per engine.
     orphans_swept: Option<usize>,
+    /// Movable DD cell boundaries + the balancing policy (DESIGN.md §3.8).
+    /// Always present; with `config.dlb == Off` the bounds simply stay
+    /// uniform and `update` is never called. Bounds are trajectory state:
+    /// checkpointed, restored on resume, rewound on replay.
+    dlb: DlbController,
+    /// Per-rank load totals of the current run (reset per `try_run*`).
+    run_loads: Vec<u64>,
+    /// Σ of per-segment maximum loads of the current run.
+    run_critical: u64,
+    /// DLB updates applied during the current run.
+    run_dlb_updates: usize,
 }
 
 /// A summary, not a dump: `system` alone is tens of thousands of floats.
@@ -307,6 +352,7 @@ impl std::fmt::Debug for Engine {
 
 impl Engine {
     pub fn new(system: System, grid: DdGrid, config: EngineConfig) -> Self {
+        let dlb = DlbController::new(&grid, system.pbc.lengths(), config.r_comm());
         Engine {
             system,
             grid,
@@ -320,6 +366,43 @@ impl Engine {
             phases: PhaseTimer::new(),
             leased: None,
             orphans_swept: None,
+            dlb,
+            run_loads: Vec::new(),
+            run_critical: 0,
+            run_dlb_updates: 0,
+        }
+    }
+
+    /// The movable cell boundaries the next segment will partition under
+    /// (uniform until a DLB update shifts them or a resume restores
+    /// shifted ones).
+    pub fn bounds(&self) -> &halox_dd::DdBounds {
+        &self.dlb.bounds
+    }
+
+    /// `min_pulses` for partition builds: pinned when DLB is active so the
+    /// slot layout survives boundary drift, `None` (pure geometry) when
+    /// off — which keeps DLB-off runs byte-identical to the pre-DLB
+    /// engine.
+    fn min_pulses(&self) -> Option<[usize; 3]> {
+        self.dlb.min_pulses(self.config.dlb)
+    }
+
+    /// Fold one successful segment's per-rank loads into the run
+    /// accounting and, when DLB is on, shift the boundaries for the next
+    /// segment. Called exactly once per *successful* segment (failed
+    /// attempts never reach the gather), identically on both executors.
+    fn note_segment_loads(&mut self, loads: &[u64]) {
+        if self.run_loads.len() != loads.len() {
+            self.run_loads = vec![0; loads.len()];
+        }
+        for (acc, &w) in self.run_loads.iter_mut().zip(loads) {
+            *acc += w;
+        }
+        self.run_critical += loads.iter().copied().max().unwrap_or(0);
+        if self.config.dlb != DlbMode::Off {
+            self.dlb.update(loads);
+            self.run_dlb_updates += 1;
         }
     }
 
@@ -378,11 +461,20 @@ impl Engine {
             )));
         }
         let grid = DdGrid::new([gx, gy, gz]);
+        // Same discipline as the grid/energies check above: CRC-valid but
+        // inconsistent boundary vectors must be a typed error, not a panic
+        // (or worse, a silent mis-partition) downstream.
+        if let Err(e) = ck.bounds.validate(&grid) {
+            return Err(EngineError::Checkpoint(CheckpointError::Decode(
+                WireError::malformed(format!("inconsistent checkpoint bounds: {e}")),
+            )));
+        }
         let expected = ConfigFingerprint::of(&config, grid.dims, ck.system.n_atoms());
         ck.fingerprint
             .check(&expected)
             .map_err(EngineError::Checkpoint)?;
         let mut engine = Engine::new(ck.system.clone(), grid, config);
+        engine.dlb.bounds = ck.bounds.clone();
         engine.resume = Some(ResumeSeed {
             step: ck.step,
             energies: ck.energies.clone(),
@@ -417,6 +509,7 @@ impl Engine {
             system: self.system.clone(),
             energies: seed.energies.clone(),
             stats: seed.stats,
+            bounds: self.dlb.bounds.clone(),
         })
     }
 
@@ -441,8 +534,14 @@ impl Engine {
     /// pulse schedule. Fails when the system cannot be decomposed on this
     /// grid (same typed error a run would hit).
     pub fn world_key(&self) -> Result<WorldKey, EngineError> {
-        let part = try_build_partition(&self.system, &self.grid, self.config.r_comm())
-            .map_err(EngineError::PlanFailed)?;
+        let part = try_build_partition_with(
+            &self.system,
+            &self.grid,
+            &self.dlb.bounds,
+            self.config.r_comm(),
+            self.min_pulses(),
+        )
+        .map_err(EngineError::PlanFailed)?;
         Ok(WorldKey {
             backend: self.config.world_backend,
             topology: self.config.topology(part.n_ranks()),
@@ -484,6 +583,7 @@ impl Engine {
             system: self.system.clone(),
             energies: energies.to_vec(),
             stats: recovery.snapshot(),
+            bounds: self.dlb.bounds.clone(),
         }
     }
 
@@ -547,6 +647,9 @@ impl Engine {
     ) -> Result<RunStats, EngineError> {
         let t0 = Instant::now();
         self.phases = PhaseTimer::new();
+        self.run_loads.clear();
+        self.run_critical = 0;
+        self.run_dlb_updates = 0;
         let had_seed = self.resume.is_some();
         let (base, mut energies, corrupt_skipped, mut recovery) = match self.resume.take() {
             Some(seed) => (
@@ -624,6 +727,9 @@ impl Engine {
                     seg_index = 0;
                     self.system = ck.system.clone();
                     energies.clone_from(&ck.energies);
+                    // Boundaries are trajectory state like the system: the
+                    // replay must repartition exactly as the first pass did.
+                    self.dlb.bounds = ck.bounds.clone();
                     self.cached_buffers = None;
                     if let Some(h) = self.health.as_mut() {
                         h.recover_failed();
@@ -670,6 +776,9 @@ impl Engine {
             corrupt_checkpoints_skipped: corrupt_skipped,
             orphan_tmp_swept: self.orphans_swept.unwrap_or(0),
             phases: self.phases.clone(),
+            rank_loads: self.run_loads.clone(),
+            critical_load: self.run_critical,
+            dlb_updates: self.run_dlb_updates,
         })
     }
 
@@ -810,8 +919,14 @@ impl Engine {
     ) -> Result<Vec<EnergyReport>, SegmentFailure> {
         let mut cfg = self.config.clone();
         cfg.backend = backend;
-        let part = try_build_partition(&self.system, &self.grid, cfg.r_comm())
-            .map_err(SegmentFailure::Plan)?;
+        let part = try_build_partition_with(
+            &self.system,
+            &self.grid,
+            &self.dlb.bounds,
+            cfg.r_comm(),
+            self.min_pulses(),
+        )
+        .map_err(SegmentFailure::Plan)?;
         let ctxs = build_contexts(&part);
         let n_ranks = part.n_ranks();
         let system = Arc::new(self.system.clone());
@@ -939,11 +1054,17 @@ impl Engine {
 
         // Gather home atoms back into the global system.
         let mut energies = vec![EnergyReport::default(); steps];
-        for r in results
+        let mut loads = vec![0u64; n_ranks];
+        for (idx, r) in results
             .into_iter()
             .map(|r| r.expect("errors handled above"))
+            .enumerate()
         {
             self.phases.merge(&r.phases);
+            loads[idx] = match cfg.dlb {
+                DlbMode::Wallclock => r.wall_us,
+                _ => r.work,
+            };
             for (k, &g) in r.home_ids.iter().enumerate() {
                 self.system.positions[g as usize] = self.system.pbc.wrap(r.positions[k]);
                 self.system.velocities[g as usize] = r.velocities[k];
@@ -956,6 +1077,7 @@ impl Engine {
                 energies[s].virial += e.virial;
             }
         }
+        self.note_segment_loads(&loads);
         Ok(energies)
     }
 
@@ -973,8 +1095,14 @@ impl Engine {
     /// which `halox-bench threads` measures latency overlap.
     fn run_segment_serial(&mut self, steps: usize) -> Result<Vec<EnergyReport>, EngineError> {
         let cfg = self.config.clone();
-        let part = try_build_partition(&self.system, &self.grid, cfg.r_comm())
-            .map_err(EngineError::PlanFailed)?;
+        let part = try_build_partition_with(
+            &self.system,
+            &self.grid,
+            &self.dlb.bounds,
+            cfg.r_comm(),
+            self.min_pulses(),
+        )
+        .map_err(EngineError::PlanFailed)?;
         let n_ranks = part.n_ranks();
         let system = self.system.clone();
         let params = NonbondedParams::new(cfg.cutoff);
@@ -1023,6 +1151,11 @@ impl Engine {
         let mut per_rank_energies: Vec<Vec<EnergyReport>> =
             (0..n_ranks).map(|_| Vec::with_capacity(steps)).collect();
         let ndf = 3.0 * system.n_atoms() as f64 - 3.0;
+        // DLB load accounting, mirroring `rank_segment`: deterministic work
+        // units per rank, and per-rank wall time of the force computation
+        // (the only per-rank-attributable phase a serialized driver has).
+        let mut rank_work = vec![0u64; n_ranks];
+        let mut rank_wall_us = vec![0u64; n_ranks];
 
         // Exchange + force round over all ranks; returns per-rank
         // (nonbonded, bonds, angles, virial) in rank order. Mirrors
@@ -1035,6 +1168,7 @@ impl Engine {
                 }
                 let mut terms = Vec::with_capacity(n_ranks);
                 for (r, plan) in part.ranks.iter().enumerate() {
+                    let round_t0 = Instant::now();
                     let n_local = plan.n_local();
                     let disp = &plan.displacement;
                     let ids = &plan.global_ids;
@@ -1079,6 +1213,8 @@ impl Engine {
                     let virial = w_nb
                         + bond_virial(&system.pbc, &positions[r], &plan.bonds)
                         + angle_virial(&system.pbc, &positions[r], &plan.angles);
+                    rank_work[r] += nbs[r].last_pair_count() + plan.n_home as u64;
+                    rank_wall_us[r] += round_t0.elapsed().as_micros() as u64;
                     terms.push((nonbonded, bonds, angles, virial));
                 }
                 reference_force_exchange(&part, &mut forces);
@@ -1204,6 +1340,11 @@ impl Engine {
                 energies[s].virial += e.virial;
             }
         }
+        let loads = match cfg.dlb {
+            DlbMode::Wallclock => rank_wall_us,
+            _ => rank_work,
+        };
+        self.note_segment_loads(&loads);
         Ok(energies)
     }
 }
@@ -1246,6 +1387,11 @@ fn rank_segment(
 
     let mut nb = NbEvaluator::new(cfg.nb_kernel);
     let mut timer = PhaseTimer::new();
+
+    // DLB load accounting: deterministic work units (pairs + owned atoms
+    // per force round) and the segment's wall time on this PE.
+    let mut work: u64 = 0;
+    let seg_t0 = Instant::now();
 
     // One signal value per exchange round (coordinate and force slots are
     // disjoint, so a round shares one value); also used as the two-sided
@@ -1329,6 +1475,7 @@ fn rank_segment(
                     &mut timer,
                 )
             };
+            work += nb.last_pair_count() + n_home as u64;
             let local_ident = |g: u32| Some(g);
             let bonds = compute_bonds(
                 &system.pbc,
@@ -1487,6 +1634,8 @@ fn rank_segment(
         velocities,
         energies,
         phases: timer,
+        work,
+        wall_us: seg_t0.elapsed().as_micros() as u64,
     })
 }
 
@@ -2203,6 +2352,94 @@ mod tests {
         assert!(dbg.contains("Engine") && dbg.contains("n_atoms"), "{dbg}");
         // The summary must not dump per-atom state.
         assert!(dbg.len() < 500, "{}", dbg.len());
+    }
+
+    fn relaxed_skewed(n: usize, seed: u64) -> System {
+        use halox_md::{SkewProfile, SkewedBuilder};
+        let mut sys = SkewedBuilder::new(n, SkewProfile::Interface)
+            .seed(seed)
+            .temperature(220.0)
+            .build();
+        halox_md::minimize::steepest_descent(&mut sys, MinimizeOptions::default());
+        sys
+    }
+
+    #[test]
+    fn dlb_counter_mode_is_bitwise_across_executors() {
+        use crate::config::DlbMode;
+        // The §3.8 contract in miniature: with the deterministic counter
+        // metric, both executors feed the controller identical loads, so
+        // boundaries — and therefore trajectories — stay bitwise equal
+        // even though the decomposition is being re-shaped mid-run.
+        let sys = relaxed_skewed(3000, 41);
+        let run = |mode: RunMode| {
+            let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
+            cfg.nstlist = 5;
+            cfg.dlb = DlbMode::Counter;
+            cfg.run_mode = mode;
+            let mut engine = Engine::new(sys.clone(), DdGrid::new([4, 1, 1]), cfg);
+            let stats = engine.run(15);
+            (engine, stats)
+        };
+        let (s_eng, s_stats) = run(RunMode::Serial);
+        let (t_eng, t_stats) = run(RunMode::Threaded);
+        assert_eq!(s_stats.dlb_updates, 3, "one update per segment");
+        assert!(
+            !s_eng.bounds().is_uniform(),
+            "a skewed interface system must move boundaries"
+        );
+        for d in 0..3 {
+            for (a, b) in s_eng.bounds().fracs[d].iter().zip(&t_eng.bounds().fracs[d]) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert_eq!(s_stats.rank_loads, t_stats.rank_loads);
+        assert_eq!(s_stats.critical_load, t_stats.critical_load);
+        for (a, b) in s_eng.system.positions.iter().zip(&t_eng.system.positions) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
+    }
+
+    #[test]
+    fn dlb_reduces_load_imbalance_on_skewed_system() {
+        use crate::config::DlbMode;
+        let sys = relaxed_skewed(4000, 42);
+        let run = |dlb: DlbMode| {
+            let mut cfg = EngineConfig::new(ExchangeBackend::NvshmemFused);
+            cfg.nstlist = 5;
+            cfg.run_mode = RunMode::Serial;
+            cfg.dlb = dlb;
+            let mut engine = Engine::new(sys.clone(), DdGrid::new([4, 1, 1]), cfg);
+            // Warm-up run lets the controller converge; the second run's
+            // loads measure the balanced steady state.
+            engine.run(15);
+            engine.run(15)
+        };
+        let r_static = run(DlbMode::Off).load_ratio().expect("loads recorded");
+        let r_dlb = run(DlbMode::Counter).load_ratio().expect("loads recorded");
+        assert!(
+            r_dlb < r_static,
+            "DLB must improve max/mean load: static {r_static:.3}, dlb {r_dlb:.3}"
+        );
+        assert!(r_static > 1.2, "interface system must start imbalanced");
+    }
+
+    #[test]
+    fn dlb_off_reports_static_loads_without_moving_bounds() {
+        let sys = relaxed_system(3000, 43);
+        let (mut cfg, dims) = (EngineConfig::new(ExchangeBackend::NvshmemFused), [2, 2, 1]);
+        cfg.nstlist = 5;
+        let mut engine = Engine::new(sys, DdGrid::new(dims), cfg);
+        let stats = engine.run(10);
+        assert_eq!(stats.dlb_updates, 0);
+        assert!(engine.bounds().is_uniform());
+        assert_eq!(stats.rank_loads.len(), 4);
+        assert!(stats.rank_loads.iter().all(|&w| w > 0));
+        assert!(stats.critical_load >= *stats.rank_loads.iter().max().unwrap() / 2);
+        let ratio = stats.load_ratio().expect("loads recorded");
+        assert!(ratio >= 1.0);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub use observables::{DriftTracker, EnergyReport};
 pub use pairlist::PairList;
 pub use pbc::PbcBox;
 pub use soa::{SoaCoords, SoaForces};
-pub use system::{GrappaBuilder, System, GRAPPA_ATOM_DENSITY, KB};
+pub use system::{GrappaBuilder, SkewProfile, SkewedBuilder, System, GRAPPA_ATOM_DENSITY, KB};
 pub use topology::{Angle, AtomKind, Bond, LjParams, MoleculeTemplate};
 pub use trajectory::{read_xyz_frame, write_xyz_frame, TrajectoryWriter};
 pub use vec3::{DVec3, Vec3};

@@ -94,6 +94,95 @@ impl System {
     }
 }
 
+/// Shared molecule-placement state for the system builders: accumulates
+/// per-atom arrays and topology while molecules are pushed one at a time.
+struct Assembly {
+    positions: Vec<Vec3>,
+    velocities: Vec<Vec3>,
+    kinds: Vec<AtomKind>,
+    inv_mass: Vec<f32>,
+    bonds: Vec<Bond>,
+    angles: Vec<Angle>,
+    molecule_of: Vec<u32>,
+    exclusions: Vec<Vec<u32>>,
+}
+
+impl Assembly {
+    fn with_capacity(n_atoms: usize) -> Self {
+        Assembly {
+            positions: Vec::with_capacity(n_atoms),
+            velocities: Vec::with_capacity(n_atoms),
+            kinds: Vec::with_capacity(n_atoms),
+            inv_mass: Vec::with_capacity(n_atoms),
+            bonds: Vec::new(),
+            angles: Vec::new(),
+            molecule_of: Vec::with_capacity(n_atoms),
+            exclusions: Vec::with_capacity(n_atoms),
+        }
+    }
+
+    /// Place one molecule at `anchor` (template orientation), drawing site
+    /// velocities from the rng in site order — the draw order is part of
+    /// the builders' determinism contract.
+    fn push_molecule(
+        &mut self,
+        pbc: &PbcBox,
+        tmpl: &MoleculeTemplate,
+        anchor: Vec3,
+        mol_idx: usize,
+        temperature: f32,
+        rng: &mut StdRng,
+    ) {
+        let base = self.positions.len() as u32;
+        for (site, &kind) in tmpl.geometry.iter().zip(&tmpl.kinds) {
+            self.positions.push(pbc.wrap(anchor + *site));
+            self.kinds.push(kind);
+            self.inv_mass.push(1.0 / kind.mass());
+            self.molecule_of.push(mol_idx as u32);
+            self.velocities
+                .push(maxwell_boltzmann(rng, kind.mass(), temperature));
+        }
+        for b in &tmpl.bonds {
+            self.bonds.push(Bond {
+                i: base + b.i,
+                j: base + b.j,
+                ..*b
+            });
+        }
+        for a in &tmpl.angles {
+            self.angles.push(Angle {
+                i: base + a.i,
+                j: base + a.j,
+                k_atom: base + a.k_atom,
+                ..*a
+            });
+        }
+        // Full intramolecular exclusion (3-site molecules).
+        let n = tmpl.n_sites() as u32;
+        for s in 0..n {
+            let mut ex: Vec<u32> = (0..n).filter(|&t| t != s).map(|t| base + t).collect();
+            ex.sort_unstable();
+            self.exclusions.push(ex);
+        }
+    }
+
+    fn into_system(self, pbc: PbcBox) -> System {
+        let mut sys = System {
+            pbc,
+            positions: self.positions,
+            velocities: self.velocities,
+            kinds: self.kinds,
+            inv_mass: self.inv_mass,
+            bonds: self.bonds,
+            angles: self.angles,
+            molecule_of: self.molecule_of,
+            exclusions: self.exclusions,
+        };
+        sys.remove_com_velocity();
+        sys
+    }
+}
+
 /// Builder for grappa-like systems.
 #[derive(Debug, Clone)]
 pub struct GrappaBuilder {
@@ -159,14 +248,7 @@ impl GrappaBuilder {
         let spacing = edge / n_side as f32;
 
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut positions = Vec::with_capacity(n_atoms);
-        let mut velocities = Vec::with_capacity(n_atoms);
-        let mut kinds = Vec::with_capacity(n_atoms);
-        let mut inv_mass = Vec::with_capacity(n_atoms);
-        let mut bonds = Vec::new();
-        let mut angles = Vec::new();
-        let mut molecule_of = Vec::with_capacity(n_atoms);
-        let mut exclusions: Vec<Vec<u32>> = Vec::with_capacity(n_atoms);
+        let mut asm = Assembly::with_capacity(n_atoms);
 
         let mut mol_idx = 0usize;
         'outer: for ix in 0..n_side {
@@ -195,56 +277,202 @@ impl GrappaBuilder {
                     // density, random orientations on this tight lattice
                     // produce steric clashes; a short minimization then
                     // decorrelates the structure (see `minimize`).
-                    let base = positions.len() as u32;
-                    for (site, &kind) in tmpl.geometry.iter().zip(&tmpl.kinds) {
-                        positions.push(pbc.wrap(anchor + *site));
-                        kinds.push(kind);
-                        inv_mass.push(1.0 / kind.mass());
-                        molecule_of.push(mol_idx as u32);
-                        velocities.push(maxwell_boltzmann(&mut rng, kind.mass(), self.temperature));
-                    }
-                    for b in &tmpl.bonds {
-                        bonds.push(Bond {
-                            i: base + b.i,
-                            j: base + b.j,
-                            ..*b
-                        });
-                    }
-                    for a in &tmpl.angles {
-                        angles.push(Angle {
-                            i: base + a.i,
-                            j: base + a.j,
-                            k_atom: base + a.k_atom,
-                            ..*a
-                        });
-                    }
-                    // Full intramolecular exclusion (3-site molecules).
-                    let n = tmpl.n_sites() as u32;
-                    for s in 0..n {
-                        let mut ex: Vec<u32> =
-                            (0..n).filter(|&t| t != s).map(|t| base + t).collect();
-                        ex.sort_unstable();
-                        exclusions.push(ex);
-                    }
+                    asm.push_molecule(&pbc, tmpl, anchor, mol_idx, self.temperature, &mut rng);
                     mol_idx += 1;
                 }
             }
         }
         assert_eq!(mol_idx, n_mols, "lattice too small for molecule count");
+        asm.into_system(pbc)
+    }
+}
 
-        let mut sys = System {
-            pbc,
-            positions,
-            velocities,
-            kinds,
-            inv_mass,
-            bonds,
-            angles,
-            molecule_of,
-            exclusions,
+/// Spatial density profile for [`SkewedBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkewProfile {
+    /// A dense spherical droplet centered in the box, sparse vapor around
+    /// it — loads whichever DD cells hold the sphere.
+    Droplet,
+    /// A dense liquid slab at low x against a sparse region — the classic
+    /// liquid/vapor interface, loading the low-x DD cells of a 1D grid.
+    Interface,
+}
+
+/// Builder for inhomogeneous (skewed-density) benchmark systems: the same
+/// water–ethanol chemistry as [`GrappaBuilder`], but with a configurable
+/// fraction of the molecules packed into a sub-region of the box. These are
+/// the systems where static uniform DD cells leave one PE doing a multiple
+/// of the mean work — the dynamic-load-balancing workload.
+#[derive(Debug, Clone)]
+pub struct SkewedBuilder {
+    target_atoms: usize,
+    density: f64,
+    ethanol_fraction: f64,
+    temperature: f32,
+    seed: u64,
+    jitter: f32,
+    profile: SkewProfile,
+    /// Fraction of all molecules placed in the dense region.
+    dense_share: f64,
+    /// Size of the dense region as a fraction of the box: slab width in x
+    /// (Interface) or sphere radius (Droplet).
+    dense_extent: f64,
+}
+
+impl SkewedBuilder {
+    /// Target roughly `target_atoms` total atoms (rounded to whole
+    /// molecules) at the usual overall grappa density, with half of them in
+    /// a quarter-box dense region (a 2x-liquid slab against a thin vapor).
+    pub fn new(target_atoms: usize, profile: SkewProfile) -> Self {
+        SkewedBuilder {
+            target_atoms,
+            density: GRAPPA_ATOM_DENSITY,
+            ethanol_fraction: ETHANOL_MOLE_FRACTION,
+            temperature: 300.0,
+            seed: 0x9E3779B97F4A7C15,
+            jitter: 0.15,
+            profile,
+            dense_share: 0.5,
+            dense_extent: 0.25,
+        }
+    }
+
+    pub fn temperature(mut self, t: f32) -> Self {
+        assert!(t >= 0.0);
+        self.temperature = t;
+        self
+    }
+
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    pub fn dense_share(mut self, share: f64) -> Self {
+        assert!((0.0..=1.0).contains(&share));
+        self.dense_share = share;
+        self
+    }
+
+    pub fn dense_extent(mut self, extent: f64) -> Self {
+        assert!(extent > 0.0 && extent < 0.5);
+        self.dense_extent = extent;
+        self
+    }
+
+    pub fn build(&self) -> System {
+        let water = MoleculeTemplate::water();
+        let ethanol = MoleculeTemplate::ethanol();
+        let n_mols = (self.target_atoms / 3).max(1);
+        let n_eth = ((n_mols as f64) * self.ethanol_fraction).round() as usize;
+        let n_atoms = n_mols * 3;
+        let edge = (n_atoms as f64 / self.density).cbrt() as f32;
+        let pbc = PbcBox::cubic(edge);
+
+        let n_dense = ((n_mols as f64) * self.dense_share).round() as usize;
+        let n_sparse = n_mols - n_dense;
+        let center = Vec3::splat(edge * 0.5);
+        let radius = (self.dense_extent * edge as f64) as f32;
+
+        // Anchors: dense region first, then the sparse remainder, both on
+        // region-fitted lattices enumerated in a fixed order.
+        let anchors = match self.profile {
+            SkewProfile::Interface => {
+                let split = (self.dense_extent * edge as f64) as f32;
+                let mut a =
+                    lattice_anchors(n_dense, Vec3::ZERO, Vec3::new(split, edge, edge), |_| true);
+                a.extend(lattice_anchors(
+                    n_sparse,
+                    Vec3::new(split, 0.0, 0.0),
+                    Vec3::new(edge, edge, edge),
+                    |_| true,
+                ));
+                a
+            }
+            SkewProfile::Droplet => {
+                let mut a = lattice_anchors(
+                    n_dense,
+                    center - Vec3::splat(radius),
+                    center + Vec3::splat(radius),
+                    |p| (p - center).norm() <= radius,
+                );
+                a.extend(lattice_anchors(
+                    n_sparse,
+                    Vec3::ZERO,
+                    Vec3::new(edge, edge, edge),
+                    |p| (p - center).norm() > radius,
+                ));
+                a
+            }
         };
-        sys.remove_com_velocity();
-        sys
+        assert_eq!(anchors.len(), n_mols);
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut asm = Assembly::with_capacity(n_atoms);
+        for (mol_idx, anchor) in anchors.iter().enumerate() {
+            let is_eth =
+                n_eth > 0 && (mol_idx * n_eth) / n_mols != ((mol_idx + 1) * n_eth) / n_mols;
+            let tmpl = if is_eth { &ethanol } else { &water };
+            // Jitter scaled to the local lattice: use a fixed small
+            // displacement so dense-region molecules stay inside it.
+            let jit_scale = self.jitter * 0.3;
+            let jit = Vec3::new(
+                rng.gen_range(-0.5..0.5) * jit_scale,
+                rng.gen_range(-0.5..0.5) * jit_scale,
+                rng.gen_range(-0.5..0.5) * jit_scale,
+            );
+            asm.push_molecule(
+                &pbc,
+                tmpl,
+                *anchor + jit,
+                mol_idx,
+                self.temperature,
+                &mut rng,
+            );
+        }
+        asm.into_system(pbc)
+    }
+}
+
+/// Deterministically place `count` lattice anchors inside the axis-aligned
+/// region `[lo, hi)` restricted by `keep`. The lattice spacing starts at the
+/// value matching the accepted sub-volume and shrinks geometrically until
+/// enough sites qualify; sites are consumed in (x, y, z)-major order.
+fn lattice_anchors(count: usize, lo: Vec3, hi: Vec3, keep: impl Fn(Vec3) -> bool) -> Vec<Vec3> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let ext = hi - lo;
+    let volume = (ext.x as f64) * (ext.y as f64) * (ext.z as f64);
+    let mut spacing = (volume / count as f64).cbrt() as f32;
+    loop {
+        let nx = ((ext.x / spacing).ceil() as usize).max(1);
+        let ny = ((ext.y / spacing).ceil() as usize).max(1);
+        let nz = ((ext.z / spacing).ceil() as usize).max(1);
+        let (sx, sy, sz) = (ext.x / nx as f32, ext.y / ny as f32, ext.z / nz as f32);
+        let mut sites = Vec::with_capacity(count);
+        'fill: for ix in 0..nx {
+            for iy in 0..ny {
+                for iz in 0..nz {
+                    let p = lo
+                        + Vec3::new(
+                            (ix as f32 + 0.5) * sx,
+                            (iy as f32 + 0.5) * sy,
+                            (iz as f32 + 0.5) * sz,
+                        );
+                    if keep(p) {
+                        sites.push(p);
+                        if sites.len() == count {
+                            break 'fill;
+                        }
+                    }
+                }
+            }
+        }
+        if sites.len() == count {
+            return sites;
+        }
+        spacing *= 0.95;
     }
 }
 
@@ -368,5 +596,74 @@ mod tests {
         let sys = GrappaBuilder::new(300).temperature(0.0).build();
         // COM removal of zeros is still zeros.
         assert!(sys.velocities.iter().all(|v| v.norm() == 0.0));
+    }
+
+    #[test]
+    fn interface_packs_dense_slab_at_low_x() {
+        let sys = SkewedBuilder::new(6000, SkewProfile::Interface)
+            .seed(9)
+            .build();
+        assert_eq!(sys.n_atoms(), 6000);
+        // Overall density unchanged; spatial distribution skewed: half the
+        // atoms in the first quarter of the box.
+        let d = sys.density();
+        assert!(
+            (d - GRAPPA_ATOM_DENSITY).abs() / GRAPPA_ATOM_DENSITY < 0.01,
+            "{d}"
+        );
+        let split = sys.pbc.lengths().x * 0.25;
+        let low = sys.positions.iter().filter(|p| p.x < split).count();
+        let frac = low as f64 / sys.n_atoms() as f64;
+        assert!((frac - 0.5).abs() < 0.03, "low-x fraction {frac}");
+        for &p in &sys.positions {
+            assert!(sys.pbc.contains(p), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn droplet_packs_dense_sphere_at_center() {
+        let sys = SkewedBuilder::new(6000, SkewProfile::Droplet)
+            .seed(9)
+            .dense_share(0.6)
+            .build();
+        let edge = sys.pbc.lengths().x;
+        let center = Vec3::splat(edge * 0.5);
+        let radius = edge * 0.25;
+        let inside = sys
+            .positions
+            .iter()
+            .filter(|p| (**p - center).norm() <= radius + 0.1)
+            .count();
+        let frac = inside as f64 / sys.n_atoms() as f64;
+        assert!((frac - 0.6).abs() < 0.05, "droplet fraction {frac}");
+    }
+
+    #[test]
+    fn skewed_builder_deterministic_for_seed() {
+        let a = SkewedBuilder::new(3000, SkewProfile::Interface)
+            .seed(4)
+            .build();
+        let b = SkewedBuilder::new(3000, SkewProfile::Interface)
+            .seed(4)
+            .build();
+        assert_eq!(a.positions, b.positions);
+        assert_eq!(a.velocities, b.velocities);
+        let c = SkewedBuilder::new(3000, SkewProfile::Interface)
+            .seed(5)
+            .build();
+        assert_ne!(a.positions, c.positions);
+    }
+
+    #[test]
+    fn skewed_share_and_extent_configurable() {
+        let sys = SkewedBuilder::new(6000, SkewProfile::Interface)
+            .dense_share(0.7)
+            .dense_extent(0.3)
+            .seed(12)
+            .build();
+        let split = sys.pbc.lengths().x * 0.3;
+        let low = sys.positions.iter().filter(|p| p.x < split).count();
+        let frac = low as f64 / sys.n_atoms() as f64;
+        assert!((frac - 0.7).abs() < 0.03, "low-x fraction {frac}");
     }
 }

@@ -112,12 +112,16 @@ impl Job {
             .chaos
             .as_ref()
             .map(|plan| Arc::new(ChaosEngine::new(plan.clone(), key.topology.npes)));
+        // Step-0 baseline: boundaries have not moved yet (a resumed
+        // slice carries the engine's shifted bounds via `suspend`).
+        let bounds = engine.bounds().clone();
         let state = Checkpoint {
             fingerprint: engine.fingerprint(),
             step: 0,
             system: engine.system,
             energies: Vec::new(),
             stats: StatsSnapshot::default(),
+            bounds,
         };
         Ok(Job {
             id,

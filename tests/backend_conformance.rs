@@ -16,9 +16,9 @@
 //! env lever is process-global, and this binary deliberately runs both
 //! backends side by side.
 
-use halox::dd::DdGrid;
+use halox::dd::{build_partition, DdGrid};
 use halox::engine::{
-    Checkpoint, CheckpointConfig, CheckpointError, Engine, EngineConfig, EngineError,
+    Checkpoint, CheckpointConfig, CheckpointError, DlbMode, Engine, EngineConfig, EngineError,
     ExchangeBackend, PeerState, RunMode, RunStats, Thermostat, WorldBackend,
 };
 use halox::md::minimize::{steepest_descent, MinimizeOptions};
@@ -234,6 +234,63 @@ fn trajectories_bitwise_serial_threaded_procs() {
     }
 }
 
+/// Dynamic load balancing in counter mode moves cell boundaries from a
+/// deterministic work metric (pairs evaluated + owned atoms), so the
+/// boundary trajectory — and with it the whole MD trajectory — must stay
+/// bitwise identical across all three executors. The thermostat stays on:
+/// shifted slabs change per-rank atom counts, and the kinetic-energy
+/// allreduce must still produce the one canonical tree-ordered sum.
+#[test]
+fn dlb_counter_trajectories_bitwise_serial_threaded_procs() {
+    let cases: [(ExchangeBackend, Option<usize>, [usize; 3]); 2] = [
+        (ExchangeBackend::NvshmemFused, Some(1), [4, 1, 1]),
+        (ExchangeBackend::Mpi, Some(2), [2, 2, 1]),
+    ];
+    for (backend, gpus, grid) in cases {
+        let label = format!("dlb {} {grid:?}", backend.label());
+        let mut cfg = engine_config(backend, gpus);
+        cfg.dlb = DlbMode::Counter;
+        let serial = run_engine(grid, cfg.clone(), RunMode::Serial, WorldBackend::Threads);
+        let threaded = run_engine(grid, cfg.clone(), RunMode::Threaded, WorldBackend::Threads);
+        let procs = run_engine(grid, cfg, RunMode::Threaded, WorldBackend::Procs);
+        // The controller really ran (one update per gathered segment) and
+        // the deterministic load metric agrees to the last integer.
+        assert_eq!(serial.1.dlb_updates, 2, "{label}: updates");
+        assert_eq!(serial.1.dlb_updates, threaded.1.dlb_updates, "{label}");
+        assert_eq!(serial.1.rank_loads, threaded.1.rank_loads, "{label}: loads");
+        assert_eq!(serial.1.rank_loads, procs.1.rank_loads, "{label}: loads");
+        assert_bitwise(&format!("{label}: serial vs threaded"), &serial, &threaded);
+        assert_bitwise(&format!("{label}: threaded vs procs"), &threaded, &procs);
+    }
+}
+
+/// Multi-pulse forwarding conformance: a communication radius larger than
+/// one cell makes every x pulse a two-hop chain (halo atoms forwarded
+/// through the intermediate rank), and the executors must still agree
+/// bitwise. The second case layers DLB counter mode on top — the pulse
+/// count is pinned at the start-of-run geometry, so boundary moves change
+/// slab widths but never the signal-slot layout.
+#[test]
+fn multipulse_trajectories_bitwise_serial_threaded_procs() {
+    let grid = [4, 1, 1];
+    for dlb in [DlbMode::Off, DlbMode::Counter] {
+        let mut cfg = engine_config(ExchangeBackend::NvshmemFused, Some(1));
+        cfg.cutoff = 1.0;
+        cfg.buffer = 0.2;
+        cfg.dlb = dlb;
+        // The scenario really is multi-pulse: r_comm exceeds one uniform
+        // cell, so the x dimension needs two pulses.
+        let part = build_partition(relaxed_system(), &DdGrid::new(grid), cfg.r_comm());
+        assert_eq!(part.total_pulses(), 2, "expected a 2-pulse x chain");
+        let label = format!("multipulse dlb={}", dlb.label());
+        let serial = run_engine(grid, cfg.clone(), RunMode::Serial, WorldBackend::Threads);
+        let threaded = run_engine(grid, cfg.clone(), RunMode::Threaded, WorldBackend::Threads);
+        let procs = run_engine(grid, cfg, RunMode::Threaded, WorldBackend::Procs);
+        assert_bitwise(&format!("{label}: serial vs threaded"), &serial, &threaded);
+        assert_bitwise(&format!("{label}: threaded vs procs"), &threaded, &procs);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Checkpoint/restart conformance: kill-at-k ≡ uninterrupted, bitwise.
 // ---------------------------------------------------------------------------
@@ -324,6 +381,52 @@ fn checkpoint_kill_resume_bitwise_across_executors() {
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+/// Checkpoint/resume mid-DLB-run: boundaries shifted by the controller are
+/// trajectory state, carried in the checkpoint body (format v2). A kill
+/// after the first segment — when the bounds have already moved off
+/// uniform — must resume under a different executor and still match the
+/// uninterrupted DLB run to the last bit.
+#[test]
+fn dlb_shifted_bounds_kill_resume_bitwise() {
+    let grid = [4, 1, 1];
+    let mut cfg = engine_config(ExchangeBackend::NvshmemFused, Some(1));
+    cfg.dlb = DlbMode::Counter;
+    let reference = run_engine(grid, cfg.clone(), RunMode::Threaded, WorldBackend::Threads);
+    assert!(reference.1.dlb_updates >= 1, "controller must have run");
+
+    let dir = ckpt_dir("dlb-resume");
+    cfg.checkpoint = Some(CheckpointConfig::in_dir(&dir));
+    cfg.run_mode = RunMode::Threaded;
+    cfg.world_backend = WorldBackend::Threads;
+    let mut engine = Engine::new(relaxed_system().clone(), DdGrid::new(grid), cfg.clone());
+    let stats = engine.run(5);
+    assert_eq!(stats.steps, 5);
+    assert!(
+        !engine.bounds().is_uniform(),
+        "one segment of skew must shift boundaries"
+    );
+    drop(engine); // the kill: only the checkpoint files survive
+
+    // Resume under the cross-process executor: the step-5 checkpoint body
+    // must hand the resumed engine the shifted boundaries, or its second
+    // segment would repartition on uniform cells and diverge.
+    cfg.world_backend = WorldBackend::Procs;
+    let mut resumed = Engine::resume_latest(&dir, cfg).expect("resume from newest checkpoint");
+    assert_eq!(resumed.resumed(), Some((5, 0)));
+    assert!(
+        !resumed.bounds().is_uniform(),
+        "resume must restore the shifted boundaries"
+    );
+    let stats = resumed.run(5);
+    assert_eq!(stats.steps, 10);
+    assert_bitwise(
+        "dlb kill+resume vs uninterrupted",
+        &(resumed.system, stats),
+        &reference,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Corrupt-checkpoint tolerance: a bit-flipped newest file (plus a garbage
